@@ -1,0 +1,75 @@
+// Ablation for the paper's section-6 future work: how much do the "chain
+// reaction" shifts cost, and what would a broadcast bus buy?
+//
+// For each error level we run the pure systolic machine and the bus variant
+// at three bus widths (1, 4, unbounded) and report iterations and total
+// cycles (iterations + bus serialisation).  The paper conjectures the shifts
+// dominate in both the highly-similar and highly-different regimes; the gap
+// between "pure" and "bus inf" quantifies exactly that.
+
+#include <iostream>
+
+#include "common/fixed_table.hpp"
+#include "common/stats.hpp"
+#include "core/bus_variant.hpp"
+#include "core/systolic_diff.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+int main() {
+  using namespace sysrle;
+
+  const int kSeeds = 12;
+  RowGenParams rp;
+  rp.width = 10000;
+
+  FixedTable table;
+  table.set_header({"err%", "pure-iters", "bus-inf-iters", "bus-inf-cycles",
+                    "bus-w4-cycles", "bus-w1-cycles", "speedup(inf)"});
+
+  std::cout << "=== Broadcast-bus ablation (section 6 future work) ===\n";
+  std::cout << "(rows of " << rp.width << " px, density 30%, " << kSeeds
+            << " seeds per point; cycles = iterations + bus serialisation)\n\n";
+
+  for (int pct : {1, 2, 5, 10, 20, 30, 40, 50, 60}) {
+    ErrorGenParams err;
+    err.error_fraction = pct / 100.0;
+    RunningStat pure_i, businf_i, businf_c, busw4_c, busw1_c;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(pct) * 271 +
+              static_cast<std::uint64_t>(seed));
+      const RowPairSample s = generate_pair(rng, rp, err);
+
+      pure_i.add(static_cast<double>(
+          systolic_xor(s.first, s.second).counters.iterations));
+
+      BusConfig inf;  // unbounded bus
+      const BusResult r_inf = bus_systolic_xor(s.first, s.second, inf);
+      businf_i.add(static_cast<double>(r_inf.counters.iterations));
+      businf_c.add(static_cast<double>(r_inf.total_cycles()));
+
+      BusConfig w4;
+      w4.bus_width = 4;
+      busw4_c.add(static_cast<double>(
+          bus_systolic_xor(s.first, s.second, w4).total_cycles()));
+
+      BusConfig w1;
+      w1.bus_width = 1;
+      busw1_c.add(static_cast<double>(
+          bus_systolic_xor(s.first, s.second, w1).total_cycles()));
+    }
+    table.add_row(
+        {FixedTable::num(static_cast<std::int64_t>(pct)),
+         FixedTable::num(pure_i.mean(), 1), FixedTable::num(businf_i.mean(), 1),
+         FixedTable::num(businf_c.mean(), 1), FixedTable::num(busw4_c.mean(), 1),
+         FixedTable::num(busw1_c.mean(), 1),
+         FixedTable::num(pure_i.mean() / std::max(1.0, businf_c.mean()), 2)});
+  }
+
+  std::cout << table.str() << '\n';
+  std::cout << "reading: 'speedup(inf)' is pure-systolic iterations over\n"
+               "unbounded-bus cycles — the upper bound on what the paper's\n"
+               "proposed broadcast bus could save on shifts alone.\n";
+  std::cout << "\nCSV:\n" << table.csv();
+  return 0;
+}

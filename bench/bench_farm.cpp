@@ -1,0 +1,62 @@
+// System-level extension: a farm of P systolic machines diffing a whole
+// board image row by row.  Shows how far the per-row machine's latency
+// advantage carries to board latency, and how dispatch policy matters once
+// row service times are skewed.
+
+#include <iostream>
+
+#include "common/fixed_table.hpp"
+#include "core/machine_farm.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+int main() {
+  using namespace sysrle;
+
+  // One synthetic board: 512 scanlines of 4096 px at 30% density, a few
+  // defective rows (higher error) among mostly clean ones — realistic skew.
+  Rng rng(4242);
+  RowGenParams rp;
+  rp.width = 4096;
+  const pos_t height = 512;
+  RleImage a = generate_image(rng, height, rp);
+  RleImage b(rp.width, height);
+  for (pos_t y = 0; y < height; ++y) {
+    ErrorGenParams ep;
+    ep.error_fraction = (y % 37 == 0) ? 0.10 : 0.002;  // sparse defect rows
+    b.set_row(y, inject_errors(rng, a.row(y), rp.width, ep));
+  }
+
+  FixedTable table;
+  table.set_header({"machines", "policy", "makespan", "utilisation",
+                    "speedup-vs-1"});
+
+  std::cout << "=== Row-farm throughput model (" << height << " rows of "
+            << rp.width << " px) ===\n\n";
+
+  double baseline = 0;
+  for (const std::size_t machines : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (const auto policy : {FarmConfig::Policy::kFifo,
+                              FarmConfig::Policy::kLongestFirst}) {
+      FarmConfig cfg;
+      cfg.machines = machines;
+      cfg.policy = policy;
+      const FarmResult r = simulate_row_farm(a, b, cfg);
+      if (machines == 1 && policy == FarmConfig::Policy::kFifo)
+        baseline = static_cast<double>(r.makespan);
+      table.add_row(
+          {FixedTable::num(static_cast<std::uint64_t>(machines)),
+           policy == FarmConfig::Policy::kFifo ? "fifo" : "longest-first",
+           FixedTable::num(r.makespan),
+           FixedTable::num(r.utilisation, 3),
+           FixedTable::num(baseline / static_cast<double>(r.makespan), 2)});
+    }
+  }
+
+  std::cout << table.str() << '\n';
+  std::cout << "reading: with skewed rows (a few defect-heavy scanlines),\n"
+               "longest-first dispatch keeps utilisation high at large P\n"
+               "while FIFO stalls behind the long rows.\n";
+  std::cout << "\nCSV:\n" << table.csv();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 5: "Number of iterations as a function of the percent of
+// pixels with errors plotted alongside two of the dominating factors in the
+// algorithm's running time."
+//
+// Paper setup: rows of 10,000 pixels with ~250 runs (30 % density); foreground
+// runs of length 4-20; error runs of length 2-6; the error percentage is swept
+// and three series are reported per point:
+//   (1) systolic iterations,
+//   (2) the difference in the number of runs in the two images |k1-k2|,
+//   (3) the number of runs in the XOR produced by the algorithm (the
+//       unproven Observation upper bound).
+//
+// Expected shape (validated by EXPERIMENTS.md): series (1) hugs series (2)
+// up to ~30-40 % error, then bends toward series (3); (3) is never exceeded.
+
+#include <iostream>
+#include <vector>
+
+#include "common/fixed_table.hpp"
+#include "common/stats.hpp"
+#include "core/systolic_diff.hpp"
+#include "workload/generator.hpp"
+#include "workload/metrics.hpp"
+#include "workload/rng.hpp"
+
+int main() {
+  using namespace sysrle;
+
+  const pos_t kWidth = 10000;
+  const int kSeedsPerPoint = 12;
+  RowGenParams row_params;  // defaults: width 10000, runs 4-20, density 0.30
+
+  FixedTable table;
+  table.set_header({"err%", "iterations", "run-diff |k1-k2|", "runs-in-XOR",
+                    "k1", "k2", "obs-bound-ok"});
+
+  std::vector<double> xs, iters, diffs, k3s;
+  std::vector<double> iters_low, diffs_low;  // the <= 40% band
+
+  for (int pct = 0; pct <= 70; pct += 5) {
+    ErrorGenParams err;
+    err.error_fraction = pct / 100.0;
+    RunningStat s_iter, s_diff, s_k3, s_k1, s_k2, s_err;
+    bool obs_ok = true;
+
+    for (int seed = 0; seed < kSeedsPerPoint; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(pct) * 1000 +
+              static_cast<std::uint64_t>(seed) + 1);
+      const RowPairSample sample = generate_pair(rng, row_params, err);
+      const SystolicResult r = systolic_xor(sample.first, sample.second);
+
+      const double k1 = static_cast<double>(sample.first.run_count());
+      const double k2 = static_cast<double>(sample.second.run_count());
+      const double k3_raw = static_cast<double>(r.output.run_count());
+      s_iter.add(static_cast<double>(r.counters.iterations));
+      s_diff.add(k1 > k2 ? k1 - k2 : k2 - k1);
+      s_k3.add(k3_raw);
+      s_k1.add(k1);
+      s_k2.add(k2);
+      s_err.add(static_cast<double>(sample.error_pixels) /
+                static_cast<double>(kWidth) * 100.0);
+      obs_ok &= static_cast<double>(r.counters.iterations) <= k3_raw + 1.0;
+    }
+
+    xs.push_back(s_err.mean());
+    iters.push_back(s_iter.mean());
+    diffs.push_back(s_diff.mean());
+    k3s.push_back(s_k3.mean());
+    if (s_err.mean() <= 40.0) {
+      iters_low.push_back(s_iter.mean());
+      diffs_low.push_back(s_diff.mean());
+    }
+
+    table.add_row({FixedTable::num(s_err.mean(), 1),
+                   FixedTable::num(s_iter.mean(), 1),
+                   FixedTable::num(s_diff.mean(), 1),
+                   FixedTable::num(s_k3.mean(), 1),
+                   FixedTable::num(s_k1.mean(), 0),
+                   FixedTable::num(s_k2.mean(), 0),
+                   obs_ok ? "yes" : "NO"});
+  }
+
+  std::cout << "=== Figure 5: iterations vs percent of pixels with errors ===\n";
+  std::cout << "(rows of " << kWidth << " px, ~250 runs, density 30%, "
+            << kSeedsPerPoint << " seeds per point)\n\n";
+  std::cout << table.str() << '\n';
+
+  std::cout << "Pearson(iterations, run-diff), full sweep : "
+            << FixedTable::num(pearson(iters, diffs), 3) << '\n';
+  std::cout << "Pearson(iterations, run-diff), <=40% band : "
+            << FixedTable::num(pearson(iters_low, diffs_low), 3) << '\n';
+  std::cout << "Pearson(iterations, runs-in-XOR)          : "
+            << FixedTable::num(pearson(iters, k3s), 3) << '\n';
+
+  std::cout << "\nCSV:\n" << table.csv();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Wall-clock microbenchmarks (google-benchmark) comparing every row-diff
+// engine on the paper's workload.  Not a paper artefact — the paper counts
+// iterations, not nanoseconds — but useful for sanity-checking the simulator
+// and the library fast path.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/pixel_parallel.hpp"
+#include "baseline/sequential_diff.hpp"
+#include "core/boolean_ops.hpp"
+#include "core/bus_variant.hpp"
+#include "core/systolic_diff.hpp"
+#include "core/union_variant.hpp"
+#include "rle/encode.hpp"
+#include "rle/ops.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+using namespace sysrle;
+
+struct Inputs {
+  RleRow a, b;
+  pos_t width;
+};
+
+/// One deterministic input pair per (width, error %) point, shared by every
+/// engine so the comparison is apples to apples.
+Inputs make_inputs(pos_t width, int err_pct) {
+  Rng rng(static_cast<std::uint64_t>(width) * 1009 +
+          static_cast<std::uint64_t>(err_pct));
+  RowGenParams rp;
+  rp.width = width;
+  ErrorGenParams ep;
+  ep.error_fraction = err_pct / 100.0;
+  const RowPairSample s = generate_pair(rng, rp, ep);
+  return {s.first, s.second, width};
+}
+
+void args_grid(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t width : {1024, 10000}) {
+    for (const std::int64_t err : {3, 30}) {
+      b->Args({width, err});
+    }
+  }
+}
+
+void BM_SystolicSimulation(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  cycle_t iterations = 0;
+  for (auto _ : state) {
+    const SystolicResult r = systolic_xor(in.a, in.b);
+    iterations = r.counters.iterations;
+    benchmark::DoNotOptimize(r.output);
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_SystolicSimulation)->Apply(args_grid);
+
+void BM_BusVariantSimulation(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  cycle_t iterations = 0;
+  for (auto _ : state) {
+    const BusResult r = bus_systolic_xor(in.a, in.b);
+    iterations = r.counters.iterations;
+    benchmark::DoNotOptimize(r.output);
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_BusVariantSimulation)->Apply(args_grid);
+
+void BM_SequentialMerge(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const SequentialDiffResult r = sequential_xor(in.a, in.b);
+    benchmark::DoNotOptimize(r.output);
+  }
+}
+BENCHMARK(BM_SequentialMerge)->Apply(args_grid);
+
+void BM_ParitySweep(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const RleRow r = xor_rows(in.a, in.b);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParitySweep)->Apply(args_grid);
+
+void BM_PixelParallel(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const PixelParallelResult r = pixel_parallel_xor(in.a, in.b, in.width);
+    benchmark::DoNotOptimize(r.output);
+  }
+}
+BENCHMARK(BM_PixelParallel)->Apply(args_grid);
+
+void BM_UnionMachine(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const UnionResult r = systolic_or(in.a, in.b);
+    benchmark::DoNotOptimize(r.output);
+  }
+}
+BENCHMARK(BM_UnionMachine)->Apply(args_grid);
+
+void BM_ComposedAnd(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const BooleanOpResult r = systolic_and(in.a, in.b);
+    benchmark::DoNotOptimize(r.output);
+  }
+}
+BENCHMARK(BM_ComposedAnd)->Apply(args_grid);
+
+void BM_OnArrayCompaction(benchmark::State& state) {
+  // Compact a fully fragmented row (worst case: one chain of adjacent unit
+  // runs spanning the whole width).
+  RleRow fragmented;
+  for (pos_t i = 0; i < state.range(0); ++i)
+    fragmented.push_back(Run{i, 1});
+  for (auto _ : state) {
+    const CompactPassResult r = systolic_compact(fragmented);
+    benchmark::DoNotOptimize(r.output);
+  }
+  state.counters["passes"] =
+      static_cast<double>(systolic_compact(fragmented).passes);
+}
+BENCHMARK(BM_OnArrayCompaction)->Arg(256)->Arg(1024);
+
+void BM_EncodeBits(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), 3);
+  const std::vector<std::uint8_t> bits = decode_bits(in.a, in.width);
+  for (auto _ : state) {
+    const RleRow r = encode_bits(bits);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EncodeBits)->Arg(10000);
+
+}  // namespace

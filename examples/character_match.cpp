@@ -1,0 +1,87 @@
+// Character recognition by template difference — the paper's introduction
+// lists character recognition among the applications of fast binary image
+// difference.  A noisy sample glyph is compared against every template in
+// the font; the best match is the template whose RLE difference has the
+// fewest foreground pixels.  All comparisons run on the systolic machine.
+//
+//   $ ./character_match [text]
+
+#include <iostream>
+#include <string>
+
+#include "bitmap/convert.hpp"
+#include "core/systolic_diff.hpp"
+#include "workload/glyphs.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+using namespace sysrle;
+
+/// Flips a few random pixels to simulate scanner noise.
+BitmapImage add_noise(Rng& rng, BitmapImage img, int flips) {
+  for (int i = 0; i < flips; ++i)
+    img.set(rng.uniform(0, img.width() - 1), rng.uniform(0, img.height() - 1),
+            rng.bernoulli(0.5));
+  return img;
+}
+
+/// Total difference pixels between two equal-size RLE images, computed row
+/// by row on the systolic machine.  Returns the pair (pixels, iterations).
+std::pair<len_t, cycle_t> systolic_distance(const RleImage& a,
+                                            const RleImage& b) {
+  len_t pixels = 0;
+  cycle_t iterations = 0;
+  for (pos_t y = 0; y < a.height(); ++y) {
+    const SystolicResult r = systolic_xor(a.row(y), b.row(y));
+    pixels += r.output.foreground_pixels();
+    iterations += r.counters.iterations;
+  }
+  return {pixels, iterations};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string text = argc > 1 ? argv[1] : "SYSTOLIC";
+  const pos_t scale = 3;
+  Rng rng(123);
+
+  const std::string alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string recognised;
+  cycle_t total_iterations = 0;
+
+  for (char expected : text) {
+    if (!glyph_available(expected)) {
+      recognised += '?';
+      continue;
+    }
+    // The "scanned" sample: the true glyph plus noise.
+    const BitmapImage clean = render_glyph(expected, scale);
+    const RleImage sample =
+        bitmap_to_rle(add_noise(rng, clean, /*flips=*/6));
+
+    char best = '?';
+    len_t best_distance = -1;
+    for (char candidate : alphabet) {
+      const RleImage tmpl = bitmap_to_rle(render_glyph(candidate, scale));
+      const auto [pixels, iters] = systolic_distance(sample, tmpl);
+      total_iterations += iters;
+      if (best_distance < 0 || pixels < best_distance) {
+        best_distance = pixels;
+        best = candidate;
+      }
+    }
+    recognised += best;
+    std::cout << "sample '" << expected << "' -> matched '" << best
+              << "' (difference " << best_distance << " px)\n";
+  }
+
+  std::cout << "\ninput text : " << text << '\n';
+  std::cout << "recognised : " << recognised << '\n';
+  std::cout << "total systolic iterations across all template comparisons: "
+            << total_iterations << '\n';
+  std::cout << (recognised == text ? "perfect recognition\n"
+                                   : "note: noise caused mismatches\n");
+  return 0;
+}

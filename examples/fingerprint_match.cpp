@@ -1,0 +1,85 @@
+// Fingerprint verification by compressed-domain differencing — the paper's
+// fourth named application.  Two captures of the "same finger" (one with
+// synthetic minutiae perturbations) are compared against a different finger;
+// the decision statistic is the difference-pixel fraction computed row by
+// row on the systolic machine.
+//
+//   $ ./fingerprint_match
+
+#include <iostream>
+
+#include "bitmap/convert.hpp"
+#include "core/systolic_diff.hpp"
+#include "workload/fingerprint.hpp"
+#include "workload/metrics.hpp"
+
+namespace {
+
+using namespace sysrle;
+
+struct MatchResult {
+  double difference_fraction;
+  cycle_t systolic_iterations;
+};
+
+MatchResult compare(const RleImage& a, const RleImage& b) {
+  len_t differing = 0;
+  cycle_t iterations = 0;
+  for (pos_t y = 0; y < a.height(); ++y) {
+    const SystolicResult r = systolic_xor(a.row(y), b.row(y));
+    differing += r.output.foreground_pixels();
+    iterations += r.counters.iterations;
+  }
+  const double area =
+      static_cast<double>(a.width()) * static_cast<double>(a.height());
+  return {static_cast<double>(differing) / area, iterations};
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(31337);
+  FingerprintParams params;
+  params.width = 512;
+  params.height = 512;
+
+  // Enrolled print, a second capture of the same finger (extra minutiae from
+  // pressure/skin condition), and a different finger entirely.
+  const BitmapImage enrolled_bmp = generate_ridges(rng, params);
+  BitmapImage second_capture_bmp = enrolled_bmp;
+  const auto minutiae = add_minutiae(rng, second_capture_bmp, 10);
+  const BitmapImage other_finger_bmp = generate_ridges(rng, params);
+
+  const RleImage enrolled = bitmap_to_rle(enrolled_bmp);
+  const RleImage second_capture = bitmap_to_rle(second_capture_bmp);
+  const RleImage other_finger = bitmap_to_rle(other_finger_bmp);
+
+  std::cout << "enrolled print: " << enrolled.stats().total_runs
+            << " runs, density "
+            << enrolled.stats().density << "\n";
+  std::cout << "second capture: " << minutiae.size()
+            << " synthetic minutiae applied\n\n";
+
+  const MatchResult same = compare(enrolled, second_capture);
+  const MatchResult diff = compare(enrolled, other_finger);
+
+  std::cout << "same finger   : difference fraction "
+            << same.difference_fraction << "  (systolic iterations "
+            << same.systolic_iterations << ")\n";
+  std::cout << "other finger  : difference fraction "
+            << diff.difference_fraction << "  (systolic iterations "
+            << diff.systolic_iterations << ")\n\n";
+
+  const double threshold = 0.05;
+  std::cout << "decision at threshold " << threshold << ":\n";
+  std::cout << "  same finger  -> "
+            << (same.difference_fraction < threshold ? "MATCH" : "NO MATCH")
+            << '\n';
+  std::cout << "  other finger -> "
+            << (diff.difference_fraction < threshold ? "MATCH" : "NO MATCH")
+            << '\n';
+  std::cout << "\nnote the iteration asymmetry: similar prints diff in far\n"
+               "fewer systolic iterations than dissimilar ones — the paper's\n"
+               "similarity-adaptive running time, observed in the wild.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Frame-differencing motion detection in the compressed domain (another of
+// the paper's motivating applications).  Consecutive frames of a synthetic
+// scene are XORed on the systolic machine; the difference blobs are the
+// motion regions.
+//
+//   $ ./motion_detection [frames]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/image_diff.hpp"
+#include "inspect/labeling.hpp"
+#include "workload/metrics.hpp"
+#include "workload/motion.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sysrle;
+  const std::size_t frames =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+
+  Rng rng(7);
+  MotionParams params;
+  params.width = 640;
+  params.height = 480;
+  params.objects = 5;
+  const auto sequence = generate_motion_sequence(rng, params, frames);
+  std::cout << "scene: " << params.width << 'x' << params.height << ", "
+            << params.objects << " moving objects, " << frames
+            << " frames\n\n";
+
+  ImageDiffOptions diff_options;
+  diff_options.engine = DiffEngine::kSystolic;
+
+  for (std::size_t f = 0; f + 1 < sequence.size(); ++f) {
+    const RleImage& prev = sequence[f];
+    const RleImage& next = sequence[f + 1];
+    const ImageDiffResult diff = image_diff(prev, next, diff_options);
+    const auto regions = label_components(diff.diff);
+    const ImageSimilarity sim = measure_images(prev, next);
+
+    std::cout << "frame " << f << " -> " << f + 1 << ": "
+              << sim.error_pixels << " changed pixels in " << regions.size()
+              << " motion region(s); systolic iterations total "
+              << diff.counters.iterations << ", worst row "
+              << diff.max_row_iterations << '\n';
+    for (const Component& c : regions) {
+      if (c.pixel_count < 8) continue;  // noise gate for the printout
+      std::cout << "    region " << c.label << ": bbox (" << c.min_x << ','
+                << c.min_y << ")-(" << c.max_x << ',' << c.max_y << "), "
+                << c.pixel_count << " px\n";
+    }
+  }
+
+  std::cout << "\nwhy compressed-domain diffing pays off here: consecutive\n"
+               "frames are nearly identical, so per-row iterations track the\n"
+               "run-count difference (often 0-2) instead of the total run\n"
+               "count the sequential merge must always walk.\n";
+  return 0;
+}

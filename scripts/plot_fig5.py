@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Replot the paper's Figure 5 from bench_fig5's CSV output.
+
+Usage:
+    build/bench/bench_fig5 > fig5.txt
+    scripts/plot_fig5.py fig5.txt fig5.png
+
+The bench prints a human table followed by a "CSV:" section; this script
+parses the CSV block and renders the three series of the published figure:
+systolic iterations, the run-count difference |k1-k2|, and the number of
+runs in the XOR (the Observation upper bound).
+
+Requires matplotlib (not shipped with the repo's C++ toolchain).
+"""
+
+import csv
+import io
+import sys
+
+
+def extract_csv(text: str) -> str:
+    marker = text.find("CSV:")
+    if marker < 0:
+        raise SystemExit("no CSV block found — pass bench_fig5's output")
+    return text[marker + len("CSV:"):].strip()
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1], encoding="utf-8") as f:
+        rows = list(csv.DictReader(io.StringIO(extract_csv(f.read()))))
+
+    err = [float(r["err%"]) for r in rows]
+    iters = [float(r["iterations"]) for r in rows]
+    diff = [float(r["run-diff |k1-k2|"]) for r in rows]
+    k3 = [float(r["runs-in-XOR"]) for r in rows]
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    ax.plot(err, iters, "o-", label="Number of iterations")
+    ax.plot(err, diff, "s--", label="Difference in number of runs")
+    ax.plot(err, k3, "^:", label="Number of runs in the XOR")
+    ax.set_xlabel("Percent of pixels that are different between the two images")
+    ax.set_ylabel("count")
+    ax.set_title("Figure 5 (reproduced): iterations vs error percentage")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(sys.argv[2], dpi=150)
+    print(f"wrote {sys.argv[2]}")
+
+
+if __name__ == "__main__":
+    main()

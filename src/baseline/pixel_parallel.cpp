@@ -1,0 +1,31 @@
+#include "baseline/pixel_parallel.hpp"
+
+#include "bitmap/bit_ops.hpp"
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+PixelParallelCost pixel_parallel_cost(pos_t width) {
+  SYSRLE_REQUIRE(width >= 0, "pixel_parallel_cost: negative width");
+  PixelParallelCost cost;
+  cost.processors = width;
+  cost.decompress_steps = width;
+  cost.xor_depth = 1;
+  cost.recompress_steps = width;
+  return cost;
+}
+
+PixelParallelResult pixel_parallel_xor(const RleRow& a, const RleRow& b,
+                                       pos_t width) {
+  SYSRLE_REQUIRE(a.fits_width(width), "pixel_parallel_xor: row a exceeds width");
+  SYSRLE_REQUIRE(b.fits_width(width), "pixel_parallel_xor: row b exceeds width");
+  PixelParallelResult result;
+  const BitRow ba = rle_to_bitrow(a, width);
+  const BitRow bb = rle_to_bitrow(b, width);
+  result.output = bitrow_to_rle(xor_bitrows(ba, bb));
+  result.cost = pixel_parallel_cost(width);
+  return result;
+}
+
+}  // namespace sysrle

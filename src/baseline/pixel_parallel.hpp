@@ -1,0 +1,48 @@
+#pragma once
+// The uncompressed pixel-parallel alternative the paper's conclusion
+// discusses: "a parallel solution ... can easily be performed on uncompressed
+// data in constant time if the number of processors available is proportional
+// to the number of pixels", at the cost of (a) b processors instead of 2k
+// cells and (b) the RLE <-> bitmap conversions.  This module provides both an
+// executable software version (word-parallel XOR) and the cost model used in
+// the comparison benches.
+
+#include <cstdint>
+
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Cost model of the pixel-parallel machine for one row of width b.
+struct PixelParallelCost {
+  std::int64_t processors = 0;      ///< b — one per pixel
+  std::int64_t decompress_steps = 0;///< writing b pixels from the RLE inputs
+  std::int64_t xor_depth = 1;       ///< the O(1) parallel XOR itself
+  std::int64_t recompress_steps = 0;///< scanning b pixels back into RLE
+
+  /// Total modelled time including the conversions the paper says this
+  /// approach cannot avoid.
+  std::int64_t total_steps() const {
+    return decompress_steps + xor_depth + recompress_steps;
+  }
+};
+
+/// Builds the cost model for a row of the given width.  Decompression can be
+/// done in O(1) parallel time given b processors, but only after a broadcast
+/// of the run list; we model the conventional sequential-scan conversion the
+/// paper's software pipeline would use (b steps each way).
+PixelParallelCost pixel_parallel_cost(pos_t width);
+
+/// Result of the executable pixel-parallel diff.
+struct PixelParallelResult {
+  RleRow output;            ///< canonical XOR row
+  PixelParallelCost cost;   ///< modelled cost for this width
+};
+
+/// Computes the XOR by decompressing both rows to packed bitmaps, XORing
+/// word-parallel, and re-encoding — the exact pipeline the paper's
+/// compressed-domain machine exists to avoid.
+PixelParallelResult pixel_parallel_xor(const RleRow& a, const RleRow& b,
+                                       pos_t width);
+
+}  // namespace sysrle

@@ -1,0 +1,87 @@
+#include "baseline/sequential_diff.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+SequentialDiffResult sequential_xor(const RleRow& a, const RleRow& b) {
+  SequentialDiffResult result;
+
+  // Cursor over one input: the index of the next whole run plus the
+  // still-unconsumed part of the current top run.
+  struct Cursor {
+    const RleRow* row;
+    std::size_t next = 0;
+    std::optional<Run> top;
+
+    void refill() {
+      if (!top && next < row->run_count()) {
+        top = (*row)[next];
+        ++next;
+      }
+    }
+    bool exhausted() const { return !top; }
+  };
+
+  Cursor ca{&a, 0, std::nullopt}, cb{&b, 0, std::nullopt};
+  ca.refill();
+  cb.refill();
+
+  auto emit = [&result](pos_t s, pos_t e) {
+    result.output.push_back(Run::from_bounds(s, e));
+  };
+
+  while (!ca.exhausted() || !cb.exhausted()) {
+    ++result.iterations;
+
+    if (ca.exhausted() || cb.exhausted()) {
+      // One array drained: the other's top run passes through unchanged.
+      Cursor& c = ca.exhausted() ? cb : ca;
+      emit(c.top->start, c.top->end());
+      c.top.reset();
+      c.refill();
+      continue;
+    }
+
+    Run& ra = *ca.top;
+    Run& rb = *cb.top;
+    // Order so `lo` is the lexicographically smaller top run.
+    const bool a_first = ra.start < rb.start ||
+                         (ra.start == rb.start && ra.end() <= rb.end());
+    Run& lo = a_first ? ra : rb;
+    Run& hi = a_first ? rb : ra;
+    Cursor& clo = a_first ? ca : cb;
+
+    if (lo.start < hi.start) {
+      // The XOR's leftmost piece is lo's prefix up to hi's start (or all of
+      // lo when they are disjoint).  Emit it and leave the remainder.
+      const pos_t piece_end = std::min(lo.end(), hi.start - 1);
+      emit(lo.start, piece_end);
+      if (piece_end == lo.end()) {
+        clo.top.reset();
+        clo.refill();
+      } else {
+        lo = Run::from_bounds(piece_end + 1, lo.end());
+      }
+    } else {
+      // Equal starts: the common prefix cancels (XOR produces background).
+      const pos_t common_end = std::min(lo.end(), hi.end());
+      auto shrink = [&](Cursor& c) {
+        if (common_end == c.top->end()) {
+          c.top.reset();
+          c.refill();
+        } else {
+          c.top = Run::from_bounds(common_end + 1, c.top->end());
+        }
+      };
+      shrink(ca);
+      shrink(cb);
+    }
+  }
+  return result;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,28 @@
+#pragma once
+// The paper's sequential comparator (section 2): a single simultaneous pass
+// over the two run arrays that merges them into the output, one output piece
+// per loop iteration.  Its iteration count — Θ(k1 + k2) in the best, worst
+// and average case — is the number Table 1 reports against the systolic
+// machine, so the implementation counts iterations exactly as described:
+// "for each iteration we determine the XOR of the top run of both
+// bitstrings, take the smaller of the resulting runs, and leave the
+// remainder in the array it came from."
+
+#include <cstdint>
+
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Result of the sequential merge diff.
+struct SequentialDiffResult {
+  RleRow output;              ///< the XOR, ordered and non-overlapping
+  std::uint64_t iterations = 0;  ///< merge-loop iterations (the paper's cost)
+};
+
+/// Computes the XOR of two RLE rows with the paper's sequential merge.
+/// The output may contain adjacent runs (exactly like the systolic machine);
+/// pass it through RleRow::canonicalize for the fully compressed form.
+SequentialDiffResult sequential_xor(const RleRow& a, const RleRow& b);
+
+}  // namespace sysrle

@@ -1,0 +1,67 @@
+#include "bitmap/bit_ops.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+namespace {
+template <typename WordOp>
+BitRow zip_words(const BitRow& a, const BitRow& b, WordOp op) {
+  SYSRLE_REQUIRE(a.width() == b.width(), "bit_ops: width mismatch");
+  BitRow out(a.width());
+  auto& w = out.mutable_words();
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = op(a.words()[i], b.words()[i]);
+  out.mask_tail();
+  return out;
+}
+}  // namespace
+
+BitRow xor_bitrows(const BitRow& a, const BitRow& b) {
+  return zip_words(a, b, [](std::uint64_t x, std::uint64_t y) { return x ^ y; });
+}
+
+BitRow and_bitrows(const BitRow& a, const BitRow& b) {
+  return zip_words(a, b, [](std::uint64_t x, std::uint64_t y) { return x & y; });
+}
+
+BitRow or_bitrows(const BitRow& a, const BitRow& b) {
+  return zip_words(a, b, [](std::uint64_t x, std::uint64_t y) { return x | y; });
+}
+
+BitRow not_bitrow(const BitRow& a) {
+  BitRow out(a.width());
+  auto& w = out.mutable_words();
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = ~a.words()[i];
+  out.mask_tail();
+  return out;
+}
+
+len_t bit_hamming(const BitRow& a, const BitRow& b) {
+  SYSRLE_REQUIRE(a.width() == b.width(), "bit_hamming: width mismatch");
+  len_t total = 0;
+  for (std::size_t i = 0; i < a.word_count(); ++i)
+    total += std::popcount(a.words()[i] ^ b.words()[i]);
+  return total;
+}
+
+BitmapImage xor_images(const BitmapImage& a, const BitmapImage& b) {
+  SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                 "xor_images: dimension mismatch");
+  BitmapImage out(a.width(), a.height());
+  for (pos_t y = 0; y < a.height(); ++y)
+    out.mutable_row(y) = xor_bitrows(a.row(y), b.row(y));
+  return out;
+}
+
+len_t image_hamming(const BitmapImage& a, const BitmapImage& b) {
+  SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                 "image_hamming: dimension mismatch");
+  len_t total = 0;
+  for (pos_t y = 0; y < a.height(); ++y) total += bit_hamming(a.row(y), b.row(y));
+  return total;
+}
+
+}  // namespace sysrle

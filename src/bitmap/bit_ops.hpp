@@ -1,0 +1,33 @@
+#pragma once
+// Word-parallel operations on packed bit rows and images.  These model the
+// "pixel-parallel on uncompressed data" alternative the paper's conclusion
+// discusses, and serve as the independent ground truth the compressed-domain
+// engines are tested against.
+
+#include "bitmap/bitmap_image.hpp"
+#include "bitmap/bitrow.hpp"
+
+namespace sysrle {
+
+/// Word-parallel XOR of two equal-width rows.
+BitRow xor_bitrows(const BitRow& a, const BitRow& b);
+
+/// Word-parallel AND of two equal-width rows.
+BitRow and_bitrows(const BitRow& a, const BitRow& b);
+
+/// Word-parallel OR of two equal-width rows.
+BitRow or_bitrows(const BitRow& a, const BitRow& b);
+
+/// Complement of a row (within its width).
+BitRow not_bitrow(const BitRow& a);
+
+/// Number of differing pixels (popcount of XOR) without materialising it.
+len_t bit_hamming(const BitRow& a, const BitRow& b);
+
+/// Whole-image XOR; dimensions must match.
+BitmapImage xor_images(const BitmapImage& a, const BitmapImage& b);
+
+/// Whole-image differing-pixel count; dimensions must match.
+len_t image_hamming(const BitmapImage& a, const BitmapImage& b);
+
+}  // namespace sysrle

@@ -1,0 +1,52 @@
+#include "bitmap/bitmap_image.hpp"
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+BitmapImage::BitmapImage(pos_t width, pos_t height) : width_(width) {
+  SYSRLE_REQUIRE(width >= 0 && height >= 0, "BitmapImage: negative dimensions");
+  rows_.assign(static_cast<std::size_t>(height), BitRow(width));
+}
+
+bool BitmapImage::get(pos_t x, pos_t y) const { return row(y).get(x); }
+
+void BitmapImage::set(pos_t x, pos_t y, bool value) {
+  mutable_row(y).set(x, value);
+}
+
+const BitRow& BitmapImage::row(pos_t y) const {
+  SYSRLE_REQUIRE(y >= 0 && y < height(), "BitmapImage::row: out of range");
+  return rows_[static_cast<std::size_t>(y)];
+}
+
+BitRow& BitmapImage::mutable_row(pos_t y) {
+  SYSRLE_REQUIRE(y >= 0 && y < height(), "BitmapImage::mutable_row: out of range");
+  return rows_[static_cast<std::size_t>(y)];
+}
+
+void BitmapImage::fill_rect(pos_t x, pos_t y, pos_t w, pos_t h, bool value) {
+  SYSRLE_REQUIRE(w >= 0 && h >= 0, "BitmapImage::fill_rect: negative extent");
+  if (w == 0 || h == 0) return;
+  SYSRLE_REQUIRE(x >= 0 && y >= 0 && x + w <= width_ && y + h <= height(),
+                 "BitmapImage::fill_rect: rectangle outside image");
+  for (pos_t yy = y; yy < y + h; ++yy)
+    rows_[static_cast<std::size_t>(yy)].fill(x, w, value);
+}
+
+len_t BitmapImage::popcount() const {
+  len_t total = 0;
+  for (const BitRow& r : rows_) total += r.popcount();
+  return total;
+}
+
+std::string BitmapImage::to_string() const {
+  std::string s;
+  for (pos_t y = 0; y < height(); ++y) {
+    s += rows_[static_cast<std::size_t>(y)].to_string();
+    if (y + 1 < height()) s += '\n';
+  }
+  return s;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,43 @@
+#pragma once
+// A 2-D uncompressed binary image built from packed BitRows.
+
+#include <string>
+#include <vector>
+
+#include "bitmap/bitrow.hpp"
+
+namespace sysrle {
+
+/// Row-major binary image with 64-bit-packed rows.
+class BitmapImage {
+ public:
+  /// All-background image.
+  BitmapImage(pos_t width, pos_t height);
+
+  pos_t width() const { return width_; }
+  pos_t height() const { return static_cast<pos_t>(rows_.size()); }
+
+  bool get(pos_t x, pos_t y) const;
+  void set(pos_t x, pos_t y, bool value);
+
+  const BitRow& row(pos_t y) const;
+  BitRow& mutable_row(pos_t y);
+
+  /// Fills the axis-aligned rectangle [x, x+w) x [y, y+h).
+  /// The rectangle must lie inside the image.
+  void fill_rect(pos_t x, pos_t y, pos_t w, pos_t h, bool value);
+
+  /// Total number of foreground pixels.
+  len_t popcount() const;
+
+  friend bool operator==(const BitmapImage&, const BitmapImage&) = default;
+
+  /// Multi-line "0110..." rendering (tests/debugging only; O(w*h)).
+  std::string to_string() const;
+
+ private:
+  pos_t width_;
+  std::vector<BitRow> rows_;
+};
+
+}  // namespace sysrle

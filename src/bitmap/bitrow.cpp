@@ -1,0 +1,121 @@
+#include "bitmap/bitrow.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+namespace {
+constexpr pos_t kBits = 64;
+}
+
+BitRow::BitRow(pos_t width) : width_(width) {
+  SYSRLE_REQUIRE(width >= 0, "BitRow: negative width");
+  words_.assign(static_cast<std::size_t>((width + kBits - 1) / kBits), 0);
+}
+
+void BitRow::check_index(pos_t i) const {
+  SYSRLE_REQUIRE(i >= 0 && i < width_, "BitRow: index out of range");
+}
+
+bool BitRow::get(pos_t i) const {
+  check_index(i);
+  return (words_[static_cast<std::size_t>(i / kBits)] >>
+          static_cast<unsigned>(i % kBits)) & 1u;
+}
+
+void BitRow::set(pos_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = std::uint64_t{1} << static_cast<unsigned>(i % kBits);
+  auto& w = words_[static_cast<std::size_t>(i / kBits)];
+  if (value) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+void BitRow::flip(pos_t i) {
+  check_index(i);
+  words_[static_cast<std::size_t>(i / kBits)] ^=
+      std::uint64_t{1} << static_cast<unsigned>(i % kBits);
+}
+
+void BitRow::fill(pos_t start, len_t length, bool value) {
+  SYSRLE_REQUIRE(length >= 0, "BitRow::fill: negative length");
+  if (length == 0) return;
+  check_index(start);
+  check_index(start + length - 1);
+  // Process word by word with masks rather than bit by bit.
+  pos_t i = start;
+  const pos_t end = start + length;  // exclusive
+  while (i < end) {
+    const std::size_t wi = static_cast<std::size_t>(i / kBits);
+    const pos_t word_base = static_cast<pos_t>(wi) * kBits;
+    const unsigned lo = static_cast<unsigned>(i - word_base);
+    const pos_t span_end = std::min(end, word_base + kBits);
+    const unsigned n = static_cast<unsigned>(span_end - i);
+    const std::uint64_t mask =
+        (n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1)) << lo;
+    if (value) {
+      words_[wi] |= mask;
+    } else {
+      words_[wi] &= ~mask;
+    }
+    i = span_end;
+  }
+}
+
+void BitRow::flip_range(pos_t start, len_t length) {
+  SYSRLE_REQUIRE(length >= 0, "BitRow::flip_range: negative length");
+  if (length == 0) return;
+  check_index(start);
+  check_index(start + length - 1);
+  pos_t i = start;
+  const pos_t end = start + length;
+  while (i < end) {
+    const std::size_t wi = static_cast<std::size_t>(i / kBits);
+    const pos_t word_base = static_cast<pos_t>(wi) * kBits;
+    const unsigned lo = static_cast<unsigned>(i - word_base);
+    const pos_t span_end = std::min(end, word_base + kBits);
+    const unsigned n = static_cast<unsigned>(span_end - i);
+    const std::uint64_t mask =
+        (n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1)) << lo;
+    words_[wi] ^= mask;
+    i = span_end;
+  }
+}
+
+len_t BitRow::popcount() const {
+  len_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+void BitRow::mask_tail() {
+  if (words_.empty()) return;
+  const unsigned used = static_cast<unsigned>(width_ % kBits);
+  if (used != 0)
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+}
+
+std::string BitRow::to_string() const {
+  std::string s(static_cast<std::size_t>(width_), '0');
+  for (pos_t i = 0; i < width_; ++i)
+    if (get(i)) s[static_cast<std::size_t>(i)] = '1';
+  return s;
+}
+
+BitRow BitRow::from_string(const std::string& bits) {
+  BitRow row(static_cast<pos_t>(bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    SYSRLE_REQUIRE(bits[i] == '0' || bits[i] == '1',
+                   "BitRow::from_string: invalid character");
+    if (bits[i] == '1') row.set(static_cast<pos_t>(i), true);
+  }
+  return row;
+}
+
+}  // namespace sysrle

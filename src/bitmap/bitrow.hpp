@@ -1,0 +1,66 @@
+#pragma once
+// A packed row of binary pixels, 64 per machine word.  This is the
+// uncompressed representation the paper's introduction contrasts with RLE:
+// word-parallel operations on it serve as both ground truth for tests and the
+// "pixel-parallel" comparator discussed in the paper's conclusions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sysrle {
+
+/// Fixed-width packed bit row.  Bits beyond `width` inside the last word are
+/// kept zero at all times (enforced by every mutator), so whole-word
+/// operations never need end-of-row masking.
+class BitRow {
+ public:
+  BitRow() = default;
+
+  /// All-zero row of the given width.
+  explicit BitRow(pos_t width);
+
+  pos_t width() const { return width_; }
+
+  bool get(pos_t i) const;
+  void set(pos_t i, bool value);
+
+  /// Flips bit i (the workload generator's "error" primitive).
+  void flip(pos_t i);
+
+  /// Sets [start, start+length) to `value`; the range must lie in the row.
+  void fill(pos_t start, len_t length, bool value);
+
+  /// Flips every bit in [start, start+length).
+  void flip_range(pos_t start, len_t length);
+
+  /// Number of set bits.
+  len_t popcount() const;
+
+  /// Word-level access for the word-parallel operators in bit_ops.
+  std::size_t word_count() const { return words_.size(); }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& mutable_words() { return words_; }
+
+  /// Clears any stray bits at positions >= width in the last word.
+  /// Called by bit_ops after raw word manipulation; idempotent.
+  void mask_tail();
+
+  friend bool operator==(const BitRow&, const BitRow&) = default;
+
+  /// "0110..." rendering for tests and debugging.
+  std::string to_string() const;
+
+  /// Parses a "0110..." string.
+  static BitRow from_string(const std::string& bits);
+
+ private:
+  void check_index(pos_t i) const;
+
+  pos_t width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sysrle

@@ -1,0 +1,75 @@
+#include "bitmap/convert.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+RleRow bitrow_to_rle(const BitRow& row) {
+  RleRow out;
+  // Scan word by word, extracting maximal 1-blocks with bit tricks rather
+  // than per-pixel loops: countr_zero finds the next set bit, countr_one the
+  // block length.
+  const auto& words = row.words();
+  const pos_t width = row.width();
+  pos_t open_start = -1;  // start of a run that may continue across words
+  pos_t pos = 0;
+  for (std::size_t wi = 0; wi < words.size(); ++wi, pos += 64) {
+    std::uint64_t w = words[wi];
+    pos_t bit = 0;
+    while (bit < 64) {
+      if (open_start >= 0) {
+        // Continue the open run: count ones from this bit upward.
+        const std::uint64_t shifted = w >> static_cast<unsigned>(bit);
+        const int ones = std::countr_one(shifted);
+        bit += ones;
+        if (bit < 64 || ones < 64) {
+          if (pos + bit <= width) {
+            out.push_back(Run::from_bounds(open_start, pos + bit - 1));
+          }
+          open_start = -1;
+        }
+        if (ones == 0) ++bit;  // defensive: cannot happen (open implies a 1)
+      } else {
+        const std::uint64_t shifted = w >> static_cast<unsigned>(bit);
+        if (shifted == 0) break;
+        const int zeros = std::countr_zero(shifted);
+        bit += zeros;
+        open_start = pos + bit;
+        const int ones = std::countr_one(w >> static_cast<unsigned>(bit));
+        bit += ones;
+        if (bit < 64) {
+          out.push_back(Run::from_bounds(open_start, pos + bit - 1));
+          open_start = -1;
+        }
+        // else: run may continue into the next word; leave it open.
+      }
+    }
+  }
+  if (open_start >= 0) out.push_back(Run::from_bounds(open_start, width - 1));
+  return out;
+}
+
+BitRow rle_to_bitrow(const RleRow& row, pos_t width) {
+  SYSRLE_REQUIRE(row.fits_width(width), "rle_to_bitrow: row exceeds width");
+  BitRow out(width);
+  for (const Run& r : row) out.fill(r.start, r.length, true);
+  return out;
+}
+
+RleImage bitmap_to_rle(const BitmapImage& img) {
+  std::vector<RleRow> rows;
+  rows.reserve(static_cast<std::size_t>(img.height()));
+  for (pos_t y = 0; y < img.height(); ++y) rows.push_back(bitrow_to_rle(img.row(y)));
+  return RleImage(img.width(), std::move(rows));
+}
+
+BitmapImage rle_to_bitmap(const RleImage& img) {
+  BitmapImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y)
+    out.mutable_row(y) = rle_to_bitrow(img.row(y), img.width());
+  return out;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,25 @@
+#pragma once
+// Conversions between the compressed (RLE) and uncompressed (bitmap) worlds.
+// The paper's pitch is that its systolic machine avoids these conversions at
+// runtime; here they exist for I/O, ground truth, and the workload pipeline.
+
+#include "bitmap/bitmap_image.hpp"
+#include "bitmap/bitrow.hpp"
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Encodes a packed bit row into a canonical RLE row.
+RleRow bitrow_to_rle(const BitRow& row);
+
+/// Decodes an RLE row into a packed bit row of the given width.
+BitRow rle_to_bitrow(const RleRow& row, pos_t width);
+
+/// Encodes every scanline of a bitmap image.
+RleImage bitmap_to_rle(const BitmapImage& img);
+
+/// Decodes an RLE image into a bitmap.
+BitmapImage rle_to_bitmap(const RleImage& img);
+
+}  // namespace sysrle

@@ -1,0 +1,35 @@
+#pragma once
+// Reading and writing binary images as NetPBM PBM files (both the ASCII "P1"
+// and raw "P4" variants).  This is the library's on-disk interchange format:
+// reference CAD artwork and scanned board images in the examples travel as
+// PBM and are converted to RLE at the edge.
+
+#include <iosfwd>
+#include <string>
+
+#include "bitmap/bitmap_image.hpp"
+
+namespace sysrle {
+
+/// PBM flavour selector for writing.
+enum class PbmFormat {
+  kAscii,  ///< "P1": one character per pixel
+  kRaw,    ///< "P4": 8 pixels per byte, MSB first, rows byte-padded
+};
+
+/// Parses a PBM stream (P1 or P4, auto-detected).  Throws contract_error on
+/// malformed input.  Comments ('#' to end of line) in the header are skipped.
+BitmapImage read_pbm(std::istream& in);
+
+/// Reads a PBM file from disk.
+BitmapImage read_pbm_file(const std::string& path);
+
+/// Writes a PBM stream in the requested format.
+void write_pbm(std::ostream& out, const BitmapImage& img,
+               PbmFormat format = PbmFormat::kRaw);
+
+/// Writes a PBM file to disk.
+void write_pbm_file(const std::string& path, const BitmapImage& img,
+                    PbmFormat format = PbmFormat::kRaw);
+
+}  // namespace sysrle

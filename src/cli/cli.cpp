@@ -1,0 +1,352 @@
+#include "cli/cli.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "bitmap/convert.hpp"
+#include "bitmap/pbm_io.hpp"
+#include "common/assert.hpp"
+#include "core/image_diff.hpp"
+#include "core/systolic_diff.hpp"
+#include "inspect/pipeline.hpp"
+#include "inspect/report.hpp"
+#include "rle/rle_stats.hpp"
+#include "rle/serialize.hpp"
+#include "systolic/verilog_gen.hpp"
+#include "workload/generator.hpp"
+#include "workload/pcb.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+// ---------------------------------------------------------------- utilities
+
+[[noreturn]] void usage_error(const std::string& message) {
+  throw contract_error("usage: " + message);
+}
+
+/// Loads an image file, auto-detecting PBM vs sysrle RLE by magic bytes.
+RleImage load_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SYSRLE_REQUIRE(in.is_open(), "cannot open: " + path);
+  char magic[2] = {};
+  in.read(magic, 2);
+  SYSRLE_REQUIRE(in.good(), "cannot read: " + path);
+  in.seekg(0);
+  if (magic[0] == 'P' && (magic[1] == '1' || magic[1] == '4'))
+    return bitmap_to_rle(read_pbm(in));
+  return read_rle(in);
+}
+
+/// Saves an image; format chosen by extension (.pbm / .srlt / default SRLB).
+void save_image(const std::string& path, const RleImage& img) {
+  auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".pbm")) {
+    write_pbm_file(path, rle_to_bitmap(img));
+  } else if (ends_with(".srlt")) {
+    write_rle_file(path, img, RleFormat::kText);
+  } else {
+    write_rle_file(path, img, RleFormat::kBinary);
+  }
+}
+
+/// Simple flag parser: positional arguments plus --key value / --key flags.
+class ArgParser {
+ public:
+  explicit ArgParser(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  /// Splits into positionals and options.  `value_flags` lists options that
+  /// consume a value; everything else starting with "--" is boolean.
+  void parse(const std::vector<std::string>& value_flags) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
+      if (a.rfind("--", 0) == 0) {
+        const bool takes_value =
+            std::find(value_flags.begin(), value_flags.end(), a) !=
+            value_flags.end();
+        if (takes_value) {
+          SYSRLE_REQUIRE(i + 1 < args_.size(), "missing value for " + a);
+          options_[a] = args_[++i];
+        } else {
+          options_[a] = "";
+        }
+      } else if (a == "-o") {
+        SYSRLE_REQUIRE(i + 1 < args_.size(), "missing value for -o");
+        options_["--output"] = args_[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    return std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+DiffEngine parse_engine(const std::string& name) {
+  if (name == "systolic") return DiffEngine::kSystolic;
+  if (name == "bus") return DiffEngine::kBusSystolic;
+  if (name == "sequential") return DiffEngine::kSequentialMerge;
+  if (name == "sweep") return DiffEngine::kParitySweep;
+  if (name == "pixel") return DiffEngine::kPixelParallel;
+  usage_error("unknown engine '" + name +
+              "' (systolic|bus|sequential|sweep|pixel)");
+}
+
+// ------------------------------------------------------------- subcommands
+
+int cmd_diff(ArgParser& args, std::ostream& out) {
+  args.parse({"--engine", "--output"});
+  if (args.positional().size() != 2)
+    usage_error("diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats]");
+  const RleImage a = load_image(args.positional()[0]);
+  const RleImage b = load_image(args.positional()[1]);
+
+  ImageDiffOptions options;
+  options.engine = parse_engine(args.get("--engine", "systolic"));
+  options.canonicalize_output = args.has("--canonical");
+  const ImageDiffResult result = image_diff(a, b, options);
+
+  if (args.has("--output")) {
+    save_image(args.get("--output", ""), result.diff);
+    out << "wrote " << args.get("--output", "") << '\n';
+  }
+
+  const RleImageStats stats = result.diff.stats();
+  out << "engine: " << to_string(options.engine) << '\n';
+  out << "differing pixels: " << stats.foreground_pixels << '\n';
+  out << "difference runs : " << stats.total_runs << '\n';
+  if (args.has("--stats")) {
+    if (result.counters.iterations > 0)
+      out << "machine: " << result.counters.to_string() << '\n';
+    if (result.sequential_iterations > 0)
+      out << "sequential iterations: " << result.sequential_iterations << '\n';
+    out << "worst-row iterations: " << result.max_row_iterations << '\n';
+  }
+  return 0;
+}
+
+int cmd_inspect(ArgParser& args, std::ostream& out) {
+  args.parse({"--engine", "--align", "--min-area"});
+  if (args.positional().size() != 2)
+    usage_error("inspect <ref> <scan> [--align R] [--min-area N] [--engine E]");
+  const RleImage ref = load_image(args.positional()[0]);
+  const RleImage scan = load_image(args.positional()[1]);
+
+  InspectionOptions options;
+  options.engine = parse_engine(args.get("--engine", "systolic"));
+  options.alignment_radius = args.get_int("--align", 0);
+  options.min_defect_area = args.get_int("--min-area", 2);
+  const InspectionReport report = inspect(ref, scan, options);
+  out << format_report(report);
+  return report.pass ? 0 : 1;
+}
+
+int cmd_gen(ArgParser& args, std::ostream& out) {
+  args.parse({"--seed", "--width", "--height", "--density", "--defects",
+              "--error"});
+  if (args.positional().size() != 2)
+    usage_error("gen pcb|random <out> [--seed N] [--width W] [--height H] "
+                "[--density D] [--defects N]");
+  const std::string& kind = args.positional()[0];
+  const std::string& path = args.positional()[1];
+  Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 42)));
+
+  if (kind == "pcb") {
+    PcbParams p;
+    p.width = args.get_int("--width", 1024);
+    p.height = args.get_int("--height", 256);
+    BitmapImage board = generate_pcb_artwork(rng, p);
+    const std::int64_t defects = args.get_int("--defects", 0);
+    if (defects > 0) {
+      DefectParams dp;
+      dp.count = static_cast<std::size_t>(defects);
+      const auto injected = inject_pcb_defects(rng, board, dp);
+      for (const InjectedDefect& d : injected)
+        out << "injected: " << d.to_string() << '\n';
+    }
+    save_image(path, bitmap_to_rle(board));
+  } else if (kind == "random") {
+    RowGenParams p;
+    p.width = args.get_int("--width", 1024);
+    p.density = args.get_double("--density", 0.3);
+    const pos_t height = args.get_int("--height", 64);
+    save_image(path, generate_image(rng, height, p));
+  } else {
+    usage_error("gen: unknown kind '" + kind + "' (pcb|random)");
+  }
+  out << "wrote " << path << '\n';
+  return 0;
+}
+
+int cmd_convert(ArgParser& args, std::ostream& out) {
+  args.parse({});
+  if (args.positional().size() != 2) usage_error("convert <in> <out>");
+  save_image(args.positional()[1], load_image(args.positional()[0]));
+  out << "wrote " << args.positional()[1] << '\n';
+  return 0;
+}
+
+int cmd_stats(ArgParser& args, std::ostream& out) {
+  args.parse({});
+  if (args.positional().size() != 1) usage_error("stats <file>");
+  const RleImage img = load_image(args.positional()[0]);
+  const RleImageStats s = img.stats();
+  out << "size: " << img.width() << " x " << img.height() << '\n';
+  out << "foreground pixels: " << s.foreground_pixels << '\n';
+  out << "density: " << s.density << '\n';
+  out << "total runs: " << s.total_runs << '\n';
+  out << "max runs per row (k): " << s.max_runs_per_row << '\n';
+  out << "compression: " << compression_stats(img).to_string() << '\n';
+  out << "run lengths: " << run_length_histogram(img).to_string();
+  return 0;
+}
+
+/// Parses a run list like "10,3 16,2 23,2" into an RleRow.
+RleRow parse_run_list(const std::string& text) {
+  std::vector<Run> runs;
+  std::istringstream in(text);
+  std::string item;
+  while (in >> item) {
+    const std::size_t comma = item.find(',');
+    SYSRLE_REQUIRE(comma != std::string::npos,
+                   "run list items must be start,length (got '" + item + "')");
+    runs.emplace_back(std::stoll(item.substr(0, comma)),
+                      std::stoll(item.substr(comma + 1)));
+  }
+  return RleRow(std::move(runs));
+}
+
+int cmd_trace(ArgParser& args, std::ostream& out) {
+  args.parse({"--cells"});
+  if (args.positional().size() != 2)
+    usage_error("trace \"<s,l> <s,l> ...\" \"<s,l> ...\" [--cells N]");
+  const RleRow a = parse_run_list(args.positional()[0]);
+  const RleRow b = parse_run_list(args.positional()[1]);
+
+  TraceRecorder trace;
+  SystolicConfig cfg;
+  cfg.capacity = static_cast<std::size_t>(
+      args.get_int("--cells",
+                   static_cast<std::int64_t>(a.run_count() + b.run_count() + 1)));
+  cfg.trace = &trace;
+  cfg.check_invariants = true;
+  const SystolicResult r = systolic_xor(a, b, cfg);
+
+  out << "row a : " << a.to_string() << '\n';
+  out << "row b : " << b.to_string() << "\n\n";
+  out << trace.render() << '\n';
+  out << "difference : " << r.output.to_string() << '\n';
+  out << "iterations : " << r.counters.iterations << "  (Theorem-1 bound "
+      << a.run_count() + b.run_count() << ", Observation bound "
+      << r.output.run_count() + 1 << ")\n";
+  return 0;
+}
+
+int cmd_verilog(ArgParser& args, std::ostream& out) {
+  args.parse({"--bits", "--cells", "--prefix"});
+  if (args.positional().size() != 1)
+    usage_error("verilog <outdir> [--bits W] [--cells N] [--prefix P]");
+  const std::string dir = args.positional()[0];
+  VerilogOptions options;
+  options.word_bits = static_cast<unsigned>(args.get_int("--bits", 20));
+  options.module_prefix = args.get("--prefix", "sysrle");
+  const std::size_t cells =
+      static_cast<std::size_t>(args.get_int("--cells", 64));
+
+  std::filesystem::create_directories(dir);
+  auto emit = [&](const std::string& name, const std::string& text) {
+    const std::string path = dir + "/" + options.module_prefix + name;
+    std::ofstream f(path);
+    SYSRLE_REQUIRE(f.is_open(), "cannot open for write: " + path);
+    f << text;
+    out << "wrote " << path << '\n';
+  };
+  emit("_cell.v", generate_cell_verilog(options));
+  emit("_array.v", generate_array_verilog(options, cells));
+  emit("_tb.v", generate_testbench_verilog(options, std::max<std::size_t>(cells, 6)));
+  return 0;
+}
+
+void print_help(std::ostream& out) {
+  out << "sysrle — compressed-domain binary image tool\n"
+         "  (systolic RLE image difference; Ercal, Allen, Feng; IPPS 1999)\n\n"
+         "usage: sysrle <command> [args]\n\n"
+         "commands:\n"
+         "  diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats]\n"
+         "      XOR two images in the compressed domain.\n"
+         "  inspect <ref> <scan> [--align R] [--min-area N] [--engine E]\n"
+         "      reference-based inspection; exit 1 when defects are found.\n"
+         "  gen pcb|random <out> [--seed N] [--width W] [--height H]\n"
+         "      [--density D] [--defects N]   generate synthetic workloads.\n"
+         "  convert <in> <out>   convert between PBM and sysrle RLE.\n"
+         "  stats <file>         print image statistics.\n"
+         "  verilog <outdir> [--bits W] [--cells N] [--prefix P]\n"
+         "      emit synthesizable RTL for the Figure-2 machine.\n"
+         "  trace \"<s,l> <s,l> ...\" \"<s,l> ...\" [--cells N]\n"
+         "      print a Figure-3-style execution trace for two rows.\n"
+         "  help                 this message.\n\n"
+         "engines: systolic (default) | bus | sequential | sweep | pixel\n"
+         "formats: auto-detected on read; chosen by extension on write\n"
+         "         (.pbm, .srlt = text RLE, otherwise binary RLE)\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      print_help(out);
+      return 0;
+    }
+    const std::string command = args[0];
+    ArgParser rest(std::vector<std::string>(args.begin() + 1, args.end()));
+    if (command == "diff") return cmd_diff(rest, out);
+    if (command == "inspect") return cmd_inspect(rest, out);
+    if (command == "gen") return cmd_gen(rest, out);
+    if (command == "convert") return cmd_convert(rest, out);
+    if (command == "stats") return cmd_stats(rest, out);
+    if (command == "verilog") return cmd_verilog(rest, out);
+    if (command == "trace") return cmd_trace(rest, out);
+    usage_error("unknown command '" + command + "' (try: sysrle help)");
+  } catch (const std::exception& e) {
+    err << "sysrle: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace sysrle

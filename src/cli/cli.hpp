@@ -1,0 +1,30 @@
+#pragma once
+// The `sysrle` command-line tool, as a testable library function.  The thin
+// main() in tools/sysrle.cpp forwards argv here; tests drive run_cli with
+// string vectors and stream captures.
+//
+// Subcommands:
+//   diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats]
+//   inspect <ref> <scan> [--align R] [--min-area N] [--engine E]
+//   gen pcb|random <out> [--seed N] [--width W] [--height H]
+//                        [--density D] [--defects N]
+//   convert <in> <out>
+//   stats <file>
+//   help
+//
+// Image files are auto-detected by magic: PBM ("P1"/"P4") or sysrle RLE
+// ("SRLT"/"SRLB").  Output format follows the file extension: .pbm writes
+// PBM, .srlt writes text RLE, anything else writes binary RLE.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sysrle {
+
+/// Runs the CLI.  Returns the process exit code: 0 on success, 1 for an
+/// inspection FAIL verdict, 2 for usage/runtime errors.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace sysrle

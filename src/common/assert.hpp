@@ -1,0 +1,64 @@
+#pragma once
+// Contract checking for sysrle.
+//
+// The library is a simulator whose results back quantitative claims, so
+// precondition violations must never be silently ignored: all checks are
+// enabled in every build type and raise sysrle::contract_error.  Hot inner
+// loops use SYSRLE_DCHECK, which compiles away in NDEBUG builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sysrle {
+
+/// Thrown when a SYSRLE_REQUIRE / SYSRLE_ENSURE / SYSRLE_CHECK fails.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace sysrle
+
+/// Precondition check, always on.
+#define SYSRLE_REQUIRE(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::sysrle::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                      __LINE__, (msg));                        \
+  } while (false)
+
+/// Postcondition check, always on.
+#define SYSRLE_ENSURE(cond, msg)                                               \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::sysrle::detail::contract_fail("postcondition", #cond, __FILE__,        \
+                                      __LINE__, (msg));                        \
+  } while (false)
+
+/// Internal invariant check, always on.
+#define SYSRLE_CHECK(cond, msg)                                                \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::sysrle::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,  \
+                                      (msg));                                  \
+  } while (false)
+
+/// Debug-only invariant check for hot paths; vanishes under NDEBUG.
+#ifdef NDEBUG
+#define SYSRLE_DCHECK(cond, msg) static_cast<void>(0)
+#else
+#define SYSRLE_DCHECK(cond, msg) SYSRLE_CHECK(cond, msg)
+#endif

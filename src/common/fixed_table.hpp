@@ -1,0 +1,42 @@
+#pragma once
+// Minimal aligned-text / CSV table printer used by the benchmark harnesses to
+// regenerate the paper's tables and figure data series.
+
+#include <string>
+#include <vector>
+
+namespace sysrle {
+
+/// Collects rows of string cells and renders them either as an aligned,
+/// human-readable text table (like the paper's Table 1) or as CSV suitable
+/// for re-plotting Figure 5.
+class FixedTable {
+ public:
+  /// Sets the column headers; resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row.  Rows may be ragged; missing cells print empty.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders an aligned text table with a header underline.
+  std::string str() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline quoted).
+  std::string csv() const;
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+
+  /// Formats an integral value.
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sysrle

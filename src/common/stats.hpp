@@ -1,0 +1,48 @@
+#pragma once
+// Small statistics helpers used by the experiment harnesses: running moments
+// (Welford), Pearson correlation (the paper's Figure-5 claim is a correlation
+// statement), and simple min/max tracking.
+
+#include <cstddef>
+#include <span>
+
+namespace sysrle {
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+
+  /// Mean of the observations (0 if empty).
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (0 if fewer than two observations).
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest / largest observation (0 if empty).
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or the series are empty.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Arithmetic mean of a series (0 if empty).
+double mean_of(std::span<const double> xs);
+
+}  // namespace sysrle

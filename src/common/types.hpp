@@ -1,0 +1,23 @@
+#pragma once
+// Fundamental scalar types shared across sysrle modules.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sysrle {
+
+/// Pixel position within a row.  Signed 64-bit so that closed-interval cell
+/// arithmetic (end + 1, start - 1) can never overflow or wrap for any
+/// realistic image width, and so that "one before position 0" is expressible.
+using pos_t = std::int64_t;
+
+/// Length of a run in pixels (always > 0 for a stored run).
+using len_t = std::int64_t;
+
+/// Index of a cell in the systolic array.
+using cell_index_t = std::size_t;
+
+/// Iteration / cycle counter for the simulator.
+using cycle_t = std::uint64_t;
+
+}  // namespace sysrle

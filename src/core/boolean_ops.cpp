@@ -1,0 +1,47 @@
+#include "core/boolean_ops.hpp"
+
+#include "core/systolic_diff.hpp"
+#include "core/union_variant.hpp"
+
+namespace sysrle {
+
+BooleanOpResult systolic_and(const RleRow& a, const RleRow& b) {
+  BooleanOpResult result;
+
+  // Pass 1: A XOR B on the paper's machine.
+  SystolicConfig cfg;
+  cfg.canonicalize_output = true;
+  SystolicResult x = systolic_xor(a, b, cfg);
+  result.counters += x.counters;
+  ++result.passes;
+
+  // Pass 2: A OR B on the union machine.
+  UnionResult u = systolic_or(a, b);
+  result.counters += u.counters;
+  ++result.passes;
+
+  // Pass 3: (A XOR B) XOR (A OR B) = A AND B.
+  SystolicResult final_pass =
+      systolic_xor(x.output, u.output.canonical(), cfg);
+  result.counters += final_pass.counters;
+  ++result.passes;
+
+  result.output = std::move(final_pass.output);
+  return result;
+}
+
+BooleanOpResult systolic_subtract(const RleRow& a, const RleRow& b) {
+  // A \ B = A XOR (A AND B).
+  BooleanOpResult inner = systolic_and(a, b);
+  SystolicConfig cfg;
+  cfg.canonicalize_output = true;
+  SystolicResult final_pass = systolic_xor(a, inner.output, cfg);
+  BooleanOpResult result;
+  result.output = std::move(final_pass.output);
+  result.counters = inner.counters;
+  result.counters += final_pass.counters;
+  result.passes = inner.passes + 1;
+  return result;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,37 @@
+#pragma once
+// A complete Boolean algebra on the systolic array — our extension.
+//
+// The XOR machine (the paper) and the union machine (our OR variant) are
+// the only ops directly computable on the provenance-free cell state; AND
+// is not multiset-definable.  But AND decomposes into the two machine ops:
+//
+//     A AND B  =  (A XOR B) XOR (A OR B)
+//
+// (truth-table check: 1,1 -> 0^1 = 1; 1,0 -> 1^1 = 0; 0,0 -> 0), and set
+// difference follows as
+//
+//     A \ B    =  A XOR (A AND B).
+//
+// So three machine passes compute AND and four compute difference, all on
+// unmodified Figure-2 hardware.  Pass counters are summed so the cost of
+// the composition is visible.
+
+#include "rle/rle_row.hpp"
+#include "systolic/counters.hpp"
+
+namespace sysrle {
+
+/// Result of a composed multi-pass Boolean operation.
+struct BooleanOpResult {
+  RleRow output;              ///< canonical result row
+  SystolicCounters counters;  ///< summed over all machine passes
+  std::size_t passes = 0;     ///< machine passes executed
+};
+
+/// A AND B via (A XOR B) XOR (A OR B): three passes on the array.
+BooleanOpResult systolic_and(const RleRow& a, const RleRow& b);
+
+/// A \ B (pixels of A not in B) via A XOR (A AND B): four passes.
+BooleanOpResult systolic_subtract(const RleRow& a, const RleRow& b);
+
+}  // namespace sysrle

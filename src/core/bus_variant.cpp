@@ -1,0 +1,108 @@
+#include "core/bus_variant.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "systolic/linear_array.hpp"
+
+namespace sysrle {
+namespace {
+
+/// True when the travelling run `r` would pass straight through cell `c` in
+/// the pure machine: the cell's settled run lies entirely before `r`, so
+/// step 1 does not swap and step 2 is the identity.
+bool pass_through(const DiffCell& c, const Run& r) {
+  return c.reg_small().has_value() && c.reg_small()->end() < r.start;
+}
+
+}  // namespace
+
+BusResult bus_systolic_xor(const RleRow& a, const RleRow& b,
+                           const BusConfig& config) {
+  const std::size_t k1 = a.run_count();
+  const std::size_t k2 = b.run_count();
+  const std::size_t n =
+      config.capacity ? config.capacity : std::max<std::size_t>(k1 + k2 + 1, 1);
+  SYSRLE_REQUIRE(n >= std::max(k1, k2),
+                 "bus_systolic_xor: capacity below input run count");
+
+  LinearArray<DiffCell> array(n);
+  for (std::size_t i = 0; i < k1; ++i) array.cell(i).load_small(a[i]);
+  for (std::size_t i = 0; i < k2; ++i) array.cell(i).load_big(b[i]);
+
+  SystolicCounters counters;
+  const cycle_t bound = k1 + k2;
+
+  while (!array.all_of([](const DiffCell& c) { return c.complete(); })) {
+    ++counters.iterations;
+    SYSRLE_CHECK(counters.iterations <= bound,
+                 "bus variant ran past the Theorem-1 bound");
+
+    // Steps 1 and 2 exactly as in the pure machine.
+    array.for_each([&counters](DiffCell& c) {
+      switch (c.order()) {
+        case OrderAction::kSwapped:
+          ++counters.swaps;
+          break;
+        case OrderAction::kPromoted:
+          ++counters.promotions;
+          break;
+        case OrderAction::kNone:
+          break;
+      }
+    });
+    array.for_each([&counters](DiffCell& c) {
+      if (c.xor_step()) ++counters.xors;
+    });
+
+    // Routing phase: collect every travelling run, then deliver each to the
+    // first unclaimed non-pass-through cell to its right.  Destinations are
+    // assigned left to right and kept strictly increasing, which preserves
+    // the RegBig lane ordering (Theorem 2).
+    std::vector<std::pair<cell_index_t, Run>> travelling;
+    for (cell_index_t i = 0; i < n; ++i) {
+      std::optional<Run> v = array.cell(i).take_big();
+      if (v) travelling.emplace_back(i, *v);
+    }
+
+    std::uint64_t long_hops = 0;
+    std::size_t prev_dest = 0;
+    bool have_prev = false;
+    for (const auto& [from, run] : travelling) {
+      cell_index_t j = have_prev ? std::max(from, prev_dest) + 1 : from + 1;
+      while (j < n && pass_through(array.cell(j), run)) ++j;
+      SYSRLE_CHECK(j < n, "bus variant: no destination cell for a run");
+      array.cell(j).load_big(run);
+      prev_dest = j;
+      have_prev = true;
+      ++counters.shifts;
+      if (j - from > 1) {
+        ++long_hops;
+        ++counters.bus_moves;
+      }
+    }
+
+    // A finite bus of width w serialises the long hops: the first batch
+    // rides the iteration's own cycle, each further batch costs one extra.
+    if (config.bus_width > 0 && long_hops > 0) {
+      const std::uint64_t batches =
+          (long_hops + config.bus_width - 1) / config.bus_width;
+      counters.bus_cycles += batches - 1;
+    }
+  }
+
+  // Gather the RegSmall lane.
+  std::vector<Run> runs;
+  for (cell_index_t i = 0; i < n; ++i)
+    if (array.cell(i).reg_small()) runs.push_back(*array.cell(i).reg_small());
+
+  BusResult result;
+  result.output = RleRow(std::move(runs));
+  if (config.canonicalize_output) result.output.canonicalize();
+  result.counters = counters;
+  return result;
+}
+
+}  // namespace sysrle

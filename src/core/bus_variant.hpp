@@ -1,0 +1,63 @@
+#pragma once
+// Broadcast-bus accelerated variant of the systolic machine — the paper's
+// section-6 future-work proposal: "If a broadcast bus existed which could run
+// at the same frequency as the rest of the systolic system, it might be
+// possible to perform these shifts more efficiently."
+//
+// Model (documented in DESIGN.md): steps 1 and 2 are unchanged.  Step 3 is
+// replaced by *routing*: every travelling run (non-empty RegBig) is delivered
+// directly to the first cell to its right where the pure machine would do
+// real work with it — a cell whose RegSmall is empty (the run settles there
+// next iteration) or whose RegSmall run interacts with it (swap or non-trivial
+// XOR).  Cells whose RegSmall run lies entirely before the travelling run are
+// pure pass-throughs in the original algorithm (step 2 is the identity
+// there), so skipping them preserves semantics; the property tests verify the
+// output is bit-identical to the sequential XOR.  When two displaced runs
+// contend for the same destination, the later (right) one is placed one cell
+// beyond it — lane ordering is preserved, at the cost of one extra iteration
+// in rare inputs; on average the variant is at least as fast as the pure
+// machine and usually much faster.
+//
+// Costing: a delivery of distance 1 is an ordinary systolic shift (free —
+// it happens inside the iteration's cycle).  A longer hop is a bus
+// transaction; a bus of width `bus_width` completes ceil(moves / width)
+// transactions per cycle, serialised after the compute step.  `bus_width = 0`
+// means an infinitely wide bus (all hops in the iteration's own cycle).
+
+#include <cstddef>
+
+#include "core/systolic_diff.hpp"
+#include "rle/rle_row.hpp"
+#include "systolic/counters.hpp"
+
+namespace sysrle {
+
+/// Configuration for the bus-assisted machine.
+struct BusConfig {
+  /// Cells; 0 = automatic (k1 + k2 + 1), as in SystolicConfig.
+  std::size_t capacity = 0;
+
+  /// Runs delivered per bus cycle; 0 = unbounded bus.
+  std::size_t bus_width = 0;
+
+  /// Canonicalize the gathered output.
+  bool canonicalize_output = false;
+};
+
+/// Result of a bus-assisted run.  counters.iterations counts main-loop
+/// iterations; counters.bus_cycles counts the extra serialisation cycles a
+/// finite bus needs; total_cycles() is the end-to-end time in cycles.
+struct BusResult {
+  RleRow output;
+  SystolicCounters counters;
+
+  cycle_t total_cycles() const {
+    return counters.iterations + counters.bus_cycles;
+  }
+};
+
+/// Runs the bus-assisted systolic XOR of two RLE rows.
+BusResult bus_systolic_xor(const RleRow& a, const RleRow& b,
+                           const BusConfig& config = {});
+
+}  // namespace sysrle

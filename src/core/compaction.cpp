@@ -1,0 +1,20 @@
+#include "core/compaction.hpp"
+
+namespace sysrle {
+
+CompactionResult compact_row(const RleRow& raw) {
+  CompactionResult result;
+  result.row = raw;
+  result.merges = result.row.canonicalize();
+  return result;
+}
+
+CompactionCost compaction_cost(std::size_t array_cells,
+                               std::size_t occupied_cells) {
+  CompactionCost cost;
+  cost.sequential_cycles = array_cells;
+  cost.bus_cycles = occupied_cells;
+  return cost;
+}
+
+}  // namespace sysrle

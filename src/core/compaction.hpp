@@ -1,0 +1,43 @@
+#pragma once
+// Output compaction — the paper's second future-work item (section 6): "the
+// task of combining the adjacent runs in different cells at the end of the
+// algorithm is left as future research.  This task also is not fast on a pure
+// systolic system, but could be performed quickly with the help of a
+// broadcast bus."
+//
+// The functional operation is RleRow::canonicalize; this module adds the cost
+// accounting for performing it on the machine:
+//   * pure systolic: a left-to-right sweep over the array — one cycle per
+//     cell, including the empty ones the answer is scattered across;
+//   * bus-assisted: each cell broadcasts its run once; a comparator merges
+//     adjacency on the fly — one bus transaction per *occupied* cell.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Result of compacting a machine output row.
+struct CompactionResult {
+  RleRow row;                ///< canonical row (no adjacent runs)
+  std::size_t merges = 0;    ///< adjacent pairs merged
+};
+
+/// Merges adjacent runs of a (valid, ordered) machine output row.
+CompactionResult compact_row(const RleRow& raw);
+
+/// Modelled cost of the compaction pass on the machine.
+struct CompactionCost {
+  cycle_t sequential_cycles = 0;  ///< pure systolic sweep: one per array cell
+  cycle_t bus_cycles = 0;         ///< bus-assisted: one per occupied cell
+};
+
+/// Builds the cost model.  `array_cells` is the machine length (the sweep
+/// must visit every cell because the output is scattered), `occupied_cells`
+/// the number of cells holding an output run.
+CompactionCost compaction_cost(std::size_t array_cells,
+                               std::size_t occupied_cells);
+
+}  // namespace sysrle

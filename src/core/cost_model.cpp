@@ -1,0 +1,17 @@
+#include "core/cost_model.hpp"
+
+#include "baseline/sequential_diff.hpp"
+
+namespace sysrle {
+
+DiffCostPrediction predict_costs(const RleRow& a, const RleRow& b) {
+  DiffCostPrediction p;
+  p.k1 = a.run_count();
+  p.k2 = b.run_count();
+  const SequentialDiffResult seq = sequential_xor(a, b);
+  p.k3_raw = seq.output.run_count();
+  p.k3_canonical = seq.output.canonical().run_count();
+  return p;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,42 @@
+#pragma once
+// The analytic cost model of section 5: predictors for how long the systolic
+// machine and the sequential merge will take on a given input pair, plus the
+// bound/correlation bookkeeping the experiments report.
+//
+//   * sequential cost        ~ k1 + k2        (best = worst = average)
+//   * systolic upper bound   = k1 + k2        (Theorem 1)
+//   * observation bound      = k3_raw + 1     (unproven Observation, where
+//                              k3_raw counts runs in the *machine's* output,
+//                              which may contain adjacent runs)
+//   * similar-image estimate ~ |k1 - k2|      (the Figure-5 correlation)
+
+#include <cstdint>
+
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Everything the model can say about one input pair without running the
+/// systolic machine.  (Computing k3 requires an XOR, done sequentially here;
+/// the model is an analysis tool, not a fast path.)
+struct DiffCostPrediction {
+  std::uint64_t k1 = 0;  ///< runs in row a
+  std::uint64_t k2 = 0;  ///< runs in row b
+  /// Runs in the raw (uncompacted) XOR — the Observation's k3.  Predicted
+  /// with the sequential merge, whose piecewise output mirrors the machine's.
+  std::uint64_t k3_raw = 0;
+  /// Runs in the fully compacted XOR.
+  std::uint64_t k3_canonical = 0;
+
+  std::uint64_t sequential_cost() const { return k1 + k2; }
+  std::uint64_t theorem1_bound() const { return k1 + k2; }
+  std::uint64_t observation_bound() const { return k3_raw + 1; }
+  std::uint64_t run_count_difference() const {
+    return k1 > k2 ? k1 - k2 : k2 - k1;
+  }
+};
+
+/// Builds the prediction for one row pair.
+DiffCostPrediction predict_costs(const RleRow& a, const RleRow& b);
+
+}  // namespace sysrle

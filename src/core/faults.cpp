@@ -1,0 +1,148 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/invariants.hpp"
+#include "rle/ops.hpp"
+#include "systolic/linear_array.hpp"
+
+namespace sysrle {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNoSwap:
+      return "no-swap";
+    case FaultKind::kCorruptXorEnd:
+      return "corrupt-xor-end";
+    case FaultKind::kDropShift:
+      return "drop-shift";
+    case FaultKind::kStuckCompleteHigh:
+      return "stuck-complete-high";
+  }
+  return "unknown";
+}
+
+FaultOutcome run_with_fault(const RleRow& a, const RleRow& b,
+                            const FaultSpec& fault) {
+  const std::size_t k1 = a.run_count();
+  const std::size_t k2 = b.run_count();
+  const std::size_t n = std::max<std::size_t>(k1 + k2 + 1, 1);
+  SYSRLE_REQUIRE(fault.cell < n, "run_with_fault: fault cell out of range");
+
+  LinearArray<DiffCell> array(n);
+  for (std::size_t i = 0; i < k1; ++i) array.cell(i).load_small(a[i]);
+  for (std::size_t i = 0; i < k2; ++i) array.cell(i).load_big(b[i]);
+
+  const InvariantContext ctx = make_invariant_context(a, b);
+  FaultOutcome outcome;
+  const cycle_t limit = 2 * static_cast<cycle_t>(k1 + k2) + 4;
+
+  auto cell_complete = [&](cell_index_t i) {
+    if (fault.kind == FaultKind::kStuckCompleteHigh && i == fault.cell)
+      return true;  // the stuck line always reports done
+    return array.cell(i).complete();
+  };
+  auto terminated = [&] {
+    for (cell_index_t i = 0; i < n; ++i)
+      if (!cell_complete(i)) return false;
+    return true;
+  };
+
+  while (!terminated()) {
+    if (outcome.iterations >= limit) {
+      outcome.timed_out = true;
+      break;
+    }
+    ++outcome.iterations;
+
+    // Step 1 — order, with the comparator fault suppressing the swap (the
+    // promotion path is a separate datapath and still works).
+    for (cell_index_t i = 0; i < n; ++i) {
+      DiffCell& c = array.cell(i);
+      if (fault.kind == FaultKind::kNoSwap && i == fault.cell) {
+        if (!c.reg_small() && c.reg_big()) {
+          c.load_small(c.take_big());
+        }
+        continue;  // swap suppressed
+      }
+      c.order();
+    }
+
+    // Step 2 — XOR, with the min-unit fault stretching RegSmall by one.
+    for (cell_index_t i = 0; i < n; ++i) {
+      DiffCell& c = array.cell(i);
+      const bool both = c.reg_small() && c.reg_big();
+      if (fault.kind == FaultKind::kNoSwap && i == fault.cell && both) {
+        // Run the datapath even on unordered registers, as the broken
+        // hardware would: emulate by applying the step-2 formulas manually.
+        const Run s = *c.reg_small();
+        const Run g = *c.reg_big();
+        const pos_t old_small_end = s.end();
+        const pos_t new_small_end = std::min(old_small_end, g.start - 1);
+        const pos_t new_big_start =
+            std::min(g.end() + 1, std::max(old_small_end + 1, g.start));
+        const pos_t new_big_end = std::max(old_small_end, g.end());
+        c.load_small(new_small_end >= s.start
+                         ? std::optional<Run>(Run::from_bounds(s.start, new_small_end))
+                         : std::nullopt);
+        c.load_big(new_big_end >= new_big_start
+                       ? std::optional<Run>(Run::from_bounds(new_big_start, new_big_end))
+                       : std::nullopt);
+        continue;
+      }
+      c.xor_step();
+      if (fault.kind == FaultKind::kCorruptXorEnd && i == fault.cell &&
+          c.reg_small()) {
+        const Run s = *c.reg_small();
+        c.load_small(Run{s.start, s.length + 1});
+      }
+    }
+
+    // Step 3 — shift right, with the dead output register dropping its run.
+    std::optional<Run> carry;
+    for (cell_index_t i = 0; i < n; ++i) {
+      std::optional<Run> outgoing = array.cell(i).take_big();
+      if (fault.kind == FaultKind::kDropShift && i == fault.cell)
+        outgoing.reset();
+      array.cell(i).load_big(carry);
+      carry = outgoing;
+    }
+    // carry leaving the last cell is discarded (would be checked in the
+    // healthy machine; a faulty machine gets no such courtesy).
+
+    // Online self-test: the section-4 checkers.
+    if (!outcome.detected_by_invariants) {
+      try {
+        check_end_of_iteration(array, ctx, outcome.iterations);
+      } catch (const contract_error&) {
+        outcome.detected_by_invariants = true;
+      }
+    }
+  }
+
+  // Judge the final answer (gather may itself be malformed — that counts as
+  // wrong output AND detection, since a real controller validates).
+  try {
+    std::vector<Run> runs;
+    for (cell_index_t i = 0; i < n; ++i)
+      if (array.cell(i).reg_small()) runs.push_back(*array.cell(i).reg_small());
+    const RleRow out = xor_run_multiset(std::move(runs));
+    outcome.wrong_output = out != ctx.expected_xor.canonical();
+  } catch (const contract_error&) {
+    outcome.wrong_output = true;
+    outcome.detected_by_invariants = true;
+  }
+  if (!outcome.detected_by_invariants) {
+    try {
+      check_final_state(array, ctx);
+    } catch (const contract_error&) {
+      outcome.detected_by_invariants = true;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,62 @@
+#pragma once
+// Hardware fault injection for the systolic machine.
+//
+// A real array of this design would be built from thousands of identical
+// cells; single-cell defects (a stuck comparator, a dead shift register, a
+// stuck completion line) are the realistic failure mode.  This module runs
+// the algorithm with one injected fault and reports whether the section-4
+// invariant checkers catch it — turning the paper's correctness theorems
+// into an online self-test, and doubling as mutation testing for the
+// checkers themselves.
+
+#include "core/diff_cell.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Single-cell fault models.
+enum class FaultKind {
+  kNoSwap,            ///< step-1 comparator stuck: the cell never swaps
+  kCorruptXorEnd,     ///< step-2 min unit off by one: RegSmall.end grows +1
+  kDropShift,         ///< step-3 output register dead: the run vanishes
+  kStuckCompleteHigh, ///< completion line stuck high: premature termination
+};
+
+/// Human-readable fault name.
+const char* to_string(FaultKind kind);
+
+/// Which fault to inject where.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNoSwap;
+  cell_index_t cell = 0;
+};
+
+/// What happened when running with the fault.
+struct FaultOutcome {
+  /// A section-4 invariant checker threw during or after the run.
+  bool detected_by_invariants = false;
+  /// The machine terminated and produced an incorrect XOR.
+  bool wrong_output = false;
+  /// The machine failed to terminate within 2*(k1+k2)+4 iterations.
+  bool timed_out = false;
+  /// Iterations executed.
+  cycle_t iterations = 0;
+
+  /// True when the fault had any observable effect at all.
+  bool any_effect() const {
+    return detected_by_invariants || wrong_output || timed_out;
+  }
+  /// True when the run was both wrong and silent — a checker gap.
+  bool silent_corruption() const {
+    return wrong_output && !detected_by_invariants;
+  }
+};
+
+/// Runs the systolic XOR with the given fault injected, invariant checkers
+/// armed.  The checkers are run every iteration; a throw is recorded (not
+/// propagated) and the simulation continues so the final output can also be
+/// judged.
+FaultOutcome run_with_fault(const RleRow& a, const RleRow& b,
+                            const FaultSpec& fault);
+
+}  // namespace sysrle

@@ -1,0 +1,111 @@
+#include "core/image_diff.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/pixel_parallel.hpp"
+#include "baseline/sequential_diff.hpp"
+#include "common/assert.hpp"
+#include "core/bus_variant.hpp"
+#include "core/systolic_diff.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+
+const char* to_string(DiffEngine engine) {
+  switch (engine) {
+    case DiffEngine::kSystolic:
+      return "systolic";
+    case DiffEngine::kBusSystolic:
+      return "bus-systolic";
+    case DiffEngine::kSequentialMerge:
+      return "sequential-merge";
+    case DiffEngine::kParitySweep:
+      return "parity-sweep";
+    case DiffEngine::kPixelParallel:
+      return "pixel-parallel";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-row outcome gathered before serial aggregation (keeps the parallel
+/// loop free of shared mutable state).
+struct RowOutcome {
+  RleRow output;
+  SystolicCounters counters;
+  std::uint64_t sequential_iterations = 0;
+};
+
+RowOutcome diff_one_row(const RleRow& ra, const RleRow& rb, pos_t width,
+                        const ImageDiffOptions& options) {
+  RowOutcome out;
+  switch (options.engine) {
+    case DiffEngine::kSystolic: {
+      SystolicConfig cfg;
+      cfg.check_invariants = options.check_invariants;
+      cfg.canonicalize_output = options.canonicalize_output;
+      SystolicResult r = systolic_xor(ra, rb, cfg);
+      out.output = std::move(r.output);
+      out.counters = r.counters;
+      break;
+    }
+    case DiffEngine::kBusSystolic: {
+      BusConfig cfg;
+      cfg.bus_width = options.bus_width;
+      cfg.canonicalize_output = options.canonicalize_output;
+      BusResult r = bus_systolic_xor(ra, rb, cfg);
+      out.output = std::move(r.output);
+      out.counters = r.counters;
+      break;
+    }
+    case DiffEngine::kSequentialMerge: {
+      SequentialDiffResult r = sequential_xor(ra, rb);
+      out.output = std::move(r.output);
+      out.sequential_iterations = r.iterations;
+      if (options.canonicalize_output) out.output.canonicalize();
+      break;
+    }
+    case DiffEngine::kParitySweep: {
+      out.output = xor_rows(ra, rb);  // canonical by construction
+      break;
+    }
+    case DiffEngine::kPixelParallel: {
+      PixelParallelResult r = pixel_parallel_xor(ra, rb, width);
+      out.output = std::move(r.output);  // canonical by construction
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageDiffResult image_diff(const RleImage& a, const RleImage& b,
+                           const ImageDiffOptions& options) {
+  SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                 "image_diff: image dimensions differ");
+  const pos_t height = a.height();
+  std::vector<RowOutcome> outcomes(static_cast<std::size_t>(height));
+
+#ifdef SYSRLE_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 16)
+#endif
+  for (pos_t y = 0; y < height; ++y)
+    outcomes[static_cast<std::size_t>(y)] =
+        diff_one_row(a.row(y), b.row(y), a.width(), options);
+
+  ImageDiffResult result{RleImage(a.width(), height), {}, 0, 0};
+  for (pos_t y = 0; y < height; ++y) {
+    RowOutcome& o = outcomes[static_cast<std::size_t>(y)];
+    result.max_row_iterations =
+        std::max(result.max_row_iterations, o.counters.iterations);
+    result.counters += o.counters;
+    result.sequential_iterations += o.sequential_iterations;
+    result.diff.set_row(y, std::move(o.output));
+  }
+  return result;
+}
+
+}  // namespace sysrle

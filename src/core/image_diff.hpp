@@ -1,0 +1,52 @@
+#pragma once
+// Image-level difference API: applies a row-diff engine to every scanline of
+// two RLE images.  This is the operation a PCB inspection system performs per
+// acquired board image (reference CAD artwork vs scan), and the natural unit
+// for which the paper's per-row machine would be replicated or time-shared.
+
+#include <cstdint>
+
+#include "rle/rle_image.hpp"
+#include "systolic/counters.hpp"
+
+namespace sysrle {
+
+/// Which row-diff engine to run.
+enum class DiffEngine {
+  kSystolic,         ///< the paper's machine (cycle-level simulation)
+  kBusSystolic,      ///< section-6 broadcast-bus variant
+  kSequentialMerge,  ///< the paper's sequential comparator
+  kParitySweep,      ///< library fast path (rle/ops.hpp xor_rows)
+  kPixelParallel,    ///< decompress + word-parallel XOR + recompress
+};
+
+/// Human-readable engine name (for bench output).
+const char* to_string(DiffEngine engine);
+
+/// Options for image_diff.
+struct ImageDiffOptions {
+  DiffEngine engine = DiffEngine::kSystolic;
+  /// Merge adjacent runs in every output row.
+  bool canonicalize_output = true;
+  /// Run the section-4 invariant checkers on every systolic row (slow).
+  bool check_invariants = false;
+  /// Bus width for kBusSystolic (0 = unbounded).
+  std::size_t bus_width = 0;
+};
+
+/// Aggregated result of an image-level diff.
+struct ImageDiffResult {
+  RleImage diff;                   ///< per-row XOR of the two images
+  SystolicCounters counters;       ///< summed machine activity (systolic/bus)
+  std::uint64_t sequential_iterations = 0;  ///< summed merge iterations
+  cycle_t max_row_iterations = 0;  ///< worst row (array latency if machines
+                                   ///< process rows in parallel)
+};
+
+/// Computes the per-row XOR of two equal-sized RLE images with the selected
+/// engine.  Rows are independent; when OpenMP is available they are processed
+/// in parallel (the result is deterministic regardless).
+ImageDiffResult image_diff(const RleImage& a, const RleImage& b,
+                           const ImageDiffOptions& options = {});
+
+}  // namespace sysrle

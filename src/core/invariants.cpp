@@ -1,0 +1,141 @@
+#include "core/invariants.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+namespace {
+
+/// Checks that the non-empty values of one register lane are strictly
+/// ordered and non-overlapping (prev.end < next.start).
+template <typename GetReg>
+void check_lane_ordered(const LinearArray<DiffCell>& array, GetReg get,
+                        const char* lane) {
+  const Run* prev = nullptr;
+  for (cell_index_t i = 0; i < array.size(); ++i) {
+    const std::optional<Run>& r = get(array.cell(i));
+    if (!r) continue;
+    if (prev)
+      SYSRLE_CHECK(prev->end() < r->start,
+                   std::string(lane) + " lane out of order/overlapping");
+    prev = &*r;
+  }
+}
+
+}  // namespace
+
+InvariantContext make_invariant_context(const RleRow& a, const RleRow& b) {
+  InvariantContext ctx;
+  ctx.expected_xor = xor_rows(a, b);
+  ctx.k1 = a.run_count();
+  ctx.k2 = b.run_count();
+  return ctx;
+}
+
+void check_corollary21_after_xor(const LinearArray<DiffCell>& array) {
+  // Parts 1 and 2: each lane ordered.
+  check_lane_ordered(array, [](const DiffCell& c) -> const std::optional<Run>& {
+    return c.reg_small();
+  }, "Cor2.1(1) RegSmall");
+  check_lane_ordered(array, [](const DiffCell& c) -> const std::optional<Run>& {
+    return c.reg_big();
+  }, "Cor2.1(2) RegBig");
+
+  // Parts 3 and 4 combined: for every cell j holding a RegBig run, every
+  // RegSmall run at index i <= j must end before it starts.  A prefix
+  // maximum over RegSmall ends makes this O(n).
+  pos_t max_small_end = -1;
+  bool any_small = false;
+  for (cell_index_t j = 0; j < array.size(); ++j) {
+    const DiffCell& c = array.cell(j);
+    if (c.reg_small()) {
+      any_small = true;
+      max_small_end = std::max(max_small_end, c.reg_small()->end());
+    }
+    if (c.reg_big() && any_small)
+      SYSRLE_CHECK(max_small_end < c.reg_big()->start,
+                   "Cor2.1(3/4): a RegSmall run reaches into a RegBig run");
+  }
+}
+
+void check_corollary21_part5_after_shift(const LinearArray<DiffCell>& array) {
+  // For each cell j with a RegSmall run: among cells i <= E(j) — where E(j)
+  // is the last index < j whose RegSmall is empty — every RegBig must end
+  // before RegSmall(j) starts.  Prefix maxima make this O(n).
+  pos_t max_big_end_upto_empty = -1;  // max RegBig.end over i <= last empty
+  pos_t max_big_end_prefix = -1;      // max RegBig.end over all i < j
+  bool seen_empty = false;
+  for (cell_index_t j = 0; j < array.size(); ++j) {
+    const DiffCell& c = array.cell(j);
+    if (c.reg_small() && seen_empty)
+      SYSRLE_CHECK(max_big_end_upto_empty < c.reg_small()->start,
+                   "Cor2.1(5): RegBig run not before RegSmall run past a gap");
+    if (c.reg_big())
+      max_big_end_prefix = std::max(max_big_end_prefix, c.reg_big()->end());
+    if (!c.reg_small()) {
+      seen_empty = true;
+      // Cells i <= j qualify, including j itself ("including i itself" with
+      // k == i requires only small(i) empty... the clause allows k == i).
+      max_big_end_upto_empty = max_big_end_prefix;
+    }
+  }
+}
+
+void check_theorem2(const LinearArray<DiffCell>& array) {
+  check_lane_ordered(array, [](const DiffCell& c) -> const std::optional<Run>& {
+    return c.reg_small();
+  }, "Thm2(1) RegSmall");
+  check_lane_ordered(array, [](const DiffCell& c) -> const std::optional<Run>& {
+    return c.reg_big();
+  }, "Thm2(2) RegBig");
+}
+
+void check_theorem3_conservation(const LinearArray<DiffCell>& array,
+                                 const InvariantContext& ctx) {
+  std::vector<Run> held;
+  for (cell_index_t i = 0; i < array.size(); ++i) {
+    const DiffCell& c = array.cell(i);
+    if (c.reg_small()) held.push_back(*c.reg_small());
+    if (c.reg_big()) held.push_back(*c.reg_big());
+  }
+  const RleRow folded = xor_run_multiset(std::move(held));
+  SYSRLE_CHECK(folded == ctx.expected_xor.canonical(),
+               "Thm3: multiset XOR of held runs drifted from the input XOR");
+}
+
+void check_corollary11(const LinearArray<DiffCell>& array,
+                       const InvariantContext& ctx, cycle_t iteration) {
+  (void)ctx;
+  const cell_index_t limit =
+      std::min(static_cast<cell_index_t>(iteration), array.size());
+  for (cell_index_t i = 0; i < limit; ++i)
+    SYSRLE_CHECK(!array.cell(i).reg_big(),
+                 "Cor1.1: RegBig still occupied in an early cell");
+}
+
+void check_end_of_iteration(const LinearArray<DiffCell>& array,
+                            const InvariantContext& ctx, cycle_t iteration) {
+  check_theorem2(array);
+  check_corollary21_part5_after_shift(array);
+  check_corollary11(array, ctx, iteration);
+  check_theorem3_conservation(array, ctx);
+}
+
+void check_final_state(const LinearArray<DiffCell>& array,
+                       const InvariantContext& ctx) {
+  for (cell_index_t i = 0; i < array.size(); ++i)
+    SYSRLE_CHECK(array.cell(i).complete(),
+                 "final state: a RegBig register is still occupied");
+  check_theorem2(array);
+
+  std::vector<Run> held;
+  for (cell_index_t i = 0; i < array.size(); ++i)
+    if (array.cell(i).reg_small()) held.push_back(*array.cell(i).reg_small());
+  RleRow out(std::move(held));
+  SYSRLE_CHECK(out.canonical() == ctx.expected_xor.canonical(),
+               "final state: gathered output is not the XOR of the inputs");
+}
+
+}  // namespace sysrle

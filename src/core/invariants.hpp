@@ -1,0 +1,59 @@
+#pragma once
+// Executable versions of the paper's correctness results (section 4).  The
+// simulator can run these after every iteration; the property tests always
+// do.  Each checker throws contract_error with a description on violation —
+// a violation would falsify the paper (or our transcription of it).
+
+#include "core/diff_cell.hpp"
+#include "rle/rle_row.hpp"
+#include "systolic/linear_array.hpp"
+
+namespace sysrle {
+
+/// Per-run context the checkers compare against.
+struct InvariantContext {
+  RleRow expected_xor;  ///< ground-truth XOR of the two input rows
+  cycle_t k1 = 0;       ///< runs in input row a
+  cycle_t k2 = 0;       ///< runs in input row b
+};
+
+/// Builds the context (computes the ground-truth XOR once, sequentially).
+InvariantContext make_invariant_context(const RleRow& a, const RleRow& b);
+
+/// Corollary 2.1 parts 1–4, checked after step 2 of an iteration:
+///   (1) RegSmall lane strictly ordered and non-overlapping,
+///   (2) RegBig lane strictly ordered and non-overlapping,
+///   (3) within a cell, RegSmall.end < RegBig.start,
+///   (4) RegSmall of cell i ends before RegBig of any cell j >= i starts.
+void check_corollary21_after_xor(const LinearArray<DiffCell>& array);
+
+/// Corollary 2.1 part 5, checked after step 3: if cell i holds a RegBig run,
+/// cell j > i holds a RegSmall run, and some cell in [i, j) has an empty
+/// RegSmall, then RegBig(i).end < RegSmall(j).start.
+void check_corollary21_part5_after_shift(const LinearArray<DiffCell>& array);
+
+/// Theorem 2 (end-of-iteration ordering): both register lanes are ordered
+/// and non-overlapping.
+void check_theorem2(const LinearArray<DiffCell>& array);
+
+/// Theorem 3 conservation: the XOR over every run currently held in the
+/// array (both lanes) equals the ground-truth XOR of the inputs.
+void check_theorem3_conservation(const LinearArray<DiffCell>& array,
+                                 const InvariantContext& ctx);
+
+/// Corollary 1.1: after iteration `iteration` (1-based), the first
+/// `iteration` cells hold no RegBig run.
+void check_corollary11(const LinearArray<DiffCell>& array,
+                       const InvariantContext& ctx, cycle_t iteration);
+
+/// Runs every per-iteration check that applies at end of iteration
+/// (Theorem 2, Theorem 3 conservation, Corollaries 1.1 and 2.1 part 5).
+void check_end_of_iteration(const LinearArray<DiffCell>& array,
+                            const InvariantContext& ctx, cycle_t iteration);
+
+/// Final-state checks: machine terminated (all RegBig empty), output ordered
+/// and equal (as a bitstring) to the expected XOR.
+void check_final_state(const LinearArray<DiffCell>& array,
+                       const InvariantContext& ctx);
+
+}  // namespace sysrle

@@ -1,0 +1,52 @@
+#include "core/machine_farm.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/systolic_diff.hpp"
+
+namespace sysrle {
+
+FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
+                             const FarmConfig& config) {
+  SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                 "simulate_row_farm: image dimensions differ");
+  SYSRLE_REQUIRE(config.machines >= 1, "simulate_row_farm: need >= 1 machine");
+
+  // Measure per-row service times with the real simulator.
+  std::vector<cycle_t> service;
+  service.reserve(static_cast<std::size_t>(a.height()));
+  for (pos_t y = 0; y < a.height(); ++y) {
+    const SystolicResult r = systolic_xor(a.row(y), b.row(y));
+    service.push_back(r.counters.iterations + config.per_row_overhead);
+  }
+
+  if (config.policy == FarmConfig::Policy::kLongestFirst)
+    std::sort(service.begin(), service.end(), std::greater<>());
+
+  // List scheduling: each row goes to the machine that frees up first.
+  std::priority_queue<cycle_t, std::vector<cycle_t>, std::greater<>> free_at;
+  for (std::size_t m = 0; m < config.machines; ++m) free_at.push(0);
+
+  FarmResult result;
+  for (const cycle_t s : service) {
+    const cycle_t start = free_at.top();
+    free_at.pop();
+    const cycle_t done = start + s;
+    free_at.push(done);
+    result.makespan = std::max(result.makespan, done);
+    result.total_work += s;
+    result.critical_row = std::max(result.critical_row, s);
+  }
+  if (result.makespan > 0) {
+    result.utilisation =
+        static_cast<double>(result.total_work) /
+        (static_cast<double>(config.machines) *
+         static_cast<double>(result.makespan));
+  }
+  return result;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,49 @@
+#pragma once
+// A farm of systolic machines processing a whole image pair, row by row.
+//
+// The paper's machine diffs one row; an inspection system has thousands of
+// scanlines per board.  This model answers the system-level question: with P
+// copies of the array (or one array time-shared P ways), what is the board
+// latency?  Each row's service time is its measured iteration count plus a
+// fixed load/drain overhead; rows are dispatched to machines either in scan
+// order (kFifo — what a streaming camera interface does) or longest-first
+// (kLongestFirst — the classic LPT bound, needs the whole board buffered).
+
+#include <cstddef>
+
+#include "rle/rle_image.hpp"
+#include "systolic/counters.hpp"
+
+namespace sysrle {
+
+/// Farm configuration.
+struct FarmConfig {
+  /// Number of parallel systolic machines.
+  std::size_t machines = 4;
+
+  /// Fixed cycles per row for loading the runs and draining the result.
+  cycle_t per_row_overhead = 2;
+
+  /// Dispatch policy.
+  enum class Policy {
+    kFifo,          ///< rows dispatched in scan order as machines free up
+    kLongestFirst,  ///< offline LPT: longest service time first
+  };
+  Policy policy = Policy::kFifo;
+};
+
+/// Farm simulation outcome.
+struct FarmResult {
+  cycle_t makespan = 0;      ///< cycles until the last row completes
+  cycle_t total_work = 0;    ///< sum of all row service times
+  cycle_t critical_row = 0;  ///< largest single-row service time
+  double utilisation = 0.0;  ///< total_work / (machines * makespan)
+};
+
+/// Simulates diffing images `a` and `b` on the farm.  Row service times come
+/// from actually running the systolic simulator on every row pair.
+/// Dimensions must match.
+FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
+                             const FarmConfig& config = {});
+
+}  // namespace sysrle

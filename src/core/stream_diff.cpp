@@ -1,0 +1,75 @@
+#include "core/stream_diff.hpp"
+
+#include <algorithm>
+
+#include "baseline/sequential_diff.hpp"
+#include "common/assert.hpp"
+#include "core/bus_variant.hpp"
+#include "core/systolic_diff.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+
+StreamDiffer::StreamDiffer(ImageDiffOptions options, RowCallback on_row,
+                           cycle_t load_cycles_per_run)
+    : options_(options),
+      on_row_(std::move(on_row)),
+      load_cycles_per_run_(load_cycles_per_run) {
+  SYSRLE_REQUIRE(on_row_ != nullptr, "StreamDiffer: null row callback");
+}
+
+void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
+  RleRow diff;
+  SystolicCounters row_counters;
+
+  switch (options_.engine) {
+    case DiffEngine::kSystolic: {
+      SystolicConfig cfg;
+      cfg.check_invariants = options_.check_invariants;
+      cfg.canonicalize_output = options_.canonicalize_output;
+      SystolicResult r = systolic_xor(reference, scan, cfg);
+      diff = std::move(r.output);
+      row_counters = r.counters;
+      break;
+    }
+    case DiffEngine::kBusSystolic: {
+      BusConfig cfg;
+      cfg.bus_width = options_.bus_width;
+      cfg.canonicalize_output = options_.canonicalize_output;
+      BusResult r = bus_systolic_xor(reference, scan, cfg);
+      diff = std::move(r.output);
+      row_counters = r.counters;
+      break;
+    }
+    case DiffEngine::kSequentialMerge: {
+      SequentialDiffResult r = sequential_xor(reference, scan);
+      diff = std::move(r.output);
+      if (options_.canonicalize_output) diff.canonicalize();
+      break;
+    }
+    case DiffEngine::kParitySweep:
+    case DiffEngine::kPixelParallel: {
+      // Width-agnostic streaming: the sweep covers both cases here.
+      diff = xor_rows(reference, scan);
+      break;
+    }
+  }
+
+  const pos_t y = static_cast<pos_t>(summary_.rows);
+  ++summary_.rows;
+  summary_.difference_pixels += diff.foreground_pixels();
+  summary_.max_row_iterations =
+      std::max(summary_.max_row_iterations, row_counters.iterations);
+  // Double-buffered latency: computing this row overlaps loading the next
+  // one (k1+k2 runs at load_cycles_per_run each).
+  const cycle_t load_cycles =
+      load_cycles_per_run_ *
+      (reference.run_count() + scan.run_count());
+  summary_.pipelined_cycles +=
+      std::max<cycle_t>(row_counters.iterations, load_cycles);
+  summary_.counters += row_counters;
+
+  on_row_(y, diff);
+}
+
+}  // namespace sysrle

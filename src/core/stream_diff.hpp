@@ -1,0 +1,59 @@
+#pragma once
+// Streaming difference processing for line-scan acquisition.
+//
+// PCB scanners deliver one scanline at a time and boards are gigabytes; the
+// inspection system cannot buffer two whole images.  StreamDiffer accepts
+// (reference row, scan row) pairs as they arrive, runs the configured
+// engine, hands each difference row to a callback, and keeps only O(1)
+// state: running counters and the double-buffering latency model of a
+// machine that loads row n+1 while processing row n.
+
+#include <functional>
+
+#include "core/image_diff.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Aggregate state of a streaming run.
+struct StreamSummary {
+  std::uint64_t rows = 0;
+  len_t difference_pixels = 0;
+  SystolicCounters counters;          ///< summed machine activity
+  cycle_t max_row_iterations = 0;
+  /// Pipeline latency in cycles for a double-buffered machine: each row
+  /// costs max(iterations, load_cycles), because the next row's runs stream
+  /// into the shadow registers while the current row computes.
+  cycle_t pipelined_cycles = 0;
+};
+
+/// Processes row pairs one at a time with bounded memory.
+class StreamDiffer {
+ public:
+  /// `on_row(y, diff_row)` is invoked for every pushed pair, in order.
+  /// `load_cycles_per_run` models the per-run cost of streaming a row into
+  /// the array's shadow registers (1 run per cycle by default).
+  using RowCallback = std::function<void(pos_t y, const RleRow& diff)>;
+
+  explicit StreamDiffer(ImageDiffOptions options, RowCallback on_row,
+                        cycle_t load_cycles_per_run = 1);
+
+  /// Feeds the next scanline pair.  Rows must fit a common width, but the
+  /// differ itself is width-agnostic.
+  void push_row(const RleRow& reference, const RleRow& scan);
+
+  /// Number of rows processed so far.
+  std::uint64_t rows() const { return summary_.rows; }
+
+  /// Finalises and returns the summary.  The differ can keep accepting rows
+  /// afterwards; finish() may be called repeatedly.
+  const StreamSummary& finish() const { return summary_; }
+
+ private:
+  ImageDiffOptions options_;
+  RowCallback on_row_;
+  cycle_t load_cycles_per_run_;
+  StreamSummary summary_;
+};
+
+}  // namespace sysrle

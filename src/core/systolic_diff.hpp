@@ -1,0 +1,96 @@
+#pragma once
+// The paper's systolic RLE image-difference machine: drives an array of
+// DiffCells through order/xor/shift iterations until the wired-AND of the
+// per-cell completion lines goes high, then gathers the RegSmall registers as
+// the output row.
+
+#include <cstddef>
+
+#include "core/diff_cell.hpp"
+#include "rle/rle_row.hpp"
+#include "systolic/counters.hpp"
+#include "systolic/linear_array.hpp"
+#include "systolic/trace.hpp"
+
+namespace sysrle {
+
+/// Configuration for one systolic run.
+struct SystolicConfig {
+  /// Number of cells.  0 = automatic: k1 + k2 + 1, the Corollary-1.2 bound
+  /// plus one spare cell so any bound violation is *detected* (a run shifted
+  /// out of the last cell raises contract_error) instead of silently lost.
+  /// The paper's static sizing of 2k cells (k = max runs per input row) is
+  /// obtained by passing 2k explicitly.
+  std::size_t capacity = 0;
+
+  /// When true, the Theorem-1/2/3 and Corollary-1.1/2.1 checkers run after
+  /// every iteration (see core/invariants.hpp).  Slows the simulation by a
+  /// constant factor; used by tests and optionally by benches.
+  bool check_invariants = false;
+
+  /// Optional recorder producing a Figure-3-style execution trace.
+  TraceRecorder* trace = nullptr;
+
+  /// When true, gather_output canonicalizes (merges adjacent runs).  The raw
+  /// machine output may contain adjacent runs; the paper leaves merging as
+  /// future work (see core/compaction.hpp).  Default keeps the raw output.
+  bool canonicalize_output = false;
+};
+
+/// Result of one systolic run.
+struct SystolicResult {
+  /// The XOR of the two input rows as produced by the machine (ordered,
+  /// non-overlapping; adjacent runs possible unless canonicalize_output).
+  RleRow output;
+
+  /// Activity counters; counters.iterations is the paper's reported metric.
+  SystolicCounters counters;
+};
+
+/// Runs the systolic XOR of two RLE rows.  Both rows may be empty.  The
+/// simulation enforces Theorem 1 as a hard bound: if the machine has not
+/// terminated after k1 + k2 iterations, contract_error is thrown (this would
+/// falsify the paper; it never fires).
+SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
+                            const SystolicConfig& config = {});
+
+/// The machine itself, exposed for the invariant checkers, the bus variant
+/// and step-level tests.  systolic_xor is a convenience wrapper.
+class SystolicDiffMachine {
+ public:
+  /// Loads row a into the RegSmall lane and row b into the RegBig lane,
+  /// cell i receiving run i of each row (the paper's initial placement).
+  SystolicDiffMachine(const RleRow& a, const RleRow& b,
+                      const SystolicConfig& config);
+
+  /// Wired-AND of the completion lines: true when every RegBig is empty.
+  bool terminated() const;
+
+  /// Executes one full iteration (steps 1–3).  Precondition: !terminated().
+  void step();
+
+  /// Runs until terminated; returns the iteration count of this call.
+  cycle_t run();
+
+  /// Gathers the RegSmall lane left to right (the machine's answer).
+  RleRow gather_output() const;
+
+  const LinearArray<DiffCell>& array() const { return array_; }
+  const SystolicCounters& counters() const { return counters_; }
+
+  /// k1 + k2 for this run (the Theorem-1 bound).
+  cycle_t theorem1_bound() const { return k1_ + k2_; }
+
+ private:
+  std::vector<CellSnapshot> snapshots() const;
+  void record_trace(MicroStep step);
+  void note_occupancy();
+
+  SystolicConfig config_;
+  LinearArray<DiffCell> array_;
+  SystolicCounters counters_;
+  cycle_t k1_ = 0;
+  cycle_t k2_ = 0;
+};
+
+}  // namespace sysrle

@@ -1,0 +1,129 @@
+#include "core/union_variant.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/diff_cell.hpp"
+#include "systolic/linear_array.hpp"
+
+namespace sysrle {
+namespace {
+
+/// Step 2 of the union machine: hull the two (ordered) runs when they
+/// overlap or touch.  Returns true when a hull was formed.
+bool hull_step(DiffCell& c) {
+  if (!c.reg_small() || !c.reg_big()) return false;
+  const Run s = *c.reg_small();
+  const Run b = *c.reg_big();
+  if (b.start <= s.end() + 1) {
+    c.load_small(Run::from_bounds(s.start, std::max(s.end(), b.end())));
+    c.load_big(std::nullopt);
+    return true;
+  }
+  return false;
+}
+
+/// Drains the RegSmall lane.  Residual *overlaps* (an input run entirely
+/// covered by an earlier, longer run that had already settled) are merged
+/// during the same O(cells) sweep the read-out needs anyway; *adjacent*
+/// runs are kept separate, mirroring the XOR machine's output contract.
+RleRow gather_union(const LinearArray<DiffCell>& array) {
+  std::vector<Run> merged;
+  for (cell_index_t i = 0; i < array.size(); ++i) {
+    const auto& s = array.cell(i).reg_small();
+    if (!s) continue;
+    if (!merged.empty() && s->start <= merged.back().end()) {
+      SYSRLE_CHECK(s->start >= merged.back().start,
+                   "union machine: RegSmall lane lost start ordering");
+      merged.back() = Run::from_bounds(
+          merged.back().start, std::max(merged.back().end(), s->end()));
+    } else {
+      merged.push_back(*s);
+    }
+  }
+  return RleRow(std::move(merged));
+}
+
+UnionResult run_union_machine(const std::vector<Run>& small_lane,
+                              const std::vector<Run>& big_lane) {
+  const std::size_t k1 = small_lane.size();
+  const std::size_t k2 = big_lane.size();
+  const std::size_t n = std::max<std::size_t>(k1 + k2 + 1, 1);
+
+  LinearArray<DiffCell> array(n);
+  for (std::size_t i = 0; i < k1; ++i) array.cell(i).load_small(small_lane[i]);
+  for (std::size_t i = 0; i < k2; ++i) array.cell(i).load_big(big_lane[i]);
+
+  UnionResult result;
+  const cycle_t bound = k1 + k2;
+  while (!array.all_of([](const DiffCell& c) { return c.complete(); })) {
+    ++result.counters.iterations;
+    SYSRLE_CHECK(result.counters.iterations <= bound,
+                 "union machine ran past the k1+k2 bound");
+    array.for_each([&result](DiffCell& c) {
+      switch (c.order()) {
+        case OrderAction::kSwapped:
+          ++result.counters.swaps;
+          break;
+        case OrderAction::kPromoted:
+          ++result.counters.promotions;
+          break;
+        case OrderAction::kNone:
+          break;
+      }
+    });
+    array.for_each([&result](DiffCell& c) {
+      if (hull_step(c)) ++result.counters.xors;  // counts hull merges
+    });
+    std::uint64_t moved = 0;
+    const std::optional<Run> out = array.shift_right(
+        [&moved](DiffCell& c) {
+          std::optional<Run> v = c.take_big();
+          if (v) ++moved;
+          return v;
+        },
+        [](DiffCell& c, std::optional<Run> v) { c.load_big(v); },
+        std::optional<Run>{});
+    result.counters.shifts += moved;
+    SYSRLE_CHECK(!out.has_value(),
+                 "union machine: run shifted out of the array");
+  }
+  result.output = gather_union(array);
+  return result;
+}
+
+}  // namespace
+
+UnionResult systolic_or(const RleRow& a, const RleRow& b) {
+  return run_union_machine({a.runs()}, {b.runs()});
+}
+
+CompactPassResult systolic_compact(const RleRow& row) {
+  CompactPassResult result;
+  result.output = row;
+  if (row.run_count() < 2) return result;
+
+  // ceil(log2(k)) + 1 passes always suffice: each pass at least halves every
+  // chain of adjacent runs.  The hard bound turns a regression into a loud
+  // failure instead of a spin.
+  std::size_t max_passes = 2;
+  for (std::size_t k = row.run_count(); k > 1; k /= 2) ++max_passes;
+
+  while (!result.output.is_canonical()) {
+    SYSRLE_CHECK(result.passes < max_passes,
+                 "systolic_compact: did not converge in O(log k) passes");
+    ++result.passes;
+    std::vector<Run> evens, odds;
+    for (std::size_t i = 0; i < result.output.run_count(); ++i) {
+      (i % 2 == 0 ? evens : odds).push_back(result.output[i]);
+    }
+    UnionResult pass = run_union_machine(evens, odds);
+    result.counters += pass.counters;
+    result.output = std::move(pass.output);
+  }
+  return result;
+}
+
+}  // namespace sysrle

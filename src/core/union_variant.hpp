@@ -1,0 +1,60 @@
+#pragma once
+// A systolic UNION (bitwise OR) machine on the same Figure-2 array — our
+// extension beyond the paper.
+//
+// Why OR and not AND: like XOR, the union of a multiset of runs is
+// independent of which input image each run came from, so the provenance-
+// free cell state of the paper's machine suffices.  (AND is not multiset-
+// definable — a run's provenance decides what it may intersect — so it
+// cannot reuse this machine unmodified.)
+//
+// Cell rule: step 1 orders exactly as in the XOR machine; step 2 replaces
+// the XOR datapath with a *hull* unit — if the two runs overlap or touch,
+// RegSmall becomes their union [min start, max end] and RegBig empties;
+// disjoint runs pass through unchanged.  Step 3 shifts RegBig right as
+// before.  Termination is the same wired-AND of completion lines.
+//
+// Because hulls only merge overlapping/adjacent coverage, the union of all
+// held runs is invariant (the Theorem-3 analogue, checked in tests) and the
+// final RegSmall lane is ordered and non-overlapping.  Like the paper's XOR
+// machine, the output may still contain *adjacent* runs (two merged groups
+// that settled in different cells never meet again).
+//
+// systolic_compact() builds on that to solve the paper's section-6 future
+// work — "combining the adjacent runs in different cells at the end of the
+// algorithm" — without leaving the systolic substrate: the row's runs are
+// split alternately across the two register lanes and pushed through the OR
+// machine; each pass merges every pairwise-met adjacency, so a chain of m
+// adjacent runs closes in O(log m) passes.
+//
+// Correctness is validated empirically (exhaustive small universes plus
+// randomised sweeps against the parity-sweep OR); no formal proof is
+// claimed.  Iterations observe the same k1+k2 bound in all tests.
+
+#include "rle/rle_row.hpp"
+#include "systolic/counters.hpp"
+
+namespace sysrle {
+
+/// Result of a systolic union run.
+struct UnionResult {
+  RleRow output;  ///< OR of the inputs; ordered, adjacencies possible
+  SystolicCounters counters;
+};
+
+/// Runs the systolic OR of two RLE rows.  Inputs may be non-canonical.
+UnionResult systolic_or(const RleRow& a, const RleRow& b);
+
+/// Result of the multi-pass on-array compaction.
+struct CompactPassResult {
+  RleRow output;          ///< canonical row
+  std::size_t passes = 0; ///< OR-machine passes executed (O(log chain))
+  SystolicCounters counters;  ///< summed over passes
+};
+
+/// Compacts a row (ordered, possibly with adjacent runs) entirely on the
+/// machine: repeated OR passes with the runs split alternately across the
+/// two lanes, until no adjacency remains.
+CompactPassResult systolic_compact(const RleRow& row);
+
+}  // namespace sysrle

@@ -1,0 +1,69 @@
+#include "inspect/defect.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+
+const char* to_string(DefectClass cls) {
+  switch (cls) {
+    case DefectClass::kMissingMaterial:
+      return "missing-material";
+    case DefectClass::kExtraMaterial:
+      return "extra-material";
+    case DefectClass::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+std::string Defect::to_string() const {
+  std::ostringstream os;
+  os << sysrle::to_string(cls) << " bbox=(" << region.min_x << ','
+     << region.min_y << ")-(" << region.max_x << ',' << region.max_y
+     << ") area=" << region.pixel_count;
+  return os.str();
+}
+
+std::vector<Defect> extract_defects(const RleImage& reference,
+                                    const RleImage& diff,
+                                    const DefectExtractionOptions& options) {
+  SYSRLE_REQUIRE(reference.width() == diff.width() &&
+                     reference.height() == diff.height(),
+                 "extract_defects: dimension mismatch");
+
+  const LabelingResult labeled =
+      label_components_detailed(diff, options.connectivity);
+
+  // Per-component polarity tally: for every difference run, count how many
+  // of its pixels lie on reference foreground.
+  std::vector<len_t> on_ref(labeled.components.size(), 0);
+  for (const LabeledRun& lr : labeled.runs) {
+    const RleRow& ref_row = reference.row(lr.y);
+    const RleRow diff_run({lr.run});
+    on_ref[lr.label - 1] += intersection_pixels(ref_row, diff_run);
+  }
+
+  std::vector<Defect> defects;
+  for (std::size_t i = 0; i < labeled.components.size(); ++i) {
+    const Component& c = labeled.components[i];
+    if (c.pixel_count < options.min_area) continue;
+    Defect d;
+    d.region = c;
+    d.on_reference = on_ref[i];
+    d.off_reference = c.pixel_count - on_ref[i];
+    if (d.off_reference == 0) {
+      d.cls = DefectClass::kMissingMaterial;
+    } else if (d.on_reference == 0) {
+      d.cls = DefectClass::kExtraMaterial;
+    } else {
+      d.cls = DefectClass::kMixed;
+    }
+    defects.push_back(d);
+  }
+  return defects;
+}
+
+}  // namespace sysrle

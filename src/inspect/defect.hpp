@@ -1,0 +1,48 @@
+#pragma once
+// Defect extraction and classification for the reference-based inspection
+// pipeline: connected components of the difference image become defect
+// candidates, filtered by area and classified by shape/polarity.
+
+#include <string>
+#include <vector>
+
+#include "inspect/labeling.hpp"
+#include "rle/rle_image.hpp"
+
+namespace sysrle {
+
+/// Coarse defect classification derived from the difference component's
+/// shape and from the reference polarity underneath it.
+enum class DefectClass {
+  kMissingMaterial,  ///< difference lies on reference foreground (open/void)
+  kExtraMaterial,    ///< difference lies on reference background (short/spur)
+  kMixed,            ///< overlaps both polarities (e.g. displaced edge)
+};
+
+/// Human-readable class name.
+const char* to_string(DefectClass cls);
+
+/// One reported defect.
+struct Defect {
+  Component region;       ///< bounding box / size of the difference blob
+  DefectClass cls = DefectClass::kMixed;
+  len_t on_reference = 0; ///< defect pixels lying on reference foreground
+  len_t off_reference = 0;///< defect pixels lying on reference background
+
+  std::string to_string() const;
+};
+
+/// Options for defect extraction.
+struct DefectExtractionOptions {
+  len_t min_area = 1;  ///< discard components smaller than this (noise gate)
+  Connectivity connectivity = Connectivity::kEight;
+};
+
+/// Turns a difference image into classified defects.  `reference` provides
+/// the polarity used for classification; `diff` is the XOR of reference and
+/// scan.  Both must have equal dimensions.
+std::vector<Defect> extract_defects(const RleImage& reference,
+                                    const RleImage& diff,
+                                    const DefectExtractionOptions& options = {});
+
+}  // namespace sysrle

@@ -1,0 +1,107 @@
+#include "inspect/labeling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  SYSRLE_REQUIRE(x < parent_.size(), "UnionFind::find: out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+std::size_t UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  return ra;
+}
+
+std::vector<Component> label_components(const RleImage& img,
+                                        Connectivity connectivity) {
+  return label_components_detailed(img, connectivity).components;
+}
+
+LabelingResult label_components_detailed(const RleImage& img,
+                                         Connectivity connectivity) {
+  // Flatten all runs with their rows; remember per-row [begin, end) slices.
+  struct FlatRun {
+    pos_t y;
+    Run run;
+  };
+  std::vector<FlatRun> runs;
+  std::vector<std::size_t> row_begin(static_cast<std::size_t>(img.height()) + 1,
+                                     0);
+  for (pos_t y = 0; y < img.height(); ++y) {
+    row_begin[static_cast<std::size_t>(y)] = runs.size();
+    for (const Run& r : img.row(y)) runs.push_back({y, r});
+  }
+  row_begin[static_cast<std::size_t>(img.height())] = runs.size();
+
+  // 8-connectivity widens the touch test by one pixel on each side.
+  const pos_t slack = connectivity == Connectivity::kEight ? 1 : 0;
+
+  UnionFind uf(runs.size());
+  for (pos_t y = 1; y < img.height(); ++y) {
+    std::size_t i = row_begin[static_cast<std::size_t>(y - 1)];
+    const std::size_t i_end = row_begin[static_cast<std::size_t>(y)];
+    std::size_t j = i_end;
+    const std::size_t j_end = row_begin[static_cast<std::size_t>(y + 1)];
+    // Two-pointer sweep over the sorted runs of adjacent rows.
+    while (i < i_end && j < j_end) {
+      const Run& above = runs[i].run;
+      const Run& below = runs[j].run;
+      if (above.end() + slack >= below.start &&
+          below.end() + slack >= above.start)
+        uf.unite(i, j);
+      // Advance whichever run ends first.
+      if (above.end() < below.end()) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+
+  // Second pass: fold per-run data into per-root components, then assign
+  // labels in raster order of first appearance.
+  std::vector<std::uint32_t> label_of(runs.size(), 0);
+  LabelingResult result;
+  result.runs.reserve(runs.size());
+  for (std::size_t idx = 0; idx < runs.size(); ++idx) {
+    const std::size_t root = uf.find(idx);
+    if (label_of[root] == 0) {
+      Component c;
+      c.label = static_cast<std::uint32_t>(result.components.size() + 1);
+      c.min_x = runs[idx].run.start;
+      c.max_x = runs[idx].run.end();
+      c.min_y = c.max_y = runs[idx].y;
+      c.pixel_count = 0;
+      result.components.push_back(c);
+      label_of[root] = c.label;
+    }
+    Component& c = result.components[label_of[root] - 1];
+    c.min_x = std::min(c.min_x, runs[idx].run.start);
+    c.max_x = std::max(c.max_x, runs[idx].run.end());
+    c.min_y = std::min(c.min_y, runs[idx].y);
+    c.max_y = std::max(c.max_y, runs[idx].y);
+    c.pixel_count += runs[idx].run.length;
+    result.runs.push_back({runs[idx].y, runs[idx].run, label_of[root]});
+  }
+  return result;
+}
+
+}  // namespace sysrle

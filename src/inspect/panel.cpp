@@ -1,0 +1,102 @@
+#include "inspect/panel.hpp"
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+#include "rle/transform.hpp"
+
+namespace sysrle {
+
+pos_t PanelLayout::panel_width() const {
+  return origin_x + static_cast<pos_t>(cols) * board_width +
+         static_cast<pos_t>(cols - 1) * spacing_x;
+}
+
+pos_t PanelLayout::panel_height() const {
+  return origin_y + static_cast<pos_t>(rows) * board_height +
+         static_cast<pos_t>(rows - 1) * spacing_y;
+}
+
+pos_t PanelLayout::board_x(std::size_t col) const {
+  return origin_x + static_cast<pos_t>(col) * (board_width + spacing_x);
+}
+
+pos_t PanelLayout::board_y(std::size_t row) const {
+  return origin_y + static_cast<pos_t>(row) * (board_height + spacing_y);
+}
+
+namespace {
+
+void check_layout(const PanelLayout& layout) {
+  SYSRLE_REQUIRE(layout.board_width > 0 && layout.board_height > 0,
+                 "PanelLayout: empty board");
+  SYSRLE_REQUIRE(layout.cols >= 1 && layout.rows >= 1,
+                 "PanelLayout: empty grid");
+  SYSRLE_REQUIRE(layout.spacing_x >= 0 && layout.spacing_y >= 0 &&
+                     layout.origin_x >= 0 && layout.origin_y >= 0,
+                 "PanelLayout: negative offsets");
+}
+
+}  // namespace
+
+RleImage compose_panel(const RleImage& golden, const PanelLayout& layout) {
+  check_layout(layout);
+  SYSRLE_REQUIRE(golden.width() == layout.board_width &&
+                     golden.height() == layout.board_height,
+                 "compose_panel: golden does not match the layout");
+  RleImage panel(layout.panel_width(), layout.panel_height());
+  for (std::size_t row = 0; row < layout.rows; ++row) {
+    const pos_t y0 = layout.board_y(row);
+    for (pos_t by = 0; by < golden.height(); ++by) {
+      // One output row = OR of every column position's shifted board row.
+      RleRow out = panel.row(y0 + by);
+      for (std::size_t col = 0; col < layout.cols; ++col) {
+        const RleRow placed = shift_row(golden.row(by), layout.board_x(col),
+                                        panel.width());
+        out = or_rows(out, placed);
+      }
+      panel.set_row(y0 + by, std::move(out));
+    }
+  }
+  return panel;
+}
+
+const BoardReport& PanelReport::at(std::size_t col, std::size_t row,
+                                   const PanelLayout& layout) const {
+  SYSRLE_REQUIRE(col < layout.cols && row < layout.rows,
+                 "PanelReport::at: position outside the grid");
+  return boards[row * layout.cols + col];
+}
+
+PanelReport inspect_panel(const RleImage& golden, const RleImage& panel_scan,
+                          const PanelLayout& layout,
+                          const InspectionOptions& options) {
+  check_layout(layout);
+  SYSRLE_REQUIRE(golden.width() == layout.board_width &&
+                     golden.height() == layout.board_height,
+                 "inspect_panel: golden does not match the layout");
+  SYSRLE_REQUIRE(panel_scan.width() >= layout.panel_width() &&
+                     panel_scan.height() >= layout.panel_height(),
+                 "inspect_panel: scan smaller than the panel layout");
+
+  PanelReport report;
+  report.boards.reserve(layout.rows * layout.cols);
+  for (std::size_t row = 0; row < layout.rows; ++row) {
+    for (std::size_t col = 0; col < layout.cols; ++col) {
+      const RleImage board =
+          crop_image(panel_scan, layout.board_x(col), layout.board_y(row),
+                     layout.board_width, layout.board_height);
+      BoardReport br;
+      br.col = col;
+      br.row = row;
+      br.report = inspect(golden, board, options);
+      if (!br.report.pass) {
+        ++report.failed_boards;
+        report.pass = false;
+      }
+      report.boards.push_back(std::move(br));
+    }
+  }
+  return report;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,63 @@
+#pragma once
+// Panelized inspection.  Real PCB fabrication images a *panel* — a grid of
+// identical boards — in one acquisition; inspection crops each board
+// position and compares it against a single golden reference.  All panel
+// arithmetic stays in the compressed domain (crop/shift/or on runs).
+
+#include <cstddef>
+#include <vector>
+
+#include "inspect/pipeline.hpp"
+#include "rle/rle_image.hpp"
+
+namespace sysrle {
+
+/// Geometry of a rows x cols panel of identical boards.
+struct PanelLayout {
+  pos_t board_width = 0;
+  pos_t board_height = 0;
+  std::size_t cols = 1;
+  std::size_t rows = 1;
+  pos_t spacing_x = 0;  ///< gutter between boards
+  pos_t spacing_y = 0;
+  pos_t origin_x = 0;   ///< offset of board (0,0) in the panel
+  pos_t origin_y = 0;
+
+  pos_t panel_width() const;
+  pos_t panel_height() const;
+  /// Top-left corner of the board at (col, row).
+  pos_t board_x(std::size_t col) const;
+  pos_t board_y(std::size_t row) const;
+};
+
+/// Replicates the golden board into a full panel image (gutters empty).
+/// The inverse of per-position cropping; used to fabricate test panels and
+/// golden panel references.
+RleImage compose_panel(const RleImage& golden, const PanelLayout& layout);
+
+/// One board position's result.
+struct BoardReport {
+  std::size_t col = 0;
+  std::size_t row = 0;
+  InspectionReport report;
+};
+
+/// Whole-panel result.
+struct PanelReport {
+  std::vector<BoardReport> boards;  ///< row-major, rows x cols entries
+  std::size_t failed_boards = 0;
+  bool pass = true;
+
+  /// Access by position.
+  const BoardReport& at(std::size_t col, std::size_t row,
+                        const PanelLayout& layout) const;
+};
+
+/// Inspects every board position of `panel_scan` against `golden`.
+/// `golden` must have the layout's board dimensions and the scan must have
+/// the panel dimensions.
+PanelReport inspect_panel(const RleImage& golden, const RleImage& panel_scan,
+                          const PanelLayout& layout,
+                          const InspectionOptions& options = {});
+
+}  // namespace sysrle

@@ -1,0 +1,115 @@
+#include "inspect/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "rle/morphology.hpp"
+#include "workload/metrics.hpp"
+
+namespace sysrle {
+
+RleImage shift_image(const RleImage& img, pos_t dx) {
+  if (dx == 0) return img;
+  RleImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    RleRow shifted;
+    for (const Run& r : img.row(y)) {
+      pos_t s = r.start + dx;
+      pos_t e = r.end() + dx;
+      // Clip to [0, width).
+      s = std::max<pos_t>(s, 0);
+      e = std::min<pos_t>(e, img.width() - 1);
+      if (s <= e) shifted.push_back(Run::from_bounds(s, e));
+    }
+    out.set_row(y, std::move(shifted));
+  }
+  return out;
+}
+
+namespace {
+
+/// Picks the horizontal shift of `scan` (within +-radius) that minimises the
+/// difference pixel count against `reference`.  Ties break toward the
+/// smallest |shift|, then toward negative shifts.
+pos_t best_shift(const RleImage& reference, const RleImage& scan,
+                 pos_t radius) {
+  pos_t best = 0;
+  len_t best_cost = std::numeric_limits<len_t>::max();
+  for (pos_t mag = 0; mag <= radius; ++mag) {
+    for (const pos_t dx : {-mag, mag}) {
+      if (mag == 0 && dx == 0 && best_cost != std::numeric_limits<len_t>::max())
+        continue;  // shift 0 evaluated once
+      const ImageSimilarity sim =
+          measure_images(reference, shift_image(scan, dx));
+      if (sim.error_pixels < best_cost) {
+        best_cost = sim.error_pixels;
+        best = dx;
+      }
+      if (mag == 0) break;  // -0 == +0
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+InspectionReport inspect(const RleImage& reference, const RleImage& scan,
+                         const InspectionOptions& options) {
+  SYSRLE_REQUIRE(reference.width() == scan.width() &&
+                     reference.height() == scan.height(),
+                 "inspect: reference and scan dimensions differ");
+
+  InspectionReport report;
+
+  // Stage 1: alignment.
+  const RleImage* aligned = &scan;
+  RleImage shifted(0, 0);
+  if (options.alignment_radius > 0) {
+    report.applied_shift = best_shift(reference, scan, options.alignment_radius);
+    if (report.applied_shift != 0) {
+      shifted = shift_image(scan, report.applied_shift);
+      aligned = &shifted;
+    }
+  }
+
+  // Stage 2: compressed-domain difference.
+  ImageDiffOptions diff_options;
+  diff_options.engine = options.engine;
+  diff_options.canonicalize_output = true;
+  const ImageDiffResult diff = image_diff(reference, *aligned, diff_options);
+  report.diff_counters = diff.counters;
+  report.sequential_iterations = diff.sequential_iterations;
+  report.difference_pixels = diff.diff.stats().foreground_pixels;
+
+  // Stage 3: cleanup — mask alignment artifacts at the vertical borders,
+  // then morphologically open away isolated noise.  Both stay in the
+  // compressed domain.
+  RleImage cleaned = diff.diff;
+  if (options.border_mask > 0 && cleaned.width() > 0) {
+    const pos_t lo = options.border_mask;                  // first kept col
+    const pos_t hi = cleaned.width() - options.border_mask; // one past last
+    for (pos_t y = 0; y < cleaned.height(); ++y) {
+      RleRow masked;
+      for (const Run& r : cleaned.row(y)) {
+        const pos_t s = std::max(r.start, lo);
+        const pos_t e = std::min(r.end(), hi - 1);
+        if (s <= e) masked.push_back(Run::from_bounds(s, e));
+      }
+      cleaned.set_row(y, std::move(masked));
+    }
+  }
+  if (options.denoise_open_radius > 0)
+    cleaned = open_image(cleaned, options.denoise_open_radius,
+                         options.denoise_open_radius);
+
+  // Stages 4+5: labeling and classification.
+  DefectExtractionOptions extraction;
+  extraction.min_area = options.min_defect_area;
+  extraction.connectivity = options.connectivity;
+  report.defects = extract_defects(reference, cleaned, extraction);
+  report.pass = report.defects.empty();
+  return report;
+}
+
+}  // namespace sysrle

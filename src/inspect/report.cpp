@@ -1,0 +1,38 @@
+#include "inspect/report.hpp"
+
+#include <sstream>
+
+namespace sysrle {
+
+std::string format_verdict(const InspectionReport& report) {
+  std::ostringstream os;
+  if (report.pass) {
+    os << "PASS: no defects above the noise gate";
+  } else {
+    os << "FAIL: " << report.defects.size() << " defect"
+       << (report.defects.size() == 1 ? "" : "s") << ", "
+       << report.difference_pixels << " differing pixels";
+  }
+  return os.str();
+}
+
+std::string format_report(const InspectionReport& report) {
+  std::ostringstream os;
+  os << "=== inspection report ===\n";
+  os << format_verdict(report) << '\n';
+  os << "alignment shift: " << report.applied_shift << " px\n";
+  os << "difference pixels: " << report.difference_pixels << '\n';
+  if (report.diff_counters.iterations > 0)
+    os << "systolic activity: " << report.diff_counters.to_string() << '\n';
+  if (report.sequential_iterations > 0)
+    os << "sequential merge iterations: " << report.sequential_iterations
+       << '\n';
+  if (!report.defects.empty()) {
+    os << "defects:\n";
+    for (std::size_t i = 0; i < report.defects.size(); ++i)
+      os << "  #" << (i + 1) << ' ' << report.defects[i].to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sysrle

@@ -1,0 +1,17 @@
+#pragma once
+// Text rendering of inspection results for operators and logs.
+
+#include <string>
+
+#include "inspect/pipeline.hpp"
+
+namespace sysrle {
+
+/// Renders a full multi-line inspection report: verdict, alignment,
+/// difference statistics, machine activity, and the classified defect list.
+std::string format_report(const InspectionReport& report);
+
+/// One-line verdict summary ("PASS" / "FAIL: n defects ...").
+std::string format_verdict(const InspectionReport& report);
+
+}  // namespace sysrle

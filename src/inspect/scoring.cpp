@@ -1,0 +1,67 @@
+#include "inspect/scoring.hpp"
+
+#include <sstream>
+
+namespace sysrle {
+namespace {
+
+bool boxes_overlap(const Component& region, const InjectedDefect& truth) {
+  return region.min_x < truth.x + truth.w && truth.x <= region.max_x &&
+         region.min_y < truth.y + truth.h && truth.y <= region.max_y;
+}
+
+}  // namespace
+
+double DetectionScore::precision() const {
+  const std::size_t reported = true_positives + false_positives;
+  return reported ? static_cast<double>(true_positives) /
+                        static_cast<double>(reported)
+                  : 0.0;
+}
+
+double DetectionScore::recall() const {
+  const std::size_t actual = true_positives + false_negatives;
+  return actual ? static_cast<double>(true_positives) /
+                      static_cast<double>(actual)
+                : 0.0;
+}
+
+double DetectionScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+}
+
+std::string DetectionScore::to_string() const {
+  std::ostringstream os;
+  os << "TP=" << true_positives << " FN=" << false_negatives
+     << " FP=" << false_positives << " precision=" << precision()
+     << " recall=" << recall() << " F1=" << f1();
+  return os.str();
+}
+
+DetectionScore score_detections(const std::vector<Defect>& detected,
+                                const std::vector<InjectedDefect>& truth) {
+  DetectionScore score;
+  std::vector<bool> truth_hit(truth.size(), false);
+  for (const Defect& d : detected) {
+    bool matched = false;
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (boxes_overlap(d.region, truth[t])) {
+        truth_hit[t] = true;
+        matched = true;
+      }
+    }
+    if (!matched) ++score.false_positives;
+  }
+  for (const bool hit : truth_hit) {
+    if (hit) {
+      ++score.true_positives;
+    } else {
+      ++score.false_negatives;
+    }
+  }
+  return score;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,37 @@
+#pragma once
+// Detection scoring against injected ground truth: matches reported defects
+// to ground-truth boxes by overlap and computes precision/recall.  Used by
+// the end-to-end tests and the inspection example to quantify pipeline
+// quality, not just run it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "inspect/defect.hpp"
+#include "workload/pcb.hpp"
+
+namespace sysrle {
+
+/// Outcome of matching detections to ground truth.
+struct DetectionScore {
+  std::size_t true_positives = 0;   ///< ground-truth boxes hit by >=1 defect
+  std::size_t false_negatives = 0;  ///< ground-truth boxes nobody hit
+  std::size_t false_positives = 0;  ///< defects overlapping no ground truth
+
+  double precision() const;
+  double recall() const;
+  /// Harmonic mean of precision and recall (0 when both are undefined).
+  double f1() const;
+
+  std::string to_string() const;
+};
+
+/// Matches reported defects against injected ground-truth defects by
+/// bounding-box overlap (any shared pixel counts).  A ground-truth box hit
+/// by several defects is one true positive; a defect covering several boxes
+/// marks each of them hit.
+DetectionScore score_detections(const std::vector<Defect>& detected,
+                                const std::vector<InjectedDefect>& truth);
+
+}  // namespace sysrle

@@ -1,0 +1,50 @@
+#include "rle/encode.hpp"
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+RleRow encode_bits(std::span<const std::uint8_t> bits) {
+  RleRow row;
+  const pos_t n = static_cast<pos_t>(bits.size());
+  pos_t i = 0;
+  while (i < n) {
+    while (i < n && bits[static_cast<std::size_t>(i)] == 0) ++i;
+    if (i >= n) break;
+    const pos_t start = i;
+    while (i < n && bits[static_cast<std::size_t>(i)] != 0) ++i;
+    row.push_back(Run{start, i - start});
+  }
+  return row;
+}
+
+RleRow encode_bitstring(std::string_view bits) {
+  std::vector<std::uint8_t> raw;
+  raw.reserve(bits.size());
+  for (char c : bits) {
+    SYSRLE_REQUIRE(c == '0' || c == '1',
+                   "encode_bitstring: character is not '0'/'1'");
+    raw.push_back(c == '1' ? 1 : 0);
+  }
+  return encode_bits(raw);
+}
+
+std::vector<std::uint8_t> decode_bits(const RleRow& row, pos_t width) {
+  SYSRLE_REQUIRE(width >= 0, "decode_bits: negative width");
+  SYSRLE_REQUIRE(row.fits_width(width), "decode_bits: row exceeds width");
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(width), 0);
+  for (const Run& r : row)
+    for (pos_t p = r.start; p <= r.end(); ++p)
+      bits[static_cast<std::size_t>(p)] = 1;
+  return bits;
+}
+
+std::string decode_bitstring(const RleRow& row, pos_t width) {
+  const auto bits = decode_bits(row, width);
+  std::string s(bits.size(), '0');
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) s[i] = '1';
+  return s;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,32 @@
+#pragma once
+// Conversions between uncompressed bitstrings and RLE rows.
+//
+// These are the boundaries of the compressed domain: everything inside
+// sysrle operates on RleRow directly, and tests use these converters to check
+// compressed-domain results against uncompressed ground truth.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Encodes a row of 0/1 bytes into RLE.  Any non-zero byte is foreground.
+/// The result is canonical by construction.
+RleRow encode_bits(std::span<const std::uint8_t> bits);
+
+/// Encodes a textual bitstring, e.g. "0011100110".  Characters must be
+/// '0' or '1'.
+RleRow encode_bitstring(std::string_view bits);
+
+/// Decodes an RLE row into a vector of 0/1 bytes of length `width`.
+/// Requires the row to fit in [0, width).
+std::vector<std::uint8_t> decode_bits(const RleRow& row, pos_t width);
+
+/// Decodes an RLE row into a textual bitstring of length `width`.
+std::string decode_bitstring(const RleRow& row, pos_t width);
+
+}  // namespace sysrle

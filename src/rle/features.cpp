@@ -1,0 +1,134 @@
+#include "rle/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "rle/morphology.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+namespace {
+
+/// Sum of 0 + 1 + ... + t (0 for negative t).
+double sum_to(pos_t t) {
+  if (t < 0) return 0.0;
+  return 0.5 * static_cast<double>(t) * static_cast<double>(t + 1);
+}
+
+/// Sum of squares 0^2 + ... + t^2 (0 for negative t).
+double sum_sq_to(pos_t t) {
+  if (t < 0) return 0.0;
+  const double td = static_cast<double>(t);
+  return td * (td + 1.0) * (2.0 * td + 1.0) / 6.0;
+}
+
+}  // namespace
+
+std::vector<len_t> row_projection(const RleImage& img) {
+  std::vector<len_t> profile(static_cast<std::size_t>(img.height()), 0);
+  for (pos_t y = 0; y < img.height(); ++y)
+    profile[static_cast<std::size_t>(y)] = img.row(y).foreground_pixels();
+  return profile;
+}
+
+std::vector<len_t> column_projection(const RleImage& img) {
+  // Boundary differencing: +1 at each run start, -1 one past each end, then
+  // a prefix sum turns the deltas into per-column coverage counts.
+  std::vector<len_t> delta(static_cast<std::size_t>(img.width()) + 1, 0);
+  for (pos_t y = 0; y < img.height(); ++y) {
+    for (const Run& r : img.row(y)) {
+      ++delta[static_cast<std::size_t>(r.start)];
+      --delta[static_cast<std::size_t>(r.end() + 1)];
+    }
+  }
+  std::vector<len_t> profile(static_cast<std::size_t>(img.width()), 0);
+  len_t acc = 0;
+  for (pos_t x = 0; x < img.width(); ++x) {
+    acc += delta[static_cast<std::size_t>(x)];
+    profile[static_cast<std::size_t>(x)] = acc;
+  }
+  return profile;
+}
+
+double ImageMoments::orientation() const {
+  if (mu11 == 0.0 && mu20 == mu02) return 0.0;
+  return 0.5 * std::atan2(2.0 * mu11, mu20 - mu02);
+}
+
+ImageMoments image_moments(const RleImage& img) {
+  double m00 = 0, m10 = 0, m01 = 0, m20 = 0, m02 = 0, m11 = 0;
+  for (pos_t y = 0; y < img.height(); ++y) {
+    const double yd = static_cast<double>(y);
+    for (const Run& r : img.row(y)) {
+      const double n = static_cast<double>(r.length);
+      const double sum_x = sum_to(r.end()) - sum_to(r.start - 1);
+      const double sum_x2 = sum_sq_to(r.end()) - sum_sq_to(r.start - 1);
+      m00 += n;
+      m10 += sum_x;
+      m01 += yd * n;
+      m20 += sum_x2;
+      m02 += yd * yd * n;
+      m11 += yd * sum_x;
+    }
+  }
+  ImageMoments m;
+  m.area = static_cast<len_t>(m00);
+  if (m00 > 0) {
+    m.centroid_x = m10 / m00;
+    m.centroid_y = m01 / m00;
+    m.mu20 = m20 - m.centroid_x * m10;
+    m.mu02 = m02 - m.centroid_y * m01;
+    m.mu11 = m11 - m.centroid_x * m01;
+  }
+  return m;
+}
+
+bool foreground_bbox(const RleImage& img, pos_t& min_x, pos_t& min_y,
+                     pos_t& max_x, pos_t& max_y) {
+  bool any = false;
+  for (pos_t y = 0; y < img.height(); ++y) {
+    const RleRow& row = img.row(y);
+    if (row.empty()) continue;
+    if (!any) {
+      min_x = row.first_pixel();
+      max_x = row.last_pixel();
+      min_y = max_y = y;
+      any = true;
+    } else {
+      min_x = std::min(min_x, row.first_pixel());
+      max_x = std::max(max_x, row.last_pixel());
+      max_y = y;
+    }
+  }
+  return any;
+}
+
+RleRow filter_short_runs(const RleRow& row, len_t min_length) {
+  SYSRLE_REQUIRE(min_length >= 1, "filter_short_runs: min_length must be >= 1");
+  RleRow out;
+  for (const Run& r : row)
+    if (r.length >= min_length) out.push_back(r);
+  return out;
+}
+
+RleImage boundary(const RleImage& img) {
+  // Interior = pixels whose 4-neighbourhood is all foreground:
+  // horizontal erosion by 1 AND the rows directly above and below.
+  RleImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    RleRow interior = erode_row(img.row(y), 1);
+    if (!interior.empty() && y > 0)
+      interior = and_rows(interior, img.row(y - 1));
+    if (!interior.empty() && y + 1 < img.height()) {
+      interior = and_rows(interior, img.row(y + 1));
+    } else {
+      interior = RleRow{};  // border rows have no interior pixels
+    }
+    if (y == 0) interior = RleRow{};
+    out.set_row(y, subtract_rows(img.row(y), interior));
+  }
+  return out;
+}
+
+}  // namespace sysrle

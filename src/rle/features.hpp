@@ -1,0 +1,53 @@
+#pragma once
+// Feature extraction directly from RLE data — the measurement side of the
+// paper's motivating applications (feature extraction is application [5] in
+// its introduction).  Everything here is O(runs): projection profiles,
+// area/centroid/second moments, bounding boxes and boundary extraction, all
+// computed from run arithmetic without visiting pixels.
+
+#include <cstdint>
+#include <vector>
+
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Horizontal projection profile: foreground count per row.  O(total runs).
+std::vector<len_t> row_projection(const RleImage& img);
+
+/// Vertical projection profile: foreground count per column.  Computed by
+/// run-boundary differencing + prefix sum, O(total runs + width).
+std::vector<len_t> column_projection(const RleImage& img);
+
+/// Geometric moments of the foreground, all from closed-form per-run sums.
+struct ImageMoments {
+  len_t area = 0;        ///< m00: foreground pixel count
+  double centroid_x = 0; ///< m10 / m00 (0 when empty)
+  double centroid_y = 0; ///< m01 / m00
+  double mu20 = 0;       ///< central second moment in x (variance * area)
+  double mu02 = 0;       ///< central second moment in y
+  double mu11 = 0;       ///< central cross moment
+
+  /// Orientation of the principal axis in radians (atan2 convention),
+  /// 0 when the foreground is isotropic or empty.
+  double orientation() const;
+};
+
+/// Computes area, centroid and central second moments.  Uses the exact
+/// closed forms for sums of x and x^2 over a run.  O(total runs).
+ImageMoments image_moments(const RleImage& img);
+
+/// Tight bounding box of the foreground; false when the image is empty.
+bool foreground_bbox(const RleImage& img, pos_t& min_x, pos_t& min_y,
+                     pos_t& max_x, pos_t& max_y);
+
+/// Removes runs shorter than `min_length` (1-D despeckle).  O(runs).
+RleRow filter_short_runs(const RleRow& row, len_t min_length);
+
+/// 4-connected boundary of the foreground: pixels with at least one
+/// background neighbour (img minus its erosion by a 3x3 cross, implemented
+/// with row ops).  O(total runs).
+RleImage boundary(const RleImage& img);
+
+}  // namespace sysrle

@@ -1,0 +1,92 @@
+#include "rle/morphology.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+
+RleRow dilate_row(const RleRow& row, pos_t r, pos_t width) {
+  SYSRLE_REQUIRE(r >= 0, "dilate_row: negative radius");
+  SYSRLE_REQUIRE(row.fits_width(width), "dilate_row: row exceeds width");
+  RleRow out;
+  pos_t open_start = -1, open_end = -1;
+  for (const Run& run : row) {
+    const pos_t s = std::max<pos_t>(run.start - r, 0);
+    const pos_t e = std::min<pos_t>(run.end() + r, width - 1);
+    if (open_start < 0) {
+      open_start = s;
+      open_end = e;
+    } else if (s <= open_end + 1) {
+      open_end = std::max(open_end, e);  // grown runs merged
+    } else {
+      out.push_back(Run::from_bounds(open_start, open_end));
+      open_start = s;
+      open_end = e;
+    }
+  }
+  if (open_start >= 0) out.push_back(Run::from_bounds(open_start, open_end));
+  return out;
+}
+
+RleRow erode_row(const RleRow& row, pos_t r) {
+  SYSRLE_REQUIRE(r >= 0, "erode_row: negative radius");
+  RleRow out;
+  for (const Run& run : row) {
+    const pos_t s = run.start + r;
+    const pos_t e = run.end() - r;
+    if (s <= e) out.push_back(Run::from_bounds(s, e));
+  }
+  return out;
+}
+
+RleImage dilate_image(const RleImage& img, pos_t rx, pos_t ry) {
+  SYSRLE_REQUIRE(rx >= 0 && ry >= 0, "dilate_image: negative radius");
+  // Separable: horizontal growth per row, then vertical union of the
+  // 2*ry+1 neighbouring rows.
+  RleImage horizontal(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y)
+    horizontal.set_row(y, dilate_row(img.row(y), rx, img.width()));
+  if (ry == 0) return horizontal;
+
+  RleImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    RleRow acc;
+    const pos_t lo = std::max<pos_t>(y - ry, 0);
+    const pos_t hi = std::min<pos_t>(y + ry, img.height() - 1);
+    for (pos_t yy = lo; yy <= hi; ++yy) acc = or_rows(acc, horizontal.row(yy));
+    out.set_row(y, std::move(acc));
+  }
+  return out;
+}
+
+RleImage erode_image(const RleImage& img, pos_t rx, pos_t ry) {
+  SYSRLE_REQUIRE(rx >= 0 && ry >= 0, "erode_image: negative radius");
+  RleImage horizontal(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y)
+    horizontal.set_row(y, erode_row(img.row(y), rx));
+  if (ry == 0) return horizontal;
+
+  // Vertical erosion: a pixel survives only if all 2*ry+1 neighbouring rows
+  // (with background outside the image) contain it.
+  RleImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    if (y - ry < 0 || y + ry >= img.height()) continue;  // border -> empty
+    RleRow acc = horizontal.row(y - ry);
+    for (pos_t yy = y - ry + 1; yy <= y + ry && !acc.empty(); ++yy)
+      acc = and_rows(acc, horizontal.row(yy));
+    out.set_row(y, std::move(acc));
+  }
+  return out;
+}
+
+RleImage open_image(const RleImage& img, pos_t rx, pos_t ry) {
+  return dilate_image(erode_image(img, rx, ry), rx, ry);
+}
+
+RleImage close_image(const RleImage& img, pos_t rx, pos_t ry) {
+  return erode_image(dilate_image(img, rx, ry), rx, ry);
+}
+
+}  // namespace sysrle

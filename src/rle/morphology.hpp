@@ -1,0 +1,38 @@
+#pragma once
+// Mathematical morphology directly on RLE data.  Morphological operations
+// are among the hardware-accelerated binary image operations the paper's
+// introduction surveys ([6], [9]); in the inspection pipeline they serve as
+// noise filters: an *opening* of the difference image deletes isolated
+// specks before defect labeling.
+//
+// Structuring elements are axis-aligned: horizontal extent 2*rx+1, vertical
+// extent 2*ry+1 (a rectangle).  All operations stay in the compressed
+// domain and cost O(runs), never O(pixels).
+
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// 1-D dilation: every run grows by `r` pixels on each side (clipped to
+/// [0, width)); touching runs merge.  r >= 0.
+RleRow dilate_row(const RleRow& row, pos_t r, pos_t width);
+
+/// 1-D erosion: every run shrinks by `r` pixels on each side; runs shorter
+/// than 2r+1 vanish.  r >= 0.
+RleRow erode_row(const RleRow& row, pos_t r);
+
+/// 2-D dilation by a (2rx+1) x (2ry+1) rectangle.
+RleImage dilate_image(const RleImage& img, pos_t rx, pos_t ry);
+
+/// 2-D erosion by a (2rx+1) x (2ry+1) rectangle.
+RleImage erode_image(const RleImage& img, pos_t rx, pos_t ry);
+
+/// Opening (erosion then dilation): removes features smaller than the
+/// structuring element without growing the rest.
+RleImage open_image(const RleImage& img, pos_t rx, pos_t ry);
+
+/// Closing (dilation then erosion): fills gaps smaller than the element.
+RleImage close_image(const RleImage& img, pos_t rx, pos_t ry);
+
+}  // namespace sysrle

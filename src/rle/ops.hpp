@@ -1,0 +1,42 @@
+#pragma once
+// Sequential set operations on RLE rows, implemented as a boundary-event
+// parity sweep.  xor_rows is the reference implementation of the paper's
+// image-difference operation (section 2's definition); the iteration-counted
+// merge variant the paper benchmarks against lives in src/baseline.
+
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// difference[i] = a[i] XOR b[i]  — the paper's image difference (section 2).
+/// Result is canonical.
+RleRow xor_rows(const RleRow& a, const RleRow& b);
+
+/// Pixelwise AND of two rows.  Result is canonical.
+RleRow and_rows(const RleRow& a, const RleRow& b);
+
+/// Pixelwise OR of two rows.  Result is canonical.
+RleRow or_rows(const RleRow& a, const RleRow& b);
+
+/// Pixels set in `a` but not in `b` (a AND NOT b).  Result is canonical.
+RleRow subtract_rows(const RleRow& a, const RleRow& b);
+
+/// Complement within [0, width).  Requires a to fit in width.
+RleRow complement_row(const RleRow& a, pos_t width);
+
+/// Number of pixels set in both rows (popcount of AND) without materialising
+/// the intermediate row.
+len_t intersection_pixels(const RleRow& a, const RleRow& b);
+
+/// Hamming distance: number of positions where the rows differ (popcount of
+/// XOR) without materialising the intermediate row.
+len_t hamming_distance(const RleRow& a, const RleRow& b);
+
+/// XOR of an arbitrary multiset of runs: bit i of the result is set iff an
+/// odd number of the given runs cover position i.  This is the paper's
+/// section-4.3 view of the machine state as "a set of many distinct smaller
+/// bitstrings"; the Theorem-3 invariant checker uses it.  Runs may overlap
+/// and appear in any order.  O(k log k).  Result is canonical.
+RleRow xor_run_multiset(std::vector<Run> runs);
+
+}  // namespace sysrle

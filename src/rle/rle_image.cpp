@@ -1,0 +1,54 @@
+#include "rle/rle_image.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+RleImage::RleImage(pos_t width, pos_t height) : width_(width) {
+  SYSRLE_REQUIRE(width >= 0 && height >= 0, "RleImage: negative dimensions");
+  rows_.resize(static_cast<std::size_t>(height));
+}
+
+RleImage::RleImage(pos_t width, std::vector<RleRow> rows)
+    : width_(width), rows_(std::move(rows)) {
+  SYSRLE_REQUIRE(width >= 0, "RleImage: negative width");
+  for (const RleRow& r : rows_)
+    SYSRLE_REQUIRE(r.fits_width(width_), "RleImage: row exceeds width");
+}
+
+const RleRow& RleImage::row(pos_t y) const {
+  SYSRLE_REQUIRE(y >= 0 && y < height(), "RleImage::row: index out of range");
+  return rows_[static_cast<std::size_t>(y)];
+}
+
+void RleImage::set_row(pos_t y, RleRow row) {
+  SYSRLE_REQUIRE(y >= 0 && y < height(), "RleImage::set_row: index out of range");
+  SYSRLE_REQUIRE(row.fits_width(width_), "RleImage::set_row: row exceeds width");
+  rows_[static_cast<std::size_t>(y)] = std::move(row);
+}
+
+RleImageStats RleImage::stats() const {
+  RleImageStats s;
+  for (const RleRow& r : rows_) {
+    s.total_runs += r.run_count();
+    s.max_runs_per_row = std::max(s.max_runs_per_row, r.run_count());
+    s.foreground_pixels += r.foreground_pixels();
+  }
+  const double area = static_cast<double>(width_) * static_cast<double>(height());
+  s.density = area > 0 ? static_cast<double>(s.foreground_pixels) / area : 0.0;
+  return s;
+}
+
+std::string RleImage::to_string() const {
+  std::ostringstream os;
+  for (pos_t y = 0; y < height(); ++y) {
+    os << rows_[static_cast<std::size_t>(y)].to_string();
+    if (y + 1 < height()) os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sysrle

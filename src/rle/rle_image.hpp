@@ -1,0 +1,54 @@
+#pragma once
+// A full binary image in RLE form: a width, a height, and one RleRow per
+// scanline.  The paper's systolic machine processes images row by row
+// (Figure 1 is captioned "Row of Image 1/2"); this container is what the
+// image-level drivers in src/core iterate over.
+
+#include <string>
+#include <vector>
+
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Aggregate statistics over an RLE image.
+struct RleImageStats {
+  std::size_t total_runs = 0;       ///< sum of run counts over all rows
+  std::size_t max_runs_per_row = 0; ///< the paper's per-row k upper bound
+  len_t foreground_pixels = 0;      ///< total 'on' pixels
+  double density = 0.0;             ///< foreground / (width*height)
+};
+
+/// Row-major RLE binary image.
+class RleImage {
+ public:
+  /// Creates an all-background image of the given dimensions.
+  RleImage(pos_t width, pos_t height);
+
+  /// Creates from existing rows; every row must fit the width and the row
+  /// count must equal height.
+  RleImage(pos_t width, std::vector<RleRow> rows);
+
+  pos_t width() const { return width_; }
+  pos_t height() const { return static_cast<pos_t>(rows_.size()); }
+
+  const RleRow& row(pos_t y) const;
+  /// Replaces one row; it must fit the image width.
+  void set_row(pos_t y, RleRow row);
+
+  const std::vector<RleRow>& rows() const { return rows_; }
+
+  /// Computes aggregate run/pixel statistics in one pass.
+  RleImageStats stats() const;
+
+  friend bool operator==(const RleImage&, const RleImage&) = default;
+
+  /// Multi-line rendering, one "(s,l) (s,l) ..." line per row (debugging).
+  std::string to_string() const;
+
+ private:
+  pos_t width_;
+  std::vector<RleRow> rows_;
+};
+
+}  // namespace sysrle

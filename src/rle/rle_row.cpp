@@ -1,0 +1,96 @@
+#include "rle/rle_row.hpp"
+
+#include <utility>
+
+namespace sysrle {
+
+RleRow::RleRow(std::vector<Run> runs) : runs_(std::move(runs)) { validate(); }
+
+RleRow::RleRow(std::initializer_list<Run> runs) : runs_(runs) { validate(); }
+
+RleRow RleRow::from_pairs(std::initializer_list<std::pair<pos_t, len_t>> ps) {
+  std::vector<Run> rs;
+  rs.reserve(ps.size());
+  for (const auto& [s, l] : ps) rs.emplace_back(s, l);
+  return RleRow(std::move(rs));
+}
+
+void RleRow::validate() const {
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    SYSRLE_REQUIRE(runs_[i].length >= 1, "RleRow: run with non-positive length");
+    SYSRLE_REQUIRE(runs_[i].start >= 0, "RleRow: negative start position");
+    if (i > 0)
+      SYSRLE_REQUIRE(runs_[i - 1].end() < runs_[i].start,
+                     "RleRow: runs out of order or overlapping");
+  }
+}
+
+void RleRow::push_back(const Run& r) {
+  SYSRLE_REQUIRE(r.length >= 1, "RleRow::push_back: non-positive length");
+  SYSRLE_REQUIRE(r.start >= 0, "RleRow::push_back: negative start");
+  if (!runs_.empty())
+    SYSRLE_REQUIRE(runs_.back().end() < r.start,
+                   "RleRow::push_back: run does not follow previous run");
+  runs_.push_back(r);
+}
+
+len_t RleRow::foreground_pixels() const {
+  len_t total = 0;
+  for (const Run& r : runs_) total += r.length;
+  return total;
+}
+
+pos_t RleRow::first_pixel() const {
+  SYSRLE_REQUIRE(!runs_.empty(), "RleRow::first_pixel on empty row");
+  return runs_.front().start;
+}
+
+pos_t RleRow::last_pixel() const {
+  SYSRLE_REQUIRE(!runs_.empty(), "RleRow::last_pixel on empty row");
+  return runs_.back().end();
+}
+
+bool RleRow::is_canonical() const {
+  for (std::size_t i = 1; i < runs_.size(); ++i)
+    if (runs_[i - 1].end() + 1 == runs_[i].start) return false;
+  return true;
+}
+
+std::size_t RleRow::canonicalize() {
+  if (runs_.size() < 2) return 0;
+  std::size_t merges = 0;
+  std::vector<Run> out;
+  out.reserve(runs_.size());
+  out.push_back(runs_.front());
+  for (std::size_t i = 1; i < runs_.size(); ++i) {
+    if (out.back().end() + 1 == runs_[i].start) {
+      out.back().length += runs_[i].length;
+      ++merges;
+    } else {
+      out.push_back(runs_[i]);
+    }
+  }
+  runs_ = std::move(out);
+  return merges;
+}
+
+RleRow RleRow::canonical() const {
+  RleRow copy = *this;
+  copy.canonicalize();
+  return copy;
+}
+
+bool RleRow::fits_width(pos_t width) const {
+  return runs_.empty() || runs_.back().end() < width;
+}
+
+std::string RleRow::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i) s += ' ';
+    s += runs_[i].to_string();
+  }
+  return s;
+}
+
+}  // namespace sysrle

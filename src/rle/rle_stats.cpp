@@ -1,0 +1,78 @@
+#include "rle/rle_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sysrle {
+
+double CompressionStats::ratio() const {
+  return rle_bytes ? static_cast<double>(bitmap_bytes) /
+                         static_cast<double>(rle_bytes)
+                   : 0.0;
+}
+
+std::string CompressionStats::to_string() const {
+  std::ostringstream os;
+  os << "bitmap " << bitmap_bytes << " B, RLE " << rle_bytes << " B ("
+     << runs << " runs), ratio " << ratio();
+  return os.str();
+}
+
+CompressionStats compression_stats(const RleImage& img) {
+  CompressionStats s;
+  const std::uint64_t bytes_per_row =
+      static_cast<std::uint64_t>((img.width() + 7) / 8);
+  s.bitmap_bytes = bytes_per_row * static_cast<std::uint64_t>(img.height());
+  // SRLB: 4 B magic + 3 x 8 B header, then per row 8 B count + 16 B per run.
+  s.rle_bytes = 4 + 3 * 8;
+  for (pos_t y = 0; y < img.height(); ++y) {
+    const std::uint64_t k = img.row(y).run_count();
+    s.rle_bytes += 8 + 16 * k;
+    s.runs += k;
+  }
+  return s;
+}
+
+RunLengthHistogram run_length_histogram(const RleImage& img) {
+  RunLengthHistogram h;
+  double sum = 0.0;
+  for (pos_t y = 0; y < img.height(); ++y) {
+    for (const Run& r : img.row(y)) {
+      std::size_t bucket = 0;
+      while (bucket + 1 < RunLengthHistogram::kBuckets &&
+             (len_t{1} << bucket) < r.length)
+        ++bucket;
+      ++h.buckets[bucket];
+      if (h.total_runs == 0) {
+        h.min_length = h.max_length = r.length;
+      } else {
+        h.min_length = std::min(h.min_length, r.length);
+        h.max_length = std::max(h.max_length, r.length);
+      }
+      ++h.total_runs;
+      sum += static_cast<double>(r.length);
+    }
+  }
+  h.mean_length = h.total_runs ? sum / static_cast<double>(h.total_runs) : 0.0;
+  return h;
+}
+
+std::string RunLengthHistogram::to_string() const {
+  std::ostringstream os;
+  os << "runs " << total_runs << ", length min/mean/max " << min_length << '/'
+     << mean_length << '/' << max_length << '\n';
+  std::uint64_t peak = 0;
+  for (const std::uint64_t b : buckets) peak = std::max(peak, b);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const len_t lo = i == 0 ? 1 : (len_t{1} << (i - 1)) + 1;
+    const len_t hi = len_t{1} << i;
+    os << "  [" << lo << ".." << hi << "]: " << buckets[i] << ' ';
+    const std::size_t bar =
+        peak ? static_cast<std::size_t>(40 * buckets[i] / peak) : 0;
+    os << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sysrle

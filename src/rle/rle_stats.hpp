@@ -1,0 +1,48 @@
+#pragma once
+// Compression analytics: how much does RLE actually buy on a given image?
+// The paper's premise is that inspection imagery compresses extremely well
+// (sparse, long-run artwork); these helpers quantify that premise for any
+// image and feed the CLI's `stats` subcommand.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Storage accounting for one image under both representations.
+struct CompressionStats {
+  std::uint64_t bitmap_bytes = 0;  ///< packed 1 bpp, rows byte-padded
+  std::uint64_t rle_bytes = 0;     ///< SRLB binary encoding (16 B/run + row counts)
+  std::uint64_t runs = 0;          ///< total runs
+
+  /// bitmap_bytes / rle_bytes; > 1 means RLE wins.  0 when rle_bytes is 0.
+  double ratio() const;
+
+  std::string to_string() const;
+};
+
+/// Computes storage statistics for an image.
+CompressionStats compression_stats(const RleImage& img);
+
+/// Histogram of run lengths, bucketed as 1, 2, 3-4, 5-8, ..., >=2^15
+/// (powers of two).  Bucket i holds lengths in (2^(i-1), 2^i].
+struct RunLengthHistogram {
+  static constexpr std::size_t kBuckets = 16;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t total_runs = 0;
+  len_t min_length = 0;
+  len_t max_length = 0;
+  double mean_length = 0.0;
+
+  /// Multi-line rendering with one bar per non-empty bucket.
+  std::string to_string() const;
+};
+
+/// Builds the run-length histogram of an image.
+RunLengthHistogram run_length_histogram(const RleImage& img);
+
+}  // namespace sysrle

@@ -1,0 +1,67 @@
+#pragma once
+// A single run of foreground ('on') pixels.
+//
+// The paper stores runs as (start, length) 2-tuples but reasons about them as
+// closed intervals [start, end]; this type offers both views.  Positions are
+// 0-based.  A Run held in a container is always non-empty (length >= 1); the
+// systolic datapath represents "no run" separately (std::optional / an
+// interval with end < start), mirroring the hardware's empty-register state.
+
+#include <compare>
+#include <ostream>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace sysrle {
+
+struct Run {
+  pos_t start = 0;   ///< position of the first foreground pixel
+  len_t length = 0;  ///< number of consecutive foreground pixels (>= 1)
+
+  constexpr Run() = default;
+  constexpr Run(pos_t s, len_t l) : start(s), length(l) {}
+
+  /// Builds a run from closed-interval bounds [s, e]; requires e >= s.
+  static Run from_bounds(pos_t s, pos_t e) {
+    SYSRLE_REQUIRE(e >= s, "Run::from_bounds: empty interval");
+    return Run{s, e - s + 1};
+  }
+
+  /// Position of the last foreground pixel (closed interval end).
+  constexpr pos_t end() const { return start + length - 1; }
+
+  /// True if position p lies inside the run.
+  constexpr bool contains(pos_t p) const { return p >= start && p <= end(); }
+
+  /// True if the two runs share at least one pixel.
+  constexpr bool overlaps(const Run& o) const {
+    return start <= o.end() && o.start <= end();
+  }
+
+  /// True if the runs touch without overlapping (end+1 == other.start or
+  /// vice versa); such pairs are merged by canonicalisation.
+  constexpr bool adjacent_to(const Run& o) const {
+    return end() + 1 == o.start || o.end() + 1 == start;
+  }
+
+  /// Lexicographic (start, end) order — the order the paper's step 1 uses to
+  /// decide which run is "smaller".
+  friend constexpr auto operator<=>(const Run& a, const Run& b) {
+    if (auto c = a.start <=> b.start; c != 0) return c;
+    return a.end() <=> b.end();
+  }
+  friend constexpr bool operator==(const Run&, const Run&) = default;
+
+  /// Renders as "(start,length)" exactly like the paper's figures.
+  std::string to_string() const {
+    return "(" + std::to_string(start) + "," + std::to_string(length) + ")";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Run& r) {
+    return os << r.to_string();
+  }
+};
+
+}  // namespace sysrle

@@ -1,0 +1,140 @@
+#include "rle/serialize.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "rle/validate.hpp"
+
+namespace sysrle {
+namespace {
+
+constexpr char kTextMagic[4] = {'S', 'R', 'L', 'T'};
+constexpr char kBinaryMagic[4] = {'S', 'R', 'L', 'B'};
+
+void put_i64(std::ostream& out, std::int64_t v) {
+  unsigned char buf[8];
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(u >> (8 * i));
+  out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::int64_t get_i64(std::istream& in) {
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), 8);
+  SYSRLE_REQUIRE(in.good(), "RLE(binary): truncated stream");
+  std::uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) u |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return static_cast<std::int64_t>(u);
+}
+
+/// Wraps raw runs in an RleRow after validating them against the width.
+RleRow checked_row(std::vector<Run> runs, pos_t width) {
+  ValidateOptions opts;
+  opts.width = width;
+  const RowValidationReport report = validate_runs(runs, opts);
+  SYSRLE_REQUIRE(report.ok(), "RLE: invalid row in stream — " + report.to_string());
+  return RleRow(std::move(runs));
+}
+
+RleImage read_text(std::istream& in) {
+  long long width = -1, height = -1;
+  in >> width >> height;
+  SYSRLE_REQUIRE(in.good() && width >= 0 && height >= 0,
+                 "RLE(text): malformed header");
+  RleImage img(static_cast<pos_t>(width), static_cast<pos_t>(height));
+  for (pos_t y = 0; y < img.height(); ++y) {
+    long long count = -1;
+    in >> count;
+    SYSRLE_REQUIRE(in.good() && count >= 0, "RLE(text): malformed run count");
+    std::vector<Run> runs;
+    runs.reserve(static_cast<std::size_t>(count));
+    for (long long i = 0; i < count; ++i) {
+      long long s = 0, l = 0;
+      in >> s >> l;
+      SYSRLE_REQUIRE(in.good(), "RLE(text): truncated row");
+      runs.emplace_back(static_cast<pos_t>(s), static_cast<len_t>(l));
+    }
+    img.set_row(y, checked_row(std::move(runs), img.width()));
+  }
+  return img;
+}
+
+RleImage read_binary(std::istream& in) {
+  const std::int64_t version = get_i64(in);
+  SYSRLE_REQUIRE(version == 1, "RLE(binary): unsupported version");
+  const pos_t width = get_i64(in);
+  const pos_t height = get_i64(in);
+  SYSRLE_REQUIRE(width >= 0 && height >= 0, "RLE(binary): bad dimensions");
+  RleImage img(width, height);
+  for (pos_t y = 0; y < height; ++y) {
+    const std::int64_t count = get_i64(in);
+    SYSRLE_REQUIRE(count >= 0 && count <= width, "RLE(binary): bad run count");
+    std::vector<Run> runs;
+    runs.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      const pos_t s = get_i64(in);
+      const len_t l = get_i64(in);
+      runs.emplace_back(s, l);
+    }
+    img.set_row(y, checked_row(std::move(runs), width));
+  }
+  return img;
+}
+
+}  // namespace
+
+void write_rle(std::ostream& out, const RleImage& img, RleFormat format) {
+  if (format == RleFormat::kText) {
+    out.write(kTextMagic, 4);
+    out << '\n' << img.width() << ' ' << img.height() << '\n';
+    for (pos_t y = 0; y < img.height(); ++y) {
+      const RleRow& row = img.row(y);
+      out << row.run_count();
+      for (const Run& r : row) out << ' ' << r.start << ' ' << r.length;
+      out << '\n';
+    }
+  } else {
+    out.write(kBinaryMagic, 4);
+    put_i64(out, 1);  // version
+    put_i64(out, img.width());
+    put_i64(out, img.height());
+    for (pos_t y = 0; y < img.height(); ++y) {
+      const RleRow& row = img.row(y);
+      put_i64(out, static_cast<std::int64_t>(row.run_count()));
+      for (const Run& r : row) {
+        put_i64(out, r.start);
+        put_i64(out, r.length);
+      }
+    }
+  }
+  SYSRLE_ENSURE(out.good(), "RLE: write failed");
+}
+
+RleImage read_rle(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, 4);
+  SYSRLE_REQUIRE(in.good(), "RLE: missing magic");
+  if (std::equal(magic, magic + 4, kTextMagic)) return read_text(in);
+  if (std::equal(magic, magic + 4, kBinaryMagic)) return read_binary(in);
+  SYSRLE_REQUIRE(false, "RLE: unknown magic (expected SRLT or SRLB)");
+  return RleImage(0, 0);  // unreachable
+}
+
+void write_rle_file(const std::string& path, const RleImage& img,
+                    RleFormat format) {
+  std::ofstream out(path, std::ios::binary);
+  SYSRLE_REQUIRE(out.is_open(), "RLE: cannot open for write: " + path);
+  write_rle(out, img, format);
+}
+
+RleImage read_rle_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SYSRLE_REQUIRE(in.is_open(), "RLE: cannot open: " + path);
+  return read_rle(in);
+}
+
+}  // namespace sysrle

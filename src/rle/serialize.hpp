@@ -1,0 +1,34 @@
+#pragma once
+// On-disk formats for RLE images, so compressed imagery can move between
+// tools without ever being decompressed:
+//   * a human-readable text format ("SRLT"), convenient for fixtures,
+//   * a compact little-endian binary format ("SRLB"), for real data.
+// Readers validate every row (ordering, overlap, width) and throw
+// contract_error on malformed input.
+
+#include <iosfwd>
+#include <string>
+
+#include "rle/rle_image.hpp"
+
+namespace sysrle {
+
+/// Serialization flavour.
+enum class RleFormat {
+  kText,    ///< "SRLT" — one row per line: count followed by start/len pairs
+  kBinary,  ///< "SRLB" — little-endian 64-bit fields
+};
+
+/// Writes an RLE image to a stream.
+void write_rle(std::ostream& out, const RleImage& img,
+               RleFormat format = RleFormat::kBinary);
+
+/// Reads an RLE image from a stream (format auto-detected from the magic).
+RleImage read_rle(std::istream& in);
+
+/// File variants.
+void write_rle_file(const std::string& path, const RleImage& img,
+                    RleFormat format = RleFormat::kBinary);
+RleImage read_rle_file(const std::string& path);
+
+}  // namespace sysrle

@@ -1,0 +1,132 @@
+#include "rle/transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+RleRow shift_row(const RleRow& row, pos_t dx, pos_t width) {
+  SYSRLE_REQUIRE(width >= 0, "shift_row: negative width");
+  RleRow out;
+  for (const Run& r : row) {
+    const pos_t s = std::max<pos_t>(r.start + dx, 0);
+    const pos_t e = std::min<pos_t>(r.end() + dx, width - 1);
+    if (s <= e) out.push_back(Run::from_bounds(s, e));
+  }
+  return out;
+}
+
+RleRow crop_row(const RleRow& row, pos_t x0, pos_t w) {
+  SYSRLE_REQUIRE(x0 >= 0 && w >= 0, "crop_row: invalid window");
+  RleRow out;
+  const pos_t x1 = x0 + w - 1;  // inclusive window end
+  for (const Run& r : row) {
+    if (r.end() < x0) continue;
+    if (r.start > x1) break;
+    out.push_back(Run::from_bounds(std::max(r.start, x0) - x0,
+                                   std::min(r.end(), x1) - x0));
+  }
+  return out;
+}
+
+RleRow reflect_row(const RleRow& row, pos_t width) {
+  SYSRLE_REQUIRE(row.fits_width(width), "reflect_row: row exceeds width");
+  RleRow out;
+  // Reflected runs come out in reverse order.
+  for (std::size_t i = row.run_count(); i-- > 0;) {
+    const Run& r = row[i];
+    out.push_back(Run::from_bounds(width - 1 - r.end(), width - 1 - r.start));
+  }
+  return out;
+}
+
+RleRow concat_rows(const RleRow& left, pos_t left_width, const RleRow& right) {
+  SYSRLE_REQUIRE(left.fits_width(left_width),
+                 "concat_rows: left row exceeds its width");
+  RleRow out = left;
+  for (const Run& r : right)
+    out.push_back(Run{r.start + left_width, r.length});
+  return out;
+}
+
+RleImage crop_image(const RleImage& img, pos_t x0, pos_t y0, pos_t w,
+                    pos_t h) {
+  SYSRLE_REQUIRE(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0 &&
+                     x0 + w <= img.width() && y0 + h <= img.height(),
+                 "crop_image: window outside image");
+  RleImage out(w, h);
+  for (pos_t y = 0; y < h; ++y)
+    out.set_row(y, crop_row(img.row(y0 + y), x0, w));
+  return out;
+}
+
+RleImage reflect_image_horizontal(const RleImage& img) {
+  RleImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y)
+    out.set_row(y, reflect_row(img.row(y), img.width()));
+  return out;
+}
+
+RleImage flip_image_vertical(const RleImage& img) {
+  RleImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y)
+    out.set_row(y, img.row(img.height() - 1 - y));
+  return out;
+}
+
+RleImage transpose_image(const RleImage& img) {
+  // Sweep over input columns (= output rows).  The active set holds the
+  // input row indices whose run covers the current column; it only changes
+  // at run starts/ends, so output rows are rebuilt at event columns and
+  // reused across unchanged spans.
+  std::map<pos_t, std::vector<std::pair<pos_t, bool>>> events;  // col -> (y, start?)
+  for (pos_t y = 0; y < img.height(); ++y) {
+    for (const Run& r : img.row(y)) {
+      events[r.start].emplace_back(y, true);
+      events[r.end() + 1].emplace_back(y, false);
+    }
+  }
+
+  RleImage out(img.height(), img.width());
+  std::set<pos_t> active;
+  auto it = events.begin();
+  pos_t x = 0;
+  while (x < img.width()) {
+    if (it != events.end() && it->first == x) {
+      for (const auto& [y, is_start] : it->second) {
+        if (is_start) {
+          active.insert(y);
+        } else {
+          active.erase(y);
+        }
+      }
+      ++it;
+    }
+    // The active set is constant until the next event column.
+    const pos_t next_event = it == events.end() ? img.width() : it->first;
+    const pos_t span_end = std::min(next_event, img.width());
+
+    // Build the output row once from consecutive active y values.
+    RleRow out_row;
+    auto a = active.begin();
+    while (a != active.end()) {
+      const pos_t run_start = *a;
+      pos_t run_end = run_start;
+      ++a;
+      while (a != active.end() && *a == run_end + 1) {
+        run_end = *a;
+        ++a;
+      }
+      out_row.push_back(Run::from_bounds(run_start, run_end));
+    }
+    for (pos_t col = x; col < span_end; ++col) out.set_row(col, out_row);
+    x = span_end;
+  }
+  return out;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,40 @@
+#pragma once
+// Geometric transforms performed directly on RLE data — the supporting cast
+// of a compressed-domain imaging pipeline: shifting (scan alignment),
+// cropping (regions of interest), reflection (film/scan orientation), and
+// concatenation (stitching line-camera swaths).  All are O(runs), never
+// O(pixels).
+
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Shifts a row horizontally by dx (positive = right), clipping to
+/// [0, width).  O(k).
+RleRow shift_row(const RleRow& row, pos_t dx, pos_t width);
+
+/// Extracts [x0, x0+w) re-based to start at 0.  Requires a valid window
+/// (x0 >= 0, w >= 0).  O(k).
+RleRow crop_row(const RleRow& row, pos_t x0, pos_t w);
+
+/// Mirrors a row within [0, width): pixel x maps to width-1-x.  O(k).
+RleRow reflect_row(const RleRow& row, pos_t width);
+
+/// Appends `right` after a row of width `left_width`: positions of `right`
+/// are offset by left_width.  O(k).
+RleRow concat_rows(const RleRow& left, pos_t left_width, const RleRow& right);
+
+/// Whole-image versions (row-wise application).
+RleImage crop_image(const RleImage& img, pos_t x0, pos_t y0, pos_t w, pos_t h);
+RleImage reflect_image_horizontal(const RleImage& img);
+/// Flips the image vertically (row order reversed).
+RleImage flip_image_vertical(const RleImage& img);
+/// Transposes the image: output pixel (x, y) = input pixel (y, x).
+/// Works entirely on run boundaries (never materialises a bitmap): output
+/// rows are regenerated only at columns where some input run starts or ends
+/// and copied across unchanged spans, costing O(event-columns x active-rows)
+/// in the worst case and far less on typical imagery.
+RleImage transpose_image(const RleImage& img);
+
+}  // namespace sysrle

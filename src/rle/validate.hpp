@@ -1,0 +1,58 @@
+#pragma once
+// Validation of untrusted run sequences (file input, hand-written fixtures,
+// simulator output) before they are wrapped in RleRow.  RleRow itself
+// enforces the core invariants on construction; this module produces a
+// detailed report instead of throwing on first failure.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rle/run.hpp"
+
+namespace sysrle {
+
+/// A specific defect found in a run sequence.
+enum class RowIssue {
+  kNonPositiveLength,  ///< run length < 1
+  kNegativeStart,      ///< run start < 0
+  kOutOfOrder,         ///< start does not strictly increase
+  kOverlap,            ///< run overlaps the previous run
+  kExceedsWidth,       ///< run extends past width-1
+  kNotCanonical,       ///< run is adjacent to the previous run
+};
+
+/// Human-readable name of an issue kind.
+std::string to_string(RowIssue issue);
+
+/// One finding: which issue at which run index.
+struct RowFinding {
+  RowIssue issue;
+  std::size_t run_index;
+};
+
+/// Result of validating a run sequence.
+struct RowValidationReport {
+  std::vector<RowFinding> findings;
+
+  bool ok() const { return findings.empty(); }
+
+  /// Multi-line summary, one finding per line; "ok" if clean.
+  std::string to_string() const;
+};
+
+/// Options for validate_runs.
+struct ValidateOptions {
+  /// When >= 0, runs must fit within [0, width).
+  pos_t width = -1;
+  /// When true, adjacent runs are reported as kNotCanonical.
+  bool require_canonical = false;
+};
+
+/// Checks a raw run sequence against the RleRow invariants (and optionally
+/// width / canonicality) and reports every violation.
+RowValidationReport validate_runs(std::span<const Run> runs,
+                                  const ValidateOptions& opts = {});
+
+}  // namespace sysrle

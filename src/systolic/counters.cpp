@@ -1,0 +1,29 @@
+#include "systolic/counters.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sysrle {
+
+SystolicCounters& SystolicCounters::operator+=(const SystolicCounters& o) {
+  iterations += o.iterations;
+  swaps += o.swaps;
+  promotions += o.promotions;
+  xors += o.xors;
+  shifts += o.shifts;
+  bus_moves += o.bus_moves;
+  bus_cycles += o.bus_cycles;
+  cells_used = std::max(cells_used, o.cells_used);
+  return *this;
+}
+
+std::string SystolicCounters::to_string() const {
+  std::ostringstream os;
+  os << "iterations=" << iterations << " swaps=" << swaps
+     << " promotions=" << promotions << " xors=" << xors
+     << " shifts=" << shifts << " bus_moves=" << bus_moves
+     << " bus_cycles=" << bus_cycles << " cells_used=" << cells_used;
+  return os.str();
+}
+
+}  // namespace sysrle

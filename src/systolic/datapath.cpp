@@ -1,0 +1,111 @@
+#include "systolic/datapath.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+// Textbook per-bit gate-equivalent figures.
+constexpr std::uint64_t kComparatorGePerBit = 5;   // eq + gt cell
+constexpr std::uint64_t kIncrementerGePerBit = 3;  // half adder + carry
+constexpr std::uint64_t kMuxGePerBit = 3;          // 2:1 mux
+constexpr std::uint64_t kFlipFlopGe = 6;           // D flip-flop
+
+// Carry-lookahead area premium on carry-chain structures.
+constexpr double kLookaheadAreaFactor = 1.5;
+
+std::uint64_t scaled(std::uint64_t ripple_ge, AdderStyle style) {
+  if (style == AdderStyle::kRipple) return ripple_ge;
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(ripple_ge) * kLookaheadAreaFactor));
+}
+
+unsigned ceil_log2(unsigned v) {
+  unsigned bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+CellCostModel::CellCostModel(unsigned word_bits, AdderStyle style)
+    : word_bits_(word_bits), style_(style) {
+  SYSRLE_REQUIRE(word_bits >= 1 && word_bits <= 64,
+                 "CellCostModel: word_bits must be in [1, 64]");
+}
+
+GateCounts CellCostModel::comparator() const {
+  return {scaled(kComparatorGePerBit * word_bits_, style_), 0};
+}
+
+GateCounts CellCostModel::incrementer() const {
+  return {scaled(kIncrementerGePerBit * word_bits_, style_), 0};
+}
+
+GateCounts CellCostModel::minmax_unit() const {
+  // Comparator plus a per-bit select mux.
+  GateCounts g = comparator();
+  g.combinational += kMuxGePerBit * word_bits_;
+  return g;
+}
+
+GateCounts CellCostModel::registers() const {
+  // RegSmall + RegBig, each (start, end) of W bits, plus a valid bit each.
+  const std::uint64_t bits = 2ull * 2ull * word_bits_ + 2ull;
+  return {0, bits * kFlipFlopGe};
+}
+
+GateCounts CellCostModel::cell_total() const {
+  GateCounts total;
+  // Step 1: lexicographic comparator = two chained W-bit comparators, and
+  // swap muxes on all four register fields.
+  total += comparator();
+  total += comparator();
+  total.combinational += 4ull * kMuxGePerBit * word_bits_;
+  // Step 2: four min/max units and two incrementers (the +1/-1 adjusts).
+  for (int i = 0; i < 4; ++i) total += minmax_unit();
+  total += incrementer();
+  total += incrementer();
+  // Registers and control (completion driver, step sequencing): ~25 GE.
+  total += registers();
+  total.combinational += 25;
+  return total;
+}
+
+unsigned CellCostModel::critical_path_gates() const {
+  // Comparator chain -> swap mux -> min/max (comparator + mux).  Ripple
+  // carries cost one gate per bit; lookahead costs ~2*log2(W)+4.
+  const unsigned cmp = style_ == AdderStyle::kRipple
+                           ? word_bits_
+                           : 2 * ceil_log2(word_bits_) + 4;
+  const unsigned mux = 2;
+  return cmp + mux + cmp + mux;  // step-1 compare/swap then step-2 min/max
+}
+
+GateCounts ArrayCostModel::total() const {
+  GateCounts per_cell = cell.cell_total();
+  return {per_cell.combinational * cells, per_cell.sequential * cells};
+}
+
+double ArrayCostModel::max_clock_mhz(double gate_delay_ns) const {
+  SYSRLE_REQUIRE(gate_delay_ns > 0, "max_clock_mhz: non-positive gate delay");
+  const double period_ns =
+      static_cast<double>(cell.critical_path_gates()) * gate_delay_ns;
+  return 1000.0 / period_ns;
+}
+
+std::string ArrayCostModel::to_string() const {
+  std::ostringstream os;
+  const GateCounts t = total();
+  os << cells << " cells x " << cell.word_bits() << "-bit ("
+     << (cell.style() == AdderStyle::kRipple ? "ripple" : "lookahead")
+     << "): " << t.total() << " GE (" << t.combinational << " comb + "
+     << t.sequential << " seq), critical path "
+     << cell.critical_path_gates() << " gates";
+  return os.str();
+}
+
+}  // namespace sysrle

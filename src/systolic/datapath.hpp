@@ -1,0 +1,96 @@
+#pragma once
+// First-order gate-level cost model for the Figure-2 cell and array.
+//
+// The paper proposes special-purpose hardware but gives no area/timing
+// budget; this model fills that gap so the benches can report how big and
+// how fast an implementation would be.  Costs are expressed in classic gate
+// equivalents (1 GE = one 2-input NAND) with textbook per-bit figures; the
+// point is relative scaling (area vs word width, cells vs k; ripple vs
+// carry-lookahead timing), not absolute silicon numbers.
+//
+// One cell's datapath per Figure 2 and the three algorithm steps:
+//   * step 1: one W-bit lexicographic comparator (start, then end) and a
+//     register swap (implemented as muxes on the register inputs),
+//   * step 2: four W-bit min/max units and two W-bit incrementers
+//     (end+1 / start-1 style adjustments),
+//   * registers: two runs x two W-bit fields, plus valid bits,
+//   * control: completion line driver and a handful of state gates.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sysrle {
+
+/// Aggregated gate counts (unit: gate equivalents).
+struct GateCounts {
+  std::uint64_t combinational = 0;  ///< logic GE
+  std::uint64_t sequential = 0;     ///< flip-flop GE
+
+  std::uint64_t total() const { return combinational + sequential; }
+
+  GateCounts& operator+=(const GateCounts& o) {
+    combinational += o.combinational;
+    sequential += o.sequential;
+    return *this;
+  }
+  friend GateCounts operator+(GateCounts a, const GateCounts& b) {
+    a += b;
+    return a;
+  }
+};
+
+/// Comparator/adder implementation style (affects the critical path).
+enum class AdderStyle {
+  kRipple,     ///< O(W) delay, minimal area
+  kLookahead,  ///< O(log W) delay, ~1.5x comparator/adder area
+};
+
+/// Cost model for one cell.
+class CellCostModel {
+ public:
+  /// `word_bits` is the position/length field width (20 bits addresses
+  /// 1 Mpixel rows, the paper's gigabyte-boards regime).
+  explicit CellCostModel(unsigned word_bits = 20,
+                         AdderStyle style = AdderStyle::kRipple);
+
+  unsigned word_bits() const { return word_bits_; }
+  AdderStyle style() const { return style_; }
+
+  /// W-bit magnitude comparator.
+  GateCounts comparator() const;
+  /// W-bit incrementer/decrementer.
+  GateCounts incrementer() const;
+  /// W-bit min/max unit (comparator + 2:1 mux per bit).
+  GateCounts minmax_unit() const;
+  /// All cell registers: 2 runs x 2 fields x W bits + 2 valid bits.
+  GateCounts registers() const;
+  /// Whole cell: step-1 comparator + swap muxes, step-2 datapath, registers
+  /// and control.
+  GateCounts cell_total() const;
+
+  /// Critical path through one iteration's combinational logic, in gate
+  /// delays (comparator -> mux -> min/max cascade).
+  unsigned critical_path_gates() const;
+
+ private:
+  unsigned word_bits_;
+  AdderStyle style_;
+};
+
+/// Cost model for a whole array of `cells` cells.
+struct ArrayCostModel {
+  CellCostModel cell;
+  std::size_t cells = 0;
+
+  GateCounts total() const;
+
+  /// Estimated maximum clock from the critical path, given a per-gate delay
+  /// in nanoseconds (late-1990s standard cell: ~0.3-1 ns).
+  double max_clock_mhz(double gate_delay_ns) const;
+
+  /// One-line summary.
+  std::string to_string() const;
+};
+
+}  // namespace sysrle

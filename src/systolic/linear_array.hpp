@@ -1,0 +1,78 @@
+#pragma once
+// A generic synchronous linear systolic array skeleton (Figure 2 of the
+// paper): N identical cells, a left-to-right nearest-neighbour channel, and a
+// wired-AND completion line.  The skeleton is algorithm-agnostic; the image
+// difference machine instantiates it with DiffCell (src/core/diff_cell.hpp).
+//
+// The model is the standard globally synchronous updating mode the paper
+// describes: within one micro-step every cell observes the pre-step state and
+// produces the post-step state, which shift_right implements by buffering the
+// outgoing values before committing them.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace sysrle {
+
+/// Synchronous linear array of `Cell`s.  `Cell` must be default-constructible
+/// and copyable; everything else (registers, local steps) is the cell's own
+/// business.
+template <typename Cell>
+class LinearArray {
+ public:
+  explicit LinearArray(std::size_t n) : cells_(n) {
+    SYSRLE_REQUIRE(n >= 1, "LinearArray: need at least one cell");
+  }
+
+  std::size_t size() const { return cells_.size(); }
+
+  Cell& cell(cell_index_t i) {
+    SYSRLE_REQUIRE(i < cells_.size(), "LinearArray::cell: index out of range");
+    return cells_[i];
+  }
+  const Cell& cell(cell_index_t i) const {
+    SYSRLE_REQUIRE(i < cells_.size(), "LinearArray::cell: index out of range");
+    return cells_[i];
+  }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Applies `fn(cell)` to every cell — one synchronous local micro-step.
+  /// Cells must not touch their neighbours inside `fn`.
+  template <typename Fn>
+  void for_each(Fn fn) {
+    for (Cell& c : cells_) fn(c);
+  }
+
+  /// Synchronous right shift of one register lane.  `get(cell)` reads the
+  /// outgoing value, `set(cell, v)` installs the incoming one; `feed` enters
+  /// cell 0 and the value leaving the last cell is returned (the paper's
+  /// "Out" port).  All reads happen before all writes, as in hardware.
+  template <typename T, typename Get, typename Set>
+  T shift_right(Get get, Set set, T feed) {
+    T carry = feed;
+    for (Cell& c : cells_) {
+      T outgoing = get(c);
+      set(c, carry);
+      carry = outgoing;
+    }
+    return carry;
+  }
+
+  /// Wired-AND over all cells: true when every `pred(cell)` holds.  Models
+  /// the completion line C in Figure 2.
+  template <typename Pred>
+  bool all_of(Pred pred) const {
+    for (const Cell& c : cells_)
+      if (!pred(c)) return false;
+    return true;
+  }
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+}  // namespace sysrle

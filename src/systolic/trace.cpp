@@ -1,0 +1,89 @@
+#include "systolic/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sysrle {
+namespace {
+
+bool same_cells(const std::vector<CellSnapshot>& a,
+                const std::vector<CellSnapshot>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].reg_small != b[i].reg_small || a[i].reg_big != b[i].reg_big)
+      return false;
+  return true;
+}
+
+std::string reg_text(const std::optional<Run>& r) {
+  return r ? r->to_string() : std::string{};
+}
+
+}  // namespace
+
+void TraceRecorder::record_initial(std::span<const CellSnapshot> cells) {
+  frames_.push_back({"Initial", {cells.begin(), cells.end()}});
+}
+
+void TraceRecorder::record(cycle_t iteration, MicroStep step,
+                           std::span<const CellSnapshot> cells) {
+  std::ostringstream label;
+  label << iteration << '.' << static_cast<int>(step);
+  frames_.push_back({label.str(), {cells.begin(), cells.end()}});
+}
+
+std::string TraceRecorder::render(bool elide_unchanged) const {
+  if (frames_.empty()) return "";
+  const std::size_t ncells = frames_.front().cells.size();
+
+  // Column widths: label column + one column per cell, sized to the widest
+  // register text that ever appears there.
+  std::size_t label_w = 4;  // "Step"
+  std::vector<std::size_t> cell_w(ncells, 5);  // "CellN"
+  for (std::size_t c = 0; c < ncells; ++c)
+    cell_w[c] = std::max(cell_w[c], ("Cell" + std::to_string(c)).size());
+  for (const auto& f : frames_) {
+    label_w = std::max(label_w, f.label.size());
+    for (std::size_t c = 0; c < f.cells.size() && c < ncells; ++c) {
+      cell_w[c] = std::max(cell_w[c], reg_text(f.cells[c].reg_small).size());
+      cell_w[c] = std::max(cell_w[c], reg_text(f.cells[c].reg_big).size());
+    }
+  }
+
+  std::ostringstream os;
+  auto pad = [](const std::string& s, std::size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+
+  os << pad("Step", label_w);
+  for (std::size_t c = 0; c < ncells; ++c)
+    os << "  " << pad("Cell" + std::to_string(c), cell_w[c]);
+  os << '\n';
+
+  const std::vector<CellSnapshot>* prev = nullptr;
+  for (const auto& f : frames_) {
+    if (elide_unchanged && prev && same_cells(*prev, f.cells)) {
+      prev = &f.cells;
+      continue;
+    }
+    prev = &f.cells;
+    // RegSmall line (carries the step label), then RegBig line if any
+    // register is occupied.
+    os << pad(f.label, label_w);
+    for (std::size_t c = 0; c < ncells; ++c)
+      os << "  " << pad(reg_text(f.cells[c].reg_small), cell_w[c]);
+    os << '\n';
+    const bool any_big = std::any_of(
+        f.cells.begin(), f.cells.end(),
+        [](const CellSnapshot& s) { return s.reg_big.has_value(); });
+    if (any_big) {
+      os << pad("", label_w);
+      for (std::size_t c = 0; c < ncells; ++c)
+        os << "  " << pad(reg_text(f.cells[c].reg_big), cell_w[c]);
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sysrle

@@ -1,0 +1,56 @@
+#pragma once
+// Execution tracing for the systolic simulator.  Captures register snapshots
+// after each micro-step and renders them in the exact layout of the paper's
+// Figure 3: one row block per step ("Initial", "1.1", "1.2", "1.3", "2.1",
+// ...), one column per cell, RegSmall printed above RegBig.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rle/run.hpp"
+
+namespace sysrle {
+
+/// The three micro-steps of one iteration of the paper's algorithm.
+enum class MicroStep {
+  kOrder = 1,  ///< step 1: order the registers
+  kXor = 2,    ///< step 2: in-cell XOR
+  kShift = 3,  ///< step 3: shift RegBig right
+};
+
+/// Contents of one cell's two registers at a point in time.
+struct CellSnapshot {
+  std::optional<Run> reg_small;
+  std::optional<Run> reg_big;
+};
+
+/// Records snapshots of the whole array and renders a Figure-3-style table.
+class TraceRecorder {
+ public:
+  /// Records the pre-loop state (Figure 3's "Initial" row).
+  void record_initial(std::span<const CellSnapshot> cells);
+
+  /// Records the array state after `step` of iteration `iteration` (1-based).
+  void record(cycle_t iteration, MicroStep step,
+              std::span<const CellSnapshot> cells);
+
+  /// Number of recorded snapshots (including the initial one).
+  std::size_t frame_count() const { return frames_.size(); }
+
+  /// Renders the full table.  `elide_unchanged` skips frames identical to
+  /// their predecessor, which is what the paper's Figure 3 does from row 2.2
+  /// onwards ("And steps 2 and 3 of iteration 3 make no further changes").
+  std::string render(bool elide_unchanged = true) const;
+
+ private:
+  struct Frame {
+    std::string label;  // "Initial", "1.1", ...
+    std::vector<CellSnapshot> cells;
+  };
+  std::vector<Frame> frames_;
+};
+
+}  // namespace sysrle

@@ -1,0 +1,43 @@
+#pragma once
+// Synthesizable Verilog-2001 emitter for the Figure-2 machine.
+//
+// The simulator (core/systolic_diff) is the reference model; this generator
+// emits RTL with the same cycle semantics — one algorithm iteration per
+// clock: step 1 (order) and step 2 (XOR) combinationally, step 3 (shift)
+// and register update on the clock edge, plus the wired-AND completion
+// reduction.  Interval arithmetic uses (W+1)-bit signed extensions so the
+// `end < start` empty-register encoding survives `start-1` underflow at 0,
+// mirroring the simulator's signed positions.
+//
+// No Verilog toolchain is assumed here: the tests validate the emitted text
+// structurally (balanced begin/end, declared-vs-used signals, parameter
+// plumbing) and the cell semantics are pinned against diff_cell.cpp by
+// construction — both are generated from the same four-assignment datapath.
+
+#include <cstddef>
+#include <string>
+
+namespace sysrle {
+
+/// Generator options.
+struct VerilogOptions {
+  unsigned word_bits = 20;           ///< position field width W
+  std::string module_prefix = "sysrle";  ///< module name prefix
+};
+
+/// Emits the cell module (`<prefix>_cell`).
+std::string generate_cell_verilog(const VerilogOptions& options = {});
+
+/// Emits the array module (`<prefix>_array`) instantiating `cells` cells,
+/// with per-cell load ports flattened into buses and the AND-reduced
+/// completion output.
+std::string generate_array_verilog(const VerilogOptions& options,
+                                   std::size_t cells);
+
+/// Emits a smoke testbench that loads the paper's Figure-1 rows, runs until
+/// `complete`, and $display's the RegSmall lane for manual comparison with
+/// Figure 3.
+std::string generate_testbench_verilog(const VerilogOptions& options,
+                                       std::size_t cells);
+
+}  // namespace sysrle

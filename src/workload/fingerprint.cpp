@@ -1,0 +1,73 @@
+#include "workload/fingerprint.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+/// Integer triangle wave with the given period and amplitude: exact on all
+/// platforms, no floating point.
+pos_t triangle_wave(pos_t x, pos_t period, pos_t amplitude) {
+  if (period <= 0 || amplitude <= 0) return 0;
+  const pos_t phase = x % (2 * period);
+  const pos_t ramp = phase < period ? phase : 2 * period - phase;
+  return ramp * amplitude / period - amplitude / 2;
+}
+
+}  // namespace
+
+BitmapImage generate_ridges(Rng& rng, const FingerprintParams& params) {
+  SYSRLE_REQUIRE(params.width > 0 && params.height > 0,
+                 "generate_ridges: empty image");
+  SYSRLE_REQUIRE(params.ridge_period >= 2 && params.ridge_width >= 1 &&
+                     params.ridge_width < params.ridge_period,
+                 "generate_ridges: ridge_width must be in [1, period)");
+  BitmapImage img(params.width, params.height);
+  // A random global phase so different seeds give different prints.
+  const pos_t phase0 = rng.uniform(0, params.ridge_period - 1);
+  const pos_t wobble_phase =
+      params.wobble_period > 0 ? rng.uniform(0, params.wobble_period - 1) : 0;
+
+  for (pos_t y = 0; y < params.height; ++y) {
+    for (pos_t x = 0; x < params.width; ++x) {
+      const pos_t wobble = triangle_wave(x + wobble_phase,
+                                         params.wobble_period,
+                                         params.wobble_amplitude);
+      const pos_t band =
+          (y + phase0 + wobble % params.ridge_period + params.ridge_period) %
+          params.ridge_period;
+      if (band < params.ridge_width) img.set(x, y, true);
+    }
+  }
+  return img;
+}
+
+std::vector<Minutia> add_minutiae(Rng& rng, BitmapImage& image,
+                                  std::size_t count) {
+  SYSRLE_REQUIRE(image.width() > 8 && image.height() > 8,
+                 "add_minutiae: image too small");
+  std::vector<Minutia> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Minutia m;
+    m.kind = rng.bernoulli(0.5) ? Minutia::Kind::kEnding
+                                : Minutia::Kind::kBifurcation;
+    m.size = rng.uniform(3, 8);
+    m.x = rng.uniform(0, image.width() - m.size - 1);
+    m.y = rng.uniform(0, image.height() - m.size - 1);
+    if (m.kind == Minutia::Kind::kEnding) {
+      // Break the ridge: clear a small horizontal patch.
+      image.fill_rect(m.x, m.y, m.size, std::min<pos_t>(m.size / 2 + 1, 3),
+                      false);
+    } else {
+      // Bridge across a valley: paint a thin vertical bar.
+      image.fill_rect(m.x, m.y, 2, m.size, true);
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,50 @@
+#pragma once
+// Synthetic fingerprint-like ridge imagery — the last of the four
+// applications the paper's introduction names (PCB inspection, character
+// recognition, fingerprint analysis, motion detection).  Real fingerprints
+// binarise into alternating ridge/valley stripes whose local defects
+// (minutiae: ridge endings and bifurcations) are exactly the sparse,
+// run-structured differences the systolic machine processes fastest.
+//
+// The generator draws wavy horizontal ridges (sinusoid-free: integer
+// triangle-wave phase so results are platform-exact) and can perturb a copy
+// with synthetic minutiae for match/diff experiments.
+
+#include <vector>
+
+#include "bitmap/bitmap_image.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+
+/// Ridge pattern parameters.
+struct FingerprintParams {
+  pos_t width = 512;
+  pos_t height = 512;
+  pos_t ridge_period = 8;   ///< ridge+valley pitch in pixels (>= 2)
+  pos_t ridge_width = 4;    ///< foreground thickness within a period
+  pos_t wobble_amplitude = 6;  ///< vertical waviness of the ridges
+  pos_t wobble_period = 96;    ///< horizontal wavelength of the waviness
+};
+
+/// Renders a wavy-ridge binary pattern.  Deterministic given the rng state.
+BitmapImage generate_ridges(Rng& rng, const FingerprintParams& params);
+
+/// One synthetic minutia perturbation applied to a ridge image.
+struct Minutia {
+  enum class Kind {
+    kEnding,       ///< a ridge is broken (foreground erased)
+    kBifurcation,  ///< a short bridge connects two ridges (foreground added)
+  };
+  Kind kind = Kind::kEnding;
+  pos_t x = 0, y = 0;  ///< anchor position
+  pos_t size = 0;      ///< affected extent in pixels
+};
+
+/// Applies `count` random minutiae to `image` and returns their ground
+/// truth.  Endings erase a small patch on a ridge; bifurcations paint a
+/// vertical bridge across a valley.
+std::vector<Minutia> add_minutiae(Rng& rng, BitmapImage& image,
+                                  std::size_t count);
+
+}  // namespace sysrle

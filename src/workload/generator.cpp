@@ -1,0 +1,121 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+
+RleRow generate_row(Rng& rng, const RowGenParams& params) {
+  SYSRLE_REQUIRE(params.width >= 0, "generate_row: negative width");
+  SYSRLE_REQUIRE(params.min_run_length >= 1 &&
+                     params.min_run_length <= params.max_run_length,
+                 "generate_row: bad run length range");
+  SYSRLE_REQUIRE(params.density > 0.0 && params.density < 1.0,
+                 "generate_row: density must be in (0, 1)");
+
+  // Mean gap chosen so that mean_run / (mean_run + mean_gap) == density;
+  // the paper varies density "by changing the average distance between the
+  // runs".  Gaps are at least 1 pixel, so rows are canonical.
+  const double mean_run =
+      0.5 * static_cast<double>(params.min_run_length + params.max_run_length);
+  const double mean_gap =
+      std::max(1.0, mean_run * (1.0 - params.density) / params.density);
+  const len_t max_gap = std::max<len_t>(1, static_cast<len_t>(2.0 * mean_gap) - 1);
+
+  RleRow row;
+  // Random phase for the first run so rows are not correlated at x = 0.
+  pos_t pos = rng.uniform(0, max_gap);
+  while (pos < params.width) {
+    const len_t len =
+        rng.uniform(params.min_run_length, params.max_run_length);
+    const len_t clipped = std::min<len_t>(len, params.width - pos);
+    if (clipped >= 1) row.push_back(Run{pos, clipped});
+    pos += len + rng.uniform(1, max_gap);
+  }
+  return row;
+}
+
+namespace {
+
+/// Applies error-run flips on a bitmap copy of `base` and re-encodes.
+/// `place` is called once per error run and must flip a range in the BitRow.
+template <typename PlaceFn>
+RleRow flip_and_reencode(const RleRow& base, pos_t width, PlaceFn place) {
+  BitRow bits = rle_to_bitrow(base, width);
+  place(bits);
+  return bitrow_to_rle(bits);
+}
+
+}  // namespace
+
+RleRow inject_errors(Rng& rng, const RleRow& base, pos_t width,
+                     const ErrorGenParams& params) {
+  SYSRLE_REQUIRE(params.min_error_length >= 1 &&
+                     params.min_error_length <= params.max_error_length,
+                 "inject_errors: bad error length range");
+  SYSRLE_REQUIRE(params.error_fraction >= 0.0 && params.error_fraction < 1.0,
+                 "inject_errors: error_fraction outside [0, 1)");
+  if (params.error_fraction == 0.0 || width == 0) return base;
+
+  // The paper places the error runs exactly like the foreground runs: runs
+  // of length 2..6 separated by gaps whose mean sets the error percentage
+  // ("varied by changing the average distance between the runs").  The mask
+  // is therefore non-overlapping, every masked pixel really differs, and the
+  // achieved error fraction equals the target.  Flipping "in either
+  // direction" is the XOR with the base row.
+  RowGenParams mask_params;
+  mask_params.width = width;
+  mask_params.min_run_length = params.min_error_length;
+  mask_params.max_run_length = params.max_error_length;
+  mask_params.density = params.error_fraction;
+  const RleRow mask = generate_row(rng, mask_params);
+  return xor_rows(base, mask);
+}
+
+RleRow inject_error_runs(Rng& rng, const RleRow& base, pos_t width,
+                         std::size_t count, len_t min_len, len_t max_len) {
+  SYSRLE_REQUIRE(min_len >= 1 && min_len <= max_len,
+                 "inject_error_runs: bad length range");
+  SYSRLE_REQUIRE(width >= max_len, "inject_error_runs: width below run length");
+  return flip_and_reencode(base, width, [&](BitRow& bits) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const len_t len = rng.uniform(min_len, max_len);
+      const pos_t pos = rng.uniform(0, width - len);
+      bits.flip_range(pos, len);
+    }
+  });
+}
+
+RowPairSample generate_pair(Rng& rng, const RowGenParams& row_params,
+                            const ErrorGenParams& error_params) {
+  RowPairSample sample;
+  sample.first = generate_row(rng, row_params);
+  sample.second =
+      inject_errors(rng, sample.first, row_params.width, error_params);
+  sample.error_pixels = hamming_distance(sample.first, sample.second);
+  return sample;
+}
+
+RowPairSample generate_pair_fixed_errors(Rng& rng,
+                                         const RowGenParams& row_params,
+                                         std::size_t error_run_count,
+                                         len_t error_run_length) {
+  RowPairSample sample;
+  sample.first = generate_row(rng, row_params);
+  sample.second =
+      inject_error_runs(rng, sample.first, row_params.width, error_run_count,
+                        error_run_length, error_run_length);
+  sample.error_pixels = hamming_distance(sample.first, sample.second);
+  return sample;
+}
+
+RleImage generate_image(Rng& rng, pos_t height, const RowGenParams& params) {
+  RleImage img(params.width, height);
+  for (pos_t y = 0; y < height; ++y) img.set_row(y, generate_row(rng, params));
+  return img;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,84 @@
+#pragma once
+// The paper's section-5 workload generator, reproduced exactly:
+//
+//   "The on pixels in the first image were chosen in runs of length 4 to 20,
+//    and the second image was obtained by flipping some of the bits of the
+//    first image in either direction (1 to 0, and 0 to 1).  Here these
+//    changes are called errors and they were created in runs of length 2 to
+//    6.  The percentage of on pixels in the first image and of the errors in
+//    the second image was varied by changing the average distance between
+//    the runs."
+//
+// generate_row places foreground runs with uniform lengths and uniform gaps
+// whose mean is chosen from the target density; inject_* flips error runs.
+
+#include <cstdint>
+#include <vector>
+
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+
+/// Parameters for the base (reference) row.
+struct RowGenParams {
+  pos_t width = 10000;
+  len_t min_run_length = 4;   ///< paper: runs of length 4 ...
+  len_t max_run_length = 20;  ///< ... to 20
+  double density = 0.30;      ///< fraction of on pixels (paper uses ~30 %)
+};
+
+/// Generates one reference row.  Runs are separated by at least one
+/// background pixel, so the row is canonical (maximally compressed) — the
+/// precondition of the paper's Observation bound.
+RleRow generate_row(Rng& rng, const RowGenParams& params);
+
+/// Parameters for error injection by target fraction.
+struct ErrorGenParams {
+  len_t min_error_length = 2;  ///< paper: error runs of length 2 ...
+  len_t max_error_length = 6;  ///< ... to 6
+  double error_fraction = 0.035;  ///< target fraction of pixels flipped
+};
+
+/// Flips error runs in `base` so that error_fraction * width pixels differ.
+/// The error runs are placed like the paper's foreground runs — lengths
+/// uniform in [min, max], gaps sized to hit the target fraction — so they
+/// never overlap and the achieved error fraction matches the target (up to
+/// end-of-row rounding).  Each error run flips its pixels "in either
+/// direction": 1s become 0s and 0s become 1s (XOR with the mask).
+/// error_fraction must be < 1; with lengths 2-6 fractions up to ~0.8 are
+/// reachable (each run needs a 1-pixel gap).
+RleRow inject_errors(Rng& rng, const RleRow& base, pos_t width,
+                     const ErrorGenParams& params);
+
+/// Flips exactly `count` error runs, each of length uniform in
+/// [min_len, max_len], at uniformly random positions — Table 1's second
+/// regime ("the number of errors is fixed at 6 runs each of size 4 pixels"
+/// uses count = 6, min_len = max_len = 4).  Error runs may overlap each
+/// other; overlapping flips compose by XOR exactly as repeated physical
+/// defects would.
+RleRow inject_error_runs(Rng& rng, const RleRow& base, pos_t width,
+                         std::size_t count, len_t min_len, len_t max_len);
+
+/// One generated test case: the pair of rows plus ground-truth measures.
+struct RowPairSample {
+  RleRow first;
+  RleRow second;
+  len_t error_pixels = 0;  ///< pixels that actually differ
+};
+
+/// Generates a (first, second) row pair in the paper's fraction regime.
+RowPairSample generate_pair(Rng& rng, const RowGenParams& row_params,
+                            const ErrorGenParams& error_params);
+
+/// Generates a (first, second) row pair in the fixed-error-run regime.
+RowPairSample generate_pair_fixed_errors(Rng& rng,
+                                         const RowGenParams& row_params,
+                                         std::size_t error_run_count,
+                                         len_t error_run_length);
+
+/// Generates a full RLE image whose every row follows `params`.
+RleImage generate_image(Rng& rng, pos_t height, const RowGenParams& params);
+
+}  // namespace sysrle

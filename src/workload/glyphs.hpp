@@ -1,0 +1,30 @@
+#pragma once
+// A tiny 5x7 bitmap font and text rasteriser for the character-recognition
+// workload (another application named in the paper's introduction).
+// Template-vs-sample glyph comparison in RLE form is a classic use of the
+// image-difference operation.
+
+#include <string>
+
+#include "bitmap/bitmap_image.hpp"
+
+namespace sysrle {
+
+/// Width/height of one glyph cell in pixels (before scaling).
+inline constexpr pos_t kGlyphWidth = 5;
+inline constexpr pos_t kGlyphHeight = 7;
+
+/// True if the font has a bitmap for `c`.  Supported: '0'-'9', 'A'-'Z'
+/// (upper case only) and ' '.
+bool glyph_available(char c);
+
+/// Renders a single glyph into a kGlyphWidth x kGlyphHeight image scaled by
+/// `scale` (each font pixel becomes a scale x scale block).
+/// Requires glyph_available(c).
+BitmapImage render_glyph(char c, pos_t scale = 1);
+
+/// Renders a text string on one line with a 1-pixel (scaled) inter-glyph
+/// gap.  Unsupported characters render as blanks.
+BitmapImage render_text(const std::string& text, pos_t scale = 1);
+
+}  // namespace sysrle

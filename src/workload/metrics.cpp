@@ -1,0 +1,55 @@
+#include "workload/metrics.hpp"
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+
+RowSimilarity measure_rows(const RleRow& a, const RleRow& b, pos_t width) {
+  SYSRLE_REQUIRE(width > 0, "measure_rows: non-positive width");
+  RowSimilarity s;
+  s.error_pixels = hamming_distance(a, b);
+  s.error_fraction =
+      static_cast<double>(s.error_pixels) / static_cast<double>(width);
+  s.k1 = a.run_count();
+  s.k2 = b.run_count();
+  s.k3 = xor_rows(a, b).run_count();
+  s.run_count_difference = s.k1 > s.k2 ? s.k1 - s.k2 : s.k2 - s.k1;
+  const len_t inter = intersection_pixels(a, b);
+  const len_t uni = a.foreground_pixels() + b.foreground_pixels() - inter;
+  s.jaccard = uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                      : 1.0;
+  return s;
+}
+
+ImageSimilarity measure_images(const RleImage& a, const RleImage& b) {
+  SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                 "measure_images: dimension mismatch");
+  ImageSimilarity s;
+  len_t inter_total = 0;
+  len_t union_total = 0;
+  for (pos_t y = 0; y < a.height(); ++y) {
+    const RleRow& ra = a.row(y);
+    const RleRow& rb = b.row(y);
+    s.error_pixels += hamming_distance(ra, rb);
+    s.total_runs_a += ra.run_count();
+    s.total_runs_b += rb.run_count();
+    s.total_runs_xor += xor_rows(ra, rb).run_count();
+    const std::uint64_t k1 = ra.run_count();
+    const std::uint64_t k2 = rb.run_count();
+    s.sum_run_count_difference += k1 > k2 ? k1 - k2 : k2 - k1;
+    const len_t inter = intersection_pixels(ra, rb);
+    inter_total += inter;
+    union_total += ra.foreground_pixels() + rb.foreground_pixels() - inter;
+  }
+  const double area =
+      static_cast<double>(a.width()) * static_cast<double>(a.height());
+  s.error_fraction =
+      area > 0 ? static_cast<double>(s.error_pixels) / area : 0.0;
+  s.jaccard = union_total > 0 ? static_cast<double>(inter_total) /
+                                    static_cast<double>(union_total)
+                              : 1.0;
+  return s;
+}
+
+}  // namespace sysrle

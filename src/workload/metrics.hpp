@@ -1,0 +1,42 @@
+#pragma once
+// Similarity measures between image pairs — the quantities the paper's
+// evaluation sweeps and correlates: error-pixel fraction (Figure 5's x axis),
+// run counts k1/k2/k3, and the run-count difference |k1 - k2| (the claimed
+// predictor of systolic iterations).
+
+#include <cstdint>
+
+#include "rle/rle_image.hpp"
+#include "rle/rle_row.hpp"
+
+namespace sysrle {
+
+/// Similarity statistics for one row pair.
+struct RowSimilarity {
+  len_t error_pixels = 0;      ///< |a XOR b|
+  double error_fraction = 0.0; ///< error_pixels / width
+  std::uint64_t k1 = 0;        ///< runs in a
+  std::uint64_t k2 = 0;        ///< runs in b
+  std::uint64_t k3 = 0;        ///< runs in the canonical XOR
+  std::uint64_t run_count_difference = 0;  ///< |k1 - k2|
+  double jaccard = 1.0;        ///< |A and B| / |A or B| (1.0 when both empty)
+};
+
+/// Measures one row pair; width is used for error_fraction.
+RowSimilarity measure_rows(const RleRow& a, const RleRow& b, pos_t width);
+
+/// Similarity statistics aggregated over a whole image pair.
+struct ImageSimilarity {
+  len_t error_pixels = 0;
+  double error_fraction = 0.0;     ///< over width*height
+  std::uint64_t total_runs_a = 0;
+  std::uint64_t total_runs_b = 0;
+  std::uint64_t total_runs_xor = 0;
+  std::uint64_t sum_run_count_difference = 0;  ///< summed per-row |k1 - k2|
+  double jaccard = 1.0;
+};
+
+/// Measures an image pair (dimensions must match).
+ImageSimilarity measure_images(const RleImage& a, const RleImage& b);
+
+}  // namespace sysrle

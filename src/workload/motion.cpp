@@ -1,0 +1,78 @@
+#include "workload/motion.hpp"
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+MotionScene::MotionScene(Rng& rng, const MotionParams& params)
+    : params_(params) {
+  SYSRLE_REQUIRE(params.width > 0 && params.height > 0,
+                 "MotionScene: empty frame");
+  SYSRLE_REQUIRE(params.min_size >= 1 && params.min_size <= params.max_size &&
+                     params.max_size <= params.width &&
+                     params.max_size <= params.height,
+                 "MotionScene: bad object size range");
+  objects_.reserve(params.objects);
+  for (std::size_t i = 0; i < params.objects; ++i) {
+    MovingObject o;
+    o.w = rng.uniform(params.min_size, params.max_size);
+    o.h = rng.uniform(params.min_size, params.max_size);
+    o.x = rng.uniform(0, params.width - o.w);
+    o.y = rng.uniform(0, params.height - o.h);
+    do {
+      o.dx = rng.uniform(-params.max_speed, params.max_speed);
+      o.dy = rng.uniform(-params.max_speed, params.max_speed);
+    } while (o.dx == 0 && o.dy == 0);
+    objects_.push_back(o);
+  }
+}
+
+BitmapImage MotionScene::render() const {
+  BitmapImage frame(params_.width, params_.height);
+  for (const MovingObject& o : objects_) frame.fill_rect(o.x, o.y, o.w, o.h, true);
+  return frame;
+}
+
+void MotionScene::advance() {
+  for (MovingObject& o : objects_) {
+    o.x += o.dx;
+    o.y += o.dy;
+    if (o.x < 0) {
+      o.x = -o.x;
+      o.dx = -o.dx;
+    }
+    if (o.y < 0) {
+      o.y = -o.y;
+      o.dy = -o.dy;
+    }
+    if (o.x + o.w > params_.width) {
+      o.x = 2 * (params_.width - o.w) - o.x;
+      o.dx = -o.dx;
+    }
+    if (o.y + o.h > params_.height) {
+      o.y = 2 * (params_.height - o.h) - o.y;
+      o.dy = -o.dy;
+    }
+    // After a bounce the corner must be back in range (speeds are small
+    // relative to the frame, but the contract keeps it honest).
+    SYSRLE_CHECK(o.x >= 0 && o.y >= 0 && o.x + o.w <= params_.width &&
+                     o.y + o.h <= params_.height,
+                 "MotionScene::advance: object escaped the frame");
+  }
+}
+
+std::vector<RleImage> generate_motion_sequence(Rng& rng,
+                                               const MotionParams& params,
+                                               std::size_t frames) {
+  MotionScene scene(rng, params);
+  std::vector<RleImage> out;
+  out.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    out.push_back(bitmap_to_rle(scene.render()));
+    scene.advance();
+  }
+  return out;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,56 @@
+#pragma once
+// Synthetic motion-detection workload: rectangular objects translating
+// across a frame, bouncing at the borders.  Frame-to-frame RLE difference is
+// one of the paper's motivating applications ("motion detection for safety
+// and security").  Consecutive frames are highly similar — exactly the
+// regime where the systolic machine's |k1 - k2| behaviour shines.
+
+#include <vector>
+
+#include "bitmap/bitmap_image.hpp"
+#include "rle/rle_image.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+
+/// One moving rectangle.
+struct MovingObject {
+  pos_t x = 0, y = 0;  ///< top-left corner
+  pos_t w = 0, h = 0;  ///< extent
+  pos_t dx = 0, dy = 0;  ///< velocity in pixels/frame
+};
+
+/// Scene parameters.
+struct MotionParams {
+  pos_t width = 640;
+  pos_t height = 480;
+  std::size_t objects = 6;
+  pos_t min_size = 12;
+  pos_t max_size = 48;
+  pos_t max_speed = 4;  ///< |dx|,|dy| <= max_speed, not both zero
+};
+
+/// A scene of moving rectangles that can be rendered frame by frame.
+class MotionScene {
+ public:
+  MotionScene(Rng& rng, const MotionParams& params);
+
+  /// Renders the current frame (objects are foreground).
+  BitmapImage render() const;
+
+  /// Advances every object one time step, bouncing off borders.
+  void advance();
+
+  const std::vector<MovingObject>& objects() const { return objects_; }
+
+ private:
+  MotionParams params_;
+  std::vector<MovingObject> objects_;
+};
+
+/// Convenience: renders `frames` consecutive frames directly in RLE form.
+std::vector<RleImage> generate_motion_sequence(Rng& rng,
+                                               const MotionParams& params,
+                                               std::size_t frames);
+
+}  // namespace sysrle

@@ -1,0 +1,126 @@
+#include "workload/pcb.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+const char* to_string(DefectType type) {
+  switch (type) {
+    case DefectType::kOpen:
+      return "open";
+    case DefectType::kShort:
+      return "short";
+    case DefectType::kPinhole:
+      return "pinhole";
+    case DefectType::kSpur:
+      return "spur";
+    case DefectType::kMissingPad:
+      return "missing-pad";
+  }
+  return "unknown";
+}
+
+std::string InjectedDefect::to_string() const {
+  std::ostringstream os;
+  os << sysrle::to_string(type) << " at (" << x << ',' << y << ") " << w << 'x'
+     << h;
+  return os.str();
+}
+
+BitmapImage generate_pcb_artwork(Rng& rng, const PcbParams& params) {
+  SYSRLE_REQUIRE(params.width > 0 && params.height > 0,
+                 "generate_pcb_artwork: empty board");
+  SYSRLE_REQUIRE(params.trace_width >= 1 && params.pad_size >= 1,
+                 "generate_pcb_artwork: degenerate feature sizes");
+  BitmapImage board(params.width, params.height);
+
+  // Horizontal traces: full-width copper strips at random vertical offsets.
+  for (std::size_t i = 0; i < params.horizontal_traces; ++i) {
+    const pos_t y =
+        rng.uniform(0, std::max<pos_t>(0, params.height - params.trace_width));
+    board.fill_rect(0, y, params.width,
+                    std::min(params.trace_width, params.height - y), true);
+  }
+
+  // Vertical stubs: shorter strips at random positions.
+  for (std::size_t i = 0; i < params.vertical_traces; ++i) {
+    const pos_t x =
+        rng.uniform(0, std::max<pos_t>(0, params.width - params.trace_width));
+    const pos_t h = rng.uniform(params.height / 8, params.height / 2);
+    const pos_t y = rng.uniform(0, std::max<pos_t>(0, params.height - h));
+    board.fill_rect(x, y, std::min(params.trace_width, params.width - x),
+                    std::min(h, params.height - y), true);
+  }
+
+  // Square pads.
+  for (std::size_t i = 0; i < params.pads; ++i) {
+    const pos_t s = std::min({params.pad_size, params.width, params.height});
+    const pos_t x = rng.uniform(0, params.width - s);
+    const pos_t y = rng.uniform(0, params.height - s);
+    board.fill_rect(x, y, s, s, true);
+  }
+  return board;
+}
+
+namespace {
+
+/// Finds a pixel with the requested polarity by rejection sampling; falls
+/// back to scanning if the board is extremely unbalanced.
+bool find_pixel(Rng& rng, const BitmapImage& board, bool want, pos_t& out_x,
+                pos_t& out_y) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const pos_t x = rng.uniform(0, board.width() - 1);
+    const pos_t y = rng.uniform(0, board.height() - 1);
+    if (board.get(x, y) == want) {
+      out_x = x;
+      out_y = y;
+      return true;
+    }
+  }
+  for (pos_t y = 0; y < board.height(); ++y)
+    for (pos_t x = 0; x < board.width(); ++x)
+      if (board.get(x, y) == want) {
+        out_x = x;
+        out_y = y;
+        return true;
+      }
+  return false;
+}
+
+}  // namespace
+
+std::vector<InjectedDefect> inject_pcb_defects(Rng& rng, BitmapImage& board,
+                                               const DefectParams& params) {
+  SYSRLE_REQUIRE(params.min_size >= 1 && params.min_size <= params.max_size,
+                 "inject_pcb_defects: bad size range");
+  std::vector<InjectedDefect> defects;
+  defects.reserve(params.count);
+
+  for (std::size_t i = 0; i < params.count; ++i) {
+    const auto type = static_cast<DefectType>(rng.uniform(0, 4));
+    // Copper-removing defects anchor on copper, copper-adding on background.
+    const bool removes = type == DefectType::kOpen ||
+                         type == DefectType::kPinhole ||
+                         type == DefectType::kMissingPad;
+    pos_t cx = 0, cy = 0;
+    if (!find_pixel(rng, board, removes, cx, cy)) continue;
+
+    pos_t w = rng.uniform(params.min_size, params.max_size);
+    pos_t h = rng.uniform(params.min_size, params.max_size);
+    if (type == DefectType::kOpen) h = std::max(h, board.height() / 32);
+    if (type == DefectType::kMissingPad) {
+      w = std::max<pos_t>(w, 8);
+      h = std::max<pos_t>(h, 8);
+    }
+    const pos_t x = std::clamp<pos_t>(cx - w / 2, 0, board.width() - w);
+    const pos_t y = std::clamp<pos_t>(cy - h / 2, 0, board.height() - h);
+    board.fill_rect(x, y, w, h, !removes);
+    defects.push_back({type, x, y, w, h});
+  }
+  return defects;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,65 @@
+#pragma once
+// Synthetic printed-circuit-board artwork and defect injection.  The paper is
+// motivated by reference-based PCB inspection ("comparison of the board image
+// against the original CAD design", section 1); this module generates the
+// CAD-reference side and fabricates realistic defect classes on a copy to
+// play the role of the scanned board.
+
+#include <string>
+#include <vector>
+
+#include "bitmap/bitmap_image.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+
+/// Geometry of the synthetic board artwork.
+struct PcbParams {
+  pos_t width = 1024;
+  pos_t height = 256;
+  std::size_t horizontal_traces = 12;  ///< long copper traces across the board
+  std::size_t vertical_traces = 24;    ///< stubs/columns connecting them
+  pos_t trace_width = 3;               ///< copper width in pixels
+  std::size_t pads = 24;               ///< square solder pads
+  pos_t pad_size = 9;
+};
+
+/// Draws deterministic random artwork: horizontal and vertical traces plus
+/// square pads.  Foreground (1) is copper.
+BitmapImage generate_pcb_artwork(Rng& rng, const PcbParams& params);
+
+/// The classic reference-comparison defect classes.
+enum class DefectType {
+  kOpen,        ///< copper missing across a trace (connection broken)
+  kShort,       ///< stray copper bridging background
+  kPinhole,     ///< small void inside copper
+  kSpur,        ///< small copper protrusion
+  kMissingPad,  ///< an entire pad absent
+};
+
+/// Human-readable defect class name.
+const char* to_string(DefectType type);
+
+/// Ground truth for one injected defect (bounding box in pixels).
+struct InjectedDefect {
+  DefectType type;
+  pos_t x = 0, y = 0, w = 0, h = 0;
+
+  std::string to_string() const;
+};
+
+/// Defect injection parameters.
+struct DefectParams {
+  std::size_t count = 8;   ///< defects to inject
+  pos_t min_size = 2;      ///< defect edge length range
+  pos_t max_size = 6;
+};
+
+/// Injects `params.count` defects into `board` (which starts as a copy of
+/// the reference artwork) and returns the ground-truth list.  Defect types
+/// are chosen uniformly; copper-removing defects are centred on copper,
+/// copper-adding defects on background.
+std::vector<InjectedDefect> inject_pcb_defects(Rng& rng, BitmapImage& board,
+                                               const DefectParams& params);
+
+}  // namespace sysrle

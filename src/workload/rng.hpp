@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic pseudo-random number generation for the experiment
+// harnesses.  Self-contained (SplitMix64 seeding + xoshiro256**) so that
+// every figure and table in EXPERIMENTS.md is reproducible bit-for-bit on
+// any platform, independent of the standard library's distributions.
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sysrle {
+
+/// xoshiro256** seeded via SplitMix64.  Not cryptographic; fast and
+/// statistically solid for simulation workloads.
+class Rng {
+ public:
+  /// Seeds deterministically; equal seeds give equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  /// Unbiased (rejection sampling).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Creates an independent generator for a sub-task (e.g. one row) so rows
+  /// can be generated in any order with identical results.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace sysrle

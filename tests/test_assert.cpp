@@ -1,0 +1,79 @@
+// Tests for the contract-checking layer itself — everything else in the
+// suite relies on these macros actually firing.
+
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sysrle {
+namespace {
+
+TEST(Contracts, RequireFiresOnFalse) {
+  EXPECT_NO_THROW(SYSRLE_REQUIRE(true, "never"));
+  EXPECT_THROW(SYSRLE_REQUIRE(false, "boom"), contract_error);
+}
+
+TEST(Contracts, EnsureAndCheckFire) {
+  EXPECT_THROW(SYSRLE_ENSURE(1 == 2, "post"), contract_error);
+  EXPECT_THROW(SYSRLE_CHECK(1 == 2, "inv"), contract_error);
+}
+
+TEST(Contracts, MessageCarriesConditionLocationAndText) {
+  try {
+    SYSRLE_REQUIRE(2 + 2 == 5, "arithmetic is safe");
+    FAIL() << "did not throw";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_assert.cpp"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic is safe"), std::string::npos);
+  }
+}
+
+TEST(Contracts, KindsAreDistinguished) {
+  auto kind_of = [](auto fn) -> std::string {
+    try {
+      fn();
+    } catch (const contract_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(kind_of([] { SYSRLE_REQUIRE(false, ""); }).find("precondition"),
+            std::string::npos);
+  EXPECT_NE(kind_of([] { SYSRLE_ENSURE(false, ""); }).find("postcondition"),
+            std::string::npos);
+  EXPECT_NE(kind_of([] { SYSRLE_CHECK(false, ""); }).find("invariant"),
+            std::string::npos);
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto tick = [&calls] {
+    ++calls;
+    return true;
+  };
+  SYSRLE_REQUIRE(tick(), "once");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Contracts, StdStringMessagesWork) {
+  const std::string msg = "dynamic " + std::to_string(42);
+  try {
+    SYSRLE_CHECK(false, msg);
+    FAIL();
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dynamic 42"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ContractErrorIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(SYSRLE_REQUIRE(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,71 @@
+// Tests for word-parallel bit operations (the uncompressed ground truth).
+
+#include "bitmap/bit_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+BitRow random_bitrow(Rng& rng, pos_t width, double density) {
+  BitRow row(width);
+  for (pos_t i = 0; i < width; ++i)
+    if (rng.bernoulli(density)) row.set(i, true);
+  return row;
+}
+
+TEST(BitOps, XorAndOrNotAgainstPerPixel) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const pos_t width = rng.uniform(1, 250);
+    const BitRow a = random_bitrow(rng, width, 0.5);
+    const BitRow b = random_bitrow(rng, width, 0.5);
+    const BitRow x = xor_bitrows(a, b);
+    const BitRow n = and_bitrows(a, b);
+    const BitRow o = or_bitrows(a, b);
+    const BitRow c = not_bitrow(a);
+    for (pos_t i = 0; i < width; ++i) {
+      EXPECT_EQ(x.get(i), a.get(i) != b.get(i));
+      EXPECT_EQ(n.get(i), a.get(i) && b.get(i));
+      EXPECT_EQ(o.get(i), a.get(i) || b.get(i));
+      EXPECT_EQ(c.get(i), !a.get(i));
+    }
+  }
+}
+
+TEST(BitOps, NotKeepsTailClean) {
+  const BitRow a(70);  // all zero, 6 bits of tail in word 2
+  const BitRow c = not_bitrow(a);
+  EXPECT_EQ(c.popcount(), 70);  // not 128
+}
+
+TEST(BitOps, WidthMismatchRejected) {
+  const BitRow a(10), b(11);
+  EXPECT_THROW(xor_bitrows(a, b), contract_error);
+  EXPECT_THROW(bit_hamming(a, b), contract_error);
+}
+
+TEST(BitOps, HammingCountsDifferences) {
+  const BitRow a = BitRow::from_string("110010");
+  const BitRow b = BitRow::from_string("011010");
+  EXPECT_EQ(bit_hamming(a, b), 2);
+  EXPECT_EQ(bit_hamming(a, a), 0);
+}
+
+TEST(BitOps, ImageXorAndHamming) {
+  BitmapImage a(40, 3), b(40, 3);
+  a.fill_rect(0, 0, 10, 3, true);
+  b.fill_rect(5, 0, 10, 3, true);
+  const BitmapImage x = xor_images(a, b);
+  EXPECT_EQ(x.popcount(), 30);  // [0,5) and [10,15) per row
+  EXPECT_EQ(image_hamming(a, b), 30);
+  BitmapImage c(40, 4);
+  EXPECT_THROW(xor_images(a, c), contract_error);
+  EXPECT_THROW(image_hamming(a, c), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,74 @@
+// Tests for the 2-D packed bitmap image.
+
+#include "bitmap/bitmap_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(BitmapImage, ConstructsEmpty) {
+  const BitmapImage img(17, 9);
+  EXPECT_EQ(img.width(), 17);
+  EXPECT_EQ(img.height(), 9);
+  EXPECT_EQ(img.popcount(), 0);
+}
+
+TEST(BitmapImage, SetAndGet) {
+  BitmapImage img(8, 4);
+  img.set(3, 2, true);
+  EXPECT_TRUE(img.get(3, 2));
+  EXPECT_FALSE(img.get(2, 3));
+  img.set(3, 2, false);
+  EXPECT_EQ(img.popcount(), 0);
+}
+
+TEST(BitmapImage, RowAccessBoundsChecked) {
+  BitmapImage img(8, 4);
+  EXPECT_THROW(img.row(4), contract_error);
+  EXPECT_THROW(img.mutable_row(-1), contract_error);
+}
+
+TEST(BitmapImage, FillRect) {
+  BitmapImage img(20, 10);
+  img.fill_rect(5, 2, 10, 4, true);
+  EXPECT_EQ(img.popcount(), 40);
+  for (pos_t y = 0; y < 10; ++y)
+    for (pos_t x = 0; x < 20; ++x)
+      EXPECT_EQ(img.get(x, y), x >= 5 && x < 15 && y >= 2 && y < 6)
+          << x << ',' << y;
+  img.fill_rect(6, 3, 2, 2, false);
+  EXPECT_EQ(img.popcount(), 36);
+}
+
+TEST(BitmapImage, FillRectRejectsOutOfBounds) {
+  BitmapImage img(10, 10);
+  EXPECT_THROW(img.fill_rect(5, 5, 6, 2, true), contract_error);
+  EXPECT_THROW(img.fill_rect(0, 9, 1, 2, true), contract_error);
+  EXPECT_THROW(img.fill_rect(0, 0, -1, 1, true), contract_error);
+}
+
+TEST(BitmapImage, FillRectZeroExtentIsNoop) {
+  BitmapImage img(10, 10);
+  img.fill_rect(9, 9, 0, 5, true);  // zero width: no pixels, no bounds error
+  EXPECT_EQ(img.popcount(), 0);
+}
+
+TEST(BitmapImage, ToStringRendersRows) {
+  BitmapImage img(3, 2);
+  img.set(1, 0, true);
+  img.set(2, 1, true);
+  EXPECT_EQ(img.to_string(), "010\n001");
+}
+
+TEST(BitmapImage, EqualityIsValueBased) {
+  BitmapImage a(5, 5), b(5, 5);
+  EXPECT_EQ(a, b);
+  a.set(0, 0, true);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,114 @@
+// Tests for the packed bit row.
+
+#include "bitmap/bitrow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(BitRow, StartsAllZero) {
+  const BitRow row(130);
+  EXPECT_EQ(row.width(), 130);
+  EXPECT_EQ(row.popcount(), 0);
+  for (pos_t i = 0; i < 130; ++i) EXPECT_FALSE(row.get(i));
+}
+
+TEST(BitRow, SetAndGetAcrossWordBoundaries) {
+  BitRow row(130);
+  for (const pos_t i : {0, 1, 63, 64, 65, 127, 128, 129}) {
+    row.set(i, true);
+    EXPECT_TRUE(row.get(i)) << i;
+  }
+  EXPECT_EQ(row.popcount(), 8);
+  row.set(64, false);
+  EXPECT_FALSE(row.get(64));
+  EXPECT_EQ(row.popcount(), 7);
+}
+
+TEST(BitRow, IndexBoundsChecked) {
+  BitRow row(10);
+  EXPECT_THROW(row.get(10), contract_error);
+  EXPECT_THROW(row.get(-1), contract_error);
+  EXPECT_THROW(row.set(10, true), contract_error);
+  EXPECT_THROW(row.flip(10), contract_error);
+}
+
+TEST(BitRow, FlipToggles) {
+  BitRow row(5);
+  row.flip(2);
+  EXPECT_TRUE(row.get(2));
+  row.flip(2);
+  EXPECT_FALSE(row.get(2));
+}
+
+TEST(BitRow, FillSpanningWords) {
+  BitRow row(200);
+  row.fill(60, 80, true);  // spans words 0,1,2
+  for (pos_t i = 0; i < 200; ++i)
+    EXPECT_EQ(row.get(i), i >= 60 && i < 140) << i;
+  EXPECT_EQ(row.popcount(), 80);
+  row.fill(100, 10, false);
+  EXPECT_EQ(row.popcount(), 70);
+}
+
+TEST(BitRow, FillFullWidth) {
+  BitRow row(64);
+  row.fill(0, 64, true);
+  EXPECT_EQ(row.popcount(), 64);
+}
+
+TEST(BitRow, FillZeroLengthIsNoop) {
+  BitRow row(10);
+  row.fill(3, 0, true);
+  EXPECT_EQ(row.popcount(), 0);
+}
+
+TEST(BitRow, FillBoundsChecked) {
+  BitRow row(10);
+  EXPECT_THROW(row.fill(8, 3, true), contract_error);
+  EXPECT_THROW(row.fill(0, -1, true), contract_error);
+}
+
+TEST(BitRow, FlipRangeSpanningWords) {
+  BitRow row(150);
+  row.fill(0, 150, true);
+  row.flip_range(50, 70);
+  for (pos_t i = 0; i < 150; ++i)
+    EXPECT_EQ(row.get(i), i < 50 || i >= 120) << i;
+}
+
+TEST(BitRow, StringRoundTrip) {
+  Rng rng(3);
+  std::string bits(97, '0');
+  for (auto& c : bits)
+    if (rng.bernoulli(0.5)) c = '1';
+  const BitRow row = BitRow::from_string(bits);
+  EXPECT_EQ(row.to_string(), bits);
+}
+
+TEST(BitRow, FromStringRejectsBadCharacters) {
+  EXPECT_THROW(BitRow::from_string("01a"), contract_error);
+}
+
+TEST(BitRow, MaskTailClearsStrayBits) {
+  BitRow row(5);
+  row.mutable_words()[0] = ~std::uint64_t{0};
+  row.mask_tail();
+  EXPECT_EQ(row.popcount(), 5);
+}
+
+TEST(BitRow, EqualityIsValueBased) {
+  BitRow a(70), b(70);
+  EXPECT_EQ(a, b);
+  a.set(69, true);
+  EXPECT_NE(a, b);
+  b.set(69, true);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sysrle

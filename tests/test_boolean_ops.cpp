@@ -1,0 +1,100 @@
+// Tests for the composed Boolean operations (AND / difference via
+// multi-pass XOR + OR machine runs).
+
+#include "core/boolean_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rle/encode.hpp"
+#include "rle/ops.hpp"
+#include "test_util.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using sysrle::testing::random_row;
+
+TEST(BooleanOps, AndBasics) {
+  const RleRow a = encode_bitstring("1100");
+  const RleRow b = encode_bitstring("1010");
+  const BooleanOpResult r = systolic_and(a, b);
+  EXPECT_EQ(r.output, encode_bitstring("1000"));
+  EXPECT_EQ(r.passes, 3u);
+  EXPECT_GT(r.counters.iterations, 0u);
+}
+
+TEST(BooleanOps, AndEdgeCases) {
+  const RleRow a = encode_bitstring("1111");
+  EXPECT_EQ(systolic_and(a, a).output, a);
+  EXPECT_TRUE(systolic_and(a, RleRow{}).output.empty());
+  EXPECT_TRUE(systolic_and(RleRow{}, a).output.empty());
+  EXPECT_TRUE(systolic_and(RleRow{}, RleRow{}).output.empty());
+}
+
+TEST(BooleanOps, AndMatchesParitySweepOnRandomInputs) {
+  Rng rng(1501);
+  for (int trial = 0; trial < 80; ++trial) {
+    const pos_t width = rng.uniform(1, 250);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    ASSERT_EQ(systolic_and(a, b).output, and_rows(a, b)) << "trial " << trial;
+  }
+}
+
+TEST(BooleanOps, AndExhaustiveWidth6) {
+  for (unsigned va = 0; va < 64; ++va) {
+    std::string sa(6, '0');
+    for (int i = 0; i < 6; ++i)
+      if (va & (1u << i)) sa[static_cast<std::size_t>(i)] = '1';
+    const RleRow a = encode_bitstring(sa);
+    for (unsigned vb = 0; vb < 64; ++vb) {
+      std::string sb(6, '0');
+      for (int i = 0; i < 6; ++i)
+        if (vb & (1u << i)) sb[static_cast<std::size_t>(i)] = '1';
+      const RleRow b = encode_bitstring(sb);
+      ASSERT_EQ(systolic_and(a, b).output, and_rows(a, b))
+          << sa << " & " << sb;
+    }
+  }
+}
+
+TEST(BooleanOps, SubtractBasics) {
+  const RleRow a = encode_bitstring("1110");
+  const RleRow b = encode_bitstring("0110");
+  const BooleanOpResult r = systolic_subtract(a, b);
+  EXPECT_EQ(r.output, encode_bitstring("1000"));
+  EXPECT_EQ(r.passes, 4u);
+}
+
+TEST(BooleanOps, SubtractMatchesParitySweepOnRandomInputs) {
+  Rng rng(1502);
+  for (int trial = 0; trial < 60; ++trial) {
+    const pos_t width = rng.uniform(1, 200);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    ASSERT_EQ(systolic_subtract(a, b).output, subtract_rows(a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(BooleanOps, SubtractIsAsymmetric) {
+  const RleRow a = encode_bitstring("1100");
+  const RleRow b = encode_bitstring("0110");
+  EXPECT_EQ(systolic_subtract(a, b).output, encode_bitstring("1000"));
+  EXPECT_EQ(systolic_subtract(b, a).output, encode_bitstring("0010"));
+}
+
+TEST(BooleanOps, CountersAccumulateAcrossPasses) {
+  Rng rng(1503);
+  const RleRow a = random_row(rng, 500, 0.4);
+  const RleRow b = random_row(rng, 500, 0.4);
+  const BooleanOpResult r_and = systolic_and(a, b);
+  const BooleanOpResult r_sub = systolic_subtract(a, b);
+  // The subtract embeds the AND, so it must cost at least as much.
+  EXPECT_GE(r_sub.counters.iterations, r_and.counters.iterations);
+  EXPECT_GT(r_and.counters.xors, 0u);
+}
+
+}  // namespace
+}  // namespace sysrle

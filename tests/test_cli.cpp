@@ -1,0 +1,223 @@
+// Tests for the sysrle command-line tool (driven through the library entry
+// point with captured streams and temp files).
+
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "bitmap/convert.hpp"
+#include "bitmap/pbm_io.hpp"
+#include "rle/serialize.hpp"
+#include "workload/generator.hpp"
+#include "workload/pcb.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/sysrle_cli_" + name;
+}
+
+class CliFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    RowGenParams p;
+    p.width = 200;
+    img_a_ = generate_image(rng, 10, p);
+    img_b_ = img_a_;
+    ErrorGenParams ep;
+    ep.error_fraction = 0.05;
+    for (pos_t y = 0; y < img_b_.height(); ++y) {
+      Rng row_rng = rng.split();
+      img_b_.set_row(y, inject_errors(row_rng, img_a_.row(y), 200, ep));
+    }
+    path_a_ = tmp_path("a.srl");
+    path_b_ = tmp_path("b.srl");
+    write_rle_file(path_a_, img_a_);
+    write_rle_file(path_b_, img_b_);
+  }
+
+  RleImage img_a_{0, 0};
+  RleImage img_b_{0, 0};
+  std::string path_a_, path_b_;
+};
+
+TEST_F(CliFixture, HelpPrintsCommands) {
+  const CliRun r = cli({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("diff"), std::string::npos);
+  EXPECT_NE(r.out.find("inspect"), std::string::npos);
+  const CliRun empty = cli({});
+  EXPECT_EQ(empty.exit_code, 0);
+}
+
+TEST_F(CliFixture, UnknownCommandFails) {
+  const CliRun r = cli({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliFixture, DiffPrintsCounts) {
+  const CliRun r = cli({"diff", path_a_, path_b_, "--stats"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("engine: systolic"), std::string::npos);
+  EXPECT_NE(r.out.find("differing pixels:"), std::string::npos);
+  EXPECT_NE(r.out.find("machine: iterations="), std::string::npos);
+}
+
+TEST_F(CliFixture, DiffWritesOutputFile) {
+  const std::string out_path = tmp_path("diff.srl");
+  const CliRun r =
+      cli({"diff", path_a_, path_b_, "-o", out_path, "--canonical"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const RleImage diff = read_rle_file(out_path);
+  EXPECT_EQ(diff.width(), 200);
+  EXPECT_GT(diff.stats().foreground_pixels, 0);
+}
+
+TEST_F(CliFixture, DiffEnginesAgree) {
+  std::string previous;
+  for (const char* engine : {"systolic", "bus", "sequential", "sweep",
+                             "pixel"}) {
+    const std::string out_path = tmp_path(std::string("diff_") + engine);
+    const CliRun r = cli({"diff", path_a_, path_b_, "-o", out_path,
+                          "--canonical", "--engine", engine});
+    ASSERT_EQ(r.exit_code, 0) << engine << ": " << r.err;
+    std::ifstream in(out_path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!previous.empty()) {
+      EXPECT_EQ(buf.str(), previous) << engine;
+    }
+    previous = buf.str();
+  }
+}
+
+TEST_F(CliFixture, DiffRejectsBadEngine) {
+  const CliRun r = cli({"diff", path_a_, path_b_, "--engine", "magic"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown engine"), std::string::npos);
+}
+
+TEST_F(CliFixture, InspectExitCodesReflectVerdict) {
+  const CliRun clean = cli({"inspect", path_a_, path_a_});
+  EXPECT_EQ(clean.exit_code, 0) << clean.err;
+  EXPECT_NE(clean.out.find("PASS"), std::string::npos);
+  const CliRun dirty = cli({"inspect", path_a_, path_b_});
+  EXPECT_EQ(dirty.exit_code, 1);
+  EXPECT_NE(dirty.out.find("FAIL"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenPcbAndStats) {
+  const std::string board = tmp_path("board.pbm");
+  const CliRun g = cli({"gen", "pcb", board, "--seed", "7", "--width", "256",
+                        "--height", "64", "--defects", "3"});
+  EXPECT_EQ(g.exit_code, 0) << g.err;
+  EXPECT_NE(g.out.find("injected:"), std::string::npos);
+  const CliRun s = cli({"stats", board});
+  EXPECT_EQ(s.exit_code, 0) << s.err;
+  EXPECT_NE(s.out.find("size: 256 x 64"), std::string::npos);
+  EXPECT_NE(s.out.find("total runs:"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenRandomRespectsDensity) {
+  const std::string path = tmp_path("random.srl");
+  const CliRun g = cli({"gen", "random", path, "--width", "5000", "--height",
+                        "4", "--density", "0.5", "--seed", "3"});
+  EXPECT_EQ(g.exit_code, 0) << g.err;
+  const RleImage img = read_rle_file(path);
+  EXPECT_NEAR(img.stats().density, 0.5, 0.08);
+}
+
+TEST_F(CliFixture, ConvertRoundTripsThroughPbm) {
+  const std::string pbm = tmp_path("conv.pbm");
+  const std::string back = tmp_path("conv_back.srl");
+  EXPECT_EQ(cli({"convert", path_a_, pbm}).exit_code, 0);
+  EXPECT_EQ(cli({"convert", pbm, back}).exit_code, 0);
+  EXPECT_EQ(read_rle_file(back), img_a_);
+}
+
+TEST_F(CliFixture, ConvertTextRleExtension) {
+  const std::string text = tmp_path("conv.srlt");
+  EXPECT_EQ(cli({"convert", path_a_, text}).exit_code, 0);
+  std::ifstream in(text, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "SRLT");
+  EXPECT_EQ(read_rle_file(text), img_a_);
+}
+
+TEST_F(CliFixture, TracePrintsFigure3) {
+  const CliRun r = cli({"trace", "10,3 16,2 23,2 27,3",
+                        "3,4 8,5 15,5 23,2 27,4", "--cells", "6"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("Initial"), std::string::npos);
+  EXPECT_NE(r.out.find("3.1"), std::string::npos);
+  EXPECT_NE(r.out.find("difference : (3,4) (8,2) (15,1) (18,2) (30,1)"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("iterations : 3"), std::string::npos);
+}
+
+TEST_F(CliFixture, TraceRejectsMalformedRuns) {
+  EXPECT_EQ(cli({"trace", "10;3", "3,4"}).exit_code, 2);
+  EXPECT_EQ(cli({"trace", "10,3"}).exit_code, 2);  // arity
+  // Overlapping runs are invalid input rows.
+  EXPECT_EQ(cli({"trace", "1,5 3,2", "0,1"}).exit_code, 2);
+}
+
+TEST_F(CliFixture, VerilogEmitsThreeFiles) {
+  const std::string dir = tmp_path("rtl");
+  const CliRun r = cli({"verilog", dir, "--bits", "16", "--cells", "8",
+                        "--prefix", "unit"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  for (const char* name : {"/unit_cell.v", "/unit_array.v", "/unit_tb.v"}) {
+    std::ifstream f(dir + name);
+    EXPECT_TRUE(f.is_open()) << name;
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_NE(buf.str().find("module unit_"), std::string::npos) << name;
+  }
+  // Parameter plumbed through.
+  std::ifstream cell(dir + "/unit_cell.v");
+  std::stringstream buf;
+  buf << cell.rdbuf();
+  EXPECT_NE(buf.str().find("parameter W = 16"), std::string::npos);
+}
+
+TEST_F(CliFixture, VerilogUsageErrors) {
+  EXPECT_EQ(cli({"verilog"}).exit_code, 2);
+  EXPECT_EQ(cli({"verilog", tmp_path("rtl2"), "--bits", "1"}).exit_code, 2);
+}
+
+TEST_F(CliFixture, MissingFileReportsError) {
+  const CliRun r = cli({"stats", tmp_path("nope.srl")});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliFixture, UsageErrorsOnWrongArity) {
+  EXPECT_EQ(cli({"diff", path_a_}).exit_code, 2);
+  EXPECT_EQ(cli({"convert", path_a_}).exit_code, 2);
+  EXPECT_EQ(cli({"gen", "pcb"}).exit_code, 2);
+  EXPECT_EQ(cli({"gen", "volcano", tmp_path("x")}).exit_code, 2);
+}
+
+}  // namespace
+}  // namespace sysrle

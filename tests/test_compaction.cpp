@@ -1,0 +1,56 @@
+// Tests for output compaction (section-6 future work) and its cost model.
+
+#include "core/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/systolic_diff.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Compaction, MergesAdjacentOutputRuns) {
+  const RleRow raw{{0, 4}, {4, 4}, {10, 2}, {12, 1}};
+  const CompactionResult r = compact_row(raw);
+  EXPECT_EQ(r.row, (RleRow{{0, 8}, {10, 3}}));
+  EXPECT_EQ(r.merges, 2u);
+  EXPECT_TRUE(r.row.is_canonical());
+}
+
+TEST(Compaction, NoopOnCanonicalRow) {
+  const RleRow raw{{0, 4}, {6, 2}};
+  const CompactionResult r = compact_row(raw);
+  EXPECT_EQ(r.row, raw);
+  EXPECT_EQ(r.merges, 0u);
+}
+
+TEST(Compaction, EmptyRow) {
+  const CompactionResult r = compact_row(RleRow{});
+  EXPECT_TRUE(r.row.empty());
+  EXPECT_EQ(r.merges, 0u);
+}
+
+TEST(Compaction, MachineOutputBecomesFullyCompressed) {
+  // A pair whose machine output contains adjacent fragments.
+  const RleRow a{{0, 6}};           // [0,5]
+  const RleRow b{{3, 6}};           // [3,8] -> XOR = [0,2] u [6,8]
+  const SystolicResult sys = systolic_xor(a, b);
+  const CompactionResult r = compact_row(sys.output);
+  EXPECT_TRUE(r.row.is_canonical());
+  EXPECT_EQ(r.row, (RleRow{{0, 3}, {6, 3}}));
+}
+
+TEST(CompactionCostModel, SequentialScansWholeArray) {
+  const CompactionCost c = compaction_cost(64, 10);
+  EXPECT_EQ(c.sequential_cycles, 64u);
+  EXPECT_EQ(c.bus_cycles, 10u);
+}
+
+TEST(CompactionCostModel, BusWinsWhenOutputIsSparse) {
+  // The interesting regime: few output runs scattered over a long array.
+  const CompactionCost c = compaction_cost(1000, 12);
+  EXPECT_LT(c.bus_cycles, c.sequential_cycles);
+}
+
+}  // namespace
+}  // namespace sysrle

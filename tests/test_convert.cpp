@@ -1,0 +1,83 @@
+// Tests for RLE <-> bitmap conversion, especially the word-scanning encoder.
+
+#include "bitmap/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rle/encode.hpp"
+#include "test_util.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Convert, BitrowToRleSimple) {
+  const BitRow row = BitRow::from_string("0011100110");
+  EXPECT_EQ(bitrow_to_rle(row), (RleRow{{2, 3}, {7, 2}}));
+}
+
+TEST(Convert, BitrowToRleEmptyAndFull) {
+  EXPECT_TRUE(bitrow_to_rle(BitRow(100)).empty());
+  BitRow full(100);
+  full.fill(0, 100, true);
+  EXPECT_EQ(bitrow_to_rle(full), (RleRow{{0, 100}}));
+}
+
+TEST(Convert, RunsSpanningWordBoundaries) {
+  BitRow row(200);
+  row.fill(60, 10, true);    // crosses word 0->1
+  row.fill(120, 20, true);   // crosses word 1->2
+  row.fill(190, 10, true);   // ends exactly at width
+  EXPECT_EQ(bitrow_to_rle(row), (RleRow{{60, 10}, {120, 20}, {190, 10}}));
+}
+
+TEST(Convert, RunCoveringExactlyOneWord) {
+  BitRow row(192);
+  row.fill(64, 64, true);  // word 1 entirely set
+  EXPECT_EQ(bitrow_to_rle(row), (RleRow{{64, 64}}));
+}
+
+TEST(Convert, RunAtVeryEndOfLastPartialWord) {
+  BitRow row(70);
+  row.fill(69, 1, true);
+  EXPECT_EQ(bitrow_to_rle(row), (RleRow{{69, 1}}));
+}
+
+TEST(Convert, MatchesNaiveEncoderOnRandomInput) {
+  Rng rng(23);
+  for (int trial = 0; trial < 80; ++trial) {
+    const pos_t width = rng.uniform(1, 400);
+    // Mix densities to exercise long runs and isolated bits.
+    const double density = trial % 2 ? 0.9 : 0.2;
+    BitRow row(width);
+    for (pos_t i = 0; i < width; ++i)
+      if (rng.bernoulli(density)) row.set(i, true);
+    EXPECT_EQ(bitrow_to_rle(row), encode_bitstring(row.to_string()))
+        << "trial " << trial << " width " << width;
+  }
+}
+
+TEST(Convert, RleToBitrowRoundTrip) {
+  Rng rng(29);
+  for (int trial = 0; trial < 40; ++trial) {
+    const pos_t width = rng.uniform(1, 300);
+    const RleRow row = sysrle::testing::random_row(rng, width, 0.4);
+    const BitRow bits = rle_to_bitrow(row, width);
+    EXPECT_EQ(bitrow_to_rle(bits), row);
+    EXPECT_EQ(bits.popcount(), row.foreground_pixels());
+  }
+}
+
+TEST(Convert, ImageRoundTrip) {
+  BitmapImage img(130, 5);
+  img.fill_rect(10, 1, 50, 3, true);
+  img.fill_rect(100, 0, 20, 5, true);
+  const RleImage rle = bitmap_to_rle(img);
+  EXPECT_EQ(rle.width(), 130);
+  EXPECT_EQ(rle.height(), 5);
+  EXPECT_EQ(rle_to_bitmap(rle), img);
+  EXPECT_EQ(rle.stats().foreground_pixels, img.popcount());
+}
+
+}  // namespace
+}  // namespace sysrle

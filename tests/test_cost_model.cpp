@@ -1,0 +1,84 @@
+// Tests for the section-5 analytic cost model: the predictions must bound
+// the measured machine behaviour.
+
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_diff.hpp"
+#include "core/systolic_diff.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using sysrle::testing::random_row;
+
+TEST(CostModel, CountsRunsAndXorRuns) {
+  const RleRow a{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
+  const RleRow b{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
+  const DiffCostPrediction p = predict_costs(a, b);
+  EXPECT_EQ(p.k1, 4u);
+  EXPECT_EQ(p.k2, 5u);
+  EXPECT_EQ(p.k3_canonical, 5u);
+  EXPECT_EQ(p.sequential_cost(), 9u);
+  EXPECT_EQ(p.theorem1_bound(), 9u);
+  EXPECT_EQ(p.run_count_difference(), 1u);
+  EXPECT_GE(p.k3_raw, p.k3_canonical);
+}
+
+TEST(CostModel, EmptyInputs) {
+  const DiffCostPrediction p = predict_costs(RleRow{}, RleRow{});
+  EXPECT_EQ(p.sequential_cost(), 0u);
+  EXPECT_EQ(p.observation_bound(), 1u);  // k3 = 0
+}
+
+TEST(CostModel, Theorem1BoundsMeasuredIterations) {
+  Rng rng(501);
+  for (int trial = 0; trial < 40; ++trial) {
+    const pos_t width = rng.uniform(1, 300);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    const DiffCostPrediction p = predict_costs(a, b);
+    const SystolicResult r = systolic_xor(a, b);
+    EXPECT_LE(r.counters.iterations, p.theorem1_bound()) << "trial " << trial;
+  }
+}
+
+TEST(CostModel, ObservationBoundsCanonicalInputs) {
+  // The paper's Observation: for maximally compressed inputs the machine
+  // stops within k3 + 1 iterations (k3 = runs in the machine's own output).
+  // The workload generator produces canonical rows by construction.
+  Rng rng(502);
+  RowGenParams row_params;
+  row_params.width = 2000;
+  ErrorGenParams err;
+  for (int trial = 0; trial < 30; ++trial) {
+    err.error_fraction = rng.uniform01() * 0.5;
+    const RowPairSample s = generate_pair(rng, row_params, err);
+    const SystolicResult r = systolic_xor(s.first, s.second);
+    const std::uint64_t k3_raw = r.output.run_count();
+    EXPECT_LE(r.counters.iterations, k3_raw + 1) << "trial " << trial;
+  }
+}
+
+TEST(CostModel, SequentialCostPredictsMergeIterations) {
+  Rng rng(503);
+  for (int trial = 0; trial < 30; ++trial) {
+    const pos_t width = rng.uniform(10, 400);
+    const RleRow a = random_row(rng, width, 0.4);
+    const RleRow b = random_row(rng, width, 0.4);
+    const DiffCostPrediction p = predict_costs(a, b);
+    const SequentialDiffResult r = sequential_xor(a, b);
+    // The merge does Theta(k1 + k2) iterations; each iteration either emits
+    // one piece or cancels a shared prefix, so it is at least max(k1,k2)
+    // and at most k1 + k2 + k3.
+    EXPECT_GE(r.iterations, std::max(p.k1, p.k2));
+    EXPECT_LE(r.iterations, p.sequential_cost() + p.k3_raw);
+  }
+}
+
+}  // namespace
+}  // namespace sysrle

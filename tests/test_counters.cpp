@@ -1,0 +1,46 @@
+// Tests for the activity counters.
+
+#include "systolic/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sysrle {
+namespace {
+
+TEST(Counters, DefaultIsZero) {
+  const SystolicCounters c;
+  EXPECT_EQ(c.iterations, 0u);
+  EXPECT_EQ(c.swaps, 0u);
+  EXPECT_EQ(c.cells_used, 0u);
+}
+
+TEST(Counters, AccumulationAddsAndMaxes) {
+  SystolicCounters a;
+  a.iterations = 3;
+  a.swaps = 2;
+  a.shifts = 10;
+  a.cells_used = 7;
+  SystolicCounters b;
+  b.iterations = 5;
+  b.promotions = 1;
+  b.cells_used = 4;
+  a += b;
+  EXPECT_EQ(a.iterations, 8u);
+  EXPECT_EQ(a.swaps, 2u);
+  EXPECT_EQ(a.promotions, 1u);
+  EXPECT_EQ(a.shifts, 10u);
+  EXPECT_EQ(a.cells_used, 7u);  // max, not sum
+}
+
+TEST(Counters, ToStringMentionsEveryField) {
+  SystolicCounters c;
+  c.iterations = 1;
+  c.bus_moves = 2;
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("iterations=1"), std::string::npos);
+  EXPECT_NE(s.find("bus_moves=2"), std::string::npos);
+  EXPECT_NE(s.find("cells_used="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysrle

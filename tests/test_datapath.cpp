@@ -1,0 +1,87 @@
+// Tests for the gate-level cost model.
+
+#include "systolic/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Datapath, GateCountsAccumulate) {
+  GateCounts a{10, 5};
+  GateCounts b{3, 7};
+  const GateCounts c = a + b;
+  EXPECT_EQ(c.combinational, 13u);
+  EXPECT_EQ(c.sequential, 12u);
+  EXPECT_EQ(c.total(), 25u);
+}
+
+TEST(Datapath, PerBitUnitsScaleLinearly) {
+  const CellCostModel m16(16);
+  const CellCostModel m32(32);
+  EXPECT_EQ(m32.comparator().combinational, 2 * m16.comparator().combinational);
+  EXPECT_EQ(m32.incrementer().combinational,
+            2 * m16.incrementer().combinational);
+  EXPECT_GT(m32.registers().sequential, m16.registers().sequential);
+}
+
+TEST(Datapath, MinMaxCostsMoreThanComparator) {
+  const CellCostModel m(20);
+  EXPECT_GT(m.minmax_unit().combinational, m.comparator().combinational);
+}
+
+TEST(Datapath, CellTotalDominatesItsParts) {
+  const CellCostModel m(20);
+  const GateCounts cell = m.cell_total();
+  EXPECT_GT(cell.combinational,
+            4 * m.minmax_unit().combinational);  // plus step-1 and control
+  EXPECT_EQ(cell.sequential, m.registers().sequential);
+  EXPECT_GT(cell.total(), 0u);
+}
+
+TEST(Datapath, LookaheadTradesAreaForDelay) {
+  const CellCostModel ripple(32, AdderStyle::kRipple);
+  const CellCostModel fast(32, AdderStyle::kLookahead);
+  EXPECT_GT(fast.comparator().combinational, ripple.comparator().combinational);
+  EXPECT_LT(fast.critical_path_gates(), ripple.critical_path_gates());
+}
+
+TEST(Datapath, CriticalPathGrowsWithWordWidth) {
+  const CellCostModel narrow(8);
+  const CellCostModel wide(32);
+  EXPECT_LT(narrow.critical_path_gates(), wide.critical_path_gates());
+}
+
+TEST(Datapath, ArrayScalesWithCells) {
+  ArrayCostModel one{CellCostModel(20), 1};
+  ArrayCostModel many{CellCostModel(20), 500};
+  EXPECT_EQ(many.total().total(), 500 * one.total().total());
+  EXPECT_DOUBLE_EQ(one.max_clock_mhz(0.5), many.max_clock_mhz(0.5));
+}
+
+TEST(Datapath, MaxClockFromGateDelay) {
+  ArrayCostModel m{CellCostModel(20, AdderStyle::kLookahead), 100};
+  const double slow = m.max_clock_mhz(1.0);
+  const double fast = m.max_clock_mhz(0.5);
+  EXPECT_NEAR(fast, 2 * slow, 1e-9);
+  EXPECT_THROW(m.max_clock_mhz(0.0), contract_error);
+}
+
+TEST(Datapath, RejectsBadWordWidth) {
+  EXPECT_THROW(CellCostModel(0), contract_error);
+  EXPECT_THROW(CellCostModel(65), contract_error);
+  EXPECT_NO_THROW(CellCostModel(64));
+}
+
+TEST(Datapath, ToStringMentionsKeyNumbers) {
+  ArrayCostModel m{CellCostModel(20), 500};
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("500 cells"), std::string::npos);
+  EXPECT_NE(s.find("20-bit"), std::string::npos);
+  EXPECT_NE(s.find("GE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,95 @@
+// Tests for defect extraction and classification.
+
+#include "inspect/defect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rle/encode.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+namespace {
+
+RleImage image_from(std::initializer_list<const char*> rows) {
+  std::vector<RleRow> encoded;
+  pos_t width = 0;
+  for (const char* r : rows) {
+    encoded.push_back(encode_bitstring(r));
+    width = static_cast<pos_t>(std::string(r).size());
+  }
+  return RleImage(width, std::move(encoded));
+}
+
+RleImage diff_of(const RleImage& a, const RleImage& b) {
+  RleImage out(a.width(), a.height());
+  for (pos_t y = 0; y < a.height(); ++y)
+    out.set_row(y, xor_rows(a.row(y), b.row(y)));
+  return out;
+}
+
+TEST(Defect, MissingMaterialClassified) {
+  const RleImage ref = image_from({"111111", "111111"});
+  const RleImage scan = image_from({"110011", "110011"});  // void in middle
+  const auto defects = extract_defects(ref, diff_of(ref, scan));
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects[0].cls, DefectClass::kMissingMaterial);
+  EXPECT_EQ(defects[0].region.pixel_count, 4);
+  EXPECT_EQ(defects[0].on_reference, 4);
+  EXPECT_EQ(defects[0].off_reference, 0);
+}
+
+TEST(Defect, ExtraMaterialClassified) {
+  const RleImage ref = image_from({"100001", "100001"});
+  const RleImage scan = image_from({"101101", "100001"});  // stray copper
+  const auto defects = extract_defects(ref, diff_of(ref, scan));
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects[0].cls, DefectClass::kExtraMaterial);
+  EXPECT_EQ(defects[0].on_reference, 0);
+  EXPECT_EQ(defects[0].off_reference, 2);
+}
+
+TEST(Defect, MixedDefectWhenEdgeMoves) {
+  // The scan's run is shifted: the diff covers both polarities.
+  const RleImage ref = image_from({"111000"});
+  const RleImage scan = image_from({"000111"});
+  const auto defects = extract_defects(ref, diff_of(ref, scan));
+  ASSERT_EQ(defects.size(), 1u);  // one 8-connected blob across [0,5]
+  EXPECT_EQ(defects[0].cls, DefectClass::kMixed);
+  EXPECT_EQ(defects[0].on_reference, 3);
+  EXPECT_EQ(defects[0].off_reference, 3);
+}
+
+TEST(Defect, MinAreaGateFiltersNoise) {
+  const RleImage ref = image_from({"000000"});
+  const RleImage scan = image_from({"010011"});  // 1-px speck + 2-px defect
+  DefectExtractionOptions opts;
+  opts.min_area = 2;
+  const auto defects = extract_defects(ref, diff_of(ref, scan), opts);
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects[0].region.pixel_count, 2);
+}
+
+TEST(Defect, CleanDiffGivesNoDefects) {
+  const RleImage ref = image_from({"1100", "0011"});
+  EXPECT_TRUE(extract_defects(ref, diff_of(ref, ref)).empty());
+}
+
+TEST(Defect, ToStringMentionsClassAndArea) {
+  const RleImage ref = image_from({"111111"});
+  const RleImage scan = image_from({"110111"});
+  const auto defects = extract_defects(ref, diff_of(ref, scan));
+  ASSERT_EQ(defects.size(), 1u);
+  const std::string s = defects[0].to_string();
+  EXPECT_NE(s.find("missing-material"), std::string::npos);
+  EXPECT_NE(s.find("area=1"), std::string::npos);
+}
+
+TEST(Defect, ClassNamesAreDistinct) {
+  EXPECT_STRNE(to_string(DefectClass::kMissingMaterial),
+               to_string(DefectClass::kExtraMaterial));
+  EXPECT_STRNE(to_string(DefectClass::kExtraMaterial),
+               to_string(DefectClass::kMixed));
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,176 @@
+// Tests for one systolic cell: step 1 (order) and step 2 (XOR), covering
+// every qualitatively different cell state of the paper's Figure 4 in both
+// the "a" (already ordered) and "b" (swapped) variants.
+
+#include "core/diff_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rle/encode.hpp"
+#include "rle/ops.hpp"
+
+namespace sysrle {
+namespace {
+
+using RunT = ::sysrle::Run;  // avoid collision with testing::Test::Run
+
+DiffCell cell_with(std::optional<RunT> small, std::optional<RunT> big) {
+  DiffCell c;
+  c.load_small(small);
+  c.load_big(big);
+  return c;
+}
+
+/// Runs steps 1+2 and checks the registers against the true XOR of the two
+/// runs, including the required placement (RegSmall holds the earlier piece).
+void expect_xor(std::optional<RunT> small, std::optional<RunT> big) {
+  DiffCell c = cell_with(small, big);
+  std::vector<RunT> inputs;
+  if (small) inputs.push_back(*small);
+  if (big) inputs.push_back(*big);
+  const RleRow expected = xor_run_multiset(inputs);
+
+  c.order();
+  c.xor_step();
+
+  std::vector<RunT> outputs;
+  if (c.reg_small()) outputs.push_back(*c.reg_small());
+  if (c.reg_big()) outputs.push_back(*c.reg_big());
+  EXPECT_EQ(xor_run_multiset(outputs), expected);
+  // Placement: if both registers hold runs they must be ordered.
+  if (c.reg_small() && c.reg_big()) {
+    EXPECT_LT(c.reg_small()->end(), c.reg_big()->start);
+  }
+  // If only one run results it must be in RegSmall or RegBig but never
+  // duplicated; covered by the multiset check above.
+}
+
+// --- step 1 (order) ------------------------------------------------------
+
+TEST(DiffCellOrder, KeepsOrderedRegisters) {
+  DiffCell c = cell_with(RunT{3, 4}, RunT{10, 3});
+  EXPECT_EQ(c.order(), OrderAction::kNone);
+  EXPECT_EQ(*c.reg_small(), (RunT{3, 4}));
+  EXPECT_EQ(*c.reg_big(), (RunT{10, 3}));
+}
+
+TEST(DiffCellOrder, SwapsWhenSmallStartsLater) {
+  DiffCell c = cell_with(RunT{10, 3}, RunT{3, 4});
+  EXPECT_EQ(c.order(), OrderAction::kSwapped);
+  EXPECT_EQ(*c.reg_small(), (RunT{3, 4}));
+  EXPECT_EQ(*c.reg_big(), (RunT{10, 3}));
+}
+
+TEST(DiffCellOrder, SwapsOnEqualStartByEnd) {
+  DiffCell c = cell_with(RunT{5, 10}, RunT{5, 3});
+  EXPECT_EQ(c.order(), OrderAction::kSwapped);
+  EXPECT_EQ(*c.reg_small(), (RunT{5, 3}));
+}
+
+TEST(DiffCellOrder, EqualRunsNotSwapped) {
+  DiffCell c = cell_with(RunT{5, 3}, RunT{5, 3});
+  EXPECT_EQ(c.order(), OrderAction::kNone);
+}
+
+TEST(DiffCellOrder, PromotesLoneBigRun) {
+  DiffCell c = cell_with(std::nullopt, RunT{7, 2});
+  EXPECT_EQ(c.order(), OrderAction::kPromoted);
+  EXPECT_EQ(*c.reg_small(), (RunT{7, 2}));
+  EXPECT_FALSE(c.reg_big().has_value());
+  EXPECT_TRUE(c.complete());
+}
+
+TEST(DiffCellOrder, EmptyAndLoneSmallUntouched) {
+  DiffCell empty;
+  EXPECT_EQ(empty.order(), OrderAction::kNone);
+  EXPECT_TRUE(empty.empty());
+  DiffCell lone = cell_with(RunT{2, 2}, std::nullopt);
+  EXPECT_EQ(lone.order(), OrderAction::kNone);
+  EXPECT_EQ(*lone.reg_small(), (RunT{2, 2}));
+}
+
+// --- step 2 (XOR): the nine Figure-4 state families ----------------------
+
+TEST(DiffCellStates, State1DisjointWithGap) {
+  expect_xor(RunT{3, 4}, RunT{10, 3});   // 1a
+  expect_xor(RunT{10, 3}, RunT{3, 4});   // 1b (swapped load)
+}
+
+TEST(DiffCellStates, State2Adjacent) {
+  expect_xor(RunT{3, 4}, RunT{7, 3});    // [3,6] touching [7,9]
+  expect_xor(RunT{7, 3}, RunT{3, 4});
+}
+
+TEST(DiffCellStates, State3PartialOverlap) {
+  expect_xor(RunT{3, 8}, RunT{5, 12});   // [3,10] x [5,16]
+  expect_xor(RunT{5, 12}, RunT{3, 8});
+}
+
+TEST(DiffCellStates, State4SharedEnd) {
+  expect_xor(RunT{3, 8}, RunT{5, 6});    // [3,10] x [5,10]
+  expect_xor(RunT{5, 6}, RunT{3, 8});
+}
+
+TEST(DiffCellStates, State5Containment) {
+  expect_xor(RunT{3, 10}, RunT{5, 3});   // [3,12] contains [5,7]
+  expect_xor(RunT{5, 3}, RunT{3, 10});
+}
+
+TEST(DiffCellStates, State6SharedStart) {
+  expect_xor(RunT{5, 3}, RunT{5, 8});    // [5,7] x [5,12]
+  expect_xor(RunT{5, 8}, RunT{5, 3});
+}
+
+TEST(DiffCellStates, State7IdenticalRunsCancel) {
+  DiffCell c = cell_with(RunT{5, 3}, RunT{5, 3});
+  c.order();
+  EXPECT_TRUE(c.xor_step());
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.complete());
+}
+
+TEST(DiffCellStates, State8SinglePixelCases) {
+  expect_xor(RunT{5, 1}, RunT{5, 1});
+  expect_xor(RunT{5, 1}, RunT{6, 1});
+  expect_xor(RunT{5, 1}, RunT{5, 4});
+}
+
+TEST(DiffCellStates, State9LoneRunIsIdentity) {
+  DiffCell c = cell_with(RunT{4, 4}, std::nullopt);
+  c.order();
+  EXPECT_FALSE(c.xor_step());  // nothing to XOR
+  EXPECT_EQ(*c.reg_small(), (RunT{4, 4}));
+}
+
+TEST(DiffCellStates, ExhaustiveSmallUniverse) {
+  // Every pair of runs within a 10-pixel universe, loaded both ways.
+  for (pos_t s1 = 0; s1 < 10; ++s1)
+    for (pos_t e1 = s1; e1 < 10; ++e1)
+      for (pos_t s2 = 0; s2 < 10; ++s2)
+        for (pos_t e2 = s2; e2 < 10; ++e2)
+          expect_xor(RunT::from_bounds(s1, e1), RunT::from_bounds(s2, e2));
+}
+
+TEST(DiffCell, XorStepNoopWhenRegisterEmpty) {
+  DiffCell c = cell_with(std::nullopt, std::nullopt);
+  EXPECT_FALSE(c.xor_step());
+}
+
+TEST(DiffCell, TakeBigEmptiesRegister) {
+  DiffCell c = cell_with(RunT{1, 1}, RunT{5, 2});
+  const std::optional<RunT> taken = c.take_big();
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(*taken, (RunT{5, 2}));
+  EXPECT_TRUE(c.complete());
+  EXPECT_FALSE(c.take_big().has_value());
+}
+
+TEST(DiffCell, SnapshotReflectsRegisters) {
+  DiffCell c = cell_with(RunT{1, 2}, RunT{5, 1});
+  const CellSnapshot s = c.snapshot();
+  EXPECT_EQ(s.reg_small, (RunT{1, 2}));
+  EXPECT_EQ(s.reg_big, (RunT{5, 1}));
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,66 @@
+// Tests for bitstring <-> RLE conversion.
+
+#include "rle/encode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Encode, EmptyString) {
+  EXPECT_TRUE(encode_bitstring("").empty());
+  EXPECT_TRUE(encode_bitstring("0000").empty());
+}
+
+TEST(Encode, SingleRun) {
+  EXPECT_EQ(encode_bitstring("00111"), (RleRow{{2, 3}}));
+  EXPECT_EQ(encode_bitstring("111"), (RleRow{{0, 3}}));
+  EXPECT_EQ(encode_bitstring("1"), (RleRow{{0, 1}}));
+}
+
+TEST(Encode, MultipleRuns) {
+  EXPECT_EQ(encode_bitstring("1011001110"),
+            (RleRow{{0, 1}, {2, 2}, {6, 3}}));
+}
+
+TEST(Encode, RejectsBadCharacters) {
+  EXPECT_THROW(encode_bitstring("01x"), contract_error);
+}
+
+TEST(Decode, ReproducesBitstring) {
+  const RleRow row{{2, 3}, {7, 1}};
+  EXPECT_EQ(decode_bitstring(row, 10), "0011100100");
+}
+
+TEST(Decode, EmptyRow) {
+  EXPECT_EQ(decode_bitstring(RleRow{}, 4), "0000");
+  EXPECT_EQ(decode_bitstring(RleRow{}, 0), "");
+}
+
+TEST(Decode, RejectsRowExceedingWidth) {
+  const RleRow row{{8, 4}};
+  EXPECT_THROW(decode_bits(row, 10), contract_error);
+}
+
+TEST(Encode, RoundTripRandom) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string bits(static_cast<std::size_t>(rng.uniform(0, 300)), '0');
+    for (auto& c : bits)
+      if (rng.bernoulli(0.4)) c = '1';
+    const RleRow row = encode_bitstring(bits);
+    EXPECT_EQ(decode_bitstring(row, static_cast<pos_t>(bits.size())), bits);
+    EXPECT_TRUE(row.is_canonical());
+  }
+}
+
+TEST(Encode, BytesAndStringAgree) {
+  const std::vector<std::uint8_t> bytes{0, 1, 1, 0, 7, 0};  // nonzero = fg
+  EXPECT_EQ(encode_bits(bytes), encode_bitstring("011010"));
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,150 @@
+// Fault-injection tests: every modelled single-cell hardware fault must be
+// caught by the section-4 invariant checkers (the "online self-test") or at
+// minimum produce no silent corruption.  This doubles as mutation testing of
+// the checkers: if a checker were weakened, these tests would start seeing
+// silent corruption.
+
+#include "core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using sysrle::testing::random_row;
+
+// The paper's Figure 1 pair: cell 0 swaps in iteration 1, every early cell
+// XORs, shifts happen — all fault sites are exercised.
+const RleRow kImg1{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
+const RleRow kImg2{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
+
+TEST(Faults, HealthyBaselineRunsCleanly) {
+  // Sanity: the fault harness with a fault placed in a never-active cell
+  // behaves like the healthy machine.
+  FaultSpec spec;
+  spec.kind = FaultKind::kNoSwap;
+  spec.cell = 9;  // beyond every run for this input (capacity k1+k2+1 = 10)
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_FALSE(o.any_effect());
+  EXPECT_EQ(o.iterations, 3u);
+}
+
+TEST(Faults, NoSwapComparatorIsDetected) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNoSwap;
+  spec.cell = 0;  // cell 0 must swap in iteration 1 on the Figure-1 input
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_TRUE(o.any_effect());
+  EXPECT_FALSE(o.silent_corruption());
+  EXPECT_TRUE(o.detected_by_invariants);
+}
+
+TEST(Faults, CorruptXorEndIsDetected) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCorruptXorEnd;
+  spec.cell = 1;
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_TRUE(o.detected_by_invariants);  // Theorem 3 conservation breaks
+  EXPECT_FALSE(o.silent_corruption());
+}
+
+TEST(Faults, DropShiftIsDetected) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDropShift;
+  spec.cell = 3;  // cell 3's RegBig travels on the Figure-1 input
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_TRUE(o.detected_by_invariants);  // coverage vanishes -> Theorem 3
+  EXPECT_FALSE(o.silent_corruption());
+}
+
+TEST(Faults, StuckCompleteHighIsDetected) {
+  // The stuck line only changes behaviour when its cell is the sole busy
+  // cell at a termination check.  Arrange exactly that: one travelling run
+  // that reaches cell 1 while everything else is already complete.
+  const RleRow a{{0, 2}};
+  const RleRow b{{10, 2}};
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckCompleteHigh;
+  spec.cell = 1;
+  const FaultOutcome o = run_with_fault(a, b, spec);
+  EXPECT_TRUE(o.any_effect());
+  EXPECT_TRUE(o.wrong_output);  // the (10,2) run is never promoted
+  EXPECT_TRUE(o.detected_by_invariants);  // final state has a live RegBig
+  EXPECT_FALSE(o.silent_corruption());
+}
+
+TEST(Faults, StuckCompleteHighHarmlessWhenNotTheBottleneck) {
+  // On the Figure-1 input several cells are busy at every termination
+  // check, so one stuck line never decides termination: no effect — the
+  // wired-AND gives single-cell fault tolerance for this fault class.
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckCompleteHigh;
+  spec.cell = 2;
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_FALSE(o.any_effect());
+}
+
+TEST(Faults, FaultNamesAreDistinct) {
+  EXPECT_STRNE(to_string(FaultKind::kNoSwap), to_string(FaultKind::kDropShift));
+  EXPECT_STRNE(to_string(FaultKind::kCorruptXorEnd),
+               to_string(FaultKind::kStuckCompleteHigh));
+}
+
+TEST(Faults, OutOfRangeFaultCellRejected) {
+  FaultSpec spec;
+  spec.cell = 1000;
+  EXPECT_THROW(run_with_fault(kImg1, kImg2, spec), contract_error);
+}
+
+class FaultSweep : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(FaultSweep, NoSilentCorruptionOnRandomWorkloads) {
+  Rng rng(4040 + static_cast<std::uint64_t>(GetParam()));
+  RowGenParams rp;
+  rp.width = 600;
+  ErrorGenParams ep;
+  ep.error_fraction = 0.05;
+  int effects = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const RowPairSample s = generate_pair(rng, rp, ep);
+    FaultSpec spec;
+    spec.kind = GetParam();
+    const std::size_t n = s.first.run_count() + s.second.run_count() + 1;
+    spec.cell = static_cast<cell_index_t>(rng.uniform(
+        0, static_cast<std::int64_t>(n) - 1));
+    const FaultOutcome o = run_with_fault(s.first, s.second, spec);
+    ASSERT_FALSE(o.silent_corruption())
+        << to_string(GetParam()) << " in cell " << spec.cell << ", trial "
+        << trial;
+    if (o.any_effect()) ++effects;
+  }
+  // The sweep must actually exercise the fault, not dodge it.
+  EXPECT_GT(effects, 0) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FaultSweep,
+                         ::testing::Values(FaultKind::kNoSwap,
+                                           FaultKind::kCorruptXorEnd,
+                                           FaultKind::kDropShift,
+                                           FaultKind::kStuckCompleteHigh),
+                         [](const ::testing::TestParamInfo<FaultKind>& param) {
+                           switch (param.param) {
+                             case FaultKind::kNoSwap:
+                               return std::string("NoSwap");
+                             case FaultKind::kCorruptXorEnd:
+                               return std::string("CorruptXorEnd");
+                             case FaultKind::kDropShift:
+                               return std::string("DropShift");
+                             case FaultKind::kStuckCompleteHigh:
+                               return std::string("StuckCompleteHigh");
+                           }
+                           return std::string("Unknown");
+                         });
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,181 @@
+// Tests for compressed-domain feature extraction, cross-checked against
+// per-pixel computation.
+
+#include "rle/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "rle/encode.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+RleImage image_from(std::initializer_list<const char*> rows) {
+  std::vector<RleRow> encoded;
+  pos_t width = 0;
+  for (const char* r : rows) {
+    encoded.push_back(encode_bitstring(r));
+    width = static_cast<pos_t>(std::string(r).size());
+  }
+  return RleImage(width, std::move(encoded));
+}
+
+RleImage random_image(Rng& rng, pos_t w, pos_t h, double density) {
+  BitmapImage bmp(w, h);
+  for (pos_t y = 0; y < h; ++y)
+    for (pos_t x = 0; x < w; ++x)
+      if (rng.bernoulli(density)) bmp.set(x, y, true);
+  return bitmap_to_rle(bmp);
+}
+
+TEST(Features, ProjectionsOnKnownImage) {
+  const RleImage img = image_from({
+      "110",
+      "011",
+      "000",
+  });
+  EXPECT_EQ(row_projection(img), (std::vector<len_t>{2, 2, 0}));
+  EXPECT_EQ(column_projection(img), (std::vector<len_t>{1, 2, 1}));
+}
+
+TEST(Features, ProjectionsMatchPerPixelOnRandomImages) {
+  Rng rng(141);
+  for (int trial = 0; trial < 15; ++trial) {
+    const pos_t w = rng.uniform(1, 90);
+    const pos_t h = rng.uniform(1, 60);
+    const RleImage img = random_image(rng, w, h, 0.4);
+    const BitmapImage bmp = rle_to_bitmap(img);
+    const auto rows = row_projection(img);
+    const auto cols = column_projection(img);
+    for (pos_t y = 0; y < h; ++y) {
+      len_t count = 0;
+      for (pos_t x = 0; x < w; ++x) count += bmp.get(x, y);
+      ASSERT_EQ(rows[static_cast<std::size_t>(y)], count) << "row " << y;
+    }
+    for (pos_t x = 0; x < w; ++x) {
+      len_t count = 0;
+      for (pos_t y = 0; y < h; ++y) count += bmp.get(x, y);
+      ASSERT_EQ(cols[static_cast<std::size_t>(x)], count) << "col " << x;
+    }
+  }
+}
+
+TEST(Features, MomentsOfRectangle) {
+  // 4x2 rectangle at (2,1): centroid (3.5, 1.5).
+  RleImage img(10, 4);
+  img.set_row(1, RleRow{{2, 4}});
+  img.set_row(2, RleRow{{2, 4}});
+  const ImageMoments m = image_moments(img);
+  EXPECT_EQ(m.area, 8);
+  EXPECT_DOUBLE_EQ(m.centroid_x, 3.5);
+  EXPECT_DOUBLE_EQ(m.centroid_y, 1.5);
+  // Variance of 4 consecutive integers = 1.25; times area 8 -> 10.
+  EXPECT_NEAR(m.mu20, 10.0, 1e-9);
+  EXPECT_NEAR(m.mu02, 2.0, 1e-9);  // variance 0.25 * 8
+  EXPECT_NEAR(m.mu11, 0.0, 1e-9);
+}
+
+TEST(Features, MomentsMatchPerPixelOnRandomImages) {
+  Rng rng(142);
+  for (int trial = 0; trial < 10; ++trial) {
+    const pos_t w = rng.uniform(1, 80);
+    const pos_t h = rng.uniform(1, 50);
+    const RleImage img = random_image(rng, w, h, 0.35);
+    const BitmapImage bmp = rle_to_bitmap(img);
+    double m00 = 0, m10 = 0, m01 = 0;
+    for (pos_t y = 0; y < h; ++y)
+      for (pos_t x = 0; x < w; ++x)
+        if (bmp.get(x, y)) {
+          m00 += 1;
+          m10 += static_cast<double>(x);
+          m01 += static_cast<double>(y);
+        }
+    const ImageMoments m = image_moments(img);
+    ASSERT_EQ(static_cast<double>(m.area), m00);
+    if (m00 > 0) {
+      ASSERT_NEAR(m.centroid_x, m10 / m00, 1e-9);
+      ASSERT_NEAR(m.centroid_y, m01 / m00, 1e-9);
+    }
+  }
+}
+
+TEST(Features, OrientationOfTiltedBar) {
+  // A descending diagonal staircase: principal axis slopes down-right, and
+  // with image y growing downward the orientation angle is positive.
+  RleImage img(48, 20);
+  for (pos_t y = 0; y < 20; ++y) img.set_row(y, RleRow{{y * 2, 4}});
+  const ImageMoments m = image_moments(img);
+  EXPECT_GT(std::abs(m.orientation()), 0.3);
+  const ImageMoments empty = image_moments(RleImage(10, 10));
+  EXPECT_DOUBLE_EQ(empty.orientation(), 0.0);
+  EXPECT_EQ(empty.area, 0);
+}
+
+TEST(Features, BoundingBox) {
+  const RleImage img = image_from({
+      "000000",
+      "001100",
+      "000110",
+      "000000",
+  });
+  pos_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  ASSERT_TRUE(foreground_bbox(img, x0, y0, x1, y1));
+  EXPECT_EQ(x0, 2);
+  EXPECT_EQ(y0, 1);
+  EXPECT_EQ(x1, 4);
+  EXPECT_EQ(y1, 2);
+  pos_t dummy = 0;
+  EXPECT_FALSE(foreground_bbox(RleImage(5, 5), dummy, dummy, dummy, dummy));
+}
+
+TEST(Features, FilterShortRuns) {
+  const RleRow row{{0, 1}, {3, 2}, {7, 5}};
+  EXPECT_EQ(filter_short_runs(row, 1), row);
+  EXPECT_EQ(filter_short_runs(row, 2), (RleRow{{3, 2}, {7, 5}}));
+  EXPECT_EQ(filter_short_runs(row, 3), (RleRow{{7, 5}}));
+  EXPECT_THROW(filter_short_runs(row, 0), contract_error);
+}
+
+TEST(Features, BoundaryOfSolidRectangle) {
+  RleImage img(8, 6);
+  for (pos_t y = 1; y <= 4; ++y) img.set_row(y, RleRow{{1, 6}});
+  const RleImage b = boundary(img);
+  // A 6x4 rectangle has 2*6 + 2*4 - 4 = 16 boundary pixels.
+  EXPECT_EQ(b.stats().foreground_pixels, 16);
+  // Interior pixel (3,2) is not boundary; corner (1,1) is.
+  const BitmapImage bb = rle_to_bitmap(b);
+  EXPECT_FALSE(bb.get(3, 2));
+  EXPECT_TRUE(bb.get(1, 1));
+}
+
+TEST(Features, BoundaryMatchesPerPixelDefinition) {
+  Rng rng(143);
+  for (int trial = 0; trial < 10; ++trial) {
+    const pos_t w = rng.uniform(2, 50);
+    const pos_t h = rng.uniform(2, 40);
+    const RleImage img = random_image(rng, w, h, 0.5);
+    const BitmapImage bmp = rle_to_bitmap(img);
+    const BitmapImage got = rle_to_bitmap(boundary(img));
+    for (pos_t y = 0; y < h; ++y)
+      for (pos_t x = 0; x < w; ++x) {
+        bool expect = false;
+        if (bmp.get(x, y)) {
+          const bool left = x > 0 && bmp.get(x - 1, y);
+          const bool right = x + 1 < w && bmp.get(x + 1, y);
+          const bool up = y > 0 && bmp.get(x, y - 1);
+          const bool down = y + 1 < h && bmp.get(x, y + 1);
+          expect = !(left && right && up && down);
+        }
+        ASSERT_EQ(got.get(x, y), expect)
+            << trial << ": " << x << ',' << y;
+      }
+  }
+}
+
+}  // namespace
+}  // namespace sysrle

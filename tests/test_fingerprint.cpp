@@ -1,0 +1,102 @@
+// Tests for the synthetic fingerprint ridge workload.
+
+#include "workload/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bit_ops.hpp"
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "workload/metrics.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Fingerprint, RidgeDensityMatchesDutyCycle) {
+  Rng rng(91);
+  FingerprintParams p;  // ridge 4 of period 8 -> ~50% density
+  const BitmapImage img = generate_ridges(rng, p);
+  const double density = static_cast<double>(img.popcount()) /
+                         (static_cast<double>(p.width) *
+                          static_cast<double>(p.height));
+  EXPECT_NEAR(density, 0.5, 0.08);
+}
+
+TEST(Fingerprint, RowsAreLongRunStructured) {
+  Rng rng(92);
+  FingerprintParams p;
+  const RleImage img = bitmap_to_rle(generate_ridges(rng, p));
+  // Wavy stripes: runs are long (mean well above the wobble scale), so the
+  // imagery compresses in the way the paper's applications assume.
+  const RleImageStats s = img.stats();
+  ASSERT_GT(s.total_runs, 0u);
+  const double mean_run = static_cast<double>(s.foreground_pixels) /
+                          static_cast<double>(s.total_runs);
+  EXPECT_GT(mean_run, 10.0);
+}
+
+TEST(Fingerprint, DeterministicPerSeed) {
+  FingerprintParams p;
+  Rng a(5), b(5), c(6);
+  EXPECT_EQ(generate_ridges(a, p), generate_ridges(b, p));
+  EXPECT_NE(generate_ridges(a, p), generate_ridges(c, p));
+}
+
+TEST(Fingerprint, MinutiaeChangeTheImageLocally) {
+  Rng rng(93);
+  FingerprintParams p;
+  const BitmapImage clean = generate_ridges(rng, p);
+  BitmapImage marked = clean;
+  const auto minutiae = add_minutiae(rng, marked, 12);
+  EXPECT_EQ(minutiae.size(), 12u);
+  const len_t changed = image_hamming(clean, marked);
+  EXPECT_GT(changed, 0);
+  // Each minutia touches at most a size x size patch.
+  len_t bound = 0;
+  for (const Minutia& m : minutiae) bound += m.size * m.size;
+  EXPECT_LE(changed, bound);
+}
+
+TEST(Fingerprint, MinutiaeStayInBounds) {
+  Rng rng(94);
+  FingerprintParams p;
+  p.width = 64;
+  p.height = 64;
+  BitmapImage img = generate_ridges(rng, p);
+  const auto minutiae = add_minutiae(rng, img, 30);
+  for (const Minutia& m : minutiae) {
+    EXPECT_GE(m.x, 0);
+    EXPECT_GE(m.y, 0);
+    EXPECT_LE(m.x + m.size, p.width);
+    EXPECT_LE(m.y + m.size, p.height);
+  }
+}
+
+TEST(Fingerprint, PerturbedPrintStaysSimilar) {
+  // The regime the machine excels at: two captures of the same finger
+  // differ in a handful of runs.
+  Rng rng(95);
+  FingerprintParams p;
+  const BitmapImage clean = generate_ridges(rng, p);
+  BitmapImage other = clean;
+  add_minutiae(rng, other, 8);
+  const ImageSimilarity sim =
+      measure_images(bitmap_to_rle(clean), bitmap_to_rle(other));
+  EXPECT_LT(sim.error_fraction, 0.01);
+  EXPECT_GT(sim.jaccard, 0.95);
+}
+
+TEST(Fingerprint, RejectsBadParameters) {
+  Rng rng(96);
+  FingerprintParams p;
+  p.ridge_width = p.ridge_period;  // must be < period
+  EXPECT_THROW(generate_ridges(rng, p), contract_error);
+  FingerprintParams q;
+  q.width = 0;
+  EXPECT_THROW(generate_ridges(rng, q), contract_error);
+  BitmapImage tiny(4, 4);
+  EXPECT_THROW(add_minutiae(rng, tiny, 1), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,67 @@
+// Tests for the table printer used by the benchmark harnesses.
+
+#include "common/fixed_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sysrle {
+namespace {
+
+TEST(FixedTable, AlignedTextOutput) {
+  FixedTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("23456"), std::string::npos);
+  // Columns align: every emitted line has the same padded width.
+  std::size_t first_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(FixedTable, RaggedRowsPrintEmptyCells) {
+  FixedTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(FixedTable, CsvEscaping) {
+  FixedTable t;
+  t.set_header({"x", "note"});
+  t.add_row({"1", "plain"});
+  t.add_row({"2", "has,comma"});
+  t.add_row({"3", "has\"quote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("x,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(FixedTable, NumFormatting) {
+  EXPECT_EQ(FixedTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(FixedTable::num(2.0, 0), "2");
+  EXPECT_EQ(FixedTable::num(std::int64_t{-7}), "-7");
+  EXPECT_EQ(FixedTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(FixedTable, NoHeaderMeansNoUnderline) {
+  FixedTable t;
+  t.add_row({"only", "data"});
+  const std::string s = t.str();
+  EXPECT_EQ(s.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysrle

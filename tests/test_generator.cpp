@@ -1,0 +1,139 @@
+// Tests for the section-5 workload generator.
+
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+#include "workload/metrics.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Generator, RowRespectsRunLengthRange) {
+  Rng rng(901);
+  RowGenParams p;
+  p.width = 10000;
+  const RleRow row = generate_row(rng, p);
+  ASSERT_GT(row.run_count(), 0u);
+  for (std::size_t i = 0; i + 1 < row.run_count(); ++i) {
+    // All but the last run (which may be clipped at the border) honour the
+    // paper's 4..20 range.
+    EXPECT_GE(row[i].length, 4);
+    EXPECT_LE(row[i].length, 20);
+  }
+  EXPECT_TRUE(row.fits_width(p.width));
+}
+
+TEST(Generator, RowsAreCanonical) {
+  Rng rng(902);
+  RowGenParams p;
+  p.width = 5000;
+  for (int trial = 0; trial < 10; ++trial)
+    EXPECT_TRUE(generate_row(rng, p).is_canonical());
+}
+
+TEST(Generator, DensityHitsTarget) {
+  Rng rng(903);
+  RowGenParams p;
+  p.width = 200000;
+  for (const double target : {0.1, 0.3, 0.6}) {
+    p.density = target;
+    const RleRow row = generate_row(rng, p);
+    const double actual = static_cast<double>(row.foreground_pixels()) /
+                          static_cast<double>(p.width);
+    EXPECT_NEAR(actual, target, 0.05) << "target " << target;
+  }
+}
+
+TEST(Generator, PaperFigure5Regime) {
+  // "the image size is 10,000 pixels with approximately 250 runs in the
+  //  original image, which translates to a density of 30%"
+  Rng rng(904);
+  RowGenParams p;  // defaults are the paper's numbers
+  const RleRow row = generate_row(rng, p);
+  EXPECT_NEAR(static_cast<double>(row.run_count()), 250.0, 50.0);
+}
+
+TEST(Generator, RejectsBadParameters) {
+  Rng rng(905);
+  RowGenParams p;
+  p.density = 0.0;
+  EXPECT_THROW(generate_row(rng, p), contract_error);
+  p.density = 0.3;
+  p.min_run_length = 0;
+  EXPECT_THROW(generate_row(rng, p), contract_error);
+  p.min_run_length = 21;  // > max
+  EXPECT_THROW(generate_row(rng, p), contract_error);
+}
+
+TEST(Generator, InjectErrorsHitsFraction) {
+  Rng rng(906);
+  RowGenParams p;
+  p.width = 100000;
+  const RleRow base = generate_row(rng, p);
+  ErrorGenParams err;
+  err.error_fraction = 0.05;
+  const RleRow second = inject_errors(rng, base, p.width, err);
+  const len_t differing = hamming_distance(base, second);
+  EXPECT_NEAR(static_cast<double>(differing) / static_cast<double>(p.width),
+              0.05, 0.01);
+}
+
+TEST(Generator, InjectZeroErrorsIsIdentity) {
+  Rng rng(907);
+  RowGenParams p;
+  p.width = 1000;
+  const RleRow base = generate_row(rng, p);
+  ErrorGenParams err;
+  err.error_fraction = 0.0;
+  EXPECT_EQ(inject_errors(rng, base, p.width, err), base);
+}
+
+TEST(Generator, InjectErrorRunsFlipsExpectedPixels) {
+  Rng rng(908);
+  RowGenParams p;
+  p.width = 4096;
+  const RleRow base = generate_row(rng, p);
+  // 6 runs of exactly 4 pixels — Table 1's second regime.  Overlaps between
+  // error runs can only reduce the differing-pixel count.
+  const RleRow second = inject_error_runs(rng, base, p.width, 6, 4, 4);
+  const len_t differing = hamming_distance(base, second);
+  EXPECT_LE(differing, 24);
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Generator, GeneratePairMeasuresErrors) {
+  Rng rng(909);
+  RowGenParams p;
+  p.width = 20000;
+  ErrorGenParams err;
+  err.error_fraction = 0.02;
+  const RowPairSample s = generate_pair(rng, p, err);
+  EXPECT_EQ(s.error_pixels, hamming_distance(s.first, s.second));
+  EXPECT_GT(s.error_pixels, 0);
+}
+
+TEST(Generator, GeneratePairFixedErrors) {
+  Rng rng(910);
+  RowGenParams p;
+  p.width = 2048;
+  const RowPairSample s = generate_pair_fixed_errors(rng, p, 6, 4);
+  EXPECT_LE(s.error_pixels, 24);
+}
+
+TEST(Generator, ImageGeneratorFillsEveryRow) {
+  Rng rng(911);
+  RowGenParams p;
+  p.width = 1000;
+  const RleImage img = generate_image(rng, 20, p);
+  EXPECT_EQ(img.height(), 20);
+  for (pos_t y = 0; y < img.height(); ++y)
+    EXPECT_GT(img.row(y).run_count(), 0u) << "row " << y;
+  // Rows are independent draws, not copies.
+  EXPECT_NE(img.row(0), img.row(1));
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,70 @@
+// Tests for the 5x7 glyph font and text rasteriser.
+
+#include "workload/glyphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Glyphs, AvailabilityCoversDigitsAndUppercase) {
+  for (char c = '0'; c <= '9'; ++c) EXPECT_TRUE(glyph_available(c)) << c;
+  for (char c = 'A'; c <= 'Z'; ++c) EXPECT_TRUE(glyph_available(c)) << c;
+  EXPECT_TRUE(glyph_available(' '));
+  EXPECT_FALSE(glyph_available('a'));
+  EXPECT_FALSE(glyph_available('?'));
+}
+
+TEST(Glyphs, RenderGlyphDimensions) {
+  const BitmapImage g = render_glyph('A');
+  EXPECT_EQ(g.width(), kGlyphWidth);
+  EXPECT_EQ(g.height(), kGlyphHeight);
+  const BitmapImage g3 = render_glyph('A', 3);
+  EXPECT_EQ(g3.width(), kGlyphWidth * 3);
+  EXPECT_EQ(g3.height(), kGlyphHeight * 3);
+  EXPECT_EQ(g3.popcount(), g.popcount() * 9);
+}
+
+TEST(Glyphs, GlyphsAreDistinct) {
+  const std::string chars = "0123456789ABCXYZ";
+  for (std::size_t i = 0; i < chars.size(); ++i)
+    for (std::size_t j = i + 1; j < chars.size(); ++j)
+      EXPECT_NE(render_glyph(chars[i]), render_glyph(chars[j]))
+          << chars[i] << " vs " << chars[j];
+}
+
+TEST(Glyphs, SpaceIsBlank) {
+  EXPECT_EQ(render_glyph(' ').popcount(), 0);
+}
+
+TEST(Glyphs, RenderGlyphRejectsUnsupported) {
+  EXPECT_THROW(render_glyph('?'), contract_error);
+  EXPECT_THROW(render_glyph('A', 0), contract_error);
+}
+
+TEST(Glyphs, RenderTextLayout) {
+  const BitmapImage t = render_text("AB");
+  // Two glyph cells (5 px) + one gap column between them.
+  EXPECT_EQ(t.width(), 11);
+  EXPECT_EQ(t.height(), kGlyphHeight);
+  EXPECT_EQ(t.popcount(),
+            render_glyph('A').popcount() + render_glyph('B').popcount());
+  // The gap column (x = 5) is blank.
+  for (pos_t y = 0; y < t.height(); ++y) EXPECT_FALSE(t.get(5, y));
+}
+
+TEST(Glyphs, UnsupportedCharactersRenderBlank) {
+  const BitmapImage t = render_text("A?A");
+  const BitmapImage ref = render_text("A A");
+  EXPECT_EQ(t, ref);
+}
+
+TEST(Glyphs, EmptyText) {
+  const BitmapImage t = render_text("");
+  EXPECT_EQ(t.popcount(), 0);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,81 @@
+// Golden test: the FULL Figure-3 execution trace, line by line.  Any change
+// to the cell datapath, the step ordering, the shift direction or the trace
+// renderer shows up here as a readable diff against the published execution.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/systolic_diff.hpp"
+#include "systolic/trace.hpp"
+
+namespace sysrle {
+namespace {
+
+/// Splits into lines with trailing whitespace removed (column padding is a
+/// rendering detail, not machine behaviour).
+std::vector<std::string> normalised_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(GoldenTrace, Figure3FullExecution) {
+  const RleRow img1{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
+  const RleRow img2{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
+
+  TraceRecorder trace;
+  SystolicConfig cfg;
+  cfg.capacity = 6;
+  cfg.trace = &trace;
+  systolic_xor(img1, img2, cfg);
+
+  // The paper's Figure 3, transcribed.  Rows 1.2 (step 2 changes nothing in
+  // iteration 1) and everything after 3.1 are elided exactly as in the
+  // figure ("And steps 2 and 3 of iteration 3 make no further changes").
+  const std::vector<std::string> expected = {
+      "Step     Cell0   Cell1   Cell2   Cell3   Cell4   Cell5",
+      "Initial  (10,3)  (16,2)  (23,2)  (27,3)",
+      "         (3,4)   (8,5)   (15,5)  (23,2)  (27,4)",
+      "1.1      (3,4)   (8,5)   (15,5)  (23,2)  (27,4)",
+      "         (10,3)  (16,2)  (23,2)  (27,3)",
+      "1.3      (3,4)   (8,5)   (15,5)  (23,2)  (27,4)",
+      "                 (10,3)  (16,2)  (23,2)  (27,3)",
+      "2.1      (3,4)   (8,5)   (15,5)  (23,2)  (27,3)",
+      "                 (10,3)  (16,2)  (23,2)  (27,4)",
+      "2.2      (3,4)   (8,2)   (15,1)",
+      "                         (18,2)          (30,1)",
+      "2.3      (3,4)   (8,2)   (15,1)",
+      "                                 (18,2)          (30,1)",
+      "3.1      (3,4)   (8,2)   (15,1)  (18,2)          (30,1)",
+  };
+
+  EXPECT_EQ(normalised_lines(trace.render(/*elide_unchanged=*/true)),
+            expected);
+}
+
+TEST(GoldenTrace, FullRenderContainsElidedRowsToo) {
+  const RleRow img1{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
+  const RleRow img2{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
+  TraceRecorder trace;
+  SystolicConfig cfg;
+  cfg.capacity = 6;
+  cfg.trace = &trace;
+  systolic_xor(img1, img2, cfg);
+  const auto lines = normalised_lines(trace.render(false));
+  // 1 header + (initial + 3 iterations x 3 steps) frames, each 1 or 2 lines.
+  int labels = 0;
+  for (const std::string& l : lines)
+    if (!l.empty() && l[0] != ' ' && l[0] != 'S') ++labels;
+  EXPECT_EQ(labels, 10);  // Initial, 1.1-1.3, 2.1-2.3, 3.1-3.3
+}
+
+}  // namespace
+}  // namespace sysrle

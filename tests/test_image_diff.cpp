@@ -1,0 +1,98 @@
+// Tests for the image-level diff API across all engines.
+
+#include "core/image_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bit_ops.hpp"
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+RleImage random_image(Rng& rng, pos_t width, pos_t height, double density) {
+  RowGenParams p;
+  p.width = width;
+  p.density = density;
+  return generate_image(rng, height, p);
+}
+
+TEST(ImageDiff, AllEnginesAgreeWithBitmapGroundTruth) {
+  Rng rng(801);
+  const RleImage a = random_image(rng, 500, 12, 0.3);
+  RleImage b = a;
+  for (pos_t y = 0; y < b.height(); ++y) {
+    Rng row_rng = rng.split();
+    b.set_row(y, inject_errors(row_rng, a.row(y), a.width(), {}));
+  }
+  const RleImage expected =
+      bitmap_to_rle(xor_images(rle_to_bitmap(a), rle_to_bitmap(b)));
+
+  for (const DiffEngine engine :
+       {DiffEngine::kSystolic, DiffEngine::kBusSystolic,
+        DiffEngine::kSequentialMerge, DiffEngine::kParitySweep,
+        DiffEngine::kPixelParallel}) {
+    ImageDiffOptions opts;
+    opts.engine = engine;
+    opts.canonicalize_output = true;
+    const ImageDiffResult r = image_diff(a, b, opts);
+    EXPECT_EQ(r.diff, expected) << to_string(engine);
+  }
+}
+
+TEST(ImageDiff, DimensionMismatchRejected) {
+  const RleImage a(10, 2);
+  const RleImage b(10, 3);
+  const RleImage c(11, 2);
+  EXPECT_THROW(image_diff(a, b), contract_error);
+  EXPECT_THROW(image_diff(a, c), contract_error);
+}
+
+TEST(ImageDiff, IdenticalImagesGiveEmptyDiff) {
+  Rng rng(802);
+  const RleImage a = random_image(rng, 300, 8, 0.3);
+  const ImageDiffResult r = image_diff(a, a);
+  EXPECT_EQ(r.diff.stats().foreground_pixels, 0);
+  // One iteration per non-empty row (everything cancels in-cell).
+  EXPECT_LE(r.max_row_iterations, 1u);
+}
+
+TEST(ImageDiff, CountersAggregateAcrossRows) {
+  Rng rng(803);
+  const RleImage a = random_image(rng, 400, 6, 0.3);
+  RleImage b = a;
+  for (pos_t y = 0; y < b.height(); ++y) {
+    Rng row_rng = rng.split();
+    b.set_row(y, inject_errors(row_rng, a.row(y), a.width(), {}));
+  }
+  const ImageDiffResult r = image_diff(a, b);
+  EXPECT_GT(r.counters.iterations, 0u);
+  EXPECT_GE(r.counters.iterations, r.max_row_iterations);
+  EXPECT_GT(r.max_row_iterations, 0u);
+
+  ImageDiffOptions seq;
+  seq.engine = DiffEngine::kSequentialMerge;
+  const ImageDiffResult rs = image_diff(a, b, seq);
+  EXPECT_GT(rs.sequential_iterations, 0u);
+  EXPECT_EQ(rs.counters.iterations, 0u);  // no machine involved
+}
+
+TEST(ImageDiff, EngineNamesAreDistinct) {
+  EXPECT_STRNE(to_string(DiffEngine::kSystolic),
+               to_string(DiffEngine::kBusSystolic));
+  EXPECT_STRNE(to_string(DiffEngine::kParitySweep),
+               to_string(DiffEngine::kSequentialMerge));
+}
+
+TEST(ImageDiff, EmptyImages) {
+  const RleImage a(100, 0);
+  const ImageDiffResult r = image_diff(a, a);
+  EXPECT_EQ(r.diff.height(), 0);
+  EXPECT_EQ(r.counters.iterations, 0u);
+}
+
+}  // namespace
+}  // namespace sysrle

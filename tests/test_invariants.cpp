@@ -1,0 +1,140 @@
+// Tests for the executable theorem checkers: they must accept every state a
+// correct machine reaches and reject hand-tampered states.
+
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/systolic_diff.hpp"
+#include "test_util.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using RunT = ::sysrle::Run;  // avoid collision with testing::Test::Run
+
+using sysrle::testing::random_row;
+
+LinearArray<DiffCell> array_from(
+    std::vector<std::pair<std::optional<RunT>, std::optional<RunT>>> regs) {
+  LinearArray<DiffCell> arr(regs.size());
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    arr.cell(i).load_small(regs[i].first);
+    arr.cell(i).load_big(regs[i].second);
+  }
+  return arr;
+}
+
+TEST(Invariants, ContextCapturesRunCountsAndXor) {
+  const RleRow a{{0, 4}};
+  const RleRow b{{2, 4}};
+  const InvariantContext ctx = make_invariant_context(a, b);
+  EXPECT_EQ(ctx.k1, 1u);
+  EXPECT_EQ(ctx.k2, 1u);
+  EXPECT_EQ(ctx.expected_xor, (RleRow{{0, 2}, {4, 2}}));
+}
+
+TEST(Invariants, OrderedLanesPass) {
+  const auto arr = array_from({{RunT{0, 2}, RunT{5, 2}},
+                               {RunT{10, 2}, RunT{20, 2}},
+                               {std::nullopt, std::nullopt}});
+  EXPECT_NO_THROW(check_theorem2(arr));
+  EXPECT_NO_THROW(check_corollary21_after_xor(arr));
+}
+
+TEST(Invariants, OverlappingSmallLaneRejected) {
+  const auto arr = array_from({{RunT{0, 5}, std::nullopt},
+                               {RunT{3, 2}, std::nullopt}});
+  EXPECT_THROW(check_theorem2(arr), contract_error);
+}
+
+TEST(Invariants, OutOfOrderBigLaneRejected) {
+  const auto arr = array_from({{std::nullopt, RunT{10, 2}},
+                               {std::nullopt, RunT{0, 2}}});
+  EXPECT_THROW(check_theorem2(arr), contract_error);
+}
+
+TEST(Invariants, SmallReachingIntoSameCellBigRejected) {
+  // Cor 2.1 part 3: within a cell, small must end before big starts.
+  const auto arr = array_from({{RunT{0, 6}, RunT{4, 3}}});
+  EXPECT_THROW(check_corollary21_after_xor(arr), contract_error);
+}
+
+TEST(Invariants, SmallReachingIntoLaterBigRejected) {
+  // Cor 2.1 part 4: small in cell 0 vs big in cell 1.
+  const auto arr = array_from({{RunT{0, 10}, std::nullopt},
+                               {std::nullopt, RunT{5, 2}}});
+  EXPECT_THROW(check_corollary21_after_xor(arr), contract_error);
+}
+
+TEST(Invariants, Part5ViolationRejected) {
+  // Cell 0 has a big run, cell 1 has empty small, cell 2's small starts
+  // before cell 0's big ends -> part 5 violated.
+  const auto arr = array_from({{std::nullopt, RunT{10, 5}},
+                               {std::nullopt, std::nullopt},
+                               {RunT{12, 2}, std::nullopt}});
+  EXPECT_THROW(check_corollary21_part5_after_shift(arr), contract_error);
+}
+
+TEST(Invariants, Part5PassesWithoutGap) {
+  // Same layout but no empty-small cell between: part 5 does not apply.
+  const auto arr = array_from({{RunT{0, 1}, RunT{10, 5}},
+                               {RunT{5, 1}, std::nullopt},
+                               {RunT{12, 2}, std::nullopt}});
+  EXPECT_NO_THROW(check_corollary21_part5_after_shift(arr));
+}
+
+TEST(Invariants, ConservationDetectsTampering) {
+  const RleRow a{{0, 4}};
+  const RleRow b{{10, 4}};
+  const InvariantContext ctx = make_invariant_context(a, b);
+  auto good = array_from({{RunT{0, 4}, std::nullopt},
+                          {RunT{10, 4}, std::nullopt}});
+  EXPECT_NO_THROW(check_theorem3_conservation(good, ctx));
+  auto bad = array_from({{RunT{0, 4}, std::nullopt},
+                         {RunT{10, 3}, std::nullopt}});  // one pixel lost
+  EXPECT_THROW(check_theorem3_conservation(bad, ctx), contract_error);
+}
+
+TEST(Invariants, Corollary11RejectsLateBig) {
+  const auto arr = array_from({{std::nullopt, RunT{5, 2}},
+                               {std::nullopt, std::nullopt}});
+  InvariantContext ctx;
+  // After iteration 1 the first cell must have an empty RegBig.
+  EXPECT_THROW(check_corollary11(arr, ctx, 1), contract_error);
+  EXPECT_NO_THROW(check_corollary11(arr, ctx, 0));
+}
+
+TEST(Invariants, FinalStateRejectsUnterminatedMachine) {
+  const RleRow a{{0, 4}};
+  const RleRow b{{10, 4}};
+  const InvariantContext ctx = make_invariant_context(a, b);
+  const auto arr = array_from({{RunT{0, 4}, RunT{10, 4}}});
+  EXPECT_THROW(check_final_state(arr, ctx), contract_error);
+}
+
+TEST(Invariants, EndOfIterationAcceptsRealMachineStates) {
+  // Drive real machines step by step and run every checker each iteration.
+  Rng rng(404);
+  for (int trial = 0; trial < 25; ++trial) {
+    const pos_t width = rng.uniform(1, 200);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    const InvariantContext ctx = make_invariant_context(a, b);
+    SystolicConfig cfg;
+    SystolicDiffMachine m(a, b, cfg);
+    cycle_t it = 0;
+    while (!m.terminated()) {
+      m.step();
+      ++it;
+      ASSERT_NO_THROW(check_end_of_iteration(m.array(), ctx, it))
+          << "trial " << trial << " iteration " << it;
+    }
+    ASSERT_NO_THROW(check_final_state(m.array(), ctx));
+  }
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,137 @@
+// Tests for run-based connected-component labeling.
+
+#include "inspect/labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "rle/encode.hpp"
+
+namespace sysrle {
+namespace {
+
+RleImage image_from(std::initializer_list<const char*> rows) {
+  std::vector<RleRow> encoded;
+  pos_t width = 0;
+  for (const char* r : rows) {
+    encoded.push_back(encode_bitstring(r));
+    width = static_cast<pos_t>(std::string(r).size());
+  }
+  return RleImage(width, std::move(encoded));
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_NE(uf.find(0), uf.find(1));
+  uf.unite(0, 1);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+  EXPECT_THROW(uf.find(5), contract_error);
+}
+
+TEST(Labeling, EmptyImageHasNoComponents) {
+  const RleImage img(10, 5);
+  EXPECT_TRUE(label_components(img).empty());
+}
+
+TEST(Labeling, SingleBlob) {
+  const RleImage img = image_from({
+      "0110",
+      "0110",
+  });
+  const auto comps = label_components(img);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].label, 1u);
+  EXPECT_EQ(comps[0].pixel_count, 4);
+  EXPECT_EQ(comps[0].min_x, 1);
+  EXPECT_EQ(comps[0].max_x, 2);
+  EXPECT_EQ(comps[0].min_y, 0);
+  EXPECT_EQ(comps[0].max_y, 1);
+  EXPECT_EQ(comps[0].bbox_width(), 2);
+  EXPECT_EQ(comps[0].bbox_height(), 2);
+}
+
+TEST(Labeling, TwoSeparateBlobs) {
+  const RleImage img = image_from({
+      "1100011",
+      "1100011",
+  });
+  const auto comps = label_components(img);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].pixel_count, 4);
+  EXPECT_EQ(comps[1].pixel_count, 4);
+}
+
+TEST(Labeling, DiagonalTouchDependsOnConnectivity) {
+  const RleImage img = image_from({
+      "110",
+      "011",
+  });
+  EXPECT_EQ(label_components(img, Connectivity::kEight).size(), 1u);
+  // 4-connectivity: [0,1] and [1,2] share column 1 -> still one component.
+  EXPECT_EQ(label_components(img, Connectivity::kFour).size(), 1u);
+
+  const RleImage diag = image_from({
+      "100",
+      "010",
+  });
+  EXPECT_EQ(label_components(diag, Connectivity::kEight).size(), 1u);
+  EXPECT_EQ(label_components(diag, Connectivity::kFour).size(), 2u);
+}
+
+TEST(Labeling, UShapeMergesAcrossRows) {
+  // The two vertical arms join through the bottom row: one component even
+  // though early rows see two separate pieces.
+  const RleImage img = image_from({
+      "10001",
+      "10001",
+      "11111",
+  });
+  const auto comps = label_components(img);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].pixel_count, 9);
+}
+
+TEST(Labeling, MultipleRunsPerRow) {
+  const RleImage img = image_from({
+      "1010101",
+      "1111111",
+  });
+  // Everything merges through the solid second row.
+  EXPECT_EQ(label_components(img).size(), 1u);
+}
+
+TEST(Labeling, LabelsAssignedInRasterOrder) {
+  const RleImage img = image_from({
+      "100010",
+      "000000",
+      "001000",
+  });
+  const auto comps = label_components(img);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0].min_x, 0);  // first raster run
+  EXPECT_EQ(comps[1].min_x, 4);
+  EXPECT_EQ(comps[2].min_y, 2);
+}
+
+TEST(Labeling, DetailedResultLabelsEveryRun) {
+  const RleImage img = image_from({
+      "110011",
+      "110011",
+  });
+  const LabelingResult r = label_components_detailed(img);
+  EXPECT_EQ(r.components.size(), 2u);
+  ASSERT_EQ(r.runs.size(), 4u);
+  EXPECT_EQ(r.runs[0].label, r.runs[2].label);  // left column pair
+  EXPECT_EQ(r.runs[1].label, r.runs[3].label);  // right column pair
+  EXPECT_NE(r.runs[0].label, r.runs[1].label);
+  len_t total = 0;
+  for (const Component& c : r.components) total += c.pixel_count;
+  EXPECT_EQ(total, img.stats().foreground_pixels);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,84 @@
+// Tests for the generic systolic array skeleton.
+
+#include "systolic/linear_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+struct ToyCell {
+  int value = 0;
+  bool done = false;
+};
+
+TEST(LinearArray, RequiresAtLeastOneCell) {
+  EXPECT_THROW(LinearArray<ToyCell>(0), contract_error);
+  EXPECT_NO_THROW(LinearArray<ToyCell>(1));
+}
+
+TEST(LinearArray, CellAccessBoundsChecked) {
+  LinearArray<ToyCell> arr(3);
+  EXPECT_NO_THROW(arr.cell(2));
+  EXPECT_THROW(arr.cell(3), contract_error);
+}
+
+TEST(LinearArray, ForEachVisitsEveryCellOnce) {
+  LinearArray<ToyCell> arr(5);
+  int visits = 0;
+  arr.for_each([&](ToyCell& c) {
+    c.value = ++visits;
+  });
+  EXPECT_EQ(visits, 5);
+  EXPECT_EQ(arr.cell(0).value, 1);
+  EXPECT_EQ(arr.cell(4).value, 5);
+}
+
+TEST(LinearArray, ShiftRightMovesValuesSynchronously) {
+  LinearArray<ToyCell> arr(4);
+  for (cell_index_t i = 0; i < 4; ++i)
+    arr.cell(i).value = static_cast<int>(i) + 1;  // 1 2 3 4
+  const int out = arr.shift_right(
+      [](ToyCell& c) { return c.value; },
+      [](ToyCell& c, int v) { c.value = v; }, 99);
+  // Feed 99 enters cell 0; 4 leaves the array.
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(arr.cell(0).value, 99);
+  EXPECT_EQ(arr.cell(1).value, 1);
+  EXPECT_EQ(arr.cell(2).value, 2);
+  EXPECT_EQ(arr.cell(3).value, 3);
+}
+
+TEST(LinearArray, ShiftRightWithOptionals) {
+  LinearArray<ToyCell> arr(2);
+  // Use a separate lane type to mimic the RegBig lane.
+  std::optional<int> fed;
+  LinearArray<std::optional<int>> lane(3);
+  lane.cell(0) = 7;
+  const std::optional<int> out = lane.shift_right(
+      [](std::optional<int>& c) {
+        std::optional<int> v = c;
+        c.reset();
+        return v;
+      },
+      [](std::optional<int>& c, std::optional<int> v) { c = v; }, fed);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_FALSE(lane.cell(0).has_value());
+  EXPECT_EQ(lane.cell(1), 7);
+}
+
+TEST(LinearArray, AllOfIsWiredAnd) {
+  LinearArray<ToyCell> arr(3);
+  EXPECT_TRUE(arr.all_of([](const ToyCell& c) { return !c.done; }));
+  arr.cell(1).done = true;
+  EXPECT_FALSE(arr.all_of([](const ToyCell& c) { return !c.done; }));
+  arr.for_each([](ToyCell& c) { c.done = true; });
+  EXPECT_TRUE(arr.all_of([](const ToyCell& c) { return c.done; }));
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,108 @@
+// Tests for the multi-machine row-farm throughput model.
+
+#include "core/machine_farm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct Workload {
+  RleImage a{0, 0};
+  RleImage b{0, 0};
+};
+
+Workload make_workload(std::uint64_t seed, pos_t height) {
+  Rng rng(seed);
+  RowGenParams p;
+  p.width = 2000;
+  Workload w;
+  w.a = generate_image(rng, height, p);
+  w.b = RleImage(p.width, height);
+  for (pos_t y = 0; y < height; ++y) {
+    ErrorGenParams ep;
+    ep.error_fraction = 0.02;
+    w.b.set_row(y, inject_errors(rng, w.a.row(y), p.width, ep));
+  }
+  return w;
+}
+
+TEST(MachineFarm, SingleMachineMakespanIsTotalWork) {
+  const Workload w = make_workload(61, 16);
+  FarmConfig cfg;
+  cfg.machines = 1;
+  const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_EQ(r.makespan, r.total_work);
+  EXPECT_DOUBLE_EQ(r.utilisation, 1.0);
+  EXPECT_GT(r.critical_row, 0u);
+  EXPECT_LE(r.critical_row, r.total_work);
+}
+
+TEST(MachineFarm, MoreMachinesNeverHurt) {
+  const Workload w = make_workload(62, 32);
+  cycle_t prev = 0;
+  for (const std::size_t m : {1u, 2u, 4u, 8u, 16u}) {
+    FarmConfig cfg;
+    cfg.machines = m;
+    const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+    if (prev) {
+      EXPECT_LE(r.makespan, prev) << m << " machines";
+    }
+    prev = r.makespan;
+    // Graham bound for list scheduling: makespan <= work/m + critical row.
+    EXPECT_LE(r.makespan,
+              r.total_work / m + r.critical_row + 1);
+    EXPECT_GE(r.makespan, r.critical_row);
+    EXPECT_GE(r.makespan, r.total_work / m);
+  }
+}
+
+TEST(MachineFarm, LongestFirstNotWorseThanFifoHere) {
+  const Workload w = make_workload(63, 64);
+  FarmConfig fifo;
+  fifo.machines = 8;
+  FarmConfig lpt = fifo;
+  lpt.policy = FarmConfig::Policy::kLongestFirst;
+  const FarmResult rf = simulate_row_farm(w.a, w.b, fifo);
+  const FarmResult rl = simulate_row_farm(w.a, w.b, lpt);
+  EXPECT_EQ(rf.total_work, rl.total_work);  // same rows, same costs
+  // LPT is within the classic (4/3 - 1/3m) factor of optimum, and in
+  // practice at least as good as FIFO on this workload.
+  EXPECT_LE(rl.makespan, rf.makespan + rl.critical_row);
+}
+
+TEST(MachineFarm, OverheadAddsPerRow) {
+  const Workload w = make_workload(64, 8);
+  FarmConfig zero;
+  zero.machines = 1;
+  zero.per_row_overhead = 0;
+  FarmConfig ten = zero;
+  ten.per_row_overhead = 10;
+  const FarmResult r0 = simulate_row_farm(w.a, w.b, zero);
+  const FarmResult r10 = simulate_row_farm(w.a, w.b, ten);
+  EXPECT_EQ(r10.total_work, r0.total_work + 8 * 10);
+}
+
+TEST(MachineFarm, RejectsBadConfig) {
+  const Workload w = make_workload(65, 4);
+  FarmConfig cfg;
+  cfg.machines = 0;
+  EXPECT_THROW(simulate_row_farm(w.a, w.b, cfg), contract_error);
+  const RleImage other(w.a.width(), w.a.height() + 1);
+  EXPECT_THROW(simulate_row_farm(w.a, other, FarmConfig{}), contract_error);
+}
+
+TEST(MachineFarm, EmptyImageHasZeroWork) {
+  const RleImage a(100, 0), b(100, 0);
+  const FarmResult r = simulate_row_farm(a, b, FarmConfig{});
+  EXPECT_EQ(r.makespan, 0u);
+  EXPECT_EQ(r.total_work, 0u);
+  EXPECT_DOUBLE_EQ(r.utilisation, 0.0);
+}
+
+}  // namespace
+}  // namespace sysrle

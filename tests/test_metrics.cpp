@@ -1,0 +1,75 @@
+// Tests for the similarity metrics.
+
+#include "workload/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "rle/encode.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Metrics, KnownRowPair) {
+  const RleRow a = encode_bitstring("11110000");
+  const RleRow b = encode_bitstring("00111100");
+  const RowSimilarity s = measure_rows(a, b, 8);
+  EXPECT_EQ(s.error_pixels, 4);
+  EXPECT_DOUBLE_EQ(s.error_fraction, 0.5);
+  EXPECT_EQ(s.k1, 1u);
+  EXPECT_EQ(s.k2, 1u);
+  EXPECT_EQ(s.k3, 2u);
+  EXPECT_EQ(s.run_count_difference, 0u);
+  EXPECT_DOUBLE_EQ(s.jaccard, 2.0 / 6.0);
+}
+
+TEST(Metrics, IdenticalRows) {
+  const RleRow a = encode_bitstring("0110");
+  const RowSimilarity s = measure_rows(a, a, 4);
+  EXPECT_EQ(s.error_pixels, 0);
+  EXPECT_EQ(s.k3, 0u);
+  EXPECT_DOUBLE_EQ(s.jaccard, 1.0);
+}
+
+TEST(Metrics, EmptyRowsJaccardIsOne) {
+  const RowSimilarity s = measure_rows(RleRow{}, RleRow{}, 10);
+  EXPECT_DOUBLE_EQ(s.jaccard, 1.0);
+  EXPECT_EQ(s.error_pixels, 0);
+}
+
+TEST(Metrics, RunCountDifference) {
+  const RleRow a = encode_bitstring("101010");
+  const RleRow b = encode_bitstring("111111");
+  const RowSimilarity s = measure_rows(a, b, 6);
+  EXPECT_EQ(s.k1, 3u);
+  EXPECT_EQ(s.k2, 1u);
+  EXPECT_EQ(s.run_count_difference, 2u);
+}
+
+TEST(Metrics, WidthMustBePositive) {
+  EXPECT_THROW(measure_rows(RleRow{}, RleRow{}, 0), contract_error);
+}
+
+TEST(Metrics, ImageAggregation) {
+  RleImage a(8, 2), b(8, 2);
+  a.set_row(0, encode_bitstring("11110000"));
+  b.set_row(0, encode_bitstring("00111100"));
+  a.set_row(1, encode_bitstring("11111111"));
+  b.set_row(1, encode_bitstring("11111111"));
+  const ImageSimilarity s = measure_images(a, b);
+  EXPECT_EQ(s.error_pixels, 4);
+  EXPECT_DOUBLE_EQ(s.error_fraction, 4.0 / 16.0);
+  EXPECT_EQ(s.total_runs_a, 2u);
+  EXPECT_EQ(s.total_runs_b, 2u);
+  EXPECT_EQ(s.total_runs_xor, 2u);
+  EXPECT_EQ(s.sum_run_count_difference, 0u);
+  EXPECT_DOUBLE_EQ(s.jaccard, (2.0 + 8.0) / (6.0 + 8.0));
+}
+
+TEST(Metrics, ImageDimensionMismatchRejected) {
+  const RleImage a(8, 2), b(8, 3);
+  EXPECT_THROW(measure_images(a, b), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

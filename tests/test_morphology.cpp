@@ -1,0 +1,141 @@
+// Tests for compressed-domain morphology, cross-checked against brute-force
+// pixel-space morphology.
+
+#include "rle/morphology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "rle/encode.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+/// Brute-force 2-D dilation/erosion on bitmaps, the independent reference.
+BitmapImage brute_morph(const BitmapImage& img, pos_t rx, pos_t ry,
+                        bool dilate) {
+  BitmapImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    for (pos_t x = 0; x < img.width(); ++x) {
+      bool acc = !dilate;
+      for (pos_t dy = -ry; dy <= ry; ++dy) {
+        for (pos_t dx = -rx; dx <= rx; ++dx) {
+          const pos_t xx = x + dx;
+          const pos_t yy = y + dy;
+          const bool inside = xx >= 0 && xx < img.width() && yy >= 0 &&
+                              yy < img.height();
+          const bool v = inside && img.get(xx, yy);
+          if (dilate) {
+            acc = acc || v;
+          } else {
+            acc = acc && v;  // background outside erodes the border
+          }
+        }
+      }
+      out.set(x, y, acc);
+    }
+  }
+  return out;
+}
+
+BitmapImage random_bitmap(Rng& rng, pos_t w, pos_t h, double density) {
+  BitmapImage img(w, h);
+  for (pos_t y = 0; y < h; ++y)
+    for (pos_t x = 0; x < w; ++x)
+      if (rng.bernoulli(density)) img.set(x, y, true);
+  return img;
+}
+
+TEST(Morphology, DilateRowGrowsAndMerges) {
+  const RleRow row = encode_bitstring("0100010");
+  EXPECT_EQ(dilate_row(row, 1, 7), encode_bitstring("1110111"));
+  EXPECT_EQ(dilate_row(row, 2, 7), encode_bitstring("1111111"));
+  EXPECT_EQ(dilate_row(row, 0, 7), row);
+  EXPECT_TRUE(dilate_row(RleRow{}, 3, 7).empty());
+}
+
+TEST(Morphology, DilateRowOutputIsCanonical) {
+  const RleRow row = encode_bitstring("0101010101");
+  const RleRow d = dilate_row(row, 1, 10);
+  EXPECT_TRUE(d.is_canonical());
+  EXPECT_EQ(d, encode_bitstring("1111111111"));
+}
+
+TEST(Morphology, ErodeRowShrinksAndKills) {
+  const RleRow row = encode_bitstring("0111110100");
+  EXPECT_EQ(erode_row(row, 1), encode_bitstring("0011100000"));
+  EXPECT_EQ(erode_row(row, 2), encode_bitstring("0001000000"));
+  EXPECT_TRUE(erode_row(row, 3).empty());
+}
+
+TEST(Morphology, ErosionThenDilationIsOpening) {
+  // A lone speck disappears under opening; a large block survives intact.
+  BitmapImage bmp(20, 10);
+  bmp.set(3, 3, true);               // speck
+  bmp.fill_rect(8, 2, 8, 6, true);   // block
+  const RleImage img = bitmap_to_rle(bmp);
+  const RleImage opened = open_image(img, 1, 1);
+  BitmapImage expected(20, 10);
+  expected.fill_rect(8, 2, 8, 6, true);
+  EXPECT_EQ(rle_to_bitmap(opened), expected);
+}
+
+TEST(Morphology, ClosingFillsSmallGaps) {
+  BitmapImage bmp(20, 5);
+  bmp.fill_rect(2, 1, 6, 3, true);
+  bmp.fill_rect(9, 1, 6, 3, true);  // 1-px gap at x=8
+  const RleImage closed = close_image(bitmap_to_rle(bmp), 1, 0);
+  // The gap column is filled where both sides are present.
+  const BitmapImage out = rle_to_bitmap(closed);
+  for (pos_t y = 1; y < 4; ++y) EXPECT_TRUE(out.get(8, y)) << y;
+}
+
+TEST(Morphology, DilationMatchesBruteForce) {
+  Rng rng(41);
+  for (int trial = 0; trial < 12; ++trial) {
+    const pos_t w = rng.uniform(1, 60);
+    const pos_t h = rng.uniform(1, 40);
+    const pos_t rx = rng.uniform(0, 3);
+    const pos_t ry = rng.uniform(0, 3);
+    const BitmapImage bmp = random_bitmap(rng, w, h, 0.25);
+    const RleImage got = dilate_image(bitmap_to_rle(bmp), rx, ry);
+    EXPECT_EQ(rle_to_bitmap(got), brute_morph(bmp, rx, ry, true))
+        << "trial " << trial << " r=" << rx << ',' << ry;
+  }
+}
+
+TEST(Morphology, ErosionMatchesBruteForce) {
+  Rng rng(43);
+  for (int trial = 0; trial < 12; ++trial) {
+    const pos_t w = rng.uniform(1, 60);
+    const pos_t h = rng.uniform(1, 40);
+    const pos_t rx = rng.uniform(0, 3);
+    const pos_t ry = rng.uniform(0, 3);
+    const BitmapImage bmp = random_bitmap(rng, w, h, 0.75);
+    const RleImage got = erode_image(bitmap_to_rle(bmp), rx, ry);
+    EXPECT_EQ(rle_to_bitmap(got), brute_morph(bmp, rx, ry, false))
+        << "trial " << trial << " r=" << rx << ',' << ry;
+  }
+}
+
+TEST(Morphology, OpeningIsIdempotent) {
+  Rng rng(47);
+  const BitmapImage bmp = random_bitmap(rng, 80, 40, 0.4);
+  const RleImage once = open_image(bitmap_to_rle(bmp), 1, 1);
+  const RleImage twice = open_image(once, 1, 1);
+  EXPECT_EQ(rle_to_bitmap(twice), rle_to_bitmap(once));
+}
+
+TEST(Morphology, RejectsNegativeRadii) {
+  const RleRow row{{0, 3}};
+  EXPECT_THROW(dilate_row(row, -1, 10), contract_error);
+  EXPECT_THROW(erode_row(row, -1), contract_error);
+  const RleImage img(10, 2);
+  EXPECT_THROW(dilate_image(img, -1, 0), contract_error);
+  EXPECT_THROW(erode_image(img, 0, -1), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

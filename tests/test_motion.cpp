@@ -1,0 +1,77 @@
+// Tests for the motion-detection workload.
+
+#include "workload/motion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/metrics.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Motion, ObjectsStartInsideTheFrame) {
+  Rng rng(1101);
+  MotionParams p;
+  MotionScene scene(rng, p);
+  EXPECT_EQ(scene.objects().size(), p.objects);
+  for (const MovingObject& o : scene.objects()) {
+    EXPECT_GE(o.x, 0);
+    EXPECT_GE(o.y, 0);
+    EXPECT_LE(o.x + o.w, p.width);
+    EXPECT_LE(o.y + o.h, p.height);
+    EXPECT_TRUE(o.dx != 0 || o.dy != 0);
+  }
+}
+
+TEST(Motion, ObjectsStayInsideAcrossManySteps) {
+  Rng rng(1102);
+  MotionParams p;
+  MotionScene scene(rng, p);
+  for (int step = 0; step < 500; ++step) {
+    scene.advance();
+    for (const MovingObject& o : scene.objects()) {
+      ASSERT_GE(o.x, 0);
+      ASSERT_GE(o.y, 0);
+      ASSERT_LE(o.x + o.w, p.width);
+      ASSERT_LE(o.y + o.h, p.height);
+    }
+  }
+}
+
+TEST(Motion, RenderDrawsEveryObject) {
+  Rng rng(1103);
+  MotionParams p;
+  p.objects = 3;
+  MotionScene scene(rng, p);
+  const BitmapImage frame = scene.render();
+  len_t max_area = 0;
+  for (const MovingObject& o : scene.objects()) max_area += o.w * o.h;
+  EXPECT_GT(frame.popcount(), 0);
+  EXPECT_LE(frame.popcount(), max_area);  // overlaps only reduce it
+}
+
+TEST(Motion, ConsecutiveFramesAreSimilar) {
+  Rng rng(1104);
+  MotionParams p;
+  const auto frames = generate_motion_sequence(rng, p, 5);
+  ASSERT_EQ(frames.size(), 5u);
+  for (std::size_t f = 0; f + 1 < frames.size(); ++f) {
+    const ImageSimilarity sim = measure_images(frames[f], frames[f + 1]);
+    EXPECT_GT(sim.error_pixels, 0);           // something moved
+    EXPECT_LT(sim.error_fraction, 0.2);       // but most pixels unchanged
+  }
+}
+
+TEST(Motion, RejectsBadParameters) {
+  Rng rng(1105);
+  MotionParams p;
+  p.min_size = 0;
+  EXPECT_THROW(MotionScene(rng, p), contract_error);
+  MotionParams q;
+  q.max_size = q.width + 1;
+  EXPECT_THROW(MotionScene(rng, q), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,131 @@
+// Tests for panelized inspection.
+
+#include "inspect/panel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "rle/transform.hpp"
+#include "workload/pcb.hpp"
+
+namespace sysrle {
+namespace {
+
+PanelLayout layout_2x3() {
+  PanelLayout l;
+  l.board_width = 128;
+  l.board_height = 64;
+  l.cols = 3;
+  l.rows = 2;
+  l.spacing_x = 8;
+  l.spacing_y = 6;
+  l.origin_x = 4;
+  l.origin_y = 2;
+  return l;
+}
+
+RleImage golden_board(std::uint64_t seed) {
+  Rng rng(seed);
+  PcbParams p;
+  p.width = 128;
+  p.height = 64;
+  p.horizontal_traces = 4;
+  p.vertical_traces = 8;
+  p.pads = 6;
+  return bitmap_to_rle(generate_pcb_artwork(rng, p));
+}
+
+TEST(Panel, LayoutArithmetic) {
+  const PanelLayout l = layout_2x3();
+  EXPECT_EQ(l.panel_width(), 4 + 3 * 128 + 2 * 8);
+  EXPECT_EQ(l.panel_height(), 2 + 2 * 64 + 1 * 6);
+  EXPECT_EQ(l.board_x(0), 4);
+  EXPECT_EQ(l.board_x(2), 4 + 2 * 136);
+  EXPECT_EQ(l.board_y(1), 2 + 70);
+}
+
+TEST(Panel, ComposeThenCropRoundTrips) {
+  const PanelLayout l = layout_2x3();
+  const RleImage golden = golden_board(11);
+  const RleImage panel = compose_panel(golden, l);
+  EXPECT_EQ(panel.width(), l.panel_width());
+  EXPECT_EQ(panel.height(), l.panel_height());
+  for (std::size_t row = 0; row < l.rows; ++row)
+    for (std::size_t col = 0; col < l.cols; ++col) {
+      const RleImage board = crop_image(panel, l.board_x(col), l.board_y(row),
+                                        l.board_width, l.board_height);
+      ASSERT_EQ(board, golden) << col << ',' << row;
+    }
+  // Total foreground = boards x golden foreground (gutters empty).
+  EXPECT_EQ(panel.stats().foreground_pixels,
+            6 * golden.stats().foreground_pixels);
+}
+
+TEST(Panel, CleanPanelPasses) {
+  const PanelLayout l = layout_2x3();
+  const RleImage golden = golden_board(12);
+  const PanelReport r = inspect_panel(golden, compose_panel(golden, l), l);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.failed_boards, 0u);
+  EXPECT_EQ(r.boards.size(), 6u);
+}
+
+TEST(Panel, OnlyTheDefectiveBoardFails) {
+  const PanelLayout l = layout_2x3();
+  const RleImage golden = golden_board(13);
+  RleImage panel = compose_panel(golden, l);
+
+  // Scratch a trace inside board (2, 1): clear a 6x3 patch.
+  Rng rng(14);
+  BitmapImage panel_bmp = rle_to_bitmap(panel);
+  const pos_t bx = l.board_x(2);
+  const pos_t by = l.board_y(1);
+  // Find a copper pixel within the board to anchor the scratch.
+  pos_t sx = bx, sy = by;
+  for (pos_t y = by; y < by + l.board_height && panel_bmp.get(sx, sy) == false;
+       ++y)
+    for (pos_t x = bx; x < bx + l.board_width; ++x)
+      if (panel_bmp.get(x, y)) {
+        sx = x;
+        sy = y;
+        break;
+      }
+  ASSERT_TRUE(panel_bmp.get(sx, sy));
+  panel_bmp.fill_rect(std::min(sx, bx + l.board_width - 6),
+                      std::min(sy, by + l.board_height - 3), 6, 3, false);
+  panel = bitmap_to_rle(panel_bmp);
+
+  const PanelReport r = inspect_panel(golden, panel, l);
+  EXPECT_FALSE(r.pass);
+  EXPECT_EQ(r.failed_boards, 1u);
+  EXPECT_FALSE(r.at(2, 1, l).report.pass);
+  for (std::size_t row = 0; row < l.rows; ++row)
+    for (std::size_t col = 0; col < l.cols; ++col)
+      if (!(col == 2 && row == 1)) {
+        EXPECT_TRUE(r.at(col, row, l).report.pass) << col << ',' << row;
+      }
+}
+
+TEST(Panel, AtRejectsOutOfGrid) {
+  const PanelLayout l = layout_2x3();
+  const RleImage golden = golden_board(15);
+  const PanelReport r = inspect_panel(golden, compose_panel(golden, l), l);
+  EXPECT_THROW(r.at(3, 0, l), contract_error);
+  EXPECT_THROW(r.at(0, 2, l), contract_error);
+}
+
+TEST(Panel, RejectsMismatchedGolden) {
+  const PanelLayout l = layout_2x3();
+  const RleImage wrong(64, 64);
+  EXPECT_THROW(compose_panel(wrong, l), contract_error);
+  const RleImage golden = golden_board(16);
+  const RleImage panel = compose_panel(golden, l);
+  EXPECT_THROW(inspect_panel(wrong, panel, l), contract_error);
+  PanelLayout bad = l;
+  bad.cols = 0;
+  EXPECT_THROW(compose_panel(golden, bad), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

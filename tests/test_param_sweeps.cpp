@@ -1,0 +1,157 @@
+// Additional parameterized property sweeps: morphology across the radius
+// grid, serialization across formats, and a brute-force cross-check of the
+// optimised Corollary-2.1(5) checker.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "core/invariants.hpp"
+#include "core/systolic_diff.hpp"
+#include "rle/morphology.hpp"
+#include "rle/serialize.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+// ---- morphology sweep ----------------------------------------------------
+
+class MorphologySweep
+    : public ::testing::TestWithParam<std::tuple<pos_t, pos_t>> {};
+
+TEST_P(MorphologySweep, DualityAndOrderingProperties) {
+  const auto [rx, ry] = GetParam();
+  Rng rng(5000 + static_cast<std::uint64_t>(rx) * 17 +
+          static_cast<std::uint64_t>(ry));
+  BitmapImage bmp(70, 50);
+  for (pos_t y = 0; y < 50; ++y)
+    for (pos_t x = 0; x < 70; ++x)
+      if (rng.bernoulli(0.45)) bmp.set(x, y, true);
+  const RleImage img = bitmap_to_rle(bmp);
+
+  const RleImage dil = dilate_image(img, rx, ry);
+  const RleImage ero = erode_image(img, rx, ry);
+  const RleImage opened = open_image(img, rx, ry);
+  const RleImage closed = close_image(img, rx, ry);
+
+  // Anti-extensivity / extensivity: erosion ⊆ image ⊆ dilation,
+  // opening ⊆ image ⊆ closing.
+  const BitmapImage b_img = rle_to_bitmap(img);
+  const BitmapImage b_dil = rle_to_bitmap(dil);
+  const BitmapImage b_ero = rle_to_bitmap(ero);
+  const BitmapImage b_open = rle_to_bitmap(opened);
+  const BitmapImage b_close = rle_to_bitmap(closed);
+  for (pos_t y = 0; y < 50; ++y)
+    for (pos_t x = 0; x < 70; ++x) {
+      if (b_ero.get(x, y)) {
+        ASSERT_TRUE(b_img.get(x, y)) << x << ',' << y;
+      }
+      if (b_img.get(x, y)) {
+        ASSERT_TRUE(b_dil.get(x, y)) << x << ',' << y;
+        // Closing extensivity holds away from the borders; with the
+        // background-padding erosion convention (outside pixels are 0),
+        // border pixels may legitimately erode away after dilation.
+        const bool interior = x >= rx && x + rx < 70 && y >= ry && y + ry < 50;
+        if (interior) {
+          ASSERT_TRUE(b_close.get(x, y)) << x << ',' << y;
+        }
+      }
+      if (b_open.get(x, y)) {
+        ASSERT_TRUE(b_img.get(x, y)) << x << ',' << y;
+      }
+    }
+
+  // Idempotence of opening and closing.
+  EXPECT_EQ(rle_to_bitmap(open_image(opened, rx, ry)), b_open);
+  EXPECT_EQ(rle_to_bitmap(close_image(closed, rx, ry)), b_close);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadiusGrid, MorphologySweep,
+    ::testing::Combine(::testing::Values<pos_t>(0, 1, 2, 4),
+                       ::testing::Values<pos_t>(0, 1, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<pos_t, pos_t>>& param) {
+      return "rx" + std::to_string(std::get<0>(param.param)) + "_ry" +
+             std::to_string(std::get<1>(param.param));
+    });
+
+// ---- serialization sweep ---------------------------------------------------
+
+class SerializeSweep : public ::testing::TestWithParam<RleFormat> {};
+
+TEST_P(SerializeSweep, RandomImagesRoundTrip) {
+  Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    RowGenParams p;
+    p.width = rng.uniform(1, 800);
+    p.density = 0.05 + 0.9 * rng.uniform01();
+    const pos_t height = rng.uniform(0, 20);
+    const RleImage img = generate_image(rng, height, p);
+    std::stringstream ss;
+    write_rle(ss, img, GetParam());
+    ASSERT_EQ(read_rle(ss), img) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SerializeSweep,
+                         ::testing::Values(RleFormat::kText,
+                                           RleFormat::kBinary),
+                         [](const ::testing::TestParamInfo<RleFormat>& fmt) {
+                           return fmt.param == RleFormat::kText ? "Text"
+                                                                 : "Binary";
+                         });
+
+// ---- Corollary 2.1(5) checker vs brute force -------------------------------
+
+/// The O(n^2) literal transcription of part 5, used to validate the O(n)
+/// prefix-maximum implementation on real machine states.
+void check_part5_brute_force(const LinearArray<DiffCell>& array) {
+  const std::size_t n = array.size();
+  for (cell_index_t i = 0; i < n; ++i) {
+    if (!array.cell(i).reg_big()) continue;
+    for (cell_index_t j = i + 1; j < n; ++j) {
+      if (!array.cell(j).reg_small()) continue;
+      bool gap = false;
+      for (cell_index_t k = i; k < j; ++k)
+        if (!array.cell(k).reg_small()) gap = true;
+      if (gap)
+        SYSRLE_CHECK(array.cell(i).reg_big()->end() <
+                         array.cell(j).reg_small()->start,
+                     "Cor2.1(5) brute force");
+    }
+  }
+}
+
+TEST(InvariantCrossCheck, Part5OptimisedMatchesBruteForce) {
+  Rng rng(7001);
+  for (int trial = 0; trial < 25; ++trial) {
+    const pos_t width = rng.uniform(1, 300);
+    const RleRow a = sysrle::testing::random_row(rng, width, rng.uniform01());
+    const RleRow b = sysrle::testing::random_row(rng, width, rng.uniform01());
+    SystolicConfig cfg;
+    SystolicDiffMachine m(a, b, cfg);
+    while (!m.terminated()) {
+      m.step();
+      // Both checkers must agree (here: both accept a healthy machine).
+      ASSERT_NO_THROW(check_corollary21_part5_after_shift(m.array()));
+      ASSERT_NO_THROW(check_part5_brute_force(m.array()));
+    }
+  }
+}
+
+TEST(InvariantCrossCheck, Part5BothRejectTamperedState) {
+  LinearArray<DiffCell> arr(3);
+  arr.cell(0).load_big(::sysrle::Run{10, 5});   // big ends at 14
+  // cell 1 small empty -> gap
+  arr.cell(2).load_small(::sysrle::Run{12, 2}); // small starts at 12 < 15: violation
+  EXPECT_THROW(check_corollary21_part5_after_shift(arr), contract_error);
+  EXPECT_THROW(check_part5_brute_force(arr), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,96 @@
+// Tests for PBM (P1/P4) reading and writing.
+
+#include "bitmap/pbm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+BitmapImage sample_image() {
+  BitmapImage img(10, 4);
+  img.fill_rect(0, 0, 3, 2, true);
+  img.fill_rect(7, 2, 3, 2, true);
+  img.set(5, 1, true);
+  return img;
+}
+
+TEST(PbmIo, AsciiRoundTrip) {
+  const BitmapImage img = sample_image();
+  std::stringstream ss;
+  write_pbm(ss, img, PbmFormat::kAscii);
+  EXPECT_EQ(read_pbm(ss), img);
+}
+
+TEST(PbmIo, RawRoundTrip) {
+  const BitmapImage img = sample_image();
+  std::stringstream ss;
+  write_pbm(ss, img, PbmFormat::kRaw);
+  EXPECT_EQ(read_pbm(ss), img);
+}
+
+TEST(PbmIo, RawRoundTripNonByteAlignedWidth) {
+  BitmapImage img(13, 3);  // 13 bits -> 2 padded bytes per row
+  img.fill_rect(6, 0, 7, 3, true);
+  std::stringstream ss;
+  write_pbm(ss, img, PbmFormat::kRaw);
+  EXPECT_EQ(read_pbm(ss), img);
+}
+
+TEST(PbmIo, ParsesCommentsInHeader) {
+  std::stringstream ss("P1\n# a comment\n3 2\n# another\n1 0 1\n0 1 0\n");
+  const BitmapImage img = read_pbm(ss);
+  EXPECT_EQ(img.width(), 3);
+  EXPECT_EQ(img.height(), 2);
+  EXPECT_EQ(img.to_string(), "101\n010");
+}
+
+TEST(PbmIo, P4BitPackingIsMsbFirst) {
+  // One row, 8 pixels "10000001" -> byte 0x81.
+  std::stringstream ss;
+  ss << "P4\n8 1\n";
+  ss.put(static_cast<char>(0x81));
+  const BitmapImage img = read_pbm(ss);
+  EXPECT_EQ(img.to_string(), "10000001");
+}
+
+TEST(PbmIo, RejectsBadMagic) {
+  std::stringstream ss("P5\n2 2\n....");
+  EXPECT_THROW(read_pbm(ss), contract_error);
+}
+
+TEST(PbmIo, RejectsTruncatedRaw) {
+  std::stringstream ss;
+  ss << "P4\n16 2\n";
+  ss.put('\xff');  // needs 4 bytes, provide 1
+  EXPECT_THROW(read_pbm(ss), contract_error);
+}
+
+TEST(PbmIo, RejectsBadAsciiPixel) {
+  std::stringstream ss("P1\n2 1\n1 2\n");
+  EXPECT_THROW(read_pbm(ss), contract_error);
+}
+
+TEST(PbmIo, FileRoundTrip) {
+  const BitmapImage img = sample_image();
+  const std::string path = ::testing::TempDir() + "/sysrle_pbm_test.pbm";
+  write_pbm_file(path, img);
+  EXPECT_EQ(read_pbm_file(path), img);
+  EXPECT_THROW(read_pbm_file(path + ".does-not-exist"), contract_error);
+}
+
+TEST(PbmIo, EmptyImageRoundTrip) {
+  const BitmapImage img(0, 0);
+  std::stringstream ss;
+  write_pbm(ss, img, PbmFormat::kRaw);
+  const BitmapImage back = read_pbm(ss);
+  EXPECT_EQ(back.width(), 0);
+  EXPECT_EQ(back.height(), 0);
+}
+
+}  // namespace
+}  // namespace sysrle

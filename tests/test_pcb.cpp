@@ -1,0 +1,99 @@
+// Tests for the synthetic PCB artwork generator and defect injector.
+
+#include "workload/pcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bit_ops.hpp"
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Pcb, ArtworkHasCopperButIsNotFull) {
+  Rng rng(1001);
+  PcbParams p;
+  const BitmapImage board = generate_pcb_artwork(rng, p);
+  EXPECT_EQ(board.width(), p.width);
+  EXPECT_EQ(board.height(), p.height);
+  const len_t copper = board.popcount();
+  EXPECT_GT(copper, 0);
+  EXPECT_LT(copper, p.width * p.height);
+}
+
+TEST(Pcb, ArtworkIsDeterministicPerSeed) {
+  PcbParams p;
+  Rng a(5), b(5), c(6);
+  EXPECT_EQ(generate_pcb_artwork(a, p), generate_pcb_artwork(b, p));
+  EXPECT_NE(generate_pcb_artwork(a, p), generate_pcb_artwork(c, p));
+}
+
+TEST(Pcb, DefectsChangeTheBoard) {
+  Rng rng(1002);
+  PcbParams p;
+  const BitmapImage reference = generate_pcb_artwork(rng, p);
+  BitmapImage board = reference;
+  DefectParams dp;
+  dp.count = 10;
+  const auto defects = inject_pcb_defects(rng, board, dp);
+  EXPECT_GT(defects.size(), 0u);
+  EXPECT_GT(image_hamming(reference, board), 0);
+}
+
+TEST(Pcb, DefectBoundingBoxesAreInsideTheBoard) {
+  Rng rng(1003);
+  PcbParams p;
+  BitmapImage board = generate_pcb_artwork(rng, p);
+  DefectParams dp;
+  dp.count = 25;
+  const auto defects = inject_pcb_defects(rng, board, dp);
+  for (const InjectedDefect& d : defects) {
+    EXPECT_GE(d.x, 0);
+    EXPECT_GE(d.y, 0);
+    EXPECT_LE(d.x + d.w, p.width);
+    EXPECT_LE(d.y + d.h, p.height);
+    EXPECT_GE(d.w, 1);
+    EXPECT_GE(d.h, 1);
+  }
+}
+
+TEST(Pcb, DifferencesLieWithinDefectBoxes) {
+  Rng rng(1004);
+  PcbParams p;
+  const BitmapImage reference = generate_pcb_artwork(rng, p);
+  BitmapImage board = reference;
+  DefectParams dp;
+  dp.count = 6;
+  const auto defects = inject_pcb_defects(rng, board, dp);
+  const BitmapImage diff = xor_images(reference, board);
+  for (pos_t y = 0; y < diff.height(); ++y)
+    for (pos_t x = 0; x < diff.width(); ++x) {
+      if (!diff.get(x, y)) continue;
+      bool covered = false;
+      for (const InjectedDefect& d : defects)
+        covered |= x >= d.x && x < d.x + d.w && y >= d.y && y < d.y + d.h;
+      ASSERT_TRUE(covered) << "stray difference at " << x << ',' << y;
+    }
+}
+
+TEST(Pcb, DefectTypeNames) {
+  EXPECT_STREQ(to_string(DefectType::kOpen), "open");
+  EXPECT_STREQ(to_string(DefectType::kMissingPad), "missing-pad");
+  const InjectedDefect d{DefectType::kShort, 3, 4, 5, 6};
+  EXPECT_EQ(d.to_string(), "short at (3,4) 5x6");
+}
+
+TEST(Pcb, RejectsDegenerateParameters) {
+  Rng rng(1005);
+  PcbParams p;
+  p.width = 0;
+  EXPECT_THROW(generate_pcb_artwork(rng, p), contract_error);
+  BitmapImage board(10, 10);
+  DefectParams dp;
+  dp.min_size = 5;
+  dp.max_size = 2;
+  EXPECT_THROW(inject_pcb_defects(rng, board, dp), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,57 @@
+// Tests for the uncompressed pixel-parallel comparator.
+
+#include "baseline/pixel_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using sysrle::testing::random_row;
+using sysrle::testing::reference_xor;
+
+TEST(PixelParallel, PaperFigure1) {
+  const RleRow img1{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
+  const RleRow img2{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
+  const PixelParallelResult r = pixel_parallel_xor(img1, img2, 40);
+  EXPECT_EQ(r.output, (RleRow{{3, 4}, {8, 2}, {15, 1}, {18, 2}, {30, 1}}));
+  EXPECT_TRUE(r.output.is_canonical());
+}
+
+TEST(PixelParallel, MatchesReferenceOnRandomInputs) {
+  Rng rng(701);
+  for (int trial = 0; trial < 40; ++trial) {
+    const pos_t width = rng.uniform(1, 300);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    EXPECT_EQ(pixel_parallel_xor(a, b, width).output,
+              reference_xor(a, b, width));
+  }
+}
+
+TEST(PixelParallel, RejectsRowsExceedingWidth) {
+  EXPECT_THROW(pixel_parallel_xor(RleRow{{8, 4}}, RleRow{}, 10),
+               contract_error);
+}
+
+TEST(PixelParallelCostModel, ConversionDominates) {
+  const PixelParallelCost c = pixel_parallel_cost(4096);
+  EXPECT_EQ(c.processors, 4096);
+  EXPECT_EQ(c.xor_depth, 1);
+  EXPECT_EQ(c.decompress_steps, 4096);
+  EXPECT_EQ(c.recompress_steps, 4096);
+  // The paper's point: the O(1) XOR is swamped by format conversion.
+  EXPECT_GT(c.total_steps(), 2 * c.xor_depth);
+  EXPECT_EQ(c.total_steps(), 4096 + 1 + 4096);
+}
+
+TEST(PixelParallelCostModel, RejectsNegativeWidth) {
+  EXPECT_THROW(pixel_parallel_cost(-1), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,214 @@
+// Cross-engine property suite: for a grid of workload regimes (width,
+// density, error model) and many seeds, every engine must produce the same
+// XOR, and every theorem of section 4 plus the section-5 bounds must hold.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baseline/pixel_parallel.hpp"
+#include "baseline/sequential_diff.hpp"
+#include "core/bus_variant.hpp"
+#include "core/cost_model.hpp"
+#include "core/systolic_diff.hpp"
+#include "rle/ops.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct Regime {
+  pos_t width;
+  double density;
+  double error_fraction;  // < 0 means: independent rows (dissimilar images)
+};
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<Regime, std::uint64_t>> {};
+
+TEST_P(EngineEquivalence, AllEnginesAgreeAndBoundsHold) {
+  const auto& [regime, seed] = GetParam();
+  Rng rng(seed);
+
+  RleRow a, b;
+  if (regime.error_fraction >= 0) {
+    RowGenParams rp;
+    rp.width = regime.width;
+    rp.density = regime.density;
+    ErrorGenParams ep;
+    ep.error_fraction = regime.error_fraction;
+    const RowPairSample s = generate_pair(rng, rp, ep);
+    a = s.first;
+    b = s.second;
+  } else {
+    a = sysrle::testing::random_row(rng, regime.width, regime.density);
+    b = sysrle::testing::random_row(rng, regime.width, regime.density);
+  }
+
+  // Ground truth, computed through the uncompressed domain.
+  const RleRow expected = sysrle::testing::reference_xor(a, b, regime.width);
+
+  // Engine 1: the systolic machine, with every invariant checker armed.
+  SystolicConfig sys_cfg;
+  sys_cfg.check_invariants = true;
+  const SystolicResult sys = systolic_xor(a, b, sys_cfg);
+  EXPECT_EQ(sys.output.canonical(), expected);
+
+  // Engine 2: the broadcast-bus variant.
+  const BusResult bus = bus_systolic_xor(a, b);
+  EXPECT_EQ(bus.output.canonical(), expected);
+
+  // Engine 3: the sequential merge.
+  const SequentialDiffResult seq = sequential_xor(a, b);
+  EXPECT_EQ(seq.output.canonical(), expected);
+
+  // Engine 4: the parity sweep.
+  EXPECT_EQ(xor_rows(a, b), expected);
+
+  // Engine 5: pixel-parallel through bitmaps.
+  EXPECT_EQ(pixel_parallel_xor(a, b, regime.width).output, expected);
+
+  // Section-5 cost structure.
+  const DiffCostPrediction pred = predict_costs(a, b);
+  EXPECT_LE(sys.counters.iterations, pred.theorem1_bound());
+  EXPECT_LE(bus.counters.iterations, sys.counters.iterations);
+  if (regime.error_fraction >= 0) {
+    // Canonical inputs: the Observation bound applies to the machine's own
+    // (raw) output run count.
+    EXPECT_LE(sys.counters.iterations, sys.output.run_count() + 1)
+        << "Observation bound violated";
+  }
+  // The raw outputs of the compressed-domain engines have identical run
+  // multisets even before compaction-by-canonicalisation.
+  EXPECT_EQ(sys.output.foreground_pixels(), expected.foreground_pixels());
+}
+
+std::string regime_name(
+    const ::testing::TestParamInfo<std::tuple<Regime, std::uint64_t>>& info) {
+  const auto& [r, seed] = info.param;
+  std::string s = "w" + std::to_string(r.width) + "_d" +
+                  std::to_string(static_cast<int>(r.density * 100)) + "_";
+  if (r.error_fraction >= 0) {
+    s += "e" + std::to_string(static_cast<int>(r.error_fraction * 100));
+  } else {
+    s += "indep";
+  }
+  return s + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SimilarImages, EngineEquivalence,
+    ::testing::Combine(::testing::Values(Regime{128, 0.30, 0.035},
+                                         Regime{512, 0.30, 0.035},
+                                         Regime{2048, 0.30, 0.035},
+                                         Regime{2048, 0.30, 0.005},
+                                         Regime{1024, 0.10, 0.02},
+                                         Regime{1024, 0.60, 0.02}),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    regime_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    HeavyErrors, EngineEquivalence,
+    ::testing::Combine(::testing::Values(Regime{1024, 0.30, 0.30},
+                                         Regime{1024, 0.30, 0.60},
+                                         Regime{512, 0.50, 0.45}),
+                       ::testing::Values(11u, 12u, 13u)),
+    regime_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    DissimilarImages, EngineEquivalence,
+    ::testing::Combine(::testing::Values(Regime{256, 0.30, -1.0},
+                                         Regime{256, 0.70, -1.0},
+                                         Regime{64, 0.50, -1.0}),
+                       ::testing::Values(21u, 22u, 23u)),
+    regime_name);
+
+// --- Figure-5 shape property: iterations track |k1 - k2| for similar
+//     images.  Averaged over seeds so the assertion is stable.
+
+TEST(Figure5Shape, IterationsTrackRunCountDifferenceForSimilarImages) {
+  RowGenParams rp;
+  rp.width = 10000;
+  ErrorGenParams ep;
+  ep.error_fraction = 0.03;  // well inside the "similar" regime
+  double iter_sum = 0, diff_sum = 0, bound_sum = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(9000 + static_cast<std::uint64_t>(t));
+    const RowPairSample s = generate_pair(rng, rp, ep);
+    const SystolicResult r = systolic_xor(s.first, s.second);
+    const std::uint64_t k1 = s.first.run_count();
+    const std::uint64_t k2 = s.second.run_count();
+    iter_sum += static_cast<double>(r.counters.iterations);
+    diff_sum += static_cast<double>(k1 > k2 ? k1 - k2 : k2 - k1);
+    bound_sum += static_cast<double>(k1 + k2);
+  }
+  const double mean_iter = iter_sum / trials;
+  const double mean_diff = diff_sum / trials;
+  const double mean_bound = bound_sum / trials;
+  // Iterations are far below the k1+k2 bound (the paper's headline) ...
+  EXPECT_LT(mean_iter, 0.25 * mean_bound);
+  // ... and within a small constant band of the run-count difference.
+  EXPECT_LE(mean_diff, mean_iter + 1.0);  // diff is (about) a lower bound
+  EXPECT_LT(mean_iter, 4.0 * (mean_diff + 5.0));
+}
+
+TEST(Stress, MillionPixelRow) {
+  // One very large row end to end: 1M pixels, ~25k runs per side.  Verifies
+  // the simulator's data structures and bounds at realistic board scale and
+  // guards against accidental O(k^2) blowups in the support code.
+  Rng rng(31415);
+  RowGenParams rp;
+  rp.width = 1'000'000;
+  ErrorGenParams ep;
+  ep.error_fraction = 0.005;
+  const RowPairSample s = generate_pair(rng, rp, ep);
+  ASSERT_GT(s.first.run_count(), 10000u);
+
+  const SystolicResult r = systolic_xor(s.first, s.second);
+  EXPECT_EQ(r.output.canonical(), xor_rows(s.first, s.second));
+  EXPECT_LE(r.counters.iterations,
+            s.first.run_count() + s.second.run_count());
+  EXPECT_LE(r.counters.iterations, r.output.run_count() + 1);  // Observation
+  // Similar rows: iterations far below the Theorem-1 bound.
+  EXPECT_LT(r.counters.iterations,
+            (s.first.run_count() + s.second.run_count()) / 4);
+}
+
+TEST(Table1Shape, FixedErrorsGiveSizeIndependentIterations) {
+  // Table 1's second regime: 6 error runs of 4 pixels each; the paper reports
+  // "the systolic algorithm averages just over 5 iterations regardless of
+  // how large the image gets".
+  RowGenParams rp;
+  for (const pos_t width : {128, 256, 512, 1024, 2048}) {
+    rp.width = width;
+    double iters = 0;
+    const int trials = 15;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(7000 + static_cast<std::uint64_t>(width) * 31 +
+              static_cast<std::uint64_t>(t));
+      const RowPairSample s = generate_pair_fixed_errors(rng, rp, 6, 4);
+      iters +=
+          static_cast<double>(systolic_xor(s.first, s.second).counters.iterations);
+    }
+    const double mean_iters = iters / trials;
+    EXPECT_LT(mean_iters, 16.0) << "width " << width;
+    // Sequential cost grows with size; systolic must beat it clearly by 2048.
+    if (width == 2048) {
+      double seq_iters = 0;
+      for (int t = 0; t < trials; ++t) {
+        Rng rng(7700 + static_cast<std::uint64_t>(t));
+        const RowPairSample s = generate_pair_fixed_errors(rng, rp, 6, 4);
+        seq_iters +=
+            static_cast<double>(sequential_xor(s.first, s.second).iterations);
+      }
+      EXPECT_GT(seq_iters / trials, 5.0 * mean_iters);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,106 @@
+// Unit tests for RleRow invariants and operations.
+
+#include "rle/rle_row.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(RleRow, DefaultIsEmpty) {
+  const RleRow row;
+  EXPECT_TRUE(row.empty());
+  EXPECT_EQ(row.run_count(), 0u);
+  EXPECT_EQ(row.foreground_pixels(), 0);
+}
+
+TEST(RleRow, ConstructsFromOrderedRuns) {
+  const RleRow row{{10, 3}, {16, 2}, {23, 2}, {27, 3}};  // paper Figure 1
+  EXPECT_EQ(row.run_count(), 4u);
+  EXPECT_EQ(row.foreground_pixels(), 10);
+  EXPECT_EQ(row.first_pixel(), 10);
+  EXPECT_EQ(row.last_pixel(), 29);
+}
+
+TEST(RleRow, FromPairsMatchesInitializerList) {
+  const RleRow a = RleRow::from_pairs({{3, 4}, {8, 5}});
+  const RleRow b{{3, 4}, {8, 5}};
+  EXPECT_EQ(a, b);
+}
+
+TEST(RleRow, RejectsOverlappingRuns) {
+  EXPECT_THROW((RleRow{{10, 5}, {12, 3}}), contract_error);
+}
+
+TEST(RleRow, RejectsOutOfOrderRuns) {
+  EXPECT_THROW((RleRow{{20, 2}, {10, 2}}), contract_error);
+}
+
+TEST(RleRow, RejectsNonPositiveLength) {
+  EXPECT_THROW((RleRow{{10, 0}}), contract_error);
+  EXPECT_THROW((RleRow{{10, -3}}), contract_error);
+}
+
+TEST(RleRow, RejectsNegativeStart) {
+  EXPECT_THROW((RleRow{{-1, 3}}), contract_error);
+}
+
+TEST(RleRow, AllowsAdjacentRuns) {
+  // The paper permits adjacent (touching) runs in inputs and outputs.
+  const RleRow row{{10, 5}, {15, 2}};
+  EXPECT_EQ(row.run_count(), 2u);
+  EXPECT_FALSE(row.is_canonical());
+}
+
+TEST(RleRow, PushBackEnforcesOrder) {
+  RleRow row;
+  row.push_back({5, 3});
+  EXPECT_THROW(row.push_back({6, 2}), contract_error);
+  row.push_back({9, 2});
+  EXPECT_EQ(row.run_count(), 2u);
+}
+
+TEST(RleRow, CanonicalizeMergesAdjacentRuns) {
+  RleRow row{{0, 5}, {5, 3}, {8, 2}, {12, 4}};
+  const std::size_t merges = row.canonicalize();
+  EXPECT_EQ(merges, 2u);
+  EXPECT_EQ(row, (RleRow{{0, 10}, {12, 4}}));
+  EXPECT_TRUE(row.is_canonical());
+}
+
+TEST(RleRow, CanonicalizeOnCanonicalRowIsNoop) {
+  RleRow row{{0, 5}, {7, 3}};
+  EXPECT_EQ(row.canonicalize(), 0u);
+  EXPECT_EQ(row, (RleRow{{0, 5}, {7, 3}}));
+}
+
+TEST(RleRow, CanonicalReturnsMergedCopy) {
+  const RleRow row{{0, 5}, {5, 5}};
+  const RleRow merged = row.canonical();
+  EXPECT_EQ(merged, (RleRow{{0, 10}}));
+  EXPECT_EQ(row.run_count(), 2u);  // original untouched
+}
+
+TEST(RleRow, FitsWidthChecksLastPixel) {
+  const RleRow row{{10, 5}};  // last pixel 14
+  EXPECT_TRUE(row.fits_width(15));
+  EXPECT_FALSE(row.fits_width(14));
+  EXPECT_TRUE(RleRow{}.fits_width(0));
+}
+
+TEST(RleRow, ToStringMatchesPaperFigures) {
+  const RleRow row{{3, 4}, {8, 5}};
+  EXPECT_EQ(row.to_string(), "(3,4) (8,5)");
+  EXPECT_EQ(RleRow{}.to_string(), "");
+}
+
+TEST(RleRow, FirstLastPixelRequireNonEmpty) {
+  const RleRow row;
+  EXPECT_THROW(row.first_pixel(), contract_error);
+  EXPECT_THROW(row.last_pixel(), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,87 @@
+// Tests for the deterministic PRNG.
+
+#include "workload/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRangeAndHitsEndpoints) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform(-3, 4);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 4);
+    saw_lo |= v == -3;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform(5, 4), contract_error);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+  // Splitting is itself deterministic.
+  Rng b(42);
+  Rng child2 = b.split();
+  Rng child_ref(Rng(42).next_u64());
+  EXPECT_EQ(child2.next_u64(), child_ref.next_u64());
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,81 @@
+// Unit tests for the RunT value type.
+
+#include "rle/run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+using RunT = ::sysrle::Run;  // avoid collision with testing::Test::Run
+
+TEST(RunT, StoresStartAndLength) {
+  const RunT r{10, 3};
+  EXPECT_EQ(r.start, 10);
+  EXPECT_EQ(r.length, 3);
+  EXPECT_EQ(r.end(), 12);
+}
+
+TEST(RunT, FromBoundsBuildsClosedInterval) {
+  const RunT r = RunT::from_bounds(5, 9);
+  EXPECT_EQ(r.start, 5);
+  EXPECT_EQ(r.length, 5);
+  EXPECT_EQ(r.end(), 9);
+}
+
+TEST(RunT, FromBoundsSinglePixel) {
+  const RunT r = RunT::from_bounds(7, 7);
+  EXPECT_EQ(r.length, 1);
+}
+
+TEST(RunT, FromBoundsRejectsEmptyInterval) {
+  EXPECT_THROW(RunT::from_bounds(8, 7), contract_error);
+}
+
+TEST(RunT, ContainsChecksClosedInterval) {
+  const RunT r{10, 3};  // [10, 12]
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(11));
+  EXPECT_TRUE(r.contains(12));
+  EXPECT_FALSE(r.contains(13));
+}
+
+TEST(RunT, OverlapsDetectsSharedPixels) {
+  const RunT a{10, 5};  // [10,14]
+  EXPECT_TRUE(a.overlaps(RunT{14, 3}));
+  EXPECT_TRUE(a.overlaps(RunT{8, 3}));
+  EXPECT_TRUE(a.overlaps(RunT{11, 2}));
+  EXPECT_TRUE(a.overlaps(RunT{5, 20}));
+  EXPECT_FALSE(a.overlaps(RunT{15, 2}));
+  EXPECT_FALSE(a.overlaps(RunT{5, 5}));
+}
+
+TEST(RunT, AdjacencyIsTouchingWithoutOverlap) {
+  const RunT a{10, 5};  // [10,14]
+  EXPECT_TRUE(a.adjacent_to(RunT{15, 2}));
+  EXPECT_TRUE(a.adjacent_to(RunT{5, 5}));  // [5,9]
+  EXPECT_FALSE(a.adjacent_to(RunT{14, 2}));
+  EXPECT_FALSE(a.adjacent_to(RunT{16, 2}));
+}
+
+TEST(RunT, OrderingIsLexicographicOnStartThenEnd) {
+  EXPECT_LT((RunT{5, 3}), (RunT{6, 1}));
+  EXPECT_LT((RunT{5, 3}), (RunT{5, 4}));
+  EXPECT_EQ((RunT{5, 3}), (RunT{5, 3}));
+  EXPECT_GT((RunT{7, 1}), (RunT{5, 10}));
+}
+
+TEST(RunT, ToStringMatchesPaperNotation) {
+  EXPECT_EQ((RunT{10, 3}).to_string(), "(10,3)");
+  std::ostringstream os;
+  os << RunT{3, 4};
+  EXPECT_EQ(os.str(), "(3,4)");
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,99 @@
+// Tests for detection scoring (precision/recall against ground truth).
+
+#include "inspect/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sysrle {
+namespace {
+
+Defect defect_at(pos_t x0, pos_t y0, pos_t x1, pos_t y1) {
+  Defect d;
+  d.region.min_x = x0;
+  d.region.min_y = y0;
+  d.region.max_x = x1;
+  d.region.max_y = y1;
+  d.region.pixel_count = (x1 - x0 + 1) * (y1 - y0 + 1);
+  return d;
+}
+
+InjectedDefect truth_at(pos_t x, pos_t y, pos_t w, pos_t h) {
+  return {DefectType::kOpen, x, y, w, h};
+}
+
+TEST(Scoring, PerfectDetection) {
+  const std::vector<Defect> detected{defect_at(10, 10, 12, 12)};
+  const std::vector<InjectedDefect> truth{truth_at(10, 10, 3, 3)};
+  const DetectionScore s = score_detections(detected, truth);
+  EXPECT_EQ(s.true_positives, 1u);
+  EXPECT_EQ(s.false_negatives, 0u);
+  EXPECT_EQ(s.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+}
+
+TEST(Scoring, MissedDefectIsFalseNegative) {
+  const std::vector<Defect> detected;
+  const std::vector<InjectedDefect> truth{truth_at(5, 5, 2, 2)};
+  const DetectionScore s = score_detections(detected, truth);
+  EXPECT_EQ(s.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.0);
+}
+
+TEST(Scoring, SpuriousDetectionIsFalsePositive) {
+  const std::vector<Defect> detected{defect_at(50, 50, 52, 52)};
+  const std::vector<InjectedDefect> truth{truth_at(5, 5, 2, 2)};
+  const DetectionScore s = score_detections(detected, truth);
+  EXPECT_EQ(s.false_positives, 1u);
+  EXPECT_EQ(s.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+}
+
+TEST(Scoring, TouchingBoxesCountAsOverlap) {
+  // Detection bbox [10,12]x[10,12]; truth starting exactly at (12,12).
+  const std::vector<Defect> detected{defect_at(10, 10, 12, 12)};
+  const std::vector<InjectedDefect> truth{truth_at(12, 12, 3, 3)};
+  const DetectionScore s = score_detections(detected, truth);
+  EXPECT_EQ(s.true_positives, 1u);
+  // Just past the corner: no overlap.
+  const std::vector<InjectedDefect> miss{truth_at(13, 13, 3, 3)};
+  EXPECT_EQ(score_detections(detected, miss).true_positives, 0u);
+}
+
+TEST(Scoring, OneDetectionCoveringTwoTruths) {
+  const std::vector<Defect> detected{defect_at(0, 0, 30, 2)};
+  const std::vector<InjectedDefect> truth{truth_at(2, 0, 3, 3),
+                                          truth_at(20, 0, 3, 3)};
+  const DetectionScore s = score_detections(detected, truth);
+  EXPECT_EQ(s.true_positives, 2u);
+  EXPECT_EQ(s.false_positives, 0u);
+}
+
+TEST(Scoring, TwoDetectionsOnOneTruth) {
+  const std::vector<Defect> detected{defect_at(2, 0, 3, 1),
+                                     defect_at(4, 2, 5, 3)};
+  const std::vector<InjectedDefect> truth{truth_at(2, 0, 4, 4)};
+  const DetectionScore s = score_detections(detected, truth);
+  EXPECT_EQ(s.true_positives, 1u);
+  EXPECT_EQ(s.false_positives, 0u);
+}
+
+TEST(Scoring, EmptyEverything) {
+  const DetectionScore s = score_detections({}, {});
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.0);
+}
+
+TEST(Scoring, ToStringContainsMetrics) {
+  const std::vector<Defect> detected{defect_at(10, 10, 12, 12)};
+  const std::vector<InjectedDefect> truth{truth_at(10, 10, 3, 3)};
+  const std::string s = score_detections(detected, truth).to_string();
+  EXPECT_NE(s.find("TP=1"), std::string::npos);
+  EXPECT_NE(s.find("F1="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,82 @@
+// Tests for the paper's sequential merge baseline.
+
+#include "baseline/sequential_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rle/ops.hpp"
+#include "test_util.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using sysrle::testing::random_row;
+using sysrle::testing::reference_xor;
+
+TEST(SequentialDiff, PaperFigure1) {
+  const RleRow img1{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
+  const RleRow img2{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
+  const SequentialDiffResult r = sequential_xor(img1, img2);
+  EXPECT_EQ(r.output.canonical(),
+            (RleRow{{3, 4}, {8, 2}, {15, 1}, {18, 2}, {30, 1}}));
+}
+
+TEST(SequentialDiff, EmptyInputs) {
+  EXPECT_TRUE(sequential_xor(RleRow{}, RleRow{}).output.empty());
+  EXPECT_EQ(sequential_xor(RleRow{}, RleRow{}).iterations, 0u);
+  const RleRow a{{3, 2}, {8, 1}};
+  EXPECT_EQ(sequential_xor(a, RleRow{}).output, a);
+  EXPECT_EQ(sequential_xor(a, RleRow{}).iterations, 2u);  // one per run
+  EXPECT_EQ(sequential_xor(RleRow{}, a).output, a);
+}
+
+TEST(SequentialDiff, IdenticalInputsCancel) {
+  const RleRow a{{3, 2}, {8, 1}, {20, 5}};
+  const SequentialDiffResult r = sequential_xor(a, a);
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_EQ(r.iterations, 3u);  // one cancellation per run pair
+}
+
+TEST(SequentialDiff, OverlapSplitsCountExtraIterations) {
+  // a = [0,10], b = [3,5]: emit [0,2], cancel [3,5], emit [6,10].
+  const SequentialDiffResult r = sequential_xor(RleRow{{0, 11}}, RleRow{{3, 3}});
+  EXPECT_EQ(r.output, (RleRow{{0, 3}, {6, 5}}));
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(SequentialDiff, OutputMayContainAdjacentRuns) {
+  // Adjacent inputs across the two lists leave adjacent output runs — the
+  // same behaviour the paper notes for the systolic machine.
+  const SequentialDiffResult r =
+      sequential_xor(RleRow{{0, 4}}, RleRow{{4, 4}});
+  EXPECT_EQ(r.output.run_count(), 2u);
+  EXPECT_FALSE(r.output.is_canonical());
+  EXPECT_EQ(r.output.canonical(), (RleRow{{0, 8}}));
+}
+
+TEST(SequentialDiff, MatchesReferenceOnRandomInputs) {
+  Rng rng(601);
+  for (int trial = 0; trial < 80; ++trial) {
+    const pos_t width = rng.uniform(1, 250);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    const SequentialDiffResult r = sequential_xor(a, b);
+    EXPECT_EQ(r.output.canonical(), reference_xor(a, b, width))
+        << "trial " << trial;
+  }
+}
+
+TEST(SequentialDiff, IterationsScaleWithTotalRuns) {
+  // The paper: sequential time is proportional to k1 + k2 regardless of
+  // similarity.  Identical inputs — maximal similarity — still cost
+  // max(k1, k2) iterations, unlike the systolic machine's single iteration.
+  Rng rng(602);
+  const RleRow a = random_row(rng, 5000, 0.4);
+  const SequentialDiffResult same = sequential_xor(a, a);
+  EXPECT_EQ(same.iterations, a.run_count());
+  EXPECT_GT(same.iterations, 100u);  // genuinely linear in k
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,144 @@
+// Tests for the RLE image serialization formats.
+
+#include "rle/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+RleImage sample_image() {
+  Rng rng(51);
+  RowGenParams p;
+  p.width = 300;
+  return generate_image(rng, 12, p);
+}
+
+TEST(Serialize, BinaryRoundTrip) {
+  const RleImage img = sample_image();
+  std::stringstream ss;
+  write_rle(ss, img, RleFormat::kBinary);
+  EXPECT_EQ(read_rle(ss), img);
+}
+
+TEST(Serialize, TextRoundTrip) {
+  const RleImage img = sample_image();
+  std::stringstream ss;
+  write_rle(ss, img, RleFormat::kText);
+  EXPECT_EQ(read_rle(ss), img);
+}
+
+TEST(Serialize, EmptyImageRoundTrips) {
+  const RleImage img(0, 0);
+  for (const RleFormat f : {RleFormat::kText, RleFormat::kBinary}) {
+    std::stringstream ss;
+    write_rle(ss, img, f);
+    const RleImage back = read_rle(ss);
+    EXPECT_EQ(back.width(), 0);
+    EXPECT_EQ(back.height(), 0);
+  }
+}
+
+TEST(Serialize, FormatAutoDetected) {
+  const RleImage img = sample_image();
+  std::stringstream text, binary;
+  write_rle(text, img, RleFormat::kText);
+  write_rle(binary, img, RleFormat::kBinary);
+  EXPECT_NE(text.str(), binary.str());
+  EXPECT_EQ(read_rle(text), read_rle(binary));
+}
+
+TEST(Serialize, MagicBytesIdentifyFormat) {
+  const RleImage img = sample_image();
+  std::stringstream text, binary;
+  write_rle(text, img, RleFormat::kText);
+  write_rle(binary, img, RleFormat::kBinary);
+  EXPECT_EQ(text.str().substr(0, 4), "SRLT");
+  EXPECT_EQ(binary.str().substr(0, 4), "SRLB");
+  // Binary size is exactly predictable: magic + 3 header fields + per-row
+  // count + 2 fields per run, all 8 bytes.
+  std::size_t expected = 4 + 3 * 8;
+  for (pos_t y = 0; y < img.height(); ++y)
+    expected += 8 + 16 * img.row(y).run_count();
+  EXPECT_EQ(binary.str().size(), expected);
+}
+
+TEST(Serialize, RejectsUnknownMagic) {
+  std::stringstream ss("XXXX whatever");
+  EXPECT_THROW(read_rle(ss), contract_error);
+}
+
+TEST(Serialize, RejectsTruncatedBinary) {
+  const RleImage img = sample_image();
+  std::stringstream ss;
+  write_rle(ss, img, RleFormat::kBinary);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_rle(cut), contract_error);
+}
+
+TEST(Serialize, RejectsCorruptRuns) {
+  // Text image with an overlapping run pair.
+  std::stringstream ss("SRLT\n10 1\n2 0 5 3 4\n");
+  EXPECT_THROW(read_rle(ss), contract_error);
+  // Run exceeding the declared width.
+  std::stringstream ss2("SRLT\n10 1\n1 8 4\n");
+  EXPECT_THROW(read_rle(ss2), contract_error);
+}
+
+TEST(Serialize, FuzzCorruptionNeverCrashes) {
+  // Flip one byte at every position of a serialized image: the reader must
+  // either succeed (header-irrelevant bit) or throw contract_error — never
+  // crash, hang, or return quietly-wrong dimensions.
+  const RleImage img = sample_image();
+  for (const RleFormat f : {RleFormat::kBinary, RleFormat::kText}) {
+    std::stringstream ss;
+    write_rle(ss, img, f);
+    const std::string clean = ss.str();
+    // Stride through the stream to keep the test fast but cover header,
+    // row counts and run payloads.
+    for (std::size_t pos = 0; pos < clean.size(); pos += 7) {
+      for (const char flip : {'\x01', '\x80'}) {
+        std::string corrupt = clean;
+        corrupt[pos] = static_cast<char>(corrupt[pos] ^ flip);
+        std::stringstream in(corrupt);
+        try {
+          const RleImage back = read_rle(in);
+          // Accepted: must still be a structurally valid image.
+          EXPECT_GE(back.width(), 0);
+          EXPECT_GE(back.height(), 0);
+        } catch (const contract_error&) {
+          // Rejected cleanly: fine.
+        }
+      }
+    }
+  }
+}
+
+TEST(Serialize, FuzzTruncationAlwaysThrows) {
+  const RleImage img = sample_image();
+  std::stringstream ss;
+  write_rle(ss, img, RleFormat::kBinary);
+  const std::string clean = ss.str();
+  for (std::size_t keep = 4; keep + 8 < clean.size(); keep += 13) {
+    std::stringstream in(clean.substr(0, keep));
+    EXPECT_THROW(read_rle(in), contract_error) << "kept " << keep;
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const RleImage img = sample_image();
+  const std::string path = ::testing::TempDir() + "/sysrle_serialize_test.srl";
+  write_rle_file(path, img);
+  EXPECT_EQ(read_rle_file(path), img);
+  EXPECT_THROW(read_rle_file(path + ".missing"), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,71 @@
+// Tests for the statistics helpers.
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{10, 20, 30, 40};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yn{40, 30, 20, 10};
+  EXPECT_NEAR(pearson(x, yn), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(Pearson, LengthMismatchRejected) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1};
+  EXPECT_THROW(pearson(x, y), contract_error);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{2, 4, 6}), 4.0);
+}
+
+}  // namespace
+}  // namespace sysrle

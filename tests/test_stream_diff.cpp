@@ -1,0 +1,119 @@
+// Tests for the streaming (line-scan) diff API.
+
+#include "core/stream_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct Captured {
+  pos_t y;
+  RleRow diff;
+};
+
+TEST(StreamDiff, RowsArriveInOrderWithCorrectDiffs) {
+  Rng rng(1201);
+  RowGenParams p;
+  p.width = 800;
+  std::vector<Captured> captured;
+  ImageDiffOptions opts;
+  opts.canonicalize_output = true;
+  StreamDiffer differ(opts, [&](pos_t y, const RleRow& d) {
+    captured.push_back({y, d});
+  });
+
+  std::vector<RleRow> refs, scans;
+  for (int i = 0; i < 20; ++i) {
+    ErrorGenParams ep;
+    ep.error_fraction = 0.03;
+    const RowPairSample s = generate_pair(rng, p, ep);
+    refs.push_back(s.first);
+    scans.push_back(s.second);
+    differ.push_row(s.first, s.second);
+  }
+
+  ASSERT_EQ(captured.size(), 20u);
+  for (std::size_t i = 0; i < captured.size(); ++i) {
+    EXPECT_EQ(captured[i].y, static_cast<pos_t>(i));
+    EXPECT_EQ(captured[i].diff, xor_rows(refs[i], scans[i])) << "row " << i;
+  }
+}
+
+TEST(StreamDiff, SummaryAggregates) {
+  Rng rng(1202);
+  RowGenParams p;
+  p.width = 600;
+  len_t expected_pixels = 0;
+  StreamDiffer differ(ImageDiffOptions{},
+                      [](pos_t, const RleRow&) {});
+  for (int i = 0; i < 10; ++i) {
+    ErrorGenParams ep;
+    ep.error_fraction = 0.02;
+    const RowPairSample s = generate_pair(rng, p, ep);
+    expected_pixels += hamming_distance(s.first, s.second);
+    differ.push_row(s.first, s.second);
+  }
+  const StreamSummary& sum = differ.finish();
+  EXPECT_EQ(sum.rows, 10u);
+  EXPECT_EQ(sum.difference_pixels, expected_pixels);
+  EXPECT_GT(sum.counters.iterations, 0u);
+  EXPECT_GE(sum.counters.iterations, sum.max_row_iterations);
+}
+
+TEST(StreamDiff, PipelinedCyclesDominatedByLoadOnSimilarRows) {
+  // On near-identical rows iterations are tiny, so the double-buffered
+  // machine is load-bound: pipelined cycles ~ sum of run counts.
+  Rng rng(1203);
+  RowGenParams p;
+  p.width = 2000;
+  StreamDiffer differ(ImageDiffOptions{}, [](pos_t, const RleRow&) {});
+  cycle_t expected_load = 0;
+  for (int i = 0; i < 5; ++i) {
+    const RleRow row = generate_row(rng, p);
+    expected_load += 2 * row.run_count();
+    differ.push_row(row, row);
+  }
+  EXPECT_EQ(differ.finish().pipelined_cycles, expected_load);
+}
+
+TEST(StreamDiff, EnginesAgreeRowByRow) {
+  Rng rng(1204);
+  RowGenParams p;
+  p.width = 500;
+  ErrorGenParams ep;
+  ep.error_fraction = 0.10;
+  std::vector<RowPairSample> pairs;
+  for (int i = 0; i < 8; ++i) pairs.push_back(generate_pair(rng, p, ep));
+
+  std::vector<std::vector<RleRow>> results;
+  for (const DiffEngine engine :
+       {DiffEngine::kSystolic, DiffEngine::kBusSystolic,
+        DiffEngine::kSequentialMerge, DiffEngine::kParitySweep}) {
+    ImageDiffOptions opts;
+    opts.engine = engine;
+    opts.canonicalize_output = true;
+    std::vector<RleRow> rows;
+    StreamDiffer differ(opts, [&rows](pos_t, const RleRow& d) {
+      rows.push_back(d);
+    });
+    for (const auto& pr : pairs) differ.push_row(pr.first, pr.second);
+    results.push_back(std::move(rows));
+  }
+  for (std::size_t e = 1; e < results.size(); ++e)
+    EXPECT_EQ(results[e], results[0]) << "engine " << e;
+}
+
+TEST(StreamDiff, NullCallbackRejected) {
+  EXPECT_THROW(StreamDiffer(ImageDiffOptions{}, nullptr), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,75 @@
+// Tests for the Figure-3-style execution trace renderer.
+
+#include "systolic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sysrle {
+namespace {
+
+using RunT = ::sysrle::Run;  // avoid collision with testing::Test::Run
+
+std::vector<CellSnapshot> snap2(std::optional<RunT> s0, std::optional<RunT> b0,
+                                std::optional<RunT> s1, std::optional<RunT> b1) {
+  return {{s0, b0}, {s1, b1}};
+}
+
+TEST(Trace, EmptyRecorderRendersEmpty) {
+  const TraceRecorder rec;
+  EXPECT_EQ(rec.render(), "");
+}
+
+TEST(Trace, RecordsInitialAndSteps) {
+  TraceRecorder rec;
+  rec.record_initial(snap2(RunT{10, 3}, RunT{3, 4}, RunT{16, 2}, RunT{8, 5}));
+  rec.record(1, MicroStep::kOrder,
+             snap2(RunT{3, 4}, RunT{10, 3}, RunT{8, 5}, RunT{16, 2}));
+  EXPECT_EQ(rec.frame_count(), 2u);
+  const std::string s = rec.render();
+  EXPECT_NE(s.find("Initial"), std::string::npos);
+  EXPECT_NE(s.find("1.1"), std::string::npos);
+  EXPECT_NE(s.find("(10,3)"), std::string::npos);
+  EXPECT_NE(s.find("Cell0"), std::string::npos);
+  EXPECT_NE(s.find("Cell1"), std::string::npos);
+}
+
+TEST(Trace, StepLabelsUseIterationDotStep) {
+  TraceRecorder rec;
+  rec.record_initial(snap2(std::nullopt, std::nullopt, std::nullopt,
+                           std::nullopt));
+  rec.record(2, MicroStep::kXor, snap2(RunT{1, 1}, std::nullopt, std::nullopt,
+                                       std::nullopt));
+  rec.record(2, MicroStep::kShift, snap2(RunT{1, 1}, std::nullopt, std::nullopt,
+                                         std::nullopt));
+  const std::string s = rec.render(false);
+  EXPECT_NE(s.find("2.2"), std::string::npos);
+  EXPECT_NE(s.find("2.3"), std::string::npos);
+}
+
+TEST(Trace, ElidesUnchangedFrames) {
+  TraceRecorder rec;
+  const auto state = snap2(RunT{1, 1}, std::nullopt, std::nullopt, std::nullopt);
+  rec.record_initial(state);
+  rec.record(1, MicroStep::kOrder, state);   // unchanged
+  rec.record(1, MicroStep::kXor, state);     // unchanged
+  const std::string elided = rec.render(true);
+  const std::string full = rec.render(false);
+  EXPECT_EQ(elided.find("1.1"), std::string::npos);
+  EXPECT_NE(full.find("1.1"), std::string::npos);
+  EXPECT_NE(full.find("1.2"), std::string::npos);
+}
+
+TEST(Trace, BigRegisterLineOnlyWhenOccupied) {
+  TraceRecorder rec;
+  rec.record_initial(snap2(RunT{1, 1}, std::nullopt, RunT{5, 2}, std::nullopt));
+  const std::string s = rec.render();
+  // Exactly two lines: header + the RegSmall line (no RegBig line).
+  const auto lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(lines, 2);
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,131 @@
+// Tests for compressed-domain geometric transforms, cross-checked against
+// bitmap-space transforms.
+
+#include "rle/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/convert.hpp"
+#include "common/assert.hpp"
+#include "rle/encode.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using sysrle::testing::random_row;
+
+TEST(Transform, ShiftRowBothDirectionsAndClip) {
+  const RleRow row{{0, 3}, {8, 2}};
+  EXPECT_EQ(shift_row(row, 5, 10), (RleRow{{5, 3}}));          // right, clip
+  EXPECT_EQ(shift_row(row, -2, 10), (RleRow{{0, 1}, {6, 2}})); // left, clip
+  EXPECT_EQ(shift_row(row, 0, 10), row);
+  EXPECT_TRUE(shift_row(row, 100, 10).empty());
+  EXPECT_TRUE(shift_row(row, -100, 10).empty());
+}
+
+TEST(Transform, CropRowWindows) {
+  const RleRow row = encode_bitstring("0111001100");
+  EXPECT_EQ(crop_row(row, 0, 10), row);
+  EXPECT_EQ(crop_row(row, 2, 5), encode_bitstring("11001"));
+  EXPECT_EQ(crop_row(row, 4, 3), encode_bitstring("001"));
+  EXPECT_TRUE(crop_row(row, 4, 0).empty());
+  EXPECT_THROW(crop_row(row, -1, 2), contract_error);
+}
+
+TEST(Transform, ReflectRowIsInvolution) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const pos_t width = rng.uniform(1, 200);
+    const RleRow row = random_row(rng, width, 0.4);
+    const RleRow reflected = reflect_row(row, width);
+    EXPECT_EQ(reflect_row(reflected, width), row);
+    EXPECT_EQ(reflected.foreground_pixels(), row.foreground_pixels());
+    // Reference through strings.
+    std::string s = decode_bitstring(row, width);
+    std::reverse(s.begin(), s.end());
+    EXPECT_EQ(decode_bitstring(reflected, width), s);
+  }
+}
+
+TEST(Transform, ConcatRows) {
+  const RleRow left = encode_bitstring("110");
+  const RleRow right = encode_bitstring("011");
+  EXPECT_EQ(concat_rows(left, 3, right), encode_bitstring("110011"));
+  // Runs touching across the seam stay representable (adjacent runs).
+  const RleRow l2 = encode_bitstring("011");
+  const RleRow r2 = encode_bitstring("110");
+  const RleRow joined = concat_rows(l2, 3, r2);
+  EXPECT_EQ(joined.canonical(), encode_bitstring("011110"));
+}
+
+TEST(Transform, CropImageMatchesBitmapCrop) {
+  Rng rng(33);
+  RowGenParams p;
+  p.width = 120;
+  const RleImage img = generate_image(rng, 40, p);
+  const RleImage cropped = crop_image(img, 10, 5, 60, 20);
+  EXPECT_EQ(cropped.width(), 60);
+  EXPECT_EQ(cropped.height(), 20);
+  const BitmapImage full = rle_to_bitmap(img);
+  const BitmapImage sub = rle_to_bitmap(cropped);
+  for (pos_t y = 0; y < 20; ++y)
+    for (pos_t x = 0; x < 60; ++x)
+      ASSERT_EQ(sub.get(x, y), full.get(x + 10, y + 5)) << x << ',' << y;
+  EXPECT_THROW(crop_image(img, 100, 0, 60, 20), contract_error);
+}
+
+TEST(Transform, ReflectAndFlipImage) {
+  Rng rng(34);
+  RowGenParams p;
+  p.width = 64;
+  const RleImage img = generate_image(rng, 10, p);
+  const RleImage h = reflect_image_horizontal(img);
+  const RleImage v = flip_image_vertical(img);
+  EXPECT_EQ(reflect_image_horizontal(h), img);
+  EXPECT_EQ(flip_image_vertical(v), img);
+  EXPECT_EQ(v.row(0), img.row(9));
+  EXPECT_EQ(h.row(3), reflect_row(img.row(3), 64));
+}
+
+TEST(Transform, TransposeMatchesBitmapTranspose) {
+  Rng rng(35);
+  for (int trial = 0; trial < 10; ++trial) {
+    const pos_t w = rng.uniform(1, 80);
+    const pos_t h = rng.uniform(1, 80);
+    BitmapImage bmp(w, h);
+    for (pos_t y = 0; y < h; ++y)
+      for (pos_t x = 0; x < w; ++x)
+        if (rng.bernoulli(0.35)) bmp.set(x, y, true);
+    const RleImage img = bitmap_to_rle(bmp);
+    const RleImage t = transpose_image(img);
+    ASSERT_EQ(t.width(), h);
+    ASSERT_EQ(t.height(), w);
+    const BitmapImage tb = rle_to_bitmap(t);
+    for (pos_t y = 0; y < h; ++y)
+      for (pos_t x = 0; x < w; ++x)
+        ASSERT_EQ(tb.get(y, x), bmp.get(x, y))
+            << trial << ": " << x << ',' << y;
+  }
+}
+
+TEST(Transform, TransposeIsInvolution) {
+  Rng rng(36);
+  RowGenParams p;
+  p.width = 100;
+  const RleImage img = generate_image(rng, 37, p);
+  EXPECT_EQ(transpose_image(transpose_image(img)), img);
+}
+
+TEST(Transform, TransposeEmptyImage) {
+  const RleImage img(5, 3);
+  const RleImage t = transpose_image(img);
+  EXPECT_EQ(t.width(), 3);
+  EXPECT_EQ(t.height(), 5);
+  EXPECT_EQ(t.stats().foreground_pixels, 0);
+}
+
+}  // namespace
+}  // namespace sysrle

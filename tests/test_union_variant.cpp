@@ -1,0 +1,125 @@
+// Tests for the systolic union (OR) machine extension and the on-array
+// compaction built on it.
+
+#include "core/union_variant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rle/encode.hpp"
+#include "rle/ops.hpp"
+#include "test_util.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+using RunT = ::sysrle::Run;  // avoid collision with testing::Test::Run
+
+using sysrle::testing::random_row;
+
+TEST(SystolicOr, BasicCases) {
+  const RleRow a = encode_bitstring("1100");
+  const RleRow b = encode_bitstring("0110");
+  EXPECT_EQ(systolic_or(a, b).output.canonical(), encode_bitstring("1110"));
+  EXPECT_TRUE(systolic_or(RleRow{}, RleRow{}).output.empty());
+  EXPECT_EQ(systolic_or(a, RleRow{}).output, a);
+  EXPECT_EQ(systolic_or(RleRow{}, b).output, b);
+  EXPECT_EQ(systolic_or(a, a).output, a);
+}
+
+TEST(SystolicOr, CoveredRunIsAbsorbed) {
+  // A run of b entirely inside a longer run of a that settles to its left —
+  // the gather sweep must still produce valid, correct output.
+  const RleRow a{{0, 10}};
+  const RleRow b{{2, 2}, {5, 2}};
+  const UnionResult r = systolic_or(a, b);
+  EXPECT_EQ(r.output.canonical(), (RleRow{{0, 10}}));
+}
+
+TEST(SystolicOr, MatchesParitySweepOnRandomInputs) {
+  Rng rng(881);
+  for (int trial = 0; trial < 120; ++trial) {
+    const pos_t width = rng.uniform(1, 250);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    const UnionResult r = systolic_or(a, b);
+    ASSERT_EQ(r.output.canonical(), or_rows(a, b)) << "trial " << trial;
+    ASSERT_LE(r.counters.iterations, a.run_count() + b.run_count());
+  }
+}
+
+TEST(SystolicOr, ExhaustiveWidth6) {
+  for (unsigned va = 0; va < 64; ++va) {
+    std::string sa(6, '0'), sb(6, '0');
+    for (int i = 0; i < 6; ++i)
+      if (va & (1u << i)) sa[static_cast<std::size_t>(i)] = '1';
+    const RleRow a = encode_bitstring(sa);
+    for (unsigned vb = 0; vb < 64; ++vb) {
+      for (int i = 0; i < 6; ++i)
+        sb[static_cast<std::size_t>(i)] = (vb & (1u << i)) ? '1' : '0';
+      const RleRow b = encode_bitstring(sb);
+      ASSERT_EQ(systolic_or(a, b).output.canonical(), or_rows(a, b))
+          << sa << " | " << sb;
+    }
+  }
+}
+
+TEST(SystolicOr, HandlesNonCanonicalInputs) {
+  const RleRow a{{0, 3}, {3, 2}};   // adjacent input runs
+  const RleRow b{{10, 2}};
+  EXPECT_EQ(systolic_or(a, b).output.canonical(),
+            (RleRow{{0, 5}, {10, 2}}));
+}
+
+TEST(SystolicCompact, AlreadyCanonicalIsZeroPasses) {
+  const RleRow row{{0, 3}, {5, 2}};
+  const CompactPassResult r = systolic_compact(row);
+  EXPECT_EQ(r.passes, 0u);
+  EXPECT_EQ(r.output, row);
+}
+
+TEST(SystolicCompact, MergesOneAdjacency) {
+  const RleRow row{{0, 3}, {3, 4}};
+  const CompactPassResult r = systolic_compact(row);
+  EXPECT_EQ(r.output, (RleRow{{0, 7}}));
+  EXPECT_EQ(r.passes, 1u);
+}
+
+TEST(SystolicCompact, LongChainTakesLogPasses) {
+  // 64 mutually adjacent unit runs -> one run; passes <= ceil(log2 64)+1.
+  RleRow chain;
+  for (pos_t i = 0; i < 64; ++i) chain.push_back(RunT{i, 1});
+  const CompactPassResult r = systolic_compact(chain);
+  EXPECT_EQ(r.output, (RleRow{{0, 64}}));
+  EXPECT_GE(r.passes, 2u);
+  EXPECT_LE(r.passes, 7u);
+}
+
+TEST(SystolicCompact, MixedChainsAndGaps) {
+  Rng rng(883);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random row, then split runs into unit fragments to force adjacency.
+    const pos_t width = rng.uniform(2, 150);
+    const RleRow base = random_row(rng, width, 0.5);
+    RleRow fragmented;
+    for (const RunT& r : base)
+      for (pos_t p = r.start; p <= r.end(); ++p)
+        fragmented.push_back(RunT{p, 1});
+    const CompactPassResult r = systolic_compact(fragmented);
+    ASSERT_EQ(r.output, base.canonical()) << "trial " << trial;
+    ASSERT_TRUE(r.output.is_canonical());
+  }
+}
+
+TEST(SystolicCompact, CountersAccumulateAcrossPasses) {
+  RleRow chain;
+  for (pos_t i = 0; i < 16; ++i) chain.push_back(RunT{i * 2, 2});
+  // All adjacent (each run of 2 touches the next at even offsets).
+  const CompactPassResult r = systolic_compact(chain);
+  EXPECT_EQ(r.output, (RleRow{{0, 32}}));
+  EXPECT_GT(r.counters.iterations, 0u);
+  EXPECT_GT(r.counters.xors, 0u);  // hull merges happened
+}
+
+}  // namespace
+}  // namespace sysrle

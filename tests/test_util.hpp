@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the sysrle test suite.
+
+#include <string>
+
+#include "rle/encode.hpp"
+#include "rle/rle_row.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle::testing {
+
+/// Generates a random bitstring row of the given width and foreground
+/// probability, returned in RLE form (canonical by construction).
+inline RleRow random_row(Rng& rng, pos_t width, double density) {
+  std::string bits(static_cast<std::size_t>(width), '0');
+  for (auto& c : bits)
+    if (rng.bernoulli(density)) c = '1';
+  return encode_bitstring(bits);
+}
+
+/// Reference XOR through uncompressed strings — deliberately independent of
+/// every compressed-domain code path under test.
+inline RleRow reference_xor(const RleRow& a, const RleRow& b, pos_t width) {
+  const std::string sa = decode_bitstring(a, width);
+  const std::string sb = decode_bitstring(b, width);
+  std::string out(static_cast<std::size_t>(width), '0');
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = sa[i] != sb[i] ? '1' : '0';
+  return encode_bitstring(out);
+}
+
+}  // namespace sysrle::testing

@@ -1,0 +1,89 @@
+// Tests for the untrusted run-sequence validator.
+
+#include "rle/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sysrle {
+namespace {
+
+using RunT = ::sysrle::Run;  // avoid collision with testing::Test::Run
+
+TEST(Validate, CleanSequence) {
+  const std::vector<RunT> runs{{0, 3}, {5, 2}, {10, 1}};
+  const auto report = validate_runs(runs);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.to_string(), "ok");
+}
+
+TEST(Validate, EmptySequenceIsClean) {
+  EXPECT_TRUE(validate_runs({}).ok());
+}
+
+TEST(Validate, FlagsNonPositiveLength) {
+  const std::vector<RunT> runs{{0, 0}};
+  const auto report = validate_runs(runs);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].issue, RowIssue::kNonPositiveLength);
+  EXPECT_EQ(report.findings[0].run_index, 0u);
+}
+
+TEST(Validate, FlagsNegativeStart) {
+  const std::vector<RunT> runs{{-2, 3}};
+  const auto report = validate_runs(runs);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].issue, RowIssue::kNegativeStart);
+}
+
+TEST(Validate, FlagsOutOfOrder) {
+  const std::vector<RunT> runs{{10, 2}, {5, 2}};
+  const auto report = validate_runs(runs);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].issue, RowIssue::kOutOfOrder);
+  EXPECT_EQ(report.findings[0].run_index, 1u);
+}
+
+TEST(Validate, FlagsOverlap) {
+  const std::vector<RunT> runs{{5, 5}, {8, 2}};
+  const auto report = validate_runs(runs);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].issue, RowIssue::kOverlap);
+}
+
+TEST(Validate, FlagsWidthViolation) {
+  const std::vector<RunT> runs{{8, 4}};
+  ValidateOptions opts;
+  opts.width = 10;
+  const auto report = validate_runs(runs, opts);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].issue, RowIssue::kExceedsWidth);
+}
+
+TEST(Validate, AdjacencyOnlyWhenCanonicalRequired) {
+  const std::vector<RunT> runs{{0, 5}, {5, 2}};
+  EXPECT_TRUE(validate_runs(runs).ok());
+  ValidateOptions opts;
+  opts.require_canonical = true;
+  const auto report = validate_runs(runs, opts);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].issue, RowIssue::kNotCanonical);
+}
+
+TEST(Validate, ReportsMultipleFindings) {
+  const std::vector<RunT> runs{{-1, 0}, {5, 2}, {4, 2}};
+  const auto report = validate_runs(runs);
+  EXPECT_GE(report.findings.size(), 3u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string(), "ok");
+}
+
+TEST(Validate, IssueNamesAreDistinct) {
+  EXPECT_NE(to_string(RowIssue::kOverlap), to_string(RowIssue::kOutOfOrder));
+  EXPECT_NE(to_string(RowIssue::kNonPositiveLength),
+            to_string(RowIssue::kNegativeStart));
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -1,0 +1,13 @@
+// Entry point for the `sysrle` command-line tool; all logic lives in the
+// testable sysrle_cli library.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return sysrle::run_cli(args, std::cout, std::cerr);
+}
