@@ -11,6 +11,8 @@
 #include "bitmap/convert.hpp"
 #include "bitmap/pbm_io.hpp"
 #include "common/assert.hpp"
+#include "common/fixed_table.hpp"
+#include "core/campaign.hpp"
 #include "core/image_diff.hpp"
 #include "core/systolic_diff.hpp"
 #include "inspect/pipeline.hpp"
@@ -29,6 +31,35 @@ namespace {
 
 [[noreturn]] void usage_error(const std::string& message) {
   throw contract_error("usage: " + message);
+}
+
+/// Parses a whole string as a signed integer; anything else — garbage,
+/// trailing junk, overflow — is a usage error, never a crash.
+std::int64_t parse_i64(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    usage_error(what + " expects an integer (got '" + text + "')");
+  }
+  if (used != text.size())
+    usage_error(what + " expects an integer (got '" + text + "')");
+  return v;
+}
+
+/// Same contract as parse_i64, for floating point values.
+double parse_f64(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    usage_error(what + " expects a number (got '" + text + "')");
+  }
+  if (used != text.size())
+    usage_error(what + " expects a number (got '" + text + "')");
+  return v;
 }
 
 /// Loads an image file, auto-detecting PBM vs sysrle RLE by magic bytes.
@@ -101,13 +132,13 @@ class ArgParser {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return fallback;
-    return std::stoll(it->second);
+    return parse_i64(it->second, key);
   }
 
   double get_double(const std::string& key, double fallback) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return fallback;
-    return std::stod(it->second);
+    return parse_f64(it->second, key);
   }
 
  private:
@@ -244,8 +275,8 @@ RleRow parse_run_list(const std::string& text) {
     const std::size_t comma = item.find(',');
     SYSRLE_REQUIRE(comma != std::string::npos,
                    "run list items must be start,length (got '" + item + "')");
-    runs.emplace_back(std::stoll(item.substr(0, comma)),
-                      std::stoll(item.substr(comma + 1)));
+    runs.emplace_back(parse_i64(item.substr(0, comma), "run start"),
+                      parse_i64(item.substr(comma + 1), "run length"));
   }
   return RleRow(std::move(runs));
 }
@@ -274,6 +305,92 @@ int cmd_trace(ArgParser& args, std::ostream& out) {
       << a.run_count() + b.run_count() << ", Observation bound "
       << r.output.run_count() + 1 << ")\n";
   return 0;
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  if (name == "no-swap") return FaultKind::kNoSwap;
+  if (name == "corrupt-xor-end") return FaultKind::kCorruptXorEnd;
+  if (name == "drop-shift") return FaultKind::kDropShift;
+  if (name == "stuck-complete-high") return FaultKind::kStuckCompleteHigh;
+  usage_error("unknown fault kind '" + name +
+              "' (no-swap|corrupt-xor-end|drop-shift|stuck-complete-high)");
+}
+
+FaultActivation parse_fault_activation(const std::string& name) {
+  if (name == "permanent") return FaultActivation::kPermanent;
+  if (name == "transient") return FaultActivation::kTransient;
+  if (name == "intermittent") return FaultActivation::kIntermittent;
+  usage_error("unknown fault model '" + name +
+              "' (permanent|transient|intermittent)");
+}
+
+int cmd_campaign(ArgParser& args, std::ostream& out) {
+  args.parse({"--rows", "--width", "--seed", "--error", "--kind", "--model",
+              "--retries", "--cell-stride"});
+  if (!args.positional().empty())
+    usage_error("campaign [--rows N] [--width W] [--seed S] [--error F] "
+                "[--kind K] [--model M] [--retries R] [--cell-stride N] "
+                "[--no-fallback] [--csv]");
+  const std::int64_t rows = args.get_int("--rows", 16);
+  const std::int64_t width = args.get_int("--width", 512);
+  if (rows < 1) usage_error("--rows must be >= 1");
+  if (width < 1) usage_error("--width must be >= 1");
+  const double error_fraction = args.get_double("--error", 0.02);
+  if (error_fraction < 0.0 || error_fraction > 1.0)
+    usage_error("--error must be in [0, 1]");
+  const std::int64_t seed = args.get_int("--seed", 42);
+  const std::int64_t retries = args.get_int("--retries", 2);
+  if (retries < 0) usage_error("--retries must be >= 0");
+  const std::int64_t stride = args.get_int("--cell-stride", 1);
+  if (stride < 1) usage_error("--cell-stride must be >= 1");
+
+  // Reference rows plus error-injected scans, like the paper's experiments.
+  Rng rng(static_cast<std::uint64_t>(seed));
+  RowGenParams gp;
+  gp.width = width;
+  RleImage a = generate_image(rng, rows, gp);
+  RleImage b(width, rows);
+  ErrorGenParams ep;
+  ep.error_fraction = error_fraction;
+  for (pos_t y = 0; y < rows; ++y)
+    b.set_row(y, inject_errors(rng, a.row(y), width, ep));
+
+  CampaignConfig cfg;
+  if (args.has("--kind"))
+    cfg.kinds.push_back(parse_fault_kind(args.get("--kind", "")));
+  if (args.has("--model"))
+    cfg.activations.push_back(
+        parse_fault_activation(args.get("--model", "")));
+  cfg.policy.max_retries = static_cast<int>(retries);
+  cfg.policy.fallback_to_sequential = !args.has("--no-fallback");
+  cfg.cell_stride = static_cast<std::size_t>(stride);
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  const CampaignResult r = run_fault_campaign(a, b, cfg);
+
+  FixedTable table;
+  table.set_header({"fault", "model", "trials", "clean", "detected",
+                    "retried", "fell-back", "unrecovered", "silent",
+                    "wasted-cycles"});
+  auto add = [&table](const std::string& fault, const std::string& model,
+                      const CampaignCounts& c) {
+    table.add_row({fault, model, FixedTable::num(c.trials),
+                   FixedTable::num(c.clean), FixedTable::num(c.detected),
+                   FixedTable::num(c.recovered_by_retry),
+                   FixedTable::num(c.fell_back),
+                   FixedTable::num(c.unrecovered),
+                   FixedTable::num(c.silent_corruptions),
+                   FixedTable::num(c.wasted_cycles)});
+  };
+  for (const CampaignResult::Group& g : r.groups)
+    add(to_string(g.kind), to_string(g.activation), g.counts);
+  add("total", "*", r.total);
+  out << (args.has("--csv") ? table.csv() : table.str());
+  out << "verdict: "
+      << (r.all_recovered() ? "all faults contained"
+                            : "RESILIENCE GAP (silent corruption or "
+                              "unrecovered rows)")
+      << '\n';
+  return r.all_recovered() ? 0 : 1;
 }
 
 int cmd_verilog(ArgParser& args, std::ostream& out) {
@@ -318,6 +435,11 @@ void print_help(std::ostream& out) {
          "      emit synthesizable RTL for the Figure-2 machine.\n"
          "  trace \"<s,l> <s,l> ...\" \"<s,l> ...\" [--cells N]\n"
          "      print a Figure-3-style execution trace for two rows.\n"
+         "  campaign [--rows N] [--width W] [--seed S] [--error F]\n"
+         "      [--kind K] [--model M] [--retries R] [--cell-stride N]\n"
+         "      [--no-fallback] [--csv]\n"
+         "      fault-injection campaign through the checked engine;\n"
+         "      exit 1 on silent corruption or unrecovered rows.\n"
          "  help                 this message.\n\n"
          "engines: systolic (default) | bus | sequential | sweep | pixel\n"
          "formats: auto-detected on read; chosen by extension on write\n"
@@ -342,9 +464,13 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "stats") return cmd_stats(rest, out);
     if (command == "verilog") return cmd_verilog(rest, out);
     if (command == "trace") return cmd_trace(rest, out);
+    if (command == "campaign") return cmd_campaign(rest, out);
     usage_error("unknown command '" + command + "' (try: sysrle help)");
   } catch (const std::exception& e) {
     err << "sysrle: " << e.what() << '\n';
+    return 2;
+  } catch (...) {
+    err << "sysrle: unknown error\n";
     return 2;
   }
 }

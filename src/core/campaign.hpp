@@ -1,0 +1,86 @@
+#pragma once
+// Fault-injection campaign harness: sweeps FaultKind × activation × cell ×
+// row over a workload, runs every trial through the checked engine
+// (core/checked_diff), and aggregates what the resilience layer achieved —
+// how many faults were detected, recovered by retry, absorbed by fallback,
+// and, the number that must be zero, how many corrupted a row silently or
+// left it uncomputed.  This is the experiment that certifies the combination
+// "section-4 checkers + watchdog + retry + sequential fallback" as a
+// fault-tolerant execution layer; `sysrle campaign` is its CLI face.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/checked_diff.hpp"
+#include "core/faults.hpp"
+#include "rle/rle_image.hpp"
+
+namespace sysrle {
+
+/// Campaign sweep configuration.
+struct CampaignConfig {
+  /// Fault kinds to inject (empty = all four).
+  std::vector<FaultKind> kinds;
+
+  /// Activation regimes to sweep (empty = all three).
+  std::vector<FaultActivation> activations;
+
+  /// Recovery policy handed to the checked engine for every trial.
+  RecoveryPolicy policy;
+
+  /// Inject into every cell_stride-th cell of each row's array (1 = every
+  /// cell).  Raising the stride thins the sweep for quick smoke runs.
+  std::size_t cell_stride = 1;
+
+  /// Seeds the transient windows and intermittent coin flips.
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated trial outcomes.
+struct CampaignCounts {
+  std::uint64_t trials = 0;
+  /// The fault never fired observably; first attempt accepted.
+  std::uint64_t clean = 0;
+  /// At least one attempt saw a checker detection or watchdog timeout.
+  std::uint64_t detected = 0;
+  /// Accepted on a retry after a detection.
+  std::uint64_t recovered_by_retry = 0;
+  /// Computed by the sequential fallback engine.
+  std::uint64_t fell_back = 0;
+  /// No engine produced the row (possible only with fallback disabled).
+  std::uint64_t unrecovered = 0;
+  /// Accepted output differed from ground truth — a checker gap.  The
+  /// acceptance bar for the resilience layer is zero.
+  std::uint64_t silent_corruptions = 0;
+  /// Extra systolic cycles burned on failed attempts (the recovery tax).
+  cycle_t wasted_cycles = 0;
+
+  CampaignCounts& operator+=(const CampaignCounts& o);
+};
+
+/// Campaign outcome: totals plus a per-(kind, activation) breakdown.
+struct CampaignResult {
+  CampaignCounts total;
+
+  struct Group {
+    FaultKind kind;
+    FaultActivation activation;
+    CampaignCounts counts;
+  };
+  std::vector<Group> groups;
+
+  /// True when every injected fault was either harmless, retried away, or
+  /// absorbed by fallback — and nothing was silently wrong.
+  bool all_recovered() const {
+    return total.silent_corruptions == 0 && total.unrecovered == 0;
+  }
+};
+
+/// Runs the sweep over every row pair of the two images (dimensions must
+/// match).  For each (row, kind, activation) the fault is planted in every
+/// cell_stride-th cell of that row's array; each trial's accepted output is
+/// judged against the ground-truth XOR computed independently.
+CampaignResult run_fault_campaign(const RleImage& a, const RleImage& b,
+                                  const CampaignConfig& config = {});
+
+}  // namespace sysrle

@@ -7,7 +7,6 @@
 #include "common/assert.hpp"
 #include "core/invariants.hpp"
 #include "rle/ops.hpp"
-#include "systolic/linear_array.hpp"
 
 namespace sysrle {
 
@@ -25,98 +24,154 @@ const char* to_string(FaultKind kind) {
   return "unknown";
 }
 
+const char* to_string(FaultActivation activation) {
+  switch (activation) {
+    case FaultActivation::kPermanent:
+      return "permanent";
+    case FaultActivation::kTransient:
+      return "transient";
+    case FaultActivation::kIntermittent:
+      return "intermittent";
+  }
+  return "unknown";
+}
+
+FaultArbiter::FaultArbiter(const FaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  if (spec_.activation == FaultActivation::kIntermittent)
+    SYSRLE_REQUIRE(spec_.probability >= 0.0 && spec_.probability <= 1.0,
+                   "FaultArbiter: intermittent probability outside [0, 1]");
+}
+
+bool FaultArbiter::next() {
+  ++cycle_;
+  switch (spec_.activation) {
+    case FaultActivation::kPermanent:
+      return true;
+    case FaultActivation::kTransient:
+      return cycle_ >= spec_.window_start &&
+             cycle_ < spec_.window_start + spec_.window_length;
+    case FaultActivation::kIntermittent:
+      return rng_.bernoulli(spec_.probability);
+  }
+  return false;
+}
+
+FaultyDiffMachine::FaultyDiffMachine(const RleRow& a, const RleRow& b,
+                                     const FaultSpec& fault)
+    : fault_(fault),
+      array_(std::max<std::size_t>(a.run_count() + b.run_count() + 1, 1)) {
+  SYSRLE_REQUIRE(fault_.cell < array_.size(),
+                 "FaultyDiffMachine: fault cell out of range");
+  for (std::size_t i = 0; i < a.run_count(); ++i)
+    array_.cell(i).load_small(a[i]);
+  for (std::size_t i = 0; i < b.run_count(); ++i)
+    array_.cell(i).load_big(b[i]);
+}
+
+bool FaultyDiffMachine::terminated(bool fault_active) const {
+  const bool stuck =
+      fault_active && fault_.kind == FaultKind::kStuckCompleteHigh;
+  for (cell_index_t i = 0; i < array_.size(); ++i) {
+    if (stuck && i == fault_.cell) continue;  // the stuck line reports done
+    if (!array_.cell(i).complete()) return false;
+  }
+  return true;
+}
+
+void FaultyDiffMachine::step(bool fault_active) {
+  ++iterations_;
+  const std::size_t n = array_.size();
+  auto hit = [&](FaultKind kind, cell_index_t i) {
+    return fault_active && fault_.kind == kind && i == fault_.cell;
+  };
+
+  // Step 1 — order, with the comparator fault suppressing the swap (the
+  // promotion path is a separate datapath and still works).
+  for (cell_index_t i = 0; i < n; ++i) {
+    DiffCell& c = array_.cell(i);
+    if (hit(FaultKind::kNoSwap, i)) {
+      if (!c.reg_small() && c.reg_big()) {
+        c.load_small(c.take_big());
+      }
+      continue;  // swap suppressed
+    }
+    c.order();
+  }
+
+  // Step 2 — XOR, with the min-unit fault stretching RegSmall by one.
+  for (cell_index_t i = 0; i < n; ++i) {
+    DiffCell& c = array_.cell(i);
+    const bool both = c.reg_small() && c.reg_big();
+    if (hit(FaultKind::kNoSwap, i) && both) {
+      // Run the datapath even on unordered registers, as the broken
+      // hardware would: emulate by applying the step-2 formulas manually.
+      const Run s = *c.reg_small();
+      const Run g = *c.reg_big();
+      const pos_t old_small_end = s.end();
+      const pos_t new_small_end = std::min(old_small_end, g.start - 1);
+      const pos_t new_big_start =
+          std::min(g.end() + 1, std::max(old_small_end + 1, g.start));
+      const pos_t new_big_end = std::max(old_small_end, g.end());
+      c.load_small(new_small_end >= s.start
+                       ? std::optional<Run>(Run::from_bounds(s.start, new_small_end))
+                       : std::nullopt);
+      c.load_big(new_big_end >= new_big_start
+                     ? std::optional<Run>(Run::from_bounds(new_big_start, new_big_end))
+                     : std::nullopt);
+      continue;
+    }
+    c.xor_step();
+    if (hit(FaultKind::kCorruptXorEnd, i) && c.reg_small()) {
+      const Run s = *c.reg_small();
+      c.load_small(Run{s.start, s.length + 1});
+    }
+  }
+
+  // Step 3 — shift right, with the dead output register dropping its run.
+  std::optional<Run> carry;
+  for (cell_index_t i = 0; i < n; ++i) {
+    std::optional<Run> outgoing = array_.cell(i).take_big();
+    if (hit(FaultKind::kDropShift, i)) outgoing.reset();
+    array_.cell(i).load_big(carry);
+    carry = outgoing;
+  }
+  // carry leaving the last cell is discarded (would be checked in the
+  // healthy machine; a faulty machine gets no such courtesy).
+}
+
+RleRow FaultyDiffMachine::gather_output() const {
+  std::vector<Run> runs;
+  for (cell_index_t i = 0; i < array_.size(); ++i)
+    if (array_.cell(i).reg_small()) runs.push_back(*array_.cell(i).reg_small());
+  return RleRow(std::move(runs));  // validates ordering/overlap
+}
+
 FaultOutcome run_with_fault(const RleRow& a, const RleRow& b,
                             const FaultSpec& fault) {
   const std::size_t k1 = a.run_count();
   const std::size_t k2 = b.run_count();
-  const std::size_t n = std::max<std::size_t>(k1 + k2 + 1, 1);
-  SYSRLE_REQUIRE(fault.cell < n, "run_with_fault: fault cell out of range");
 
-  LinearArray<DiffCell> array(n);
-  for (std::size_t i = 0; i < k1; ++i) array.cell(i).load_small(a[i]);
-  for (std::size_t i = 0; i < k2; ++i) array.cell(i).load_big(b[i]);
-
+  FaultyDiffMachine machine(a, b, fault);
+  FaultArbiter arbiter(fault);
   const InvariantContext ctx = make_invariant_context(a, b);
   FaultOutcome outcome;
   const cycle_t limit = 2 * static_cast<cycle_t>(k1 + k2) + 4;
 
-  auto cell_complete = [&](cell_index_t i) {
-    if (fault.kind == FaultKind::kStuckCompleteHigh && i == fault.cell)
-      return true;  // the stuck line always reports done
-    return array.cell(i).complete();
-  };
-  auto terminated = [&] {
-    for (cell_index_t i = 0; i < n; ++i)
-      if (!cell_complete(i)) return false;
-    return true;
-  };
-
-  while (!terminated()) {
-    if (outcome.iterations >= limit) {
+  while (true) {
+    const bool active = arbiter.next();
+    if (machine.terminated(active)) break;
+    if (machine.iterations() >= limit) {
       outcome.timed_out = true;
       break;
     }
-    ++outcome.iterations;
-
-    // Step 1 — order, with the comparator fault suppressing the swap (the
-    // promotion path is a separate datapath and still works).
-    for (cell_index_t i = 0; i < n; ++i) {
-      DiffCell& c = array.cell(i);
-      if (fault.kind == FaultKind::kNoSwap && i == fault.cell) {
-        if (!c.reg_small() && c.reg_big()) {
-          c.load_small(c.take_big());
-        }
-        continue;  // swap suppressed
-      }
-      c.order();
-    }
-
-    // Step 2 — XOR, with the min-unit fault stretching RegSmall by one.
-    for (cell_index_t i = 0; i < n; ++i) {
-      DiffCell& c = array.cell(i);
-      const bool both = c.reg_small() && c.reg_big();
-      if (fault.kind == FaultKind::kNoSwap && i == fault.cell && both) {
-        // Run the datapath even on unordered registers, as the broken
-        // hardware would: emulate by applying the step-2 formulas manually.
-        const Run s = *c.reg_small();
-        const Run g = *c.reg_big();
-        const pos_t old_small_end = s.end();
-        const pos_t new_small_end = std::min(old_small_end, g.start - 1);
-        const pos_t new_big_start =
-            std::min(g.end() + 1, std::max(old_small_end + 1, g.start));
-        const pos_t new_big_end = std::max(old_small_end, g.end());
-        c.load_small(new_small_end >= s.start
-                         ? std::optional<Run>(Run::from_bounds(s.start, new_small_end))
-                         : std::nullopt);
-        c.load_big(new_big_end >= new_big_start
-                       ? std::optional<Run>(Run::from_bounds(new_big_start, new_big_end))
-                       : std::nullopt);
-        continue;
-      }
-      c.xor_step();
-      if (fault.kind == FaultKind::kCorruptXorEnd && i == fault.cell &&
-          c.reg_small()) {
-        const Run s = *c.reg_small();
-        c.load_small(Run{s.start, s.length + 1});
-      }
-    }
-
-    // Step 3 — shift right, with the dead output register dropping its run.
-    std::optional<Run> carry;
-    for (cell_index_t i = 0; i < n; ++i) {
-      std::optional<Run> outgoing = array.cell(i).take_big();
-      if (fault.kind == FaultKind::kDropShift && i == fault.cell)
-        outgoing.reset();
-      array.cell(i).load_big(carry);
-      carry = outgoing;
-    }
-    // carry leaving the last cell is discarded (would be checked in the
-    // healthy machine; a faulty machine gets no such courtesy).
+    machine.step(active);
+    outcome.iterations = machine.iterations();
 
     // Online self-test: the section-4 checkers.
     if (!outcome.detected_by_invariants) {
       try {
-        check_end_of_iteration(array, ctx, outcome.iterations);
+        check_end_of_iteration(machine.array(), ctx, machine.iterations());
       } catch (const contract_error&) {
         outcome.detected_by_invariants = true;
       }
@@ -127,8 +182,9 @@ FaultOutcome run_with_fault(const RleRow& a, const RleRow& b,
   // wrong output AND detection, since a real controller validates).
   try {
     std::vector<Run> runs;
-    for (cell_index_t i = 0; i < n; ++i)
-      if (array.cell(i).reg_small()) runs.push_back(*array.cell(i).reg_small());
+    for (cell_index_t i = 0; i < machine.array().size(); ++i)
+      if (machine.array().cell(i).reg_small())
+        runs.push_back(*machine.array().cell(i).reg_small());
     const RleRow out = xor_run_multiset(std::move(runs));
     outcome.wrong_output = out != ctx.expected_xor.canonical();
   } catch (const contract_error&) {
@@ -137,7 +193,7 @@ FaultOutcome run_with_fault(const RleRow& a, const RleRow& b,
   }
   if (!outcome.detected_by_invariants) {
     try {
-      check_final_state(array, ctx);
+      check_final_state(machine.array(), ctx);
     } catch (const contract_error&) {
       outcome.detected_by_invariants = true;
     }

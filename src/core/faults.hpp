@@ -3,14 +3,20 @@
 //
 // A real array of this design would be built from thousands of identical
 // cells; single-cell defects (a stuck comparator, a dead shift register, a
-// stuck completion line) are the realistic failure mode.  This module runs
-// the algorithm with one injected fault and reports whether the section-4
-// invariant checkers catch it — turning the paper's correctness theorems
-// into an online self-test, and doubling as mutation testing for the
-// checkers themselves.
+// stuck completion line) are the realistic failure mode.  This module models
+// those defects under three activation regimes — permanent (manufacturing
+// defect), transient (particle strike / supply glitch: a window of cycles),
+// and intermittent (marginal contact: each cycle with probability p) — and
+// runs the algorithm with one injected fault, reporting whether the
+// section-4 invariant checkers catch it.  That turns the paper's correctness
+// theorems into an online self-test and doubles as mutation testing for the
+// checkers themselves; core/checked_diff builds the recovery story
+// (retry / fallback) on top of the same machinery.
 
 #include "core/diff_cell.hpp"
 #include "rle/rle_row.hpp"
+#include "systolic/linear_array.hpp"
+#include "workload/rng.hpp"
 
 namespace sysrle {
 
@@ -25,10 +31,83 @@ enum class FaultKind {
 /// Human-readable fault name.
 const char* to_string(FaultKind kind);
 
-/// Which fault to inject where.
+/// When the injected fault is active.
+enum class FaultActivation {
+  kPermanent,     ///< every cycle — a manufacturing defect
+  kTransient,     ///< a window of consecutive cycles — an SEU or glitch
+  kIntermittent,  ///< each cycle independently with probability p
+};
+
+/// Human-readable activation name.
+const char* to_string(FaultActivation activation);
+
+/// Which fault to inject where, and when it is active.
 struct FaultSpec {
   FaultKind kind = FaultKind::kNoSwap;
   cell_index_t cell = 0;
+  FaultActivation activation = FaultActivation::kPermanent;
+
+  /// kTransient: active for global cycles
+  /// [window_start, window_start + window_length) — cycle numbers are
+  /// 1-based and count across machine restarts, so a retried row can
+  /// observe the glitch having cleared.
+  cycle_t window_start = 1;
+  cycle_t window_length = 2;
+
+  /// kIntermittent: per-cycle activation probability and RNG seed
+  /// (deterministic via workload/rng, like every experiment here).
+  double probability = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Decides, cycle by cycle, whether a fault is active.  The cycle counter is
+/// global: it keeps advancing across machine restarts, which is what lets a
+/// retry recover from a transient fault (the window has passed) and gives an
+/// intermittent fault a fresh coin flip every cycle of every attempt.
+class FaultArbiter {
+ public:
+  explicit FaultArbiter(const FaultSpec& spec);
+
+  /// Consumes one global cycle; returns whether the fault is active in it.
+  bool next();
+
+  /// Global cycles consumed so far.
+  cycle_t cycles() const { return cycle_; }
+
+ private:
+  FaultSpec spec_;
+  cycle_t cycle_ = 0;
+  Rng rng_;
+};
+
+/// The systolic diff machine with one fault wired into its datapath.  Each
+/// step takes the fault's activity for that cycle; with `fault_active` false
+/// everywhere the machine is exactly the healthy one.  Exposed so
+/// core/checked_diff can drive it step by step with checkers and a watchdog.
+class FaultyDiffMachine {
+ public:
+  /// Loads the rows exactly like SystolicDiffMachine (capacity k1 + k2 + 1).
+  FaultyDiffMachine(const RleRow& a, const RleRow& b, const FaultSpec& fault);
+
+  /// Wired-AND of the completion lines; a stuck-high C line lies when the
+  /// fault is active this cycle.
+  bool terminated(bool fault_active) const;
+
+  /// One order/xor/shift iteration with the fault active or dormant.
+  void step(bool fault_active);
+
+  /// Gathers the RegSmall lane; throws contract_error if the gathered runs
+  /// are not a valid row (a real controller validates its DMA-out).
+  RleRow gather_output() const;
+
+  const LinearArray<DiffCell>& array() const { return array_; }
+  cycle_t iterations() const { return iterations_; }
+  std::size_t capacity() const { return array_.size(); }
+
+ private:
+  FaultSpec fault_;
+  LinearArray<DiffCell> array_;
+  cycle_t iterations_ = 0;
 };
 
 /// What happened when running with the fault.

@@ -1,7 +1,7 @@
 #include "core/machine_farm.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -9,37 +9,106 @@
 
 namespace sysrle {
 
+namespace {
+
+/// Sentinel death time for machines that never fail.
+constexpr cycle_t kNever = std::numeric_limits<cycle_t>::max();
+
+}  // namespace
+
 FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
                              const FarmConfig& config) {
   SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
                  "simulate_row_farm: image dimensions differ");
   SYSRLE_REQUIRE(config.machines >= 1, "simulate_row_farm: need >= 1 machine");
 
-  // Measure per-row service times with the real simulator.
-  std::vector<cycle_t> service;
-  service.reserve(static_cast<std::size_t>(a.height()));
-  for (pos_t y = 0; y < a.height(); ++y) {
-    const SystolicResult r = systolic_xor(a.row(y), b.row(y));
-    service.push_back(r.counters.iterations + config.per_row_overhead);
+  std::vector<cycle_t> death(config.machines, kNever);
+  for (const MachineFailure& f : config.failures) {
+    SYSRLE_REQUIRE(f.machine < config.machines,
+                   "simulate_row_farm: failure names an unknown machine");
+    death[f.machine] = std::min(death[f.machine], f.at_cycle);
   }
+
+  // Measure per-row service times with the real simulator, and keep the
+  // outputs: a re-dispatched row is recomputed from its unchanged inputs, so
+  // the image-level result is failure-independent.
+  FarmResult result;
+  std::vector<cycle_t> service;
+  std::vector<RleRow> diff_rows;
+  service.reserve(static_cast<std::size_t>(a.height()));
+  diff_rows.reserve(static_cast<std::size_t>(a.height()));
+  for (pos_t y = 0; y < a.height(); ++y) {
+    SystolicResult r = systolic_xor(a.row(y), b.row(y));
+    service.push_back(r.counters.iterations + config.per_row_overhead);
+    r.output.canonicalize();
+    diff_rows.push_back(std::move(r.output));
+  }
+  result.diff = RleImage(a.width(), std::move(diff_rows));
 
   if (config.policy == FarmConfig::Policy::kLongestFirst)
     std::sort(service.begin(), service.end(), std::greater<>());
 
-  // List scheduling: each row goes to the machine that frees up first.
-  std::priority_queue<cycle_t, std::vector<cycle_t>, std::greater<>> free_at;
-  for (std::size_t m = 0; m < config.machines; ++m) free_at.push(0);
+  // List scheduling with failover.  Jobs are dispatched to the machine that
+  // can start them earliest; a job interrupted by its machine's death is
+  // appended back onto the queue, startable no earlier than the failure.
+  struct Job {
+    cycle_t service = 0;
+    cycle_t earliest = 0;
+  };
+  std::vector<Job> queue;
+  queue.reserve(service.size());
+  for (const cycle_t s : service) queue.push_back({s, 0});
 
-  FarmResult result;
-  for (const cycle_t s : service) {
-    const cycle_t start = free_at.top();
-    free_at.pop();
-    const cycle_t done = start + s;
-    free_at.push(done);
-    result.makespan = std::max(result.makespan, done);
-    result.total_work += s;
-    result.critical_row = std::max(result.critical_row, s);
+  std::vector<cycle_t> free_at(config.machines, 0);
+  std::vector<bool> dead(config.machines, false);
+
+  for (std::size_t j = 0; j < queue.size(); ++j) {  // grows on re-dispatch
+    const Job job = queue[j];
+    while (true) {
+      std::size_t best = config.machines;
+      cycle_t best_start = kNever;
+      for (std::size_t m = 0; m < config.machines; ++m) {
+        if (dead[m]) continue;
+        const cycle_t start = std::max(free_at[m], job.earliest);
+        if (start < best_start) {
+          best_start = start;
+          best = m;
+        }
+      }
+      SYSRLE_CHECK(
+          best < config.machines,
+          "simulate_row_farm: every machine died before the board finished");
+      if (death[best] <= best_start) {
+        dead[best] = true;  // died while idle; pick another machine
+        continue;
+      }
+      const cycle_t done = best_start + job.service;
+      if (death[best] < done) {
+        // Interrupted mid-row: the cycles are burned, the machine is gone,
+        // and a survivor re-runs the row once the failure is known.
+        result.lost_cycles += death[best] - best_start;
+        ++result.redispatched_rows;
+        dead[best] = true;
+        queue.push_back({job.service, death[best]});
+        break;
+      }
+      free_at[best] = done;
+      result.makespan = std::max(result.makespan, done);
+      result.total_work += job.service;
+      result.critical_row = std::max(result.critical_row, job.service);
+      break;
+    }
   }
+
+  // A machine whose death precedes the end of the board died during the run
+  // even if it was idle at the time.
+  for (std::size_t m = 0; m < config.machines; ++m)
+    if (death[m] < result.makespan) dead[m] = true;
+  result.failed_machines = static_cast<std::size_t>(
+      std::count(dead.begin(), dead.end(), true));
+  result.degraded =
+      result.failed_machines > 0 || result.redispatched_rows > 0;
+
   if (result.makespan > 0) {
     result.utilisation =
         static_cast<double>(result.total_work) /

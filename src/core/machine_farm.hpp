@@ -8,13 +8,26 @@
 // fixed load/drain overhead; rows are dispatched to machines either in scan
 // order (kFifo — what a streaming camera interface does) or longest-first
 // (kLongestFirst — the classic LPT bound, needs the whole board buffered).
+//
+// The farm is also where machine-level failures are absorbed: a machine can
+// be killed at a configured cycle, its in-flight row is re-dispatched to a
+// surviving machine, and the result reports the degraded-mode makespan plus
+// the full-image difference — which stays correct, because a re-run row is
+// recomputed from its unchanged inputs.
 
 #include <cstddef>
+#include <vector>
 
 #include "rle/rle_image.hpp"
 #include "systolic/counters.hpp"
 
 namespace sysrle {
+
+/// One injected machine death.
+struct MachineFailure {
+  std::size_t machine = 0;  ///< which machine dies
+  cycle_t at_cycle = 0;     ///< time of death; in-flight work is lost
+};
 
 /// Farm configuration.
 struct FarmConfig {
@@ -30,19 +43,35 @@ struct FarmConfig {
     kLongestFirst,  ///< offline LPT: longest service time first
   };
   Policy policy = Policy::kFifo;
+
+  /// Machine deaths to inject (empty = healthy farm).  If one machine is
+  /// named twice, its earliest death wins.  At least one machine must
+  /// survive long enough to finish the board, or the simulation throws.
+  std::vector<MachineFailure> failures;
 };
 
 /// Farm simulation outcome.
 struct FarmResult {
   cycle_t makespan = 0;      ///< cycles until the last row completes
-  cycle_t total_work = 0;    ///< sum of all row service times
+  cycle_t total_work = 0;    ///< sum of all row service times (useful work)
   cycle_t critical_row = 0;  ///< largest single-row service time
   double utilisation = 0.0;  ///< total_work / (machines * makespan)
+
+  /// The full-image difference, one canonical row per scanline; correct
+  /// regardless of injected failures.
+  RleImage diff{0, 0};
+
+  // --- degraded-mode accounting (all zero for a healthy farm) -------------
+  std::size_t failed_machines = 0;   ///< machines that actually died
+  std::uint64_t redispatched_rows = 0;  ///< rows interrupted and re-run
+  cycle_t lost_cycles = 0;  ///< work burned on machines that died mid-row
+  bool degraded = false;    ///< true when any injected failure took effect
 };
 
 /// Simulates diffing images `a` and `b` on the farm.  Row service times come
 /// from actually running the systolic simulator on every row pair.
-/// Dimensions must match.
+/// Dimensions must match.  Throws contract_error when every machine dies
+/// before the board is finished.
 FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
                              const FarmConfig& config = {});
 

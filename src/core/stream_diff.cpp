@@ -1,14 +1,29 @@
 #include "core/stream_diff.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "baseline/sequential_diff.hpp"
 #include "common/assert.hpp"
 #include "core/bus_variant.hpp"
 #include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
+#include "rle/validate.hpp"
 
 namespace sysrle {
+
+namespace {
+
+/// One-line description of the first defect in a validation report.
+std::string describe(const char* which, const RowValidationReport& report) {
+  const RowFinding& f = report.findings.front();
+  std::string s = std::string(which) + " run " + std::to_string(f.run_index) +
+                  ": " + to_string(f.issue);
+  if (report.findings.size() > 1) s += " (+ more)";
+  return s;
+}
+
+}  // namespace
 
 StreamDiffer::StreamDiffer(ImageDiffOptions options, RowCallback on_row,
                            cycle_t load_cycles_per_run)
@@ -18,9 +33,21 @@ StreamDiffer::StreamDiffer(ImageDiffOptions options, RowCallback on_row,
   SYSRLE_REQUIRE(on_row_ != nullptr, "StreamDiffer: null row callback");
 }
 
-void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
-  RleRow diff;
-  SystolicCounters row_counters;
+void StreamDiffer::set_error_callback(ErrorCallback on_error) {
+  on_error_ = std::move(on_error);
+}
+
+void StreamDiffer::set_engine_override(RowEngine engine) {
+  engine_override_ = std::move(engine);
+}
+
+void StreamDiffer::report(pos_t y, const std::string& diagnostic) {
+  if (on_error_) on_error_(y, diagnostic);
+}
+
+RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
+                                SystolicCounters& row_counters) {
+  if (engine_override_) return engine_override_(reference, scan, row_counters);
 
   switch (options_.engine) {
     case DiffEngine::kSystolic: {
@@ -28,34 +55,50 @@ void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
       cfg.check_invariants = options_.check_invariants;
       cfg.canonicalize_output = options_.canonicalize_output;
       SystolicResult r = systolic_xor(reference, scan, cfg);
-      diff = std::move(r.output);
       row_counters = r.counters;
-      break;
+      return std::move(r.output);
     }
     case DiffEngine::kBusSystolic: {
       BusConfig cfg;
       cfg.bus_width = options_.bus_width;
       cfg.canonicalize_output = options_.canonicalize_output;
       BusResult r = bus_systolic_xor(reference, scan, cfg);
-      diff = std::move(r.output);
       row_counters = r.counters;
-      break;
+      return std::move(r.output);
     }
     case DiffEngine::kSequentialMerge: {
       SequentialDiffResult r = sequential_xor(reference, scan);
-      diff = std::move(r.output);
-      if (options_.canonicalize_output) diff.canonicalize();
-      break;
+      if (options_.canonicalize_output) r.output.canonicalize();
+      return std::move(r.output);
     }
     case DiffEngine::kParitySweep:
-    case DiffEngine::kPixelParallel: {
+    case DiffEngine::kPixelParallel:
       // Width-agnostic streaming: the sweep covers both cases here.
-      diff = xor_rows(reference, scan);
-      break;
-    }
+      return xor_rows(reference, scan);
+  }
+  SYSRLE_CHECK(false, "StreamDiffer: unknown engine");
+  return RleRow{};
+}
+
+void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
+  const pos_t y = static_cast<pos_t>(summary_.rows);
+  RleRow diff;
+  SystolicCounters row_counters;
+
+  try {
+    diff = run_engine(reference, scan, row_counters);
+  } catch (const std::exception& e) {
+    // The scanner keeps delivering lines whether or not the array is
+    // healthy: report the failure, then recompute the row on the sequential
+    // merge engine, which shares no datapath with the array.
+    report(y, e.what());
+    row_counters = SystolicCounters{};
+    SequentialDiffResult r = sequential_xor(reference, scan);
+    diff = std::move(r.output);
+    if (options_.canonicalize_output) diff.canonicalize();
+    ++summary_.fallback_rows;
   }
 
-  const pos_t y = static_cast<pos_t>(summary_.rows);
   ++summary_.rows;
   summary_.difference_pixels += diff.foreground_pixels();
   summary_.max_row_iterations =
@@ -70,6 +113,21 @@ void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
   summary_.counters += row_counters;
 
   on_row_(y, diff);
+}
+
+void StreamDiffer::push_row_runs(std::vector<Run> reference,
+                                 std::vector<Run> scan) {
+  const RowValidationReport ra = validate_runs(reference);
+  const RowValidationReport rb = validate_runs(scan);
+  if (!ra.ok() || !rb.ok()) {
+    const pos_t y = static_cast<pos_t>(summary_.rows);
+    report(y, !ra.ok() ? describe("reference", ra) : describe("scan", rb));
+    ++summary_.rows;
+    ++summary_.poisoned_rows;
+    on_row_(y, RleRow{});
+    return;
+  }
+  push_row(RleRow(std::move(reference)), RleRow(std::move(scan)));
 }
 
 }  // namespace sysrle

@@ -7,8 +7,16 @@
 // engine, hands each difference row to a callback, and keeps only O(1)
 // state: running counters and the double-buffering latency model of a
 // machine that loads row n+1 while processing row n.
+//
+// The stream must not stall on one bad row.  When the row engine throws —
+// a checker detection, a machine defect — the row is recomputed on the
+// sequential merge engine and the error callback is told; when the input
+// runs themselves are invalid (push_row_runs), the row degrades to an empty
+// difference row rather than poisoning the pipeline.
 
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "core/image_diff.hpp"
 #include "rle/rle_row.hpp"
@@ -25,6 +33,10 @@ struct StreamSummary {
   /// costs max(iterations, load_cycles), because the next row's runs stream
   /// into the shadow registers while the current row computes.
   cycle_t pipelined_cycles = 0;
+  /// Rows recomputed by the sequential fallback after the engine threw.
+  std::uint64_t fallback_rows = 0;
+  /// Invalid input rows degraded to an empty difference row.
+  std::uint64_t poisoned_rows = 0;
 };
 
 /// Processes row pairs one at a time with bounded memory.
@@ -35,12 +47,37 @@ class StreamDiffer {
   /// the array's shadow registers (1 run per cycle by default).
   using RowCallback = std::function<void(pos_t y, const RleRow& diff)>;
 
+  /// Invoked when a row could not be processed normally; `diagnostic` is a
+  /// one-line description.  The stream continues either way.
+  using ErrorCallback =
+      std::function<void(pos_t y, const std::string& diagnostic)>;
+
+  /// Replacement row engine (test hook / custom hardware model).  Must
+  /// return the XOR of the two rows and may fill in machine counters;
+  /// throwing makes the differ fall back to the sequential engine.
+  using RowEngine = std::function<RleRow(
+      const RleRow& reference, const RleRow& scan, SystolicCounters& c)>;
+
   explicit StreamDiffer(ImageDiffOptions options, RowCallback on_row,
                         cycle_t load_cycles_per_run = 1);
 
+  /// Installs (or clears, with nullptr) the error callback.
+  void set_error_callback(ErrorCallback on_error);
+
+  /// Overrides the engine selected by ImageDiffOptions (nullptr restores it).
+  void set_engine_override(RowEngine engine);
+
   /// Feeds the next scanline pair.  Rows must fit a common width, but the
-  /// differ itself is width-agnostic.
+  /// differ itself is width-agnostic.  An engine failure on this pair is
+  /// absorbed: the error callback fires and the row is recomputed on the
+  /// sequential merge engine (counted in StreamSummary::fallback_rows).
   void push_row(const RleRow& reference, const RleRow& scan);
+
+  /// Untrusted entry point: validates both run lists before building rows.
+  /// An invalid list does not throw — the row degrades to an empty
+  /// difference row, the error callback fires, and the stream continues
+  /// (counted in StreamSummary::poisoned_rows).
+  void push_row_runs(std::vector<Run> reference, std::vector<Run> scan);
 
   /// Number of rows processed so far.
   std::uint64_t rows() const { return summary_.rows; }
@@ -50,8 +87,14 @@ class StreamDiffer {
   const StreamSummary& finish() const { return summary_; }
 
  private:
+  RleRow run_engine(const RleRow& reference, const RleRow& scan,
+                    SystolicCounters& row_counters);
+  void report(pos_t y, const std::string& diagnostic);
+
   ImageDiffOptions options_;
   RowCallback on_row_;
+  ErrorCallback on_error_;
+  RowEngine engine_override_;
   cycle_t load_cycles_per_run_;
   StreamSummary summary_;
 };

@@ -10,7 +10,13 @@
 namespace sysrle {
 
 RleImage shift_image(const RleImage& img, pos_t dx) {
-  if (dx == 0) return img;
+  if (dx == 0 || img.width() <= 0) return img;
+  // A shift of at least the full width moves every run out of frame.
+  // Returning here also keeps `start + dx` below clear of signed overflow
+  // for extreme dx values (including pos_t's minimum, which cannot even be
+  // negated).
+  if (dx >= img.width() || dx <= -img.width())
+    return RleImage(img.width(), img.height());
   RleImage out(img.width(), img.height());
   for (pos_t y = 0; y < img.height(); ++y) {
     RleRow shifted;

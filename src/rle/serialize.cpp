@@ -15,6 +15,15 @@ namespace {
 constexpr char kTextMagic[4] = {'S', 'R', 'L', 'T'};
 constexpr char kBinaryMagic[4] = {'S', 'R', 'L', 'B'};
 
+/// Sanity cap on header-declared dimensions.  A corrupted or hostile header
+/// must never drive allocations; 16M pixels per side is far beyond any
+/// scanline workload this code targets.
+constexpr std::int64_t kMaxDimension = std::int64_t{1} << 24;
+
+/// Never reserve more than this many elements on the say-so of a header
+/// field alone; beyond it, growth is paid for by actually present data.
+constexpr std::int64_t kMaxTrustedReserve = 4096;
+
 void put_i64(std::ostream& out, std::int64_t v) {
   unsigned char buf[8];
   auto u = static_cast<std::uint64_t>(v);
@@ -45,22 +54,29 @@ RleImage read_text(std::istream& in) {
   in >> width >> height;
   SYSRLE_REQUIRE(in.good() && width >= 0 && height >= 0,
                  "RLE(text): malformed header");
-  RleImage img(static_cast<pos_t>(width), static_cast<pos_t>(height));
-  for (pos_t y = 0; y < img.height(); ++y) {
+  SYSRLE_REQUIRE(width <= kMaxDimension && height <= kMaxDimension,
+                 "RLE(text): implausible dimensions");
+  std::vector<RleRow> rows;
+  rows.reserve(static_cast<std::size_t>(
+      std::min<long long>(height, kMaxTrustedReserve)));
+  for (long long y = 0; y < height; ++y) {
     long long count = -1;
     in >> count;
     SYSRLE_REQUIRE(in.good() && count >= 0, "RLE(text): malformed run count");
+    // A width-W row holds at most W runs (length-1 runs may be adjacent).
+    SYSRLE_REQUIRE(count <= width, "RLE(text): run count exceeds width");
     std::vector<Run> runs;
-    runs.reserve(static_cast<std::size_t>(count));
+    runs.reserve(static_cast<std::size_t>(
+        std::min<long long>(count, kMaxTrustedReserve)));
     for (long long i = 0; i < count; ++i) {
       long long s = 0, l = 0;
       in >> s >> l;
       SYSRLE_REQUIRE(in.good(), "RLE(text): truncated row");
       runs.emplace_back(static_cast<pos_t>(s), static_cast<len_t>(l));
     }
-    img.set_row(y, checked_row(std::move(runs), img.width()));
+    rows.push_back(checked_row(std::move(runs), static_cast<pos_t>(width)));
   }
-  return img;
+  return RleImage(static_cast<pos_t>(width), std::move(rows));
 }
 
 RleImage read_binary(std::istream& in) {
@@ -69,20 +85,25 @@ RleImage read_binary(std::istream& in) {
   const pos_t width = get_i64(in);
   const pos_t height = get_i64(in);
   SYSRLE_REQUIRE(width >= 0 && height >= 0, "RLE(binary): bad dimensions");
-  RleImage img(width, height);
+  SYSRLE_REQUIRE(width <= kMaxDimension && height <= kMaxDimension,
+                 "RLE(binary): implausible dimensions");
+  std::vector<RleRow> rows;
+  rows.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(height, kMaxTrustedReserve)));
   for (pos_t y = 0; y < height; ++y) {
     const std::int64_t count = get_i64(in);
     SYSRLE_REQUIRE(count >= 0 && count <= width, "RLE(binary): bad run count");
     std::vector<Run> runs;
-    runs.reserve(static_cast<std::size_t>(count));
+    runs.reserve(static_cast<std::size_t>(
+        std::min<std::int64_t>(count, kMaxTrustedReserve)));
     for (std::int64_t i = 0; i < count; ++i) {
       const pos_t s = get_i64(in);
       const len_t l = get_i64(in);
       runs.emplace_back(s, l);
     }
-    img.set_row(y, checked_row(std::move(runs), width));
+    rows.push_back(checked_row(std::move(runs), width));
   }
-  return img;
+  return RleImage(width, std::move(rows));
 }
 
 }  // namespace

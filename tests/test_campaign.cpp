@@ -1,0 +1,130 @@
+// Campaign harness tests, including the resilience acceptance criterion:
+// a sweep of >= 1000 fault trials through the checked engine must end with
+// zero silent corruptions and zero unrecovered rows.
+
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct Workload {
+  RleImage a{0, 0};
+  RleImage b{0, 0};
+};
+
+Workload make_workload(std::uint64_t seed, pos_t width, pos_t height,
+                       double error_fraction) {
+  Rng rng(seed);
+  RowGenParams p;
+  p.width = width;
+  Workload w;
+  w.a = generate_image(rng, height, p);
+  w.b = RleImage(width, height);
+  for (pos_t y = 0; y < height; ++y) {
+    ErrorGenParams ep;
+    ep.error_fraction = error_fraction;
+    w.b.set_row(y, inject_errors(rng, w.a.row(y), width, ep));
+  }
+  return w;
+}
+
+TEST(Campaign, AcceptanceSweepAllFaultsContained) {
+  // The headline claim of the fault-tolerant layer: over a full
+  // kind x activation x cell x row sweep (>= 1000 trials), nothing is
+  // silently wrong and nothing is left uncomputed.
+  const Workload w = make_workload(1999, 768, 8, 0.03);
+  const CampaignResult r = run_fault_campaign(w.a, w.b);
+  EXPECT_GE(r.total.trials, 1000u);
+  EXPECT_EQ(r.total.silent_corruptions, 0u);
+  EXPECT_EQ(r.total.unrecovered, 0u);
+  EXPECT_TRUE(r.all_recovered());
+  // The sweep must actually bite: faults detected, both recovery paths hit.
+  EXPECT_GT(r.total.detected, 0u);
+  EXPECT_GT(r.total.fell_back, 0u);
+  EXPECT_GT(r.total.recovered_by_retry, 0u);
+  // 4 kinds x 3 activations, every group populated evenly.
+  ASSERT_EQ(r.groups.size(), 12u);
+  for (const CampaignResult::Group& g : r.groups) {
+    EXPECT_EQ(g.counts.trials, r.total.trials / 12) << to_string(g.kind);
+    EXPECT_EQ(g.counts.silent_corruptions, 0u);
+  }
+}
+
+TEST(Campaign, CountsAreConsistent) {
+  const Workload w = make_workload(2001, 512, 4, 0.02);
+  const CampaignResult r = run_fault_campaign(w.a, w.b);
+  // Every trial lands in exactly one outcome bucket.
+  EXPECT_EQ(r.total.trials, r.total.clean + r.total.recovered_by_retry +
+                                r.total.fell_back + r.total.unrecovered);
+  CampaignCounts folded;
+  for (const CampaignResult::Group& g : r.groups) folded += g.counts;
+  EXPECT_EQ(folded.trials, r.total.trials);
+  EXPECT_EQ(folded.detected, r.total.detected);
+  EXPECT_EQ(folded.wasted_cycles, r.total.wasted_cycles);
+}
+
+TEST(Campaign, ConfigFiltersRestrictTheSweep) {
+  const Workload w = make_workload(2002, 512, 2, 0.02);
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kDropShift};
+  cfg.activations = {FaultActivation::kPermanent};
+  const CampaignResult r = run_fault_campaign(w.a, w.b, cfg);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].kind, FaultKind::kDropShift);
+  EXPECT_EQ(r.groups[0].activation, FaultActivation::kPermanent);
+  EXPECT_EQ(r.total.trials, r.groups[0].counts.trials);
+}
+
+TEST(Campaign, CellStrideThinsTrialsProportionally) {
+  const Workload w = make_workload(2003, 512, 2, 0.02);
+  CampaignConfig full;
+  CampaignConfig thin;
+  thin.cell_stride = 4;
+  const CampaignResult rf = run_fault_campaign(w.a, w.b, full);
+  const CampaignResult rt = run_fault_campaign(w.a, w.b, thin);
+  EXPECT_LT(rt.total.trials, rf.total.trials);
+  EXPECT_GE(rt.total.trials, rf.total.trials / 4);
+}
+
+TEST(Campaign, NoFallbackPolicyCanLeaveRowsUnrecoveredButNeverSilent) {
+  const Workload w = make_workload(2004, 512, 2, 0.02);
+  CampaignConfig cfg;
+  cfg.policy.fallback_to_sequential = false;
+  cfg.policy.max_retries = 0;
+  cfg.activations = {FaultActivation::kPermanent};
+  const CampaignResult r = run_fault_campaign(w.a, w.b, cfg);
+  EXPECT_GT(r.total.unrecovered, 0u);
+  EXPECT_FALSE(r.all_recovered());
+  EXPECT_EQ(r.total.silent_corruptions, 0u);  // still no lies
+}
+
+TEST(Campaign, IsDeterministicForAGivenSeed) {
+  const Workload w = make_workload(2005, 512, 2, 0.02);
+  CampaignConfig cfg;
+  cfg.cell_stride = 2;
+  const CampaignResult x = run_fault_campaign(w.a, w.b, cfg);
+  const CampaignResult y = run_fault_campaign(w.a, w.b, cfg);
+  EXPECT_EQ(x.total.trials, y.total.trials);
+  EXPECT_EQ(x.total.detected, y.total.detected);
+  EXPECT_EQ(x.total.recovered_by_retry, y.total.recovered_by_retry);
+  EXPECT_EQ(x.total.fell_back, y.total.fell_back);
+  EXPECT_EQ(x.total.wasted_cycles, y.total.wasted_cycles);
+}
+
+TEST(Campaign, RejectsMismatchedDimensionsAndZeroStride) {
+  const Workload w = make_workload(2006, 256, 2, 0.02);
+  const RleImage other(w.a.width(), w.a.height() + 1);
+  EXPECT_THROW(run_fault_campaign(w.a, other), contract_error);
+  CampaignConfig cfg;
+  cfg.cell_stride = 0;
+  EXPECT_THROW(run_fault_campaign(w.a, w.b, cfg), contract_error);
+}
+
+}  // namespace
+}  // namespace sysrle

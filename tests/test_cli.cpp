@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -217,6 +218,84 @@ TEST_F(CliFixture, UsageErrorsOnWrongArity) {
   EXPECT_EQ(cli({"convert", path_a_}).exit_code, 2);
   EXPECT_EQ(cli({"gen", "pcb"}).exit_code, 2);
   EXPECT_EQ(cli({"gen", "volcano", tmp_path("x")}).exit_code, 2);
+}
+
+TEST_F(CliFixture, CampaignRunsAndReportsContainment) {
+  const CliRun r =
+      cli({"campaign", "--rows", "2", "--width", "200", "--cell-stride", "4"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("all faults contained"), std::string::npos);
+  EXPECT_NE(r.out.find("no-swap"), std::string::npos);
+  EXPECT_NE(r.out.find("intermittent"), std::string::npos);
+  EXPECT_NE(r.out.find("total"), std::string::npos);
+}
+
+TEST_F(CliFixture, CampaignCsvAndFiltersWork) {
+  const CliRun r = cli({"campaign", "--rows", "1", "--width", "200", "--kind",
+                        "drop-shift", "--model", "permanent", "--cell-stride",
+                        "2", "--csv"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("fault,model,trials"), std::string::npos);
+  EXPECT_NE(r.out.find("drop-shift,permanent"), std::string::npos);
+  EXPECT_EQ(r.out.find("no-swap"), std::string::npos);
+}
+
+TEST_F(CliFixture, CampaignRejectsBadFlags) {
+  EXPECT_EQ(cli({"campaign", "--kind", "gremlins"}).exit_code, 2);
+  EXPECT_EQ(cli({"campaign", "--model", "sometimes"}).exit_code, 2);
+  EXPECT_EQ(cli({"campaign", "--rows", "0"}).exit_code, 2);
+  EXPECT_EQ(cli({"campaign", "--error", "1.5"}).exit_code, 2);
+  EXPECT_EQ(cli({"campaign", "--retries", "-1"}).exit_code, 2);
+  EXPECT_EQ(cli({"campaign", "--cell-stride", "0"}).exit_code, 2);
+  EXPECT_EQ(cli({"campaign", "unexpected-positional"}).exit_code, 2);
+}
+
+TEST_F(CliFixture, BadNumericFlagValuesAreOneLineUsageErrors) {
+  const CliRun r =
+      cli({"gen", "random", tmp_path("bad.srl"), "--width", "banana"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(r.out.empty());
+  EXPECT_NE(r.err.find("--width"), std::string::npos);
+  EXPECT_NE(r.err.find("banana"), std::string::npos);
+  EXPECT_EQ(std::count(r.err.begin(), r.err.end(), '\n'), 1);
+
+  // Trailing junk, overflow, and a flag missing its value all fail cleanly.
+  EXPECT_EQ(cli({"gen", "random", tmp_path("bad.srl"), "--density", "0.5x"})
+                .exit_code,
+            2);
+  EXPECT_EQ(cli({"inspect", path_a_, path_b_, "--align",
+                 "99999999999999999999999"})
+                .exit_code,
+            2);
+  EXPECT_EQ(cli({"diff", path_a_, path_b_, "--engine"}).exit_code, 2);
+}
+
+TEST_F(CliFixture, MalformedImageFileIsOneLineError) {
+  const std::string bad = tmp_path("corrupt.srl");
+  {
+    std::ofstream f(bad, std::ios::binary);
+    f << "SRLB garbage garbage";
+  }
+  const CliRun r = cli({"stats", bad});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(r.out.empty());
+  EXPECT_NE(r.err.find("sysrle:"), std::string::npos);
+  EXPECT_EQ(std::count(r.err.begin(), r.err.end(), '\n'), 1);
+  EXPECT_EQ(cli({"diff", bad, path_b_}).exit_code, 2);
+  EXPECT_EQ(cli({"inspect", bad, path_b_}).exit_code, 2);
+
+  // A truncated but well-magicked file is also a clean error.
+  const std::string cut = tmp_path("cut.srl");
+  {
+    std::ifstream in(path_a_, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::ofstream f(cut, std::ios::binary);
+    f << buf.str().substr(0, buf.str().size() / 3);
+  }
+  const CliRun rc = cli({"stats", cut});
+  EXPECT_EQ(rc.exit_code, 2);
+  EXPECT_NE(rc.err.find("truncated"), std::string::npos);
 }
 
 }  // namespace

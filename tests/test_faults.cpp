@@ -127,6 +127,96 @@ TEST_P(FaultSweep, NoSilentCorruptionOnRandomWorkloads) {
   EXPECT_GT(effects, 0) << to_string(GetParam());
 }
 
+TEST(Faults, ExhaustiveKindByCellSweepHasNoSilentCorruption) {
+  // Satellite acceptance sweep: every FaultKind in every cell of the array,
+  // on a spread of small row pairs covering the edge shapes (the Figure-1
+  // pair, empty rows, identical rows, single runs, disjoint runs).  A
+  // silent corruption anywhere is a checker gap.
+  const std::vector<std::pair<RleRow, RleRow>> pairs = {
+      {kImg1, kImg2},
+      {RleRow{}, RleRow{}},
+      {kImg1, kImg1},                    // identical -> empty XOR
+      {RleRow{}, kImg2},                 // one side empty
+      {RleRow{{0, 2}}, RleRow{{10, 2}}}, // the stuck-complete trap
+      {RleRow{{5, 5}}, RleRow{{7, 2}}},  // containment
+  };
+  const FaultKind kinds[] = {FaultKind::kNoSwap, FaultKind::kCorruptXorEnd,
+                             FaultKind::kDropShift,
+                             FaultKind::kStuckCompleteHigh};
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [a, b] = pairs[p];
+    const std::size_t cells = a.run_count() + b.run_count() + 1;
+    for (const FaultKind kind : kinds) {
+      for (cell_index_t cell = 0; cell < cells; ++cell) {
+        FaultSpec spec;
+        spec.kind = kind;
+        spec.cell = cell;
+        const FaultOutcome o = run_with_fault(a, b, spec);
+        ASSERT_FALSE(o.silent_corruption())
+            << to_string(kind) << " in cell " << cell << ", pair " << p;
+      }
+    }
+  }
+}
+
+TEST(Faults, TransientWindowActivatesExactlyOnSchedule) {
+  FaultSpec spec;
+  spec.activation = FaultActivation::kTransient;
+  spec.window_start = 3;
+  spec.window_length = 2;
+  FaultArbiter arbiter(spec);
+  // 1-based global cycles: active exactly in cycles 3 and 4.
+  EXPECT_FALSE(arbiter.next());  // cycle 1
+  EXPECT_FALSE(arbiter.next());  // cycle 2
+  EXPECT_TRUE(arbiter.next());   // cycle 3
+  EXPECT_TRUE(arbiter.next());   // cycle 4
+  EXPECT_FALSE(arbiter.next());  // cycle 5
+  EXPECT_EQ(arbiter.cycles(), 5u);
+}
+
+TEST(Faults, IntermittentArbiterIsDeterministicAndRespectsExtremes) {
+  FaultSpec spec;
+  spec.activation = FaultActivation::kIntermittent;
+  spec.probability = 0.5;
+  spec.seed = 77;
+  FaultArbiter x(spec), y(spec);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(x.next(), y.next()) << i;
+
+  spec.probability = 0.0;
+  FaultArbiter never(spec);
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(never.next());
+
+  spec.probability = 1.0;
+  FaultArbiter always(spec);
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(always.next());
+
+  spec.probability = 1.5;
+  EXPECT_THROW(FaultArbiter bad(spec), contract_error);
+}
+
+TEST(Faults, TransientFaultAfterTerminationHasNoEffect) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNoSwap;
+  spec.cell = 0;
+  spec.activation = FaultActivation::kTransient;
+  spec.window_start = 100;  // the Figure-1 pair terminates in 3 iterations
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_FALSE(o.any_effect());
+  EXPECT_EQ(o.iterations, 3u);
+}
+
+TEST(Faults, TransientFaultInFirstCycleIsDetected) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNoSwap;
+  spec.cell = 0;  // cell 0 must swap in iteration 1 on the Figure-1 input
+  spec.activation = FaultActivation::kTransient;
+  spec.window_start = 1;
+  spec.window_length = 1;
+  const FaultOutcome o = run_with_fault(kImg1, kImg2, spec);
+  EXPECT_TRUE(o.any_effect());
+  EXPECT_FALSE(o.silent_corruption());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllKinds, FaultSweep,
                          ::testing::Values(FaultKind::kNoSwap,
                                            FaultKind::kCorruptXorEnd,

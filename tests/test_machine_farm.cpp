@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/assert.hpp"
+#include "rle/ops.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
@@ -102,6 +103,100 @@ TEST(MachineFarm, EmptyImageHasZeroWork) {
   EXPECT_EQ(r.makespan, 0u);
   EXPECT_EQ(r.total_work, 0u);
   EXPECT_DOUBLE_EQ(r.utilisation, 0.0);
+}
+
+TEST(MachineFarm, HealthyFarmReportsNoDegradationAndCorrectDiff) {
+  const Workload w = make_workload(66, 8);
+  const FarmResult r = simulate_row_farm(w.a, w.b, FarmConfig{});
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.failed_machines, 0u);
+  EXPECT_EQ(r.redispatched_rows, 0u);
+  EXPECT_EQ(r.lost_cycles, 0u);
+  ASSERT_EQ(r.diff.height(), w.a.height());
+  EXPECT_EQ(r.diff.width(), w.a.width());
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    EXPECT_EQ(r.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+}
+
+TEST(MachineFarm, KilledMachineMidBoardKeepsDiffCorrectAtDegradedMakespan) {
+  // The headline failover property: one machine dies halfway through the
+  // board, its in-flight row moves to a survivor, the image-level result is
+  // bit-identical and only the schedule degrades.
+  const Workload w = make_workload(67, 32);
+  FarmConfig healthy;
+  healthy.machines = 4;
+  const FarmResult base = simulate_row_farm(w.a, w.b, healthy);
+
+  FarmConfig cfg = healthy;
+  cfg.failures.push_back({1, base.makespan / 2});
+  const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.failed_machines, 1u);
+  EXPECT_GE(r.makespan, base.makespan);
+  EXPECT_EQ(r.total_work, base.total_work);  // useful work is unchanged
+  EXPECT_EQ(r.critical_row, base.critical_row);
+  EXPECT_EQ(r.diff, base.diff);
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    ASSERT_EQ(r.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+}
+
+TEST(MachineFarm, InterruptedRowIsRedispatchedWithAccounting) {
+  // Kill machine 0 three cycles in: its first row (started at cycle 0, and
+  // certainly longer than 3 cycles at this width) is lost and re-run on the
+  // survivor, which then carries the whole board alone.
+  const Workload w = make_workload(69, 8);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.failures.push_back({0, 3});
+  const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.failed_machines, 1u);
+  EXPECT_EQ(r.redispatched_rows, 1u);
+  EXPECT_EQ(r.lost_cycles, 3u);
+
+  FarmConfig solo;
+  solo.machines = 1;
+  const FarmResult s = simulate_row_farm(w.a, w.b, solo);
+  EXPECT_EQ(r.total_work, s.total_work);
+  // The survivor is never idle, so the degraded makespan equals the
+  // single-machine one.
+  EXPECT_EQ(r.makespan, s.total_work);
+  EXPECT_EQ(r.diff, s.diff);
+}
+
+TEST(MachineFarm, MachineDeadFromCycleZeroNeverRuns) {
+  const Workload w = make_workload(70, 8);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.failures.push_back({1, 0});
+  const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.failed_machines, 1u);
+  EXPECT_EQ(r.redispatched_rows, 0u);
+  EXPECT_EQ(r.lost_cycles, 0u);
+  FarmConfig solo;
+  solo.machines = 1;
+  const FarmResult s = simulate_row_farm(w.a, w.b, solo);
+  EXPECT_EQ(r.makespan, s.makespan);
+}
+
+TEST(MachineFarm, AllMachinesDyingThrows) {
+  const Workload w = make_workload(68, 4);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.failures.push_back({0, 0});
+  cfg.failures.push_back({1, 1});
+  EXPECT_THROW(simulate_row_farm(w.a, w.b, cfg), contract_error);
+}
+
+TEST(MachineFarm, FailureOnUnknownMachineRejected) {
+  const Workload w = make_workload(71, 2);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.failures.push_back({5, 10});
+  EXPECT_THROW(simulate_row_farm(w.a, w.b, cfg), contract_error);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "bitmap/convert.hpp"
 #include "common/assert.hpp"
 #include "inspect/report.hpp"
@@ -114,6 +116,37 @@ TEST(Pipeline, ShiftImageClipsAtBorders) {
   const RleImage left = shift_image(img, -2);
   EXPECT_EQ(left.row(0), (RleRow{{0, 1}, {6, 2}}));
   EXPECT_EQ(shift_image(img, 0), img);
+}
+
+TEST(Pipeline, ShiftImageHandlesOverlargeShifts) {
+  // Regression: shifts at least as large as the width must yield an
+  // all-background image (no clipping arithmetic, no overflow), including
+  // at the extreme ends of pos_t where `start + dx` cannot be computed.
+  RleImage img(10, 2);
+  img.set_row(0, RleRow{{0, 3}, {8, 2}});
+  img.set_row(1, RleRow{{4, 4}});
+  const RleImage empty(10, 2);
+  EXPECT_EQ(shift_image(img, 10), empty);
+  EXPECT_EQ(shift_image(img, -10), empty);
+  EXPECT_EQ(shift_image(img, 1000000), empty);
+  EXPECT_EQ(shift_image(img, std::numeric_limits<pos_t>::max()), empty);
+  EXPECT_EQ(shift_image(img, std::numeric_limits<pos_t>::min()), empty);
+  // One short of the width leaves exactly one pixel in frame.
+  EXPECT_EQ(shift_image(img, 9).row(0), (RleRow{{9, 1}}));
+  EXPECT_EQ(shift_image(img, -9).row(0), (RleRow{{0, 1}}));
+}
+
+TEST(Pipeline, ShiftImageHandlesDegenerateWidths) {
+  const RleImage zero_w(0, 3);
+  EXPECT_EQ(shift_image(zero_w, 5), zero_w);
+  EXPECT_EQ(shift_image(zero_w, -5), zero_w);
+  const RleImage zero_h(10, 0);
+  EXPECT_EQ(shift_image(zero_h, 4).height(), 0);
+  RleImage one_px(1, 1);
+  one_px.set_row(0, RleRow{{0, 1}});
+  EXPECT_EQ(shift_image(one_px, 1), RleImage(1, 1));
+  EXPECT_EQ(shift_image(one_px, -1), RleImage(1, 1));
+  EXPECT_EQ(shift_image(one_px, 0), one_px);
 }
 
 TEST(Pipeline, DimensionMismatchRejected) {

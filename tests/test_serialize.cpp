@@ -132,6 +132,111 @@ TEST(Serialize, FuzzTruncationAlwaysThrows) {
   }
 }
 
+/// Appends one little-endian 8-byte field, mirroring the SRLB layout.
+void append_i64(std::string& s, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i)
+    s.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+}
+
+TEST(Serialize, EveryByteCorruptionOfSmallBinaryIsContained) {
+  // Exhaustive hostility on a small SRLB file: flip every bit of every byte
+  // and truncate at every prefix length.  The reader must either accept a
+  // structurally valid image or throw contract_error — never crash, hang,
+  // or allocate absurdly.
+  RleImage img(32, 3);
+  img.set_row(0, RleRow{{1, 3}, {10, 2}});
+  img.set_row(1, RleRow{});
+  img.set_row(2, RleRow{{0, 32}});
+  std::stringstream ss;
+  write_rle(ss, img, RleFormat::kBinary);
+  const std::string clean = ss.str();
+
+  for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = clean;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << bit));
+      std::stringstream in(corrupt);
+      try {
+        const RleImage back = read_rle(in);
+        EXPECT_GE(back.width(), 0);
+        EXPECT_GE(back.height(), 0);
+        for (pos_t y = 0; y < back.height(); ++y)
+          EXPECT_TRUE(back.row(y).fits_width(back.width()));
+      } catch (const contract_error&) {
+        // Rejected cleanly: fine.
+      }
+    }
+  }
+  for (std::size_t keep = 0; keep < clean.size(); ++keep) {
+    std::stringstream in(clean.substr(0, keep));
+    EXPECT_THROW(read_rle(in), contract_error) << "kept " << keep;
+  }
+}
+
+TEST(Serialize, RejectsHostileBinaryHeadersWithoutHugeAllocation) {
+  // Run count exceeding what the width can hold.
+  std::string oversized("SRLB");
+  append_i64(oversized, 1);   // version
+  append_i64(oversized, 10);  // width
+  append_i64(oversized, 1);   // height
+  append_i64(oversized, 1'000'000);  // count for row 0
+  std::stringstream in(oversized);
+  EXPECT_THROW(read_rle(in), contract_error);
+
+  // Absurd dimensions must be rejected before any row allocation.
+  std::string huge("SRLB");
+  append_i64(huge, 1);
+  append_i64(huge, std::int64_t{1} << 40);
+  append_i64(huge, std::int64_t{1} << 40);
+  std::stringstream in2(huge);
+  EXPECT_THROW(read_rle(in2), contract_error);
+
+  // Negative width.
+  std::string negw("SRLB");
+  append_i64(negw, 1);
+  append_i64(negw, -5);
+  append_i64(negw, 3);
+  std::stringstream in3(negw);
+  EXPECT_THROW(read_rle(in3), contract_error);
+
+  // Negative run count.
+  std::string negc("SRLB");
+  append_i64(negc, 1);
+  append_i64(negc, 10);
+  append_i64(negc, 1);
+  append_i64(negc, -1);
+  std::stringstream in4(negc);
+  EXPECT_THROW(read_rle(in4), contract_error);
+
+  // A claim of 2^20 rows with no row data fails at the first missing row,
+  // not by preallocating 2^20 rows.
+  std::string claim("SRLB");
+  append_i64(claim, 1);
+  append_i64(claim, 10);
+  append_i64(claim, std::int64_t{1} << 20);
+  std::stringstream in5(claim);
+  EXPECT_THROW(read_rle(in5), contract_error);
+}
+
+TEST(Serialize, RejectsHostileTextHeaders) {
+  // Run count exceeding the width.
+  std::stringstream t1("SRLT\n4 1\n9 0 1 1 1 2 1 3 1\n");
+  EXPECT_THROW(read_rle(t1), contract_error);
+  // Implausible dimensions.
+  std::stringstream t2("SRLT\n99999999999 99999999999\n");
+  EXPECT_THROW(read_rle(t2), contract_error);
+  // Negative run start.
+  std::stringstream t3("SRLT\n10 1\n1 -3 4\n");
+  EXPECT_THROW(read_rle(t3), contract_error);
+  // Negative run length.
+  std::stringstream t4("SRLT\n10 1\n1 3 -4\n");
+  EXPECT_THROW(read_rle(t4), contract_error);
+  // Non-numeric garbage where a count should be.
+  std::stringstream t5("SRLT\n10 2\nbanana\n");
+  EXPECT_THROW(read_rle(t5), contract_error);
+}
+
 TEST(Serialize, FileRoundTrip) {
   const RleImage img = sample_image();
   const std::string path = ::testing::TempDir() + "/sysrle_serialize_test.srl";

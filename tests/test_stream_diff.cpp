@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
@@ -113,6 +116,117 @@ TEST(StreamDiff, EnginesAgreeRowByRow) {
 
 TEST(StreamDiff, NullCallbackRejected) {
   EXPECT_THROW(StreamDiffer(ImageDiffOptions{}, nullptr), contract_error);
+}
+
+TEST(StreamDiff, EngineFailureFallsBackAndReportsError) {
+  // A throwing engine (simulating a machine defect caught by a checker)
+  // must not stall the stream: the error callback fires and the row is
+  // recomputed on the sequential fallback, still correct and in order.
+  Rng rng(1205);
+  RowGenParams p;
+  p.width = 400;
+  std::vector<Captured> captured;
+  std::vector<std::pair<pos_t, std::string>> errors;
+  ImageDiffOptions opts;
+  opts.canonicalize_output = true;
+  StreamDiffer differ(opts, [&](pos_t y, const RleRow& d) {
+    captured.push_back({y, d});
+  });
+  differ.set_error_callback([&](pos_t y, const std::string& m) {
+    errors.emplace_back(y, m);
+  });
+  int calls = 0;
+  differ.set_engine_override(
+      [&calls](const RleRow& a, const RleRow& b, SystolicCounters& c) {
+        if (++calls == 2) throw contract_error("injected engine failure");
+        SystolicResult r = systolic_xor(a, b);
+        c = r.counters;
+        return std::move(r.output);
+      });
+
+  std::vector<RowPairSample> pairs;
+  for (int i = 0; i < 3; ++i) {
+    ErrorGenParams ep;
+    ep.error_fraction = 0.05;
+    pairs.push_back(generate_pair(rng, p, ep));
+    differ.push_row(pairs.back().first, pairs.back().second);
+  }
+
+  const StreamSummary& sum = differ.finish();
+  EXPECT_EQ(sum.rows, 3u);
+  EXPECT_EQ(sum.fallback_rows, 1u);
+  EXPECT_EQ(sum.poisoned_rows, 0u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].first, 1);
+  EXPECT_NE(errors[0].second.find("injected engine failure"),
+            std::string::npos);
+  ASSERT_EQ(captured.size(), 3u);
+  for (std::size_t i = 0; i < captured.size(); ++i)
+    EXPECT_EQ(captured[i].diff, xor_rows(pairs[i].first, pairs[i].second))
+        << "row " << i;
+}
+
+TEST(StreamDiff, InvalidRunsDegradeToPoisonedRowAndStreamContinues) {
+  std::vector<Captured> captured;
+  std::vector<std::pair<pos_t, std::string>> errors;
+  StreamDiffer differ(ImageDiffOptions{}, [&](pos_t y, const RleRow& d) {
+    captured.push_back({y, d});
+  });
+  differ.set_error_callback([&](pos_t y, const std::string& m) {
+    errors.emplace_back(y, m);
+  });
+
+  differ.push_row_runs({{0, 3}, {10, 2}}, {{5, -1}});  // negative length
+  differ.push_row_runs({{0, 5}, {3, 2}}, {});          // overlapping reference
+  differ.push_row_runs({{2, 2}}, {{3, 4}});            // valid pair
+
+  const StreamSummary& sum = differ.finish();
+  EXPECT_EQ(sum.rows, 3u);
+  EXPECT_EQ(sum.poisoned_rows, 2u);
+  EXPECT_EQ(sum.fallback_rows, 0u);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].first, 0);
+  EXPECT_NE(errors[0].second.find("scan"), std::string::npos);
+  EXPECT_EQ(errors[1].first, 1);
+  EXPECT_NE(errors[1].second.find("reference"), std::string::npos);
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_TRUE(captured[0].diff.empty());
+  EXPECT_TRUE(captured[1].diff.empty());
+  EXPECT_EQ(captured[2].diff,
+            xor_rows(RleRow{{2, 2}}, RleRow{{3, 4}}));
+}
+
+TEST(StreamDiff, ErrorCallbackIsOptional) {
+  // No error callback installed: failures are still absorbed silently.
+  std::size_t rows_seen = 0;
+  StreamDiffer differ(ImageDiffOptions{},
+                      [&](pos_t, const RleRow&) { ++rows_seen; });
+  differ.set_engine_override(
+      [](const RleRow&, const RleRow&, SystolicCounters&) -> RleRow {
+        throw contract_error("always broken");
+      });
+  differ.push_row(RleRow{{0, 4}}, RleRow{{2, 4}});
+  differ.push_row_runs({{4, -7}}, {});
+  EXPECT_EQ(rows_seen, 2u);
+  EXPECT_EQ(differ.finish().fallback_rows, 1u);
+  EXPECT_EQ(differ.finish().poisoned_rows, 1u);
+}
+
+TEST(StreamDiff, ClearingEngineOverrideRestoresConfiguredEngine) {
+  std::vector<Captured> captured;
+  StreamDiffer differ(ImageDiffOptions{}, [&](pos_t y, const RleRow& d) {
+    captured.push_back({y, d});
+  });
+  differ.set_engine_override(
+      [](const RleRow&, const RleRow&, SystolicCounters&) -> RleRow {
+        throw contract_error("broken");
+      });
+  differ.push_row(RleRow{{0, 2}}, RleRow{{4, 2}});
+  differ.set_engine_override(nullptr);
+  differ.push_row(RleRow{{0, 2}}, RleRow{{4, 2}});
+  EXPECT_EQ(differ.finish().fallback_rows, 1u);  // only the first row
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].diff.canonical(), captured[1].diff.canonical());
 }
 
 }  // namespace
