@@ -12,22 +12,42 @@
 //
 // Expected shape (validated by EXPERIMENTS.md): series (1) hugs series (2)
 // up to ~30-40 % error, then bends toward series (3); (3) is never exceeded.
+//
+// Flags: --json FILE writes a sysrle.bench.v1 report; --smoke shrinks the
+// sweep for CI.
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common/fixed_table.hpp"
 #include "common/stats.hpp"
 #include "core/systolic_diff.hpp"
+#include "telemetry/bench_report.hpp"
 #include "workload/generator.hpp"
 #include "workload/metrics.hpp"
 #include "workload/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sysrle;
 
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_fig5 [--json FILE] [--smoke]\n";
+      return 2;
+    }
+  }
+
   const pos_t kWidth = 10000;
-  const int kSeedsPerPoint = 12;
+  const int seeds_per_point = smoke ? 3 : 12;
+  const int pct_step = smoke ? 10 : 5;
   RowGenParams row_params;  // defaults: width 10000, runs 4-20, density 0.30
 
   FixedTable table;
@@ -36,14 +56,15 @@ int main() {
 
   std::vector<double> xs, iters, diffs, k3s;
   std::vector<double> iters_low, diffs_low;  // the <= 40% band
+  bool obs_ok_all = true;
 
-  for (int pct = 0; pct <= 70; pct += 5) {
+  for (int pct = 0; pct <= 70; pct += pct_step) {
     ErrorGenParams err;
     err.error_fraction = pct / 100.0;
     RunningStat s_iter, s_diff, s_k3, s_k1, s_k2, s_err;
     bool obs_ok = true;
 
-    for (int seed = 0; seed < kSeedsPerPoint; ++seed) {
+    for (int seed = 0; seed < seeds_per_point; ++seed) {
       Rng rng(static_cast<std::uint64_t>(pct) * 1000 +
               static_cast<std::uint64_t>(seed) + 1);
       const RowPairSample sample = generate_pair(rng, row_params, err);
@@ -61,6 +82,7 @@ int main() {
                 static_cast<double>(kWidth) * 100.0);
       obs_ok &= static_cast<double>(r.counters.iterations) <= k3_raw + 1.0;
     }
+    obs_ok_all &= obs_ok;
 
     xs.push_back(s_err.mean());
     iters.push_back(s_iter.mean());
@@ -82,16 +104,37 @@ int main() {
 
   std::cout << "=== Figure 5: iterations vs percent of pixels with errors ===\n";
   std::cout << "(rows of " << kWidth << " px, ~250 runs, density 30%, "
-            << kSeedsPerPoint << " seeds per point)\n\n";
+            << seeds_per_point << " seeds per point)\n\n";
   std::cout << table.str() << '\n';
 
+  const double r_full = pearson(iters, diffs);
+  const double r_low = pearson(iters_low, diffs_low);
+  const double r_k3 = pearson(iters, k3s);
   std::cout << "Pearson(iterations, run-diff), full sweep : "
-            << FixedTable::num(pearson(iters, diffs), 3) << '\n';
+            << FixedTable::num(r_full, 3) << '\n';
   std::cout << "Pearson(iterations, run-diff), <=40% band : "
-            << FixedTable::num(pearson(iters_low, diffs_low), 3) << '\n';
+            << FixedTable::num(r_low, 3) << '\n';
   std::cout << "Pearson(iterations, runs-in-XOR)          : "
-            << FixedTable::num(pearson(iters, k3s), 3) << '\n';
+            << FixedTable::num(r_k3, 3) << '\n';
 
   std::cout << "\nCSV:\n" << table.csv();
+
+  if (!json_path.empty()) {
+    BenchReport report("fig5");
+    report.set_param("width", static_cast<std::int64_t>(kWidth));
+    report.set_param("seeds_per_point",
+                     static_cast<std::int64_t>(seeds_per_point));
+    report.set_param("mode", smoke ? "smoke" : "full");
+    report.set_x("error_pct", xs);
+    report.add_series("iterations", iters);
+    report.add_series("run_diff", diffs);
+    report.add_series("runs_in_xor", k3s);
+    report.set_scalar("pearson_iter_rundiff_full", r_full);
+    report.set_scalar("pearson_iter_rundiff_low_band", r_low);
+    report.set_scalar("pearson_iter_k3", r_k3);
+    report.set_check("observation_bound_ok", obs_ok_all);
+    report.write_file(json_path);
+    std::cout << "\nwrote " << json_path << '\n';
+  }
   return 0;
 }

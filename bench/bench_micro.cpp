@@ -15,6 +15,7 @@
 #include "core/union_variant.hpp"
 #include "rle/encode.hpp"
 #include "rle/ops.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
@@ -59,6 +60,23 @@ void BM_SystolicSimulation(benchmark::State& state) {
   state.counters["iterations"] = static_cast<double>(iterations);
 }
 BENCHMARK(BM_SystolicSimulation)->Apply(args_grid);
+
+// The telemetry acceptance pair: the disabled path (the default above runs
+// with the registry off — one relaxed atomic load per row) must stay within
+// noise of the seed build, and the enabled path quantifies the full cost of
+// mutex + map + reservoir per row.
+void BM_SystolicSimulationTelemetryOn(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  reset_telemetry();
+  set_telemetry_enabled(true);
+  for (auto _ : state) {
+    const SystolicResult r = systolic_xor(in.a, in.b);
+    benchmark::DoNotOptimize(r.output);
+  }
+  set_telemetry_enabled(false);
+  reset_telemetry();
+}
+BENCHMARK(BM_SystolicSimulationTelemetryOn)->Apply(args_grid);
 
 void BM_BusVariantSimulation(benchmark::State& state) {
   const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));

@@ -3,21 +3,42 @@
 // *constant in image size* while the sequential merge is linear.  Also
 // reports the modelled pixel-parallel comparator (section 6), whose O(1) XOR
 // is swamped by decompress/recompress conversions.
+//
+// Flags: --json FILE writes a sysrle.bench.v1 report; --smoke shrinks the
+// sweep for CI.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "baseline/pixel_parallel.hpp"
 #include "baseline/sequential_diff.hpp"
 #include "common/fixed_table.hpp"
 #include "common/stats.hpp"
 #include "core/systolic_diff.hpp"
+#include "telemetry/bench_report.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sysrle;
 
-  const int kSeeds = 25;
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_scaling [--json FILE] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  const int kSeeds = smoke ? 5 : 25;
+  const pos_t max_width = smoke ? 8192 : 131072;
   FixedTable table;
   table.set_header({"width", "runs(k1)", "systolic-iters", "sequential-iters",
                     "pixel-parallel-steps", "systolic-cells"});
@@ -26,8 +47,9 @@ int main() {
   std::cout << "(systolic should stay flat; sequential and pixel-parallel "
                "grow with size)\n\n";
 
+  std::vector<double> xs, k1s, sys_iters, seq_iters, pp_steps, cells;
   double sys_first = 0, sys_last = 0, seq_first = 0, seq_last = 0;
-  for (pos_t width = 128; width <= 131072; width *= 4) {
+  for (pos_t width = 128; width <= max_width; width *= 4) {
     RowGenParams rp;
     rp.width = width;
     RunningStat sys_stat, seq_stat, k1_stat, cells_stat;
@@ -49,6 +71,12 @@ int main() {
                    FixedTable::num(seq_stat.mean(), 0),
                    FixedTable::num(pp.total_steps()),
                    FixedTable::num(cells_stat.mean(), 0)});
+    xs.push_back(static_cast<double>(width));
+    k1s.push_back(k1_stat.mean());
+    sys_iters.push_back(sys_stat.mean());
+    seq_iters.push_back(seq_stat.mean());
+    pp_steps.push_back(static_cast<double>(pp.total_steps()));
+    cells.push_back(cells_stat.mean());
     if (width == 128) {
       sys_first = sys_stat.mean();
       seq_first = seq_stat.mean();
@@ -57,13 +85,33 @@ int main() {
     seq_last = seq_stat.mean();
   }
 
+  const bool claim_holds = sys_last / sys_first < 3.0;
   std::cout << table.str() << '\n';
-  std::cout << "growth 128 -> 131072: systolic x"
+  std::cout << "growth 128 -> " << max_width << ": systolic x"
             << FixedTable::num(sys_last / sys_first, 2) << ", sequential x"
             << FixedTable::num(seq_last / seq_first, 1)
-            << (sys_last / sys_first < 3.0 ? "  [constant-time claim holds]"
-                                           : "  [CLAIM VIOLATED]")
+            << (claim_holds ? "  [constant-time claim holds]"
+                            : "  [CLAIM VIOLATED]")
             << '\n';
   std::cout << "\nCSV:\n" << table.csv();
+
+  if (!json_path.empty()) {
+    BenchReport report("scaling");
+    report.set_param("seeds", static_cast<std::int64_t>(kSeeds));
+    report.set_param("error_runs", static_cast<std::int64_t>(6));
+    report.set_param("error_run_length", static_cast<std::int64_t>(4));
+    report.set_param("mode", smoke ? "smoke" : "full");
+    report.set_x("width", xs);
+    report.add_series("k1", k1s);
+    report.add_series("systolic_iterations", sys_iters);
+    report.add_series("sequential_iterations", seq_iters);
+    report.add_series("pixel_parallel_steps", pp_steps);
+    report.add_series("systolic_cells", cells);
+    report.set_scalar("growth_systolic", sys_last / sys_first);
+    report.set_scalar("growth_sequential", seq_last / seq_first);
+    report.set_check("constant_time_claim", claim_holds);
+    report.write_file(json_path);
+    std::cout << "\nwrote " << json_path << '\n';
+  }
   return 0;
 }

@@ -7,14 +7,19 @@
 //   (b) exactly 6 error runs of 4 px  -> sequential still grows linearly
 //       while the systolic machine "averages just over 5 iterations
 //       regardless of how large the image gets".
+//
+// Flags: --json FILE writes a sysrle.bench.v1 report; --smoke shrinks the
+// sweep for CI.
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "baseline/sequential_diff.hpp"
 #include "common/fixed_table.hpp"
 #include "common/stats.hpp"
 #include "core/systolic_diff.hpp"
+#include "telemetry/bench_report.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
@@ -22,21 +27,19 @@ namespace {
 
 using namespace sysrle;
 
-constexpr int kSeedsPerPoint = 50;
-const std::vector<pos_t> kSizes{128, 256, 512, 1024, 2048};
-
 struct RegimeRow {
   std::vector<double> systolic;
   std::vector<double> sequential;
 };
 
-RegimeRow run_regime(bool fixed_errors) {
+RegimeRow run_regime(const std::vector<pos_t>& sizes, int seeds_per_point,
+                     bool fixed_errors) {
   RegimeRow out;
-  for (const pos_t width : kSizes) {
+  for (const pos_t width : sizes) {
     RowGenParams rp;
     rp.width = width;
     RunningStat sys_stat, seq_stat;
-    for (int seed = 0; seed < kSeedsPerPoint; ++seed) {
+    for (int seed = 0; seed < seeds_per_point; ++seed) {
       Rng rng(static_cast<std::uint64_t>(width) * 7919 +
               static_cast<std::uint64_t>(seed) + (fixed_errors ? 1u : 0u));
       RowPairSample s;
@@ -60,17 +63,37 @@ RegimeRow run_regime(bool fixed_errors) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_table1 [--json FILE] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  // Smoke keeps the full 128->2048 span (the shape check needs the
+  // separation) but drops the per-cell seed count and the interior sizes.
+  const int seeds_per_point = smoke ? 5 : 50;
+  std::vector<pos_t> sizes{128, 256, 512, 1024, 2048};
+  if (smoke) sizes = {128, 512, 2048};
+
   std::cout << "=== Table 1: average iterations vs image size ===\n";
-  std::cout << "(runs 4-20 px, error runs 2-6 px, " << kSeedsPerPoint
+  std::cout << "(runs 4-20 px, error runs 2-6 px, " << seeds_per_point
             << " seeds per cell)\n\n";
 
-  const RegimeRow pct = run_regime(/*fixed_errors=*/false);
-  const RegimeRow fixed = run_regime(/*fixed_errors=*/true);
+  const RegimeRow pct = run_regime(sizes, seeds_per_point, false);
+  const RegimeRow fixed = run_regime(sizes, seeds_per_point, true);
 
   FixedTable table;
   std::vector<std::string> header{"Algorithm", "Errors"};
-  for (const pos_t w : kSizes) header.push_back(std::to_string(w));
+  for (const pos_t w : sizes) header.push_back(std::to_string(w));
   table.set_header(header);
 
   auto add = [&table](const char* algo, const char* errs,
@@ -89,17 +112,40 @@ int main() {
   // Shape validation, printed so a regression is obvious in the log.
   const double growth_seq = fixed.sequential.back() / fixed.sequential.front();
   const double growth_sys = fixed.systolic.back() / fixed.systolic.front();
-  std::cout << "fixed-error growth 128 -> 2048: sequential x"
-            << FixedTable::num(growth_seq, 1) << ", systolic x"
-            << FixedTable::num(growth_sys, 1)
-            << (growth_sys < 1.5 && growth_seq > 4.0 * growth_sys
-                    ? "  [shape matches the paper]"
-                    : "  [SHAPE MISMATCH]")
+  // Smoke runs 5 seeds per cell, so leave more noise headroom on the margin.
+  const double margin = smoke ? 2.5 : 4.0;
+  const bool shape_ok = growth_sys < 1.5 && growth_seq > margin * growth_sys;
+  std::cout << "fixed-error growth " << sizes.front() << " -> " << sizes.back()
+            << ": sequential x" << FixedTable::num(growth_seq, 1)
+            << ", systolic x" << FixedTable::num(growth_sys, 1)
+            << (shape_ok ? "  [shape matches the paper]"
+                         : "  [SHAPE MISMATCH]")
             << '\n';
-  std::cout << "systolic mean at 2048 px with 6 error runs: "
+  std::cout << "systolic mean at " << sizes.back()
+            << " px with 6 error runs: "
             << FixedTable::num(fixed.systolic.back(), 2)
             << " iterations (paper: 'just over 5')\n";
 
   std::cout << "\nCSV:\n" << table.csv();
+
+  if (!json_path.empty()) {
+    BenchReport report("table1");
+    report.set_param("seeds_per_point",
+                     static_cast<std::int64_t>(seeds_per_point));
+    report.set_param("mode", smoke ? "smoke" : "full");
+    std::vector<double> xs;
+    for (const pos_t w : sizes) xs.push_back(static_cast<double>(w));
+    report.set_x("width", std::move(xs));
+    report.add_series("systolic_pct_errors", pct.systolic);
+    report.add_series("sequential_pct_errors", pct.sequential);
+    report.add_series("systolic_fixed_errors", fixed.systolic);
+    report.add_series("sequential_fixed_errors", fixed.sequential);
+    report.set_scalar("fixed_growth_sequential", growth_seq);
+    report.set_scalar("fixed_growth_systolic", growth_sys);
+    report.set_scalar("systolic_mean_at_max_width", fixed.systolic.back());
+    report.set_check("shape_matches_paper", shape_ok);
+    report.write_file(json_path);
+    std::cout << "\nwrote " << json_path << '\n';
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -14,12 +15,16 @@
 #include "common/fixed_table.hpp"
 #include "core/campaign.hpp"
 #include "core/image_diff.hpp"
+#include "core/stream_diff.hpp"
 #include "core/systolic_diff.hpp"
 #include "inspect/pipeline.hpp"
 #include "inspect/report.hpp"
 #include "rle/rle_stats.hpp"
 #include "rle/serialize.hpp"
 #include "systolic/verilog_gen.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/generator.hpp"
 #include "workload/pcb.hpp"
 #include "workload/rng.hpp"
@@ -147,6 +152,66 @@ class ArgParser {
   std::map<std::string, std::string> options_;
 };
 
+// ------------------------------------------------------------ JSON helpers
+//
+// Shared serialisation between `stats --json`, `diff --stats --json` and
+// `perf`, so the three subcommands cannot drift apart field by field.
+// Schemas ("sysrle.stats.v1" etc.) follow the versioning policy in
+// docs/OBSERVABILITY.md: additions are compatible, removals bump the suffix.
+
+/// Emits the members of an image-statistics object (caller opens/closes it).
+void write_image_stats_members(JsonWriter& w, const RleImage& img) {
+  const RleImageStats s = img.stats();
+  const CompressionStats c = compression_stats(img);
+  w.member("width", static_cast<std::int64_t>(img.width()));
+  w.member("height", static_cast<std::int64_t>(img.height()));
+  w.member("foreground_pixels", static_cast<std::int64_t>(s.foreground_pixels));
+  w.member("density", s.density);
+  w.member("total_runs", static_cast<std::uint64_t>(s.total_runs));
+  w.member("max_runs_per_row", static_cast<std::uint64_t>(s.max_runs_per_row));
+  w.key("compression");
+  w.begin_object();
+  w.member("bitmap_bytes", c.bitmap_bytes);
+  w.member("rle_bytes", c.rle_bytes);
+  w.member("ratio", c.ratio());
+  w.end_object();
+}
+
+/// Emits a SystolicCounters value as an object.
+void write_counters_json(JsonWriter& w, const SystolicCounters& c) {
+  w.begin_object();
+  w.member("iterations", c.iterations);
+  w.member("swaps", c.swaps);
+  w.member("promotions", c.promotions);
+  w.member("xors", c.xors);
+  w.member("shifts", c.shifts);
+  w.member("bus_moves", c.bus_moves);
+  w.member("bus_cycles", c.bus_cycles);
+  w.member("cells_used", c.cells_used);
+  w.end_object();
+}
+
+/// Emits a {count,min,max,mean,p50,p95,p99} summary of a histogram, or null
+/// when the metric never fired (e.g. a non-systolic engine was selected).
+void write_hist_summary(JsonWriter& w, std::string_view key,
+                        const Histogram* h) {
+  w.key(key);
+  if (h == nullptr || h->stat().count() == 0) {
+    w.null();
+    return;
+  }
+  const RunningStat& st = h->stat();
+  w.begin_object();
+  w.member("count", static_cast<std::uint64_t>(st.count()));
+  w.member("min", st.min());
+  w.member("max", st.max());
+  w.member("mean", st.mean());
+  w.member("p50", st.p50());
+  w.member("p95", st.p95());
+  w.member("p99", st.p99());
+  w.end_object();
+}
+
 DiffEngine parse_engine(const std::string& name) {
   if (name == "systolic") return DiffEngine::kSystolic;
   if (name == "bus") return DiffEngine::kBusSystolic;
@@ -162,7 +227,9 @@ DiffEngine parse_engine(const std::string& name) {
 int cmd_diff(ArgParser& args, std::ostream& out) {
   args.parse({"--engine", "--output"});
   if (args.positional().size() != 2)
-    usage_error("diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats]");
+    usage_error(
+        "diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats] "
+        "[--json]");
   const RleImage a = load_image(args.positional()[0]);
   const RleImage b = load_image(args.positional()[1]);
 
@@ -173,7 +240,27 @@ int cmd_diff(ArgParser& args, std::ostream& out) {
 
   if (args.has("--output")) {
     save_image(args.get("--output", ""), result.diff);
-    out << "wrote " << args.get("--output", "") << '\n';
+    if (!args.has("--json"))
+      out << "wrote " << args.get("--output", "") << '\n';
+  }
+
+  if (args.has("--json")) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("schema", "sysrle.diff.v1");
+    w.member("engine", to_string(options.engine));
+    w.member("canonical", options.canonicalize_output);
+    w.key("diff");
+    w.begin_object();
+    write_image_stats_members(w, result.diff);
+    w.end_object();
+    w.member("max_row_iterations", result.max_row_iterations);
+    w.member("sequential_iterations", result.sequential_iterations);
+    w.key("counters");
+    write_counters_json(w, result.counters);
+    w.end_object();
+    out << '\n';
+    return 0;
   }
 
   const RleImageStats stats = result.diff.stats();
@@ -253,8 +340,32 @@ int cmd_convert(ArgParser& args, std::ostream& out) {
 
 int cmd_stats(ArgParser& args, std::ostream& out) {
   args.parse({});
-  if (args.positional().size() != 1) usage_error("stats <file>");
+  if (args.positional().size() != 1) usage_error("stats <file> [--json]");
   const RleImage img = load_image(args.positional()[0]);
+
+  if (args.has("--json")) {
+    const RunLengthHistogram h = run_length_histogram(img);
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("schema", "sysrle.stats.v1");
+    w.member("file", args.positional()[0]);
+    write_image_stats_members(w, img);
+    w.key("run_lengths");
+    w.begin_object();
+    w.member("total_runs", h.total_runs);
+    w.member("min_length", static_cast<std::int64_t>(h.min_length));
+    w.member("max_length", static_cast<std::int64_t>(h.max_length));
+    w.member("mean_length", h.mean_length);
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    out << '\n';
+    return 0;
+  }
+
   const RleImageStats s = img.stats();
   out << "size: " << img.width() << " x " << img.height() << '\n';
   out << "foreground pixels: " << s.foreground_pixels << '\n';
@@ -393,6 +504,95 @@ int cmd_campaign(ArgParser& args, std::ostream& out) {
   return r.all_recovered() ? 0 : 1;
 }
 
+int cmd_perf(ArgParser& args, std::ostream& out) {
+  args.parse({"--rows", "--width", "--seed", "--error", "--engine"});
+  if (!args.positional().empty())
+    usage_error(
+        "perf [--rows N] [--width W] [--seed S] [--error F] [--engine E]");
+  const std::int64_t rows = args.get_int("--rows", 256);
+  const std::int64_t width = args.get_int("--width", 4096);
+  if (rows < 1) usage_error("--rows must be >= 1");
+  if (width < 1) usage_error("--width must be >= 1");
+  const double error_fraction = args.get_double("--error", 0.03);
+  if (error_fraction < 0.0 || error_fraction > 1.0)
+    usage_error("--error must be in [0, 1]");
+  const std::int64_t seed = args.get_int("--seed", 42);
+  const std::string engine_name = args.get("--engine", "systolic");
+
+  ImageDiffOptions options;
+  options.engine = parse_engine(engine_name);
+  // Raw (non-canonical) output keeps the Observation-bound telemetry armed:
+  // canonicalisation shrinks k3, which would fake violations.
+  options.canonicalize_output = false;
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  RowGenParams gp;
+  gp.width = width;
+  const RleImage a = generate_image(rng, rows, gp);
+  RleImage b(width, rows);
+  ErrorGenParams ep;
+  ep.error_fraction = error_fraction;
+  for (pos_t y = 0; y < rows; ++y)
+    b.set_row(y, inject_errors(rng, a.row(y), width, ep));
+
+  // perf measures the instrumented pipeline whether or not --metrics was
+  // passed; restore the caller's enable state afterwards so a plain
+  // `sysrle perf` leaves telemetry off.
+  const bool was_enabled = telemetry_enabled();
+  reset_telemetry();
+  set_telemetry_enabled(true);
+
+  StreamDiffer differ(options, [](pos_t, const RleRow&) {});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (pos_t y = 0; y < rows; ++y) differ.push_row(a.row(y), b.row(y));
+  const auto t1 = std::chrono::steady_clock::now();
+  const StreamSummary& summary = differ.finish();
+
+  const MetricsSnapshot snap = global_metrics().snapshot();
+  set_telemetry_enabled(was_enabled);
+
+  const double wall_us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("schema", "sysrle.perf.v1");
+  w.key("params");
+  w.begin_object();
+  w.member("rows", rows);
+  w.member("width", width);
+  w.member("seed", seed);
+  w.member("error_fraction", error_fraction);
+  w.member("engine", engine_name);
+  w.end_object();
+  w.member("wall_time_us", wall_us);
+  w.member("rows_per_sec", wall_us > 0.0
+                               ? static_cast<double>(summary.rows) * 1e6 /
+                                     wall_us
+                               : 0.0);
+  w.key("summary");
+  w.begin_object();
+  w.member("rows", summary.rows);
+  w.member("difference_pixels",
+           static_cast<std::int64_t>(summary.difference_pixels));
+  w.member("max_row_iterations", summary.max_row_iterations);
+  w.member("pipelined_cycles", summary.pipelined_cycles);
+  w.member("fallback_rows", summary.fallback_rows);
+  w.member("poisoned_rows", summary.poisoned_rows);
+  w.end_object();
+  w.key("counters");
+  write_counters_json(w, summary.counters);
+  write_hist_summary(w, "row_iterations",
+                     snap.histogram("systolic.row_iterations"));
+  write_hist_summary(w, "row_latency_us",
+                     snap.histogram("stream.row_latency_us"));
+  w.member("observation_bound_ok",
+           snap.counter("systolic.obs_bound_violations") == 0);
+  w.end_object();
+  out << '\n';
+  return 0;
+}
+
 int cmd_verilog(ArgParser& args, std::ostream& out) {
   args.parse({"--bits", "--cells", "--prefix"});
   if (args.positional().size() != 1)
@@ -421,16 +621,19 @@ int cmd_verilog(ArgParser& args, std::ostream& out) {
 void print_help(std::ostream& out) {
   out << "sysrle — compressed-domain binary image tool\n"
          "  (systolic RLE image difference; Ercal, Allen, Feng; IPPS 1999)\n\n"
-         "usage: sysrle <command> [args]\n\n"
+         "usage: sysrle [--metrics FILE] [--trace-out FILE] <command> [args]\n\n"
          "commands:\n"
          "  diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats]\n"
-         "      XOR two images in the compressed domain.\n"
+         "      [--json]   XOR two images in the compressed domain.\n"
          "  inspect <ref> <scan> [--align R] [--min-area N] [--engine E]\n"
          "      reference-based inspection; exit 1 when defects are found.\n"
          "  gen pcb|random <out> [--seed N] [--width W] [--height H]\n"
          "      [--density D] [--defects N]   generate synthetic workloads.\n"
          "  convert <in> <out>   convert between PBM and sysrle RLE.\n"
-         "  stats <file>         print image statistics.\n"
+         "  stats <file> [--json]   print image statistics.\n"
+         "  perf [--rows N] [--width W] [--seed S] [--error F] [--engine E]\n"
+         "      run a synthetic workload through the streaming differ and\n"
+         "      print a machine-readable sysrle.perf.v1 JSON report.\n"
          "  verilog <outdir> [--bits W] [--cells N] [--prefix P]\n"
          "      emit synthesizable RTL for the Figure-2 machine.\n"
          "  trace \"<s,l> <s,l> ...\" \"<s,l> ...\" [--cells N]\n"
@@ -441,6 +644,11 @@ void print_help(std::ostream& out) {
          "      fault-injection campaign through the checked engine;\n"
          "      exit 1 on silent corruption or unrecovered rows.\n"
          "  help                 this message.\n\n"
+         "global options (any command):\n"
+         "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"
+         "                    telemetry recorded during the command.\n"
+         "  --trace-out FILE  write a Chrome trace_event file loadable by\n"
+         "                    chrome://tracing and Perfetto.\n\n"
          "engines: systolic (default) | bus | sequential | sweep | pixel\n"
          "formats: auto-detected on read; chosen by extension on write\n"
          "         (.pbm, .srlt = text RLE, otherwise binary RLE)\n";
@@ -448,31 +656,73 @@ void print_help(std::ostream& out) {
 
 }  // namespace
 
-int run_cli(const std::vector<std::string>& args, std::ostream& out,
+int run_cli(const std::vector<std::string>& args_in, std::ostream& out,
             std::ostream& err) {
+  // Global telemetry flags are stripped before subcommand dispatch so every
+  // command accepts them uniformly; the export happens after the command
+  // finishes, success or failure, so a crash-adjacent run still leaves data.
+  std::vector<std::string> args;
+  std::string metrics_path;
+  std::string trace_path;
+  args.reserve(args_in.size());
+  for (std::size_t i = 0; i < args_in.size(); ++i) {
+    const std::string& a = args_in[i];
+    if (a == "--metrics" || a == "--trace-out") {
+      if (i + 1 >= args_in.size()) {
+        err << "sysrle: usage: missing value for " << a << '\n';
+        return 2;
+      }
+      (a == "--metrics" ? metrics_path : trace_path) = args_in[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+  const bool telemetry = !metrics_path.empty() || !trace_path.empty();
+  if (telemetry) {
+    reset_telemetry();
+    set_telemetry_enabled(true);
+  }
+
+  int rc = 2;
   try {
     if (args.empty() || args[0] == "help" || args[0] == "--help") {
       print_help(out);
-      return 0;
+      rc = 0;
+    } else {
+      const std::string command = args[0];
+      ArgParser rest(std::vector<std::string>(args.begin() + 1, args.end()));
+      if (command == "diff") rc = cmd_diff(rest, out);
+      else if (command == "inspect") rc = cmd_inspect(rest, out);
+      else if (command == "gen") rc = cmd_gen(rest, out);
+      else if (command == "convert") rc = cmd_convert(rest, out);
+      else if (command == "stats") rc = cmd_stats(rest, out);
+      else if (command == "perf") rc = cmd_perf(rest, out);
+      else if (command == "verilog") rc = cmd_verilog(rest, out);
+      else if (command == "trace") rc = cmd_trace(rest, out);
+      else if (command == "campaign") rc = cmd_campaign(rest, out);
+      else usage_error("unknown command '" + command + "' (try: sysrle help)");
     }
-    const std::string command = args[0];
-    ArgParser rest(std::vector<std::string>(args.begin() + 1, args.end()));
-    if (command == "diff") return cmd_diff(rest, out);
-    if (command == "inspect") return cmd_inspect(rest, out);
-    if (command == "gen") return cmd_gen(rest, out);
-    if (command == "convert") return cmd_convert(rest, out);
-    if (command == "stats") return cmd_stats(rest, out);
-    if (command == "verilog") return cmd_verilog(rest, out);
-    if (command == "trace") return cmd_trace(rest, out);
-    if (command == "campaign") return cmd_campaign(rest, out);
-    usage_error("unknown command '" + command + "' (try: sysrle help)");
   } catch (const std::exception& e) {
     err << "sysrle: " << e.what() << '\n';
-    return 2;
+    rc = 2;
   } catch (...) {
     err << "sysrle: unknown error\n";
-    return 2;
+    rc = 2;
   }
+
+  if (telemetry) {
+    set_telemetry_enabled(false);
+    try {
+      if (!metrics_path.empty())
+        write_metrics_json_file(global_metrics().snapshot(), metrics_path);
+      if (!trace_path.empty())
+        write_chrome_trace_file(global_tracer(), trace_path);
+    } catch (const std::exception& e) {
+      err << "sysrle: telemetry export failed: " << e.what() << '\n';
+      rc = 2;
+    }
+  }
+  return rc;
 }
 
 }  // namespace sysrle

@@ -1,10 +1,43 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
 
 namespace sysrle {
+
+QuantileReservoir::QuantileReservoir(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void QuantileReservoir::add(double x) {
+  ++n_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Algorithm R: the new observation replaces a random slot with probability
+  // capacity/n.  splitmix64 keeps the decision sequence deterministic.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % n_;
+  if (slot < capacity_) sample_[static_cast<std::size_t>(slot)] = x;
+}
+
+double QuantileReservoir::quantile(double q) const {
+  SYSRLE_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  if (sample_.empty()) return 0.0;
+  std::vector<double> sorted(sample_);
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
 
 void RunningStat::add(double x) {
   if (n_ == 0) {
@@ -17,6 +50,7 @@ void RunningStat::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  reservoir_.add(x);
 }
 
 double RunningStat::variance() const {

@@ -1,14 +1,52 @@
 #pragma once
-// Small statistics helpers used by the experiment harnesses: running moments
-// (Welford), Pearson correlation (the paper's Figure-5 claim is a correlation
-// statement), and simple min/max tracking.
+// Small statistics helpers used by the experiment harnesses and the
+// telemetry layer: running moments (Welford), order statistics via a bounded
+// reservoir (p50/p95/p99), Pearson correlation (the paper's Figure-5 claim
+// is a correlation statement), and simple min/max tracking.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 namespace sysrle {
 
-/// Numerically stable running mean/variance accumulator (Welford's method).
+/// Bounded sample of an observation stream for quantile estimation.
+///
+/// Exact while the stream fits in `capacity` samples; beyond that, classic
+/// reservoir sampling (Algorithm R) keeps a uniform subsample.  The
+/// replacement decisions come from an internal fixed-seed generator, so a
+/// given insertion sequence always yields the same reservoir — results are
+/// reproducible across runs and machines.
+class QuantileReservoir {
+ public:
+  explicit QuantileReservoir(std::size_t capacity = kDefaultCapacity);
+
+  /// Admits one observation.
+  void add(double x);
+
+  /// Total observations offered (not the retained sample size).
+  std::uint64_t count() const { return n_; }
+
+  /// Retained sample size (== count() until the reservoir saturates).
+  std::size_t sample_size() const { return sample_.size(); }
+
+  /// Quantile q in [0, 1] with linear interpolation between order
+  /// statistics.  Returns 0 when empty; exact below `capacity` samples and
+  /// a uniform-subsample estimate beyond.
+  double quantile(double q) const;
+
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t n_ = 0;
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;  // splitmix64 state
+  std::vector<double> sample_;
+};
+
+/// Numerically stable running mean/variance accumulator (Welford's method)
+/// with an attached QuantileReservoir for p50/p95/p99.
 class RunningStat {
  public:
   /// Adds one observation.
@@ -30,12 +68,20 @@ class RunningStat {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
+  /// Quantile q in [0, 1] from the attached reservoir (see
+  /// QuantileReservoir::quantile for exactness).  0 if empty.
+  double quantile(double q) const { return reservoir_.quantile(q); }
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  QuantileReservoir reservoir_;
 };
 
 /// Pearson correlation coefficient of two equal-length series.

@@ -6,6 +6,7 @@
 #include "baseline/sequential_diff.hpp"
 #include "common/assert.hpp"
 #include "core/invariants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 
@@ -72,11 +73,27 @@ std::optional<RleRow> run_attempt(const RleRow& a, const RleRow& b,
   }
 }
 
-}  // namespace
+/// Folds one finished row's recovery record into the global registry.
+void record_checked_telemetry(const CheckedRowResult& result) {
+  MetricsRegistry& m = global_metrics();
+  m.add("checked.rows");
+  const std::size_t attempts = result.record.attempts.size();
+  if (attempts > 1) m.add("checked.retries", attempts - 1);
+  for (const AttemptRecord& rec : result.record.attempts) {
+    if (rec.detected) m.add("checked.detections");
+    if (rec.timed_out) m.add("checked.watchdog_trips");
+  }
+  if (result.record.outcome == RecoveryOutcome::kFellBack)
+    m.add("checked.fallbacks");
+  if (result.record.outcome == RecoveryOutcome::kUnrecovered)
+    m.add("checked.unrecovered");
+  m.observe("checked.row_total_cycles",
+            static_cast<double>(result.record.total_cycles));
+}
 
-CheckedRowResult checked_xor(const RleRow& a, const RleRow& b,
-                             const RecoveryPolicy& policy,
-                             const FaultInjection& injection) {
+CheckedRowResult checked_xor_impl(const RleRow& a, const RleRow& b,
+                                  const RecoveryPolicy& policy,
+                                  const FaultInjection& injection) {
   SYSRLE_REQUIRE(policy.max_retries >= 0,
                  "checked_xor: negative retry budget");
   const InvariantContext ctx = make_invariant_context(a, b);
@@ -126,6 +143,17 @@ CheckedRowResult checked_xor(const RleRow& a, const RleRow& b,
   }
 
   result.record.outcome = RecoveryOutcome::kUnrecovered;
+  return result;
+}
+
+}  // namespace
+
+CheckedRowResult checked_xor(const RleRow& a, const RleRow& b,
+                             const RecoveryPolicy& policy,
+                             const FaultInjection& injection) {
+  TELEMETRY_SPAN("checked.row", "checked");
+  CheckedRowResult result = checked_xor_impl(a, b, policy, injection);
+  if (telemetry_enabled()) record_checked_telemetry(result);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/bus_variant.hpp"
 #include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 
@@ -40,6 +41,7 @@ struct RowOutcome {
 
 RowOutcome diff_one_row(const RleRow& ra, const RleRow& rb, pos_t width,
                         const ImageDiffOptions& options) {
+  TELEMETRY_SPAN("row_diff", "image");
   RowOutcome out;
   switch (options.engine) {
     case DiffEngine::kSystolic: {
@@ -84,6 +86,7 @@ RowOutcome diff_one_row(const RleRow& ra, const RleRow& rb, pos_t width,
 
 ImageDiffResult image_diff(const RleImage& a, const RleImage& b,
                            const ImageDiffOptions& options) {
+  TELEMETRY_SPAN("image_diff", "image");
   SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
                  "image_diff: image dimensions differ");
   const pos_t height = a.height();

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "core/systolic_diff.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 
@@ -18,6 +19,7 @@ constexpr cycle_t kNever = std::numeric_limits<cycle_t>::max();
 
 FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
                              const FarmConfig& config) {
+  TELEMETRY_SPAN("farm.simulate", "farm");
   SYSRLE_REQUIRE(a.width() == b.width() && a.height() == b.height(),
                  "simulate_row_farm: image dimensions differ");
   SYSRLE_REQUIRE(config.machines >= 1, "simulate_row_farm: need >= 1 machine");
@@ -61,6 +63,9 @@ FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
 
   std::vector<cycle_t> free_at(config.machines, 0);
   std::vector<bool> dead(config.machines, false);
+  // Cycles each machine spent productively computing rows (burned cycles on
+  // an interrupted row count as lost, not busy).
+  std::vector<cycle_t> busy(config.machines, 0);
 
   for (std::size_t j = 0; j < queue.size(); ++j) {  // grows on re-dispatch
     const Job job = queue[j];
@@ -93,6 +98,7 @@ FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
         break;
       }
       free_at[best] = done;
+      busy[best] += job.service;
       result.makespan = std::max(result.makespan, done);
       result.total_work += job.service;
       result.critical_row = std::max(result.critical_row, job.service);
@@ -114,6 +120,22 @@ FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
         static_cast<double>(result.total_work) /
         (static_cast<double>(config.machines) *
          static_cast<double>(result.makespan));
+  }
+
+  if (telemetry_enabled()) {
+    MetricsRegistry& m = global_metrics();
+    m.add("farm.simulations");
+    m.add("farm.redispatched_rows", result.redispatched_rows);
+    m.set_gauge("farm.utilisation", result.utilisation);
+    m.set_gauge("farm.makespan_cycles",
+                static_cast<double>(result.makespan));
+    if (result.makespan > 0) {
+      for (std::size_t i = 0; i < config.machines; ++i) {
+        m.set_gauge("farm.machine." + std::to_string(i) + ".utilisation",
+                    static_cast<double>(busy[i]) /
+                        static_cast<double>(result.makespan));
+      }
+    }
   }
   return result;
 }

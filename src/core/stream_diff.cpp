@@ -9,6 +9,7 @@
 #include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
 #include "rle/validate.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 
@@ -81,9 +82,21 @@ RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
 }
 
 void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
+  TELEMETRY_SPAN("stream.push_row", "stream");
+  const bool telem = telemetry_enabled();
+  std::chrono::steady_clock::time_point t0{};
+  if (telem) {
+    t0 = std::chrono::steady_clock::now();
+    if (!saw_first_push_) {
+      first_push_ = t0;
+      saw_first_push_ = true;
+    }
+  }
+
   const pos_t y = static_cast<pos_t>(summary_.rows);
   RleRow diff;
   SystolicCounters row_counters;
+  bool fell_back = false;
 
   try {
     diff = run_engine(reference, scan, row_counters);
@@ -97,6 +110,7 @@ void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
     diff = std::move(r.output);
     if (options_.canonicalize_output) diff.canonicalize();
     ++summary_.fallback_rows;
+    fell_back = true;
   }
 
   ++summary_.rows;
@@ -112,6 +126,24 @@ void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
       std::max<cycle_t>(row_counters.iterations, load_cycles);
   summary_.counters += row_counters;
 
+  if (telem) {
+    MetricsRegistry& m = global_metrics();
+    m.add("stream.rows");
+    if (fell_back) m.add("stream.fallback_rows");
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto us = [](std::chrono::steady_clock::duration d) {
+      return static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    m.observe("stream.row_latency_us", us(t1 - t0));
+    m.set_gauge("stream.queue_depth_runs",
+                static_cast<double>(reference.run_count() + scan.run_count()));
+    const double elapsed_us = us(t1 - first_push_);
+    if (elapsed_us > 0.0)
+      m.set_gauge("stream.rows_per_sec",
+                  static_cast<double>(summary_.rows) * 1e6 / elapsed_us);
+  }
+
   on_row_(y, diff);
 }
 
@@ -124,6 +156,10 @@ void StreamDiffer::push_row_runs(std::vector<Run> reference,
     report(y, !ra.ok() ? describe("reference", ra) : describe("scan", rb));
     ++summary_.rows;
     ++summary_.poisoned_rows;
+    if (telemetry_enabled()) {
+      global_metrics().add("stream.rows");
+      global_metrics().add("stream.poisoned_rows");
+    }
     on_row_(y, RleRow{});
     return;
   }

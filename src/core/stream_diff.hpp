@@ -14,6 +14,7 @@
 // runs themselves are invalid (push_row_runs), the row degrades to an empty
 // difference row rather than poisoning the pipeline.
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -97,6 +98,10 @@ class StreamDiffer {
   RowEngine engine_override_;
   cycle_t load_cycles_per_run_;
   StreamSummary summary_;
+  /// Wall-clock time of the first pushed row; anchors the rows/sec gauge
+  /// when telemetry is enabled.  Unused (never read) otherwise.
+  std::chrono::steady_clock::time_point first_push_{};
+  bool saw_first_push_ = false;
 };
 
 }  // namespace sysrle

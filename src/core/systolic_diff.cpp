@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "core/invariants.hpp"
 #include "rle/ops.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 
@@ -153,6 +154,24 @@ SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
   SystolicResult result;
   result.output = machine.gather_output();
   result.counters = machine.counters();
+
+  if (telemetry_enabled()) {
+    MetricsRegistry& m = global_metrics();
+    m.add("systolic.rows");
+    m.observe("systolic.row_iterations",
+              static_cast<double>(result.counters.iterations));
+    m.observe("systolic.row_swaps", static_cast<double>(result.counters.swaps));
+    m.observe("systolic.row_shifts",
+              static_cast<double>(result.counters.shifts));
+    m.observe("systolic.row_cells_used",
+              static_cast<double>(result.counters.cells_used));
+    // The paper's (unproven) Observation bound, iterations <= k3 + 1, where
+    // k3 counts runs in the *raw* machine output; canonicalisation can only
+    // shrink the count, so the check is meaningful on raw output only.
+    if (!config.canonicalize_output &&
+        result.counters.iterations > result.output.run_count() + 1)
+      m.add("systolic.obs_bound_violations");
+  }
   return result;
 }
 

@@ -56,7 +56,13 @@ struct Run {
 
   /// Renders as "(start,length)" exactly like the paper's figures.
   std::string to_string() const {
-    return "(" + std::to_string(start) + "," + std::to_string(length) + ")";
+    std::string s;
+    s += '(';
+    s += std::to_string(start);
+    s += ',';
+    s += std::to_string(length);
+    s += ')';
+    return s;
   }
 
   friend std::ostream& operator<<(std::ostream& os, const Run& r) {

@@ -8,6 +8,7 @@
 
 #include "common/assert.hpp"
 #include "rle/validate.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 namespace {
@@ -109,6 +110,9 @@ RleImage read_binary(std::istream& in) {
 }  // namespace
 
 void write_rle(std::ostream& out, const RleImage& img, RleFormat format) {
+  TELEMETRY_SPAN("rle.write", "rle");
+  const bool telem = telemetry_enabled();
+  const std::streampos pos_before = telem ? out.tellp() : std::streampos(-1);
   if (format == RleFormat::kText) {
     out.write(kTextMagic, 4);
     out << '\n' << img.width() << ' ' << img.height() << '\n';
@@ -133,16 +137,48 @@ void write_rle(std::ostream& out, const RleImage& img, RleFormat format) {
     }
   }
   SYSRLE_ENSURE(out.good(), "RLE: write failed");
+
+  if (telem) {
+    MetricsRegistry& m = global_metrics();
+    m.add("serialize.images_written");
+    const std::streampos pos_after = out.tellp();
+    if (pos_before >= std::streampos(0) && pos_after >= pos_before)
+      m.add("serialize.bytes_out",
+            static_cast<std::uint64_t>(pos_after - pos_before));
+  }
 }
 
 RleImage read_rle(std::istream& in) {
-  char magic[4] = {};
-  in.read(magic, 4);
-  SYSRLE_REQUIRE(in.good(), "RLE: missing magic");
-  if (std::equal(magic, magic + 4, kTextMagic)) return read_text(in);
-  if (std::equal(magic, magic + 4, kBinaryMagic)) return read_binary(in);
-  SYSRLE_REQUIRE(false, "RLE: unknown magic (expected SRLT or SRLB)");
-  return RleImage(0, 0);  // unreachable
+  TELEMETRY_SPAN("rle.read", "rle");
+  const bool telem = telemetry_enabled();
+  const std::streampos pos_before = telem ? in.tellg() : std::streampos(-1);
+  try {
+    char magic[4] = {};
+    in.read(magic, 4);
+    SYSRLE_REQUIRE(in.good(), "RLE: missing magic");
+    RleImage img = [&] {
+      if (std::equal(magic, magic + 4, kTextMagic)) return read_text(in);
+      if (std::equal(magic, magic + 4, kBinaryMagic)) return read_binary(in);
+      SYSRLE_REQUIRE(false, "RLE: unknown magic (expected SRLT or SRLB)");
+      return RleImage(0, 0);  // unreachable
+    }();
+    if (telem) {
+      MetricsRegistry& m = global_metrics();
+      m.add("serialize.images_read");
+      // tellg() is -1 on a stream whose eofbit is set; the byte count is
+      // best-effort and simply skipped then.
+      const std::streampos pos_after = in.tellg();
+      if (pos_before >= std::streampos(0) && pos_after >= pos_before)
+        m.add("serialize.bytes_in",
+              static_cast<std::uint64_t>(pos_after - pos_before));
+    }
+    return img;
+  } catch (const contract_error&) {
+    // A malformed stream is rejected input, not a crash: count it so the
+    // operator can see hostile/corrupt data arriving, then rethrow.
+    if (telem) global_metrics().add("serialize.rejects");
+    throw;
+  }
 }
 
 void write_rle_file(const std::string& path, const RleImage& img,

@@ -1,0 +1,110 @@
+#include "telemetry/bench_report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace sysrle {
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_(std::move(bench_name)) {}
+
+void BenchReport::set_param(const std::string& name, const std::string& value) {
+  params_.push_back(Param{name, false, 0.0, value});
+}
+
+void BenchReport::set_param(const std::string& name, double value) {
+  params_.push_back(Param{name, true, value, {}});
+}
+
+void BenchReport::set_param(const std::string& name, std::int64_t value) {
+  set_param(name, static_cast<double>(value));
+}
+
+void BenchReport::set_x(std::string name, std::vector<double> values) {
+  x_name_ = std::move(name);
+  x_values_ = std::move(values);
+}
+
+void BenchReport::add_series(std::string name, std::vector<double> values) {
+  series_.emplace_back(std::move(name), std::move(values));
+}
+
+void BenchReport::set_scalar(const std::string& name, double value) {
+  scalars_.emplace_back(name, value);
+}
+
+void BenchReport::set_check(const std::string& name, bool ok) {
+  checks_.emplace_back(name, ok);
+}
+
+bool BenchReport::all_checks_pass() const {
+  for (const auto& [name, ok] : checks_)
+    if (!ok) return false;
+  return true;
+}
+
+void BenchReport::write(std::ostream& out) const {
+  for (const auto& [name, values] : series_)
+    SYSRLE_REQUIRE(values.size() == x_values_.size(),
+                   "BenchReport: series '" + name + "' length != x length");
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("schema", kBenchSchema);
+  w.member("bench", bench_);
+
+  w.key("params");
+  w.begin_object();
+  for (const Param& p : params_) {
+    if (p.is_number) {
+      w.member(p.name, p.number);
+    } else {
+      w.member(p.name, p.text);
+    }
+  }
+  w.end_object();
+
+  w.key("x");
+  w.begin_object();
+  w.member("name", x_name_);
+  w.key("values");
+  w.begin_array();
+  for (const double v : x_values_) w.value(v);
+  w.end_array();
+  w.end_object();
+
+  w.key("series");
+  w.begin_object();
+  for (const auto& [name, values] : series_) {
+    w.key(name);
+    w.begin_array();
+    for (const double v : values) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+
+  w.key("scalars");
+  w.begin_object();
+  for (const auto& [name, value] : scalars_) w.member(name, value);
+  w.end_object();
+
+  w.key("checks");
+  w.begin_object();
+  for (const auto& [name, ok] : checks_) w.member(name, ok);
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+  SYSRLE_ENSURE(out.good(), "BenchReport: write failed");
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  SYSRLE_REQUIRE(out.is_open(), "BenchReport: cannot open for write: " + path);
+  write(out);
+}
+
+}  // namespace sysrle

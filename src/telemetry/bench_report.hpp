@@ -1,0 +1,68 @@
+#pragma once
+// Machine-readable benchmark output: every paper-reproduction harness
+// (bench_fig5, bench_table1, bench_scaling) emits this one schema so
+// BENCH_*.json trajectory files are comparable across PRs.
+//
+// Shape ("sysrle.bench.v1"): one x-axis, any number of equally long y
+// series, free-form scalar results, named params, and named boolean checks
+// (the bench's inline shape validations, machine-checkable at last).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sysrle {
+
+/// Schema identifier embedded in every bench report.
+inline constexpr const char* kBenchSchema = "sysrle.bench.v1";
+
+/// Builder for one bench's JSON report.  Fields render in insertion order,
+/// so reports diff cleanly between runs.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Workload parameters (strings or numbers).
+  void set_param(const std::string& name, const std::string& value);
+  void set_param(const std::string& name, double value);
+  void set_param(const std::string& name, std::int64_t value);
+
+  /// The swept axis (e.g. "error_pct", "width").
+  void set_x(std::string name, std::vector<double> values);
+
+  /// One measured series over the x axis.  Must match the x length.
+  void add_series(std::string name, std::vector<double> values);
+
+  /// Scalar results (correlations, growth ratios, ...).
+  void set_scalar(const std::string& name, double value);
+
+  /// A named pass/fail shape validation.
+  void set_check(const std::string& name, bool ok);
+
+  /// True when every recorded check passed (or none were recorded).
+  bool all_checks_pass() const;
+
+  /// Writes the report as indented JSON (throws on series/x length
+  /// mismatch — a malformed trajectory point must not be recorded).
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Param {
+    std::string name;
+    bool is_number = false;
+    double number = 0.0;
+    std::string text;
+  };
+  std::string bench_;
+  std::vector<Param> params_;
+  std::string x_name_;
+  std::vector<double> x_values_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, bool>> checks_;
+};
+
+}  // namespace sysrle

@@ -1,0 +1,128 @@
+#include "telemetry/exporters.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace sysrle {
+
+namespace {
+
+void write_histogram(JsonWriter& w, const Histogram& h) {
+  const RunningStat& s = h.stat();
+  w.begin_object();
+  w.member("count", static_cast<std::uint64_t>(s.count()));
+  w.member("min", s.min());
+  w.member("max", s.max());
+  w.member("mean", s.mean());
+  w.member("stddev", s.stddev());
+  w.member("p50", s.p50());
+  w.member("p95", s.p95());
+  w.member("p99", s.p99());
+  w.member("scale", h.spec().scale == HistogramSpec::Scale::kLog2 ? "log2"
+                                                                  : "fixed");
+  w.key("buckets");
+  w.begin_array();
+  const std::vector<std::uint64_t>& buckets = h.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;  // sparse: empty buckets are implicit
+    w.begin_object();
+    w.member("le", h.bucket_upper(i));
+    w.member("count", buckets[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("schema", kMetricsSchema);
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.member(name, value);
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : snapshot.gauges) w.member(name, value);
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    w.key(name);
+    write_histogram(w, histogram);
+  }
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+  SYSRLE_ENSURE(out.good(), "metrics export: write failed");
+}
+
+void write_metrics_json_file(const MetricsSnapshot& snapshot,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SYSRLE_REQUIRE(out.is_open(),
+                 "metrics export: cannot open for write: " + path);
+  write_metrics_json(snapshot, out);
+}
+
+void write_chrome_trace(const SpanTracer& tracer, std::ostream& out) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process-name metadata event, so trace viewers label the track.
+  w.begin_object();
+  w.member("name", "process_name");
+  w.member("ph", "M");
+  w.member("pid", 1);
+  w.member("tid", 0);
+  w.key("args");
+  w.begin_object();
+  w.member("name", "sysrle");
+  w.end_object();
+  w.end_object();
+
+  for (const SpanEvent& e : tracer.snapshot()) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.category);
+    w.member("ph", "X");
+    w.member("ts", e.ts_us);
+    w.member("dur", e.dur_us);
+    w.member("pid", 1);
+    w.member("tid", static_cast<std::uint64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.member("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.member("schema", "sysrle.trace.v1");
+  w.member("dropped_events", tracer.dropped());
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+  SYSRLE_ENSURE(out.good(), "trace export: write failed");
+}
+
+void write_chrome_trace_file(const SpanTracer& tracer,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SYSRLE_REQUIRE(out.is_open(), "trace export: cannot open for write: " + path);
+  write_chrome_trace(tracer, out);
+}
+
+}  // namespace sysrle

@@ -1,0 +1,35 @@
+#pragma once
+// Exporters for the telemetry layer:
+//   * a JSON metrics snapshot ("sysrle.metrics.v1" — counters, gauges,
+//     histograms with moments, p50/p95/p99 and bucket counts), and
+//   * a Chrome trace_event file (the object form with "traceEvents"),
+//     loadable directly by chrome://tracing and Perfetto.
+//
+// Schema versioning policy (docs/OBSERVABILITY.md): the "schema" string is
+// bumped whenever a field is removed or changes meaning; adding fields is
+// backward compatible and does not bump it.
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace sysrle {
+
+/// Schema identifier embedded in every metrics snapshot.
+inline constexpr const char* kMetricsSchema = "sysrle.metrics.v1";
+
+/// Writes the snapshot as indented JSON.
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);
+void write_metrics_json_file(const MetricsSnapshot& snapshot,
+                             const std::string& path);
+
+/// Writes the tracer's events as a Chrome trace.  Events are complete
+/// ("ph":"X") events sorted by timestamp; a process-name metadata event and
+/// a drop count ride along in "otherData".
+void write_chrome_trace(const SpanTracer& tracer, std::ostream& out);
+void write_chrome_trace_file(const SpanTracer& tracer,
+                             const std::string& path);
+
+}  // namespace sysrle

@@ -1,0 +1,175 @@
+#include "telemetry/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, int indent_width)
+    : out_(out), indent_width_(indent_width) {}
+
+void JsonWriter::newline_indent() {
+  if (indent_width_ <= 0) return;
+  out_ << '\n';
+  const std::size_t depth = stack_.size();
+  for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_width_);
+       ++i)
+    out_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    // key() already emitted "name": — the value attaches to it.
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    SYSRLE_REQUIRE(!root_written_, "JsonWriter: multiple root values");
+    return;
+  }
+  Level& level = stack_.back();
+  SYSRLE_REQUIRE(level.is_array,
+                 "JsonWriter: object member requires key() first");
+  if (!level.first) out_ << ',';
+  level.first = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SYSRLE_REQUIRE(!stack_.empty() && !stack_.back().is_array && !pending_key_,
+                 "JsonWriter: mismatched end_object");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ << '}';
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SYSRLE_REQUIRE(!stack_.empty() && stack_.back().is_array,
+                 "JsonWriter: mismatched end_array");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ << ']';
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  SYSRLE_REQUIRE(!stack_.empty() && !stack_.back().is_array && !pending_key_,
+                 "JsonWriter: key() outside an object");
+  Level& level = stack_.back();
+  if (!level.first) out_ << ',';
+  level.first = false;
+  newline_indent();
+  out_ << '"' << json_escape(k) << '"' << ':';
+  if (indent_width_ > 0) out_ << ' ';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ << '"' << json_escape(v) << '"';
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out_.write(buf, res.ptr - buf);
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,76 @@
+#pragma once
+// Minimal streaming JSON writer shared by every machine-readable output in
+// sysrle: the metrics snapshot, the Chrome trace, the bench reports and the
+// CLI --json modes.  One serialisation path means one escaping policy and
+// one number format everywhere.
+//
+// Strings are escaped per RFC 8259 (quotes, backslash, control characters);
+// doubles render with shortest round-trip precision (std::to_chars) and
+// non-finite values map to null, since JSON has no NaN/Inf.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sysrle {
+
+/// Escapes a string for embedding between JSON double quotes.
+std::string json_escape(std::string_view s);
+
+/// Structured writer with automatic commas and indentation.  Containers must
+/// be closed in the order they were opened; misuse (a bare value where a key
+/// is required, unbalanced end_*) throws contract_error rather than emitting
+/// malformed JSON.
+class JsonWriter {
+ public:
+  /// `indent_width` 0 renders compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent_width = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  /// key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once every opened container has been closed and a root value has
+  /// been written — i.e. the output is a complete JSON document.
+  bool complete() const { return stack_.empty() && root_written_; }
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_width_;
+  struct Level {
+    bool is_array = false;
+    bool first = true;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+  bool root_written_ = false;
+};
+
+}  // namespace sysrle

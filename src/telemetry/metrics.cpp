@@ -1,0 +1,104 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+Histogram::Histogram(const HistogramSpec& spec) : spec_(spec) {
+  SYSRLE_REQUIRE(spec_.bucket_count >= 1, "Histogram: need >= 1 bucket");
+  SYSRLE_REQUIRE(spec_.scale == HistogramSpec::Scale::kLog2 ||
+                     spec_.bucket_width > 0.0,
+                 "Histogram: fixed scale needs bucket_width > 0");
+  buckets_.assign(spec_.bucket_count, 0);
+}
+
+void Histogram::observe(double v) {
+  stat_.add(v);
+  std::size_t index = 0;
+  if (spec_.scale == HistogramSpec::Scale::kLog2) {
+    if (v > 1.0) {
+      // bucket i covers (2^(i-1), 2^i]
+      index = static_cast<std::size_t>(std::ceil(std::log2(v)));
+    }
+  } else {
+    if (v > 0.0)
+      index = static_cast<std::size_t>(std::floor(v / spec_.bucket_width));
+  }
+  index = std::min(index, buckets_.size() - 1);
+  ++buckets_[index];
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  SYSRLE_REQUIRE(i < buckets_.size(), "Histogram: bucket index out of range");
+  if (spec_.scale == HistogramSpec::Scale::kLog2)
+    return std::pow(2.0, static_cast<double>(i));
+  return static_cast<double>(i + 1) * spec_.bucket_width;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name,
+                                       std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+const Histogram* MetricsSnapshot::histogram(std::string_view name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::add(std::string_view counter, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = state_.counters.find(counter);
+  if (it == state_.counters.end()) {
+    state_.counters.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view gauge, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = state_.gauges.find(gauge);
+  if (it == state_.gauges.end()) {
+    state_.gauges.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double value,
+                              const HistogramSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = state_.histograms.find(histogram);
+  if (it == state_.histograms.end()) {
+    it = state_.histograms.emplace(std::string(histogram), Histogram(spec))
+             .first;
+  }
+  it->second.observe(value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  state_ = MetricsSnapshot{};
+}
+
+bool MetricsRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return state_.counters.empty() && state_.gauges.empty() &&
+         state_.histograms.empty();
+}
+
+}  // namespace sysrle

@@ -1,0 +1,28 @@
+#include "telemetry/telemetry.hpp"
+
+namespace sysrle {
+
+namespace telemetry_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace telemetry_detail
+
+void set_telemetry_enabled(bool on) {
+  telemetry_detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+SpanTracer& global_tracer() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+void reset_telemetry() {
+  global_metrics().reset();
+  global_tracer().clear();
+}
+
+}  // namespace sysrle

@@ -12,6 +12,7 @@
 #include "bitmap/convert.hpp"
 #include "bitmap/pbm_io.hpp"
 #include "rle/serialize.hpp"
+#include "test_util.hpp"
 #include "workload/generator.hpp"
 #include "workload/pcb.hpp"
 #include "workload/rng.hpp"
@@ -296,6 +297,114 @@ TEST_F(CliFixture, MalformedImageFileIsOneLineError) {
   const CliRun rc = cli({"stats", cut});
   EXPECT_EQ(rc.exit_code, 2);
   EXPECT_NE(rc.err.find("truncated"), std::string::npos);
+}
+
+// ------------------------------------------------------- telemetry + JSON
+
+using testing::JsonValue;
+using testing::parse_json;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST_F(CliFixture, GlobalMetricsFlagWritesSnapshotFile) {
+  const std::string mpath = tmp_path("metrics.json");
+  const CliRun r =
+      cli({"--metrics", mpath, "diff", path_a_, path_b_, "--engine",
+           "systolic"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(slurp(mpath));
+  EXPECT_EQ(root.at("schema").string, "sysrle.metrics.v1");
+  EXPECT_DOUBLE_EQ(root.at("counters").at("systolic.rows").number, 10.0);
+  const JsonValue& iters =
+      root.at("histograms").at("systolic.row_iterations");
+  EXPECT_DOUBLE_EQ(iters.at("count").number, 10.0);
+}
+
+TEST_F(CliFixture, TraceOutWritesValidChromeTrace) {
+  const std::string tpath = tmp_path("trace.json");
+  const CliRun r = cli({"--trace-out", tpath, "diff", path_a_, path_b_});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(slurp(tpath));
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_GE(events.array.size(), 2u);
+  EXPECT_EQ(events.array[0].at("ph").string, "M");
+  double prev_ts = -1.0;
+  std::size_t complete = 0;
+  for (const JsonValue& e : events.array) {
+    if (e.at("ph").string != "X") continue;
+    ++complete;
+    EXPECT_GE(e.at("ts").number, prev_ts);
+    prev_ts = e.at("ts").number;
+  }
+  EXPECT_GE(complete, 1u);
+  EXPECT_EQ(root.at("otherData").at("schema").string, "sysrle.trace.v1");
+}
+
+TEST_F(CliFixture, PerfEmitsSchemaJsonAndExportsFiles) {
+  const std::string mpath = tmp_path("perf_metrics.json");
+  const std::string tpath = tmp_path("perf_trace.json");
+  const CliRun r = cli({"--metrics", mpath, "--trace-out", tpath, "perf",
+                        "--rows", "16", "--width", "256"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.perf.v1");
+  EXPECT_DOUBLE_EQ(root.at("params").at("rows").number, 16.0);
+  EXPECT_DOUBLE_EQ(root.at("params").at("width").number, 256.0);
+  EXPECT_DOUBLE_EQ(root.at("summary").at("rows").number, 16.0);
+  EXPECT_GT(root.at("wall_time_us").number, 0.0);
+  EXPECT_TRUE(root.at("observation_bound_ok").boolean);
+  const JsonValue& iters = root.at("row_iterations");
+  EXPECT_DOUBLE_EQ(iters.at("count").number, 16.0);
+  EXPECT_GE(iters.at("p99").number, iters.at("p50").number);
+
+  // The global flags still export alongside the stdout report.
+  EXPECT_EQ(parse_json(slurp(mpath)).at("schema").string,
+            "sysrle.metrics.v1");
+  EXPECT_EQ(parse_json(slurp(tpath)).at("otherData").at("schema").string,
+            "sysrle.trace.v1");
+}
+
+TEST_F(CliFixture, StatsJsonSchemaPinned) {
+  const CliRun r = cli({"stats", path_a_, "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.stats.v1");
+  EXPECT_EQ(root.at("file").string, path_a_);
+  EXPECT_DOUBLE_EQ(root.at("width").number, 200.0);
+  EXPECT_DOUBLE_EQ(root.at("height").number, 10.0);
+  EXPECT_GT(root.at("total_runs").number, 0.0);
+  EXPECT_GT(root.at("compression").at("ratio").number, 0.0);
+  const JsonValue& rl = root.at("run_lengths");
+  EXPECT_GT(rl.at("total_runs").number, 0.0);
+  EXPECT_FALSE(rl.at("buckets").array.empty());
+}
+
+TEST_F(CliFixture, DiffJsonSchemaPinned) {
+  const CliRun r =
+      cli({"diff", path_a_, path_b_, "--json", "--engine", "systolic"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.diff.v1");
+  EXPECT_EQ(root.at("engine").string, "systolic");
+  EXPECT_DOUBLE_EQ(root.at("diff").at("width").number, 200.0);
+  EXPECT_GE(root.at("max_row_iterations").number, 1.0);
+  EXPECT_GE(root.at("counters").at("iterations").number,
+            root.at("max_row_iterations").number);
+}
+
+TEST_F(CliFixture, MissingValueForGlobalFlagIsUsageError) {
+  const CliRun rm = cli({"--metrics"});
+  EXPECT_EQ(rm.exit_code, 2);
+  EXPECT_NE(rm.err.find("--metrics"), std::string::npos);
+  const CliRun rt = cli({"--trace-out"});
+  EXPECT_EQ(rt.exit_code, 2);
+  EXPECT_NE(rt.err.find("--trace-out"), std::string::npos);
 }
 
 }  // namespace

@@ -32,14 +32,89 @@ TEST(Counters, AccumulationAddsAndMaxes) {
   EXPECT_EQ(a.cells_used, 7u);  // max, not sum
 }
 
+TEST(Counters, AccumulationCoversEveryField) {
+  // Distinct primes per field so a swapped or dropped field in operator+=
+  // cannot cancel out.
+  SystolicCounters a;
+  a.iterations = 2;
+  a.swaps = 3;
+  a.promotions = 5;
+  a.xors = 7;
+  a.shifts = 11;
+  a.bus_moves = 13;
+  a.bus_cycles = 17;
+  a.cells_used = 19;
+  SystolicCounters b;
+  b.iterations = 23;
+  b.swaps = 29;
+  b.promotions = 31;
+  b.xors = 37;
+  b.shifts = 41;
+  b.bus_moves = 43;
+  b.bus_cycles = 47;
+  b.cells_used = 53;
+  a += b;
+  EXPECT_EQ(a.iterations, 25u);
+  EXPECT_EQ(a.swaps, 32u);
+  EXPECT_EQ(a.promotions, 36u);
+  EXPECT_EQ(a.xors, 44u);
+  EXPECT_EQ(a.shifts, 52u);
+  EXPECT_EQ(a.bus_moves, 56u);
+  EXPECT_EQ(a.bus_cycles, 64u);
+  EXPECT_EQ(a.cells_used, 53u);  // max, not sum
+}
+
+TEST(Counters, CellsUsedKeepsLargerLeftOperand) {
+  SystolicCounters a;
+  a.cells_used = 9;
+  SystolicCounters b;
+  b.cells_used = 4;
+  a += b;
+  EXPECT_EQ(a.cells_used, 9u);
+}
+
+TEST(Counters, AccumulatingZeroIsIdentity) {
+  SystolicCounters a;
+  a.iterations = 6;
+  a.swaps = 4;
+  a.cells_used = 3;
+  const SystolicCounters before = a;
+  a += SystolicCounters{};
+  EXPECT_EQ(a.iterations, before.iterations);
+  EXPECT_EQ(a.swaps, before.swaps);
+  EXPECT_EQ(a.cells_used, before.cells_used);
+}
+
+TEST(Counters, SelfAccumulationDoublesAddsKeepsMax) {
+  SystolicCounters a;
+  a.iterations = 5;
+  a.xors = 8;
+  a.cells_used = 6;
+  a += a;
+  EXPECT_EQ(a.iterations, 10u);
+  EXPECT_EQ(a.xors, 16u);
+  EXPECT_EQ(a.cells_used, 6u);
+}
+
 TEST(Counters, ToStringMentionsEveryField) {
   SystolicCounters c;
   c.iterations = 1;
-  c.bus_moves = 2;
+  c.swaps = 2;
+  c.promotions = 3;
+  c.xors = 4;
+  c.shifts = 5;
+  c.bus_moves = 6;
+  c.bus_cycles = 7;
+  c.cells_used = 8;
   const std::string s = c.to_string();
   EXPECT_NE(s.find("iterations=1"), std::string::npos);
-  EXPECT_NE(s.find("bus_moves=2"), std::string::npos);
-  EXPECT_NE(s.find("cells_used="), std::string::npos);
+  EXPECT_NE(s.find("swaps=2"), std::string::npos);
+  EXPECT_NE(s.find("promotions=3"), std::string::npos);
+  EXPECT_NE(s.find("xors=4"), std::string::npos);
+  EXPECT_NE(s.find("shifts=5"), std::string::npos);
+  EXPECT_NE(s.find("bus_moves=6"), std::string::npos);
+  EXPECT_NE(s.find("bus_cycles=7"), std::string::npos);
+  EXPECT_NE(s.find("cells_used=8"), std::string::npos);
 }
 
 }  // namespace

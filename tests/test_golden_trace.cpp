@@ -61,6 +61,38 @@ TEST(GoldenTrace, Figure3FullExecution) {
             expected);
 }
 
+TEST(GoldenTrace, TwoRunByTwoRunExecution) {
+  // Minimal 2-run x 2-run example exercising order, xor-with-split and
+  // shift in two iterations; small enough to verify against the paper's
+  // rules by hand.
+  const RleRow a{{2, 3}, {9, 2}};
+  const RleRow b{{4, 2}, {9, 1}};
+
+  TraceRecorder trace;
+  SystolicConfig cfg;
+  cfg.capacity = 4;
+  cfg.trace = &trace;
+  const SystolicResult result = systolic_xor(a, b, cfg);
+
+  EXPECT_EQ(result.output, RleRow({{2, 2}, {5, 1}, {10, 1}}));
+  EXPECT_EQ(result.counters.iterations, 2u);
+
+  const std::vector<std::string> expected = {
+      "Step     Cell0  Cell1   Cell2   Cell3",
+      "Initial  (2,3)  (9,2)",
+      "         (4,2)  (9,1)",
+      "1.1      (2,3)  (9,1)",
+      "         (4,2)  (9,2)",
+      "1.2      (2,2)",
+      "         (5,1)  (10,1)",
+      "1.3      (2,2)",
+      "                (5,1)   (10,1)",
+      "2.1      (2,2)  (5,1)   (10,1)",
+  };
+  EXPECT_EQ(normalised_lines(trace.render(/*elide_unchanged=*/true)),
+            expected);
+}
+
 TEST(GoldenTrace, FullRenderContainsElidedRowsToo) {
   const RleRow img1{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
   const RleRow img2{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};

@@ -1,0 +1,160 @@
+// Tests for the shared JSON writer: escaping, number formatting, structural
+// discipline, and round-tripping through the test suite's independent parser.
+
+#include "telemetry/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "test_util.hpp"
+
+namespace sysrle {
+namespace {
+
+using testing::JsonValue;
+using testing::parse_json;
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  std::ostringstream obj, arr;
+  JsonWriter(obj).begin_object().end_object();
+  JsonWriter(arr).begin_array().end_array();
+  EXPECT_EQ(parse_json(obj.str()).type, JsonValue::Type::kObject);
+  EXPECT_EQ(parse_json(arr.str()).type, JsonValue::Type::kArray);
+}
+
+TEST(JsonWriter, NestedStructureRoundTrips) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("name", "sysrle");
+  w.member("count", std::uint64_t{42});
+  w.member("ratio", 0.25);
+  w.member("ok", true);
+  w.key("nothing");
+  w.null();
+  w.key("list");
+  w.begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.member("deep", std::int64_t{-7});
+  w.end_object();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+
+  const JsonValue root = parse_json(os.str());
+  EXPECT_EQ(root.at("name").string, "sysrle");
+  EXPECT_DOUBLE_EQ(root.at("count").number, 42.0);
+  EXPECT_DOUBLE_EQ(root.at("ratio").number, 0.25);
+  EXPECT_TRUE(root.at("ok").boolean);
+  EXPECT_TRUE(root.at("nothing").is_null());
+  ASSERT_EQ(root.at("list").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(root.at("list").array[1].number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("nested").at("deep").number, -7.0);
+}
+
+TEST(JsonWriter, PreservesKeyOrder) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("zebra", 1);
+  w.member("apple", 2);
+  w.end_object();
+  const JsonValue root = parse_json(os.str());
+  ASSERT_EQ(root.object.size(), 2u);
+  EXPECT_EQ(root.object[0].first, "zebra");
+  EXPECT_EQ(root.object[1].first, "apple");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(0.1).value(1e300).value(-2.5);
+  w.end_array();
+  const JsonValue root = parse_json(os.str());
+  EXPECT_DOUBLE_EQ(root.array[0].number, 0.1);
+  EXPECT_DOUBLE_EQ(root.array[1].number, 1e300);
+  EXPECT_DOUBLE_EQ(root.array[2].number, -2.5);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  const JsonValue root = parse_json(os.str());
+  EXPECT_TRUE(root.array[0].is_null());
+  EXPECT_TRUE(root.array[1].is_null());
+}
+
+TEST(JsonWriter, EscapedStringsSurviveRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.member("k\"ey", "va\\l\nue");
+  w.end_object();
+  const JsonValue root = parse_json(os.str());
+  EXPECT_EQ(root.at("k\"ey").string, "va\\l\nue");
+}
+
+TEST(JsonWriter, CompactModeHasNoNewlines) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.member("a", 1);
+  w.end_object();
+  EXPECT_EQ(os.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), contract_error);  // value without a key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), contract_error);  // key inside an array
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    EXPECT_THROW(w.end_object(), contract_error);  // nothing open
+  }
+}
+
+TEST(JsonWriter, CompleteTracksBalance) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace
+}  // namespace sysrle

@@ -89,14 +89,20 @@ TEST_P(EngineEquivalence, AllEnginesAgreeAndBoundsHold) {
 std::string regime_name(
     const ::testing::TestParamInfo<std::tuple<Regime, std::uint64_t>>& info) {
   const auto& [r, seed] = info.param;
-  std::string s = "w" + std::to_string(r.width) + "_d" +
-                  std::to_string(static_cast<int>(r.density * 100)) + "_";
+  std::string s = "w";
+  s += std::to_string(r.width);
+  s += "_d";
+  s += std::to_string(static_cast<int>(r.density * 100));
+  s += "_";
   if (r.error_fraction >= 0) {
-    s += "e" + std::to_string(static_cast<int>(r.error_fraction * 100));
+    s += "e";
+    s += std::to_string(static_cast<int>(r.error_fraction * 100));
   } else {
     s += "indep";
   }
-  return s + "_s" + std::to_string(seed);
+  s += "_s";
+  s += std::to_string(seed);
+  return s;
 }
 
 INSTANTIATE_TEST_SUITE_P(

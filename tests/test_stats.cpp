@@ -41,6 +41,76 @@ TEST(RunningStat, KnownMoments) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(Quantiles, EmptyStatReportsZero) {
+  const RunningStat s;
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+}
+
+TEST(Quantiles, SingleSampleIsEveryQuantile) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(Quantiles, ConstantSeries) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+}
+
+TEST(Quantiles, UniformSeriesWithinReservoirIsExact) {
+  // 101 samples fit in the 512-slot reservoir, so quantiles interpolate the
+  // exact order statistics of 0..100.
+  RunningStat s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(Quantiles, LargeStreamApproximatesUniform) {
+  // 50k samples overflow the reservoir; Algorithm R keeps a uniform sample,
+  // so the quantile estimates land near the true values.
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(static_cast<double>(i % 1000));
+  EXPECT_NEAR(s.p50(), 500.0, 100.0);
+  EXPECT_NEAR(s.p95(), 950.0, 60.0);
+  EXPECT_GT(s.p99(), s.p50());
+}
+
+TEST(Quantiles, OutOfRangeArgumentRejected) {
+  RunningStat s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), contract_error);
+  EXPECT_THROW(s.quantile(1.1), contract_error);
+}
+
+TEST(QuantileReservoir, CountTracksStreamSampleIsBounded) {
+  QuantileReservoir r(16);
+  for (int i = 0; i < 100; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.sample_size(), 16u);
+}
+
+TEST(QuantileReservoir, DeterministicAcrossRuns) {
+  QuantileReservoir a(32), b(32);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.95), b.quantile(0.95));
+}
+
 TEST(Pearson, PerfectCorrelation) {
   const std::vector<double> x{1, 2, 3, 4};
   const std::vector<double> y{10, 20, 30, 40};
