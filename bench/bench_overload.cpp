@@ -1,0 +1,434 @@
+// Robustness extension: what happens when offered load exceeds capacity?
+//
+// The paper bounds per-row latency on one machine; the ROADMAP's north star
+// is a fleet "serving heavy traffic from millions of users".  This bench
+// drives the DiffService (src/service) through the load regimes an
+// inspection cluster actually sees and validates the serving-side promises
+// as named, machine-checkable booleans:
+//
+//   1. Load sweep (0.5x, 1x, 2x capacity) — every offered request is either
+//      admitted or shed with a typed reason (zero silent drops), and the
+//      p99 latency of *admitted interactive* requests at 2x stays within 2x
+//      of its at-capacity value: the bounded queue converts overload into
+//      typed sheds instead of unbounded queueing delay.
+//   2. Deadline storm — requests carrying deadlines shorter than the queue
+//      delay are shed as deadline_expired (at submit or after admission),
+//      and expired requests stop consuming engine cycles mid-image.
+//   3. Breaker trip — with the checked engine, an injected permanent fault
+//      and no fallback, every request fails; the service breaker opens
+//      after `failure_threshold` consecutive failures and later arrivals
+//      shed as circuit_open without touching the backend.
+//   4. Farm relief — a farm with one permanently flaky machine, with and
+//      without per-machine circuit breakers: the breaker caps the wasted
+//      dispatches at threshold + half-open probes and the makespan drops
+//      back toward the healthy-farm value.
+//
+// Flags: --json FILE writes a sysrle.bench.v1 report; --smoke shrinks the
+// workload for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fixed_table.hpp"
+#include "common/stats.hpp"
+#include "core/faults.hpp"
+#include "core/machine_farm.hpp"
+#include "service/service.hpp"
+#include "telemetry/bench_report.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+using namespace sysrle;
+
+struct ImagePair {
+  RleImage a{0, 0};
+  RleImage b{0, 0};
+};
+
+/// A small pool of distinct reference/scan pairs reused round-robin, so the
+/// submission loop never pays generation cost while pacing arrivals.
+std::vector<ImagePair> make_pool(std::size_t n, pos_t rows, pos_t width,
+                                 double error_fraction, std::uint64_t seed) {
+  std::vector<ImagePair> pool(n);
+  Rng rng(seed);
+  for (ImagePair& p : pool) {
+    RowGenParams gp;
+    gp.width = width;
+    p.a = generate_image(rng, rows, gp);
+    p.b = RleImage(width, rows);
+    ErrorGenParams ep;
+    ep.error_fraction = error_fraction;
+    for (pos_t y = 0; y < rows; ++y)
+      p.b.set_row(y, inject_errors(rng, p.a.row(y), width, ep));
+  }
+  return pool;
+}
+
+/// What one load phase produced, folded from the completion callback and the
+/// service's own accounting.
+struct PhaseOutcome {
+  ServiceStats stats;
+  RunningStat interactive_us;
+  RunningStat batch_us;
+  std::uint64_t responses = 0;
+  std::uint64_t rows_processed = 0;
+
+  /// offered == admitted + every typed submit-shed, and every admitted
+  /// request produced exactly one response: nothing vanished.
+  bool accounted() const {
+    const std::uint64_t submit_shed =
+        stats.shed_queue_full + stats.shed_circuit_open +
+        stats.shed_shutdown + stats.shed_deadline_at_submit;
+    return stats.offered == stats.admitted + submit_shed &&
+           responses == stats.admitted;
+  }
+};
+
+/// Measures the fleet's saturated throughput: `n` requests are queued all at
+/// once against `workers` workers (caps wide open) and the wall time per
+/// request is the effective service interval, contention included.  The
+/// returned value is the µs of *fleet* time one request costs, i.e. the
+/// at-capacity inter-arrival interval.
+double calibrate_interarrival_us(const std::vector<ImagePair>& pool, int n,
+                                 std::size_t workers) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.admission.interactive_capacity = static_cast<std::size_t>(n) + 1;
+  cfg.admission.batch_capacity = static_cast<std::size_t>(n) + 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    DiffService service(cfg, nullptr);
+    for (int i = 0; i < n; ++i) {
+      ServiceRequest req;
+      req.id = static_cast<std::uint64_t>(i);
+      req.priority = Priority::kBatch;
+      const ImagePair& p = pool[static_cast<std::size_t>(i) % pool.size()];
+      req.reference = p.a;
+      req.scan = p.b;
+      req.keep_diff = false;
+      service.try_submit(std::move(req));
+    }
+    service.drain();
+  }
+  const double wall_us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return std::max(wall_us / static_cast<double>(n), 1.0);
+}
+
+/// Open-loop arrival phase: `n` requests arrive as a seeded Poisson process
+/// at `load` times the fleet capacity (mean inter-arrival
+/// `base_interarrival_us / load`), 1-in-4 interactive.  Poisson arrivals
+/// make the at-capacity phase see the same burst-driven queueing the
+/// overload phase does, so the p99 comparison is cap-bound against
+/// cap-bound rather than idle against saturated.  A `deadline_us` of 0
+/// means no deadline.
+PhaseOutcome run_phase(const std::vector<ImagePair>& pool, double load,
+                       int n, double base_interarrival_us,
+                       std::size_t workers, std::uint64_t deadline_us,
+                       std::uint64_t seed) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  // Small bounds are the point: the queue may hold at most ~2 service times
+  // of work per class, so admitted-request latency stays bounded and the
+  // rest sheds as queue_full.
+  cfg.admission.interactive_capacity = 2;
+  cfg.admission.batch_capacity = 2 * workers;
+  cfg.seed = seed;
+
+  PhaseOutcome out;
+  std::mutex mu;
+  DiffService service(cfg, [&](ServiceResponse r) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++out.responses;
+    out.rows_processed += r.rows_processed;
+    if (r.status == ServiceResponse::Status::kCompleted) {
+      (r.priority == Priority::kInteractive ? out.interactive_us
+                                            : out.batch_us)
+          .add(r.total_us);
+    }
+  });
+
+  const double mean_interarrival_us = base_interarrival_us / load;
+  Rng arrival_rng(seed ^ 0xa11ca75ull);
+  double arrival_us = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    arrival_us +=
+        -std::log(1.0 - arrival_rng.uniform01()) * mean_interarrival_us;
+    std::this_thread::sleep_until(
+        start + std::chrono::microseconds(
+                    static_cast<std::int64_t>(arrival_us)));
+    ServiceRequest req;
+    req.id = static_cast<std::uint64_t>(i);
+    req.priority = i % 4 == 0 ? Priority::kInteractive : Priority::kBatch;
+    if (deadline_us > 0)
+      req.deadline = Deadline::after(std::chrono::microseconds(
+          static_cast<std::int64_t>(deadline_us)));
+    const ImagePair& p = pool[static_cast<std::size_t>(i) % pool.size()];
+    req.reference = p.a;
+    req.scan = p.b;
+    req.keep_diff = false;
+    service.try_submit(std::move(req));
+  }
+  service.drain();
+  out.stats = service.stats();
+  return out;
+}
+
+/// Breaker-trip phase: checked engine, permanent stuck-comparator fault,
+/// fallback disabled, zero retries — every processed request fails, so the
+/// service breaker must open and later arrivals must shed as circuit_open.
+PhaseOutcome run_breaker_phase(const std::vector<ImagePair>& pool, int n) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.use_checked_engine = true;
+  cfg.recovery.max_retries = 0;
+  cfg.recovery.fallback_to_sequential = false;
+  cfg.breaker.failure_threshold = 3;
+  // Longer than the phase: once open, the breaker stays open to the end.
+  cfg.breaker.open_duration = 60'000'000;
+
+  FaultSpec fault;
+  fault.kind = FaultKind::kNoSwap;
+  fault.activation = FaultActivation::kPermanent;
+  fault.cell = 0;
+
+  PhaseOutcome out;
+  std::mutex mu;
+  DiffService service(cfg, [&](ServiceResponse r) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++out.responses;
+    out.rows_processed += r.rows_processed;
+  });
+  for (int i = 0; i < n; ++i) {
+    ServiceRequest req;
+    req.id = static_cast<std::uint64_t>(i);
+    req.priority = Priority::kBatch;
+    req.fault = fault;
+    const ImagePair& p = pool[static_cast<std::size_t>(i) % pool.size()];
+    req.reference = p.a;
+    req.scan = p.b;
+    req.keep_diff = false;
+    service.try_submit(std::move(req));
+    // Give workers a moment so failures (not queue_full) dominate the early
+    // submissions and the breaker sees consecutive kFailed responses.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  service.drain();
+  out.stats = service.stats();
+  return out;
+}
+
+struct FarmComparison {
+  FarmResult without_breaker;
+  FarmResult with_breaker;
+};
+
+/// One permanently flaky machine in a 4-machine farm, with and without
+/// per-machine breakers.
+FarmComparison run_farm_phase(pos_t rows, pos_t width) {
+  Rng rng(7);
+  RowGenParams gp;
+  gp.width = width;
+  const RleImage a = generate_image(rng, rows, gp);
+  RleImage b(width, rows);
+  ErrorGenParams ep;
+  ep.error_fraction = 0.05;
+  for (pos_t y = 0; y < rows; ++y)
+    b.set_row(y, inject_errors(rng, a.row(y), width, ep));
+
+  FarmConfig cfg;
+  cfg.machines = 4;
+  cfg.flaky.push_back({.machine = 1, .failure_probability = 1.0});
+
+  FarmComparison cmp;
+  cmp.without_breaker = simulate_row_farm(a, b, cfg);
+  cfg.enable_breakers = true;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_duration = 4096;
+  cmp.with_breaker = simulate_row_farm(a, b, cfg);
+  return cmp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_overload [--json FILE] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  const pos_t kRows = smoke ? 24 : 64;
+  const pos_t kWidth = smoke ? 1024 : 4096;
+  const int kRequests = smoke ? 60 : 240;
+  const std::size_t kWorkers = 4;
+  const std::uint64_t kSeed = 42;
+
+  const std::vector<ImagePair> pool =
+      make_pool(8, kRows, kWidth, 0.03, kSeed);
+  const double interarrival_us =
+      calibrate_interarrival_us(pool, smoke ? 16 : 48, kWorkers);
+  const double service_us =
+      interarrival_us * static_cast<double>(kWorkers);
+  std::cout << "calibrated capacity: one request per " << interarrival_us
+            << " us of fleet time (" << kRows << " rows x " << kWidth
+            << " px, " << kWorkers << " workers; ~" << service_us
+            << " us per request)\n\n";
+
+  // --- 1. load sweep ------------------------------------------------------
+  const std::vector<double> loads = {0.5, 1.0, 2.0};
+  std::vector<PhaseOutcome> phases;
+  for (double load : loads)
+    phases.push_back(run_phase(pool, load, kRequests, interarrival_us,
+                               kWorkers, /*deadline_us=*/0, kSeed));
+
+  FixedTable table;
+  table.set_header({"load", "offered", "admitted", "shed", "completed",
+                    "int-p99-us", "accounted"});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const PhaseOutcome& p = phases[i];
+    table.add_row({FixedTable::num(loads[i]), FixedTable::num(p.stats.offered),
+                   FixedTable::num(p.stats.admitted),
+                   FixedTable::num(p.stats.shed_total()),
+                   FixedTable::num(p.stats.completed),
+                   FixedTable::num(p.interactive_us.p99()),
+                   p.accounted() ? "yes" : "NO"});
+  }
+  std::cout << "--- 1. load sweep ---\n" << table.str() << '\n';
+
+  const PhaseOutcome& at_capacity = phases[1];
+  const PhaseOutcome& overload = phases[2];
+  const bool no_silent_drops =
+      phases[0].accounted() && phases[1].accounted() && phases[2].accounted();
+  const bool typed_shed_under_overload = overload.stats.shed_total() > 0;
+  const double p99_1x = at_capacity.interactive_us.p99();
+  const double p99_2x = overload.interactive_us.p99();
+  const bool interactive_p99_bounded =
+      p99_1x > 0.0 && p99_2x <= 2.0 * p99_1x;
+
+  // --- 2. deadline storm --------------------------------------------------
+  // Deadlines of ~1.5 service times at 2x load: many requests expire in the
+  // queue or mid-image; none may keep burning engine cycles afterwards.
+  const std::uint64_t storm_deadline_us =
+      static_cast<std::uint64_t>(service_us * 1.5);
+  const PhaseOutcome storm =
+      run_phase(pool, 2.0, kRequests, interarrival_us, kWorkers,
+                storm_deadline_us, kSeed + 1);
+  const std::uint64_t storm_deadline_sheds =
+      storm.stats.shed_deadline_at_submit + storm.stats.shed_deadline_after_admit;
+  const std::uint64_t storm_row_budget =
+      storm.stats.admitted * static_cast<std::uint64_t>(kRows);
+  std::cout << "--- 2. deadline storm (" << storm_deadline_us
+            << " us deadlines at 2x load) ---\n"
+            << "deadline sheds: " << storm_deadline_sheds
+            << " (at submit " << storm.stats.shed_deadline_at_submit
+            << ", after admit " << storm.stats.shed_deadline_after_admit
+            << ")\nrows processed: " << storm.rows_processed << " of "
+            << storm_row_budget << " admitted-row budget\n\n";
+  const bool deadline_sheds_typed =
+      storm.accounted() && storm_deadline_sheds > 0;
+  // Expired requests stopped mid-image iff the fleet processed strictly
+  // fewer rows than every admitted request running to completion.
+  const bool deadline_stops_work =
+      storm.stats.shed_deadline_after_admit == 0 ||
+      storm.rows_processed < storm_row_budget;
+
+  // --- 3. breaker trip ----------------------------------------------------
+  const PhaseOutcome breaker = run_breaker_phase(pool, smoke ? 16 : 32);
+  std::cout << "--- 3. breaker trip (permanent fault, no fallback) ---\n"
+            << "failed: " << breaker.stats.failed
+            << "  shed circuit_open: " << breaker.stats.shed_circuit_open
+            << '\n';
+  const bool breaker_opens_under_faults =
+      breaker.accounted() && breaker.stats.failed >= 3 &&
+      breaker.stats.shed_circuit_open > 0;
+
+  // --- 4. farm relief -----------------------------------------------------
+  const FarmComparison farm = run_farm_phase(smoke ? 32 : 96, kWidth);
+  const FarmResult& fw = farm.without_breaker;
+  const FarmResult& fb = farm.with_breaker;
+  std::cout << "--- 4. farm relief (machine 1 permanently flaky) ---\n"
+            << "without breakers: makespan " << fw.makespan
+            << " faulty dispatches " << fw.faulty_dispatches
+            << " wasted cycles " << fw.faulty_cycles << '\n'
+            << "with breakers:    makespan " << fb.makespan
+            << " faulty dispatches " << fb.faulty_dispatches
+            << " wasted cycles " << fb.faulty_cycles << " (probes "
+            << fb.probe_dispatches << ")\n\n";
+  const bool farm_breaker_relief =
+      fb.faulty_cycles < fw.faulty_cycles && fb.makespan <= fw.makespan &&
+      fb.faulty_dispatches < fw.faulty_dispatches;
+
+  const bool all_ok = no_silent_drops && typed_shed_under_overload &&
+                      interactive_p99_bounded && deadline_sheds_typed &&
+                      deadline_stops_work && breaker_opens_under_faults &&
+                      farm_breaker_relief;
+  std::cout << "verdict: "
+            << (all_ok ? "overload contained (all checks pass)"
+                       : "OVERLOAD GAP (see failed checks)")
+            << '\n';
+
+  if (!json_path.empty()) {
+    BenchReport report("overload");
+    report.set_param("rows", static_cast<std::int64_t>(kRows));
+    report.set_param("width", static_cast<std::int64_t>(kWidth));
+    report.set_param("requests", static_cast<std::int64_t>(kRequests));
+    report.set_param("workers", static_cast<std::int64_t>(kWorkers));
+    report.set_param("seed", static_cast<std::int64_t>(kSeed));
+    report.set_param("smoke", smoke ? "true" : "false");
+    report.set_x("load_factor", loads);
+    auto series = [&](const char* name, auto&& get) {
+      std::vector<double> v;
+      for (const PhaseOutcome& p : phases)
+        v.push_back(static_cast<double>(get(p)));
+      report.add_series(name, std::move(v));
+    };
+    series("offered", [](const PhaseOutcome& p) { return p.stats.offered; });
+    series("admitted", [](const PhaseOutcome& p) { return p.stats.admitted; });
+    series("shed", [](const PhaseOutcome& p) { return p.stats.shed_total(); });
+    series("completed",
+           [](const PhaseOutcome& p) { return p.stats.completed; });
+    series("interactive_p99_us",
+           [](const PhaseOutcome& p) { return p.interactive_us.p99(); });
+    report.set_scalar("service_time_us", service_us);
+    report.set_scalar("p99_at_capacity_us", p99_1x);
+    report.set_scalar("p99_at_overload_us", p99_2x);
+    report.set_scalar("storm_deadline_sheds",
+                      static_cast<double>(storm_deadline_sheds));
+    report.set_scalar("breaker_circuit_open_sheds",
+                      static_cast<double>(breaker.stats.shed_circuit_open));
+    report.set_scalar("farm_faulty_cycles_without_breaker",
+                      static_cast<double>(fw.faulty_cycles));
+    report.set_scalar("farm_faulty_cycles_with_breaker",
+                      static_cast<double>(fb.faulty_cycles));
+    report.set_check("no_silent_drops", no_silent_drops);
+    report.set_check("typed_shed_under_overload", typed_shed_under_overload);
+    report.set_check("interactive_p99_bounded", interactive_p99_bounded);
+    report.set_check("deadline_sheds_typed", deadline_sheds_typed);
+    report.set_check("deadline_stops_work", deadline_stops_work);
+    report.set_check("breaker_opens_under_faults", breaker_opens_under_faults);
+    report.set_check("farm_breaker_relief", farm_breaker_relief);
+    report.write_file(json_path);
+  }
+  return all_ok ? 0 : 1;
+}

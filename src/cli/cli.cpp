@@ -4,7 +4,9 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -21,6 +23,7 @@
 #include "inspect/report.hpp"
 #include "rle/rle_stats.hpp"
 #include "rle/serialize.hpp"
+#include "service/service.hpp"
 #include "systolic/verilog_gen.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/json_writer.hpp"
@@ -593,6 +596,208 @@ int cmd_perf(ArgParser& args, std::ostream& out) {
   return 0;
 }
 
+// ----------------------------------------------------------------- serving
+
+/// One parsed line of a `serve` request file.
+struct ServeSpec {
+  Priority priority = Priority::kBatch;
+  std::int64_t rows = 64;
+  std::int64_t width = 1024;
+  double error_fraction = 0.02;
+  std::int64_t deadline_ms = -1;  ///< -1: use the command-wide default
+};
+
+/// Parses "priority rows width error [deadline_ms]" (# comments and blank
+/// lines skipped); errors name the offending line.
+std::vector<ServeSpec> parse_serve_requests(std::istream& in) {
+  std::vector<ServeSpec> specs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string prio;
+    ServeSpec s;
+    ls >> prio >> s.rows >> s.width >> s.error_fraction;
+    if (!ls)
+      usage_error("serve: request line " + std::to_string(lineno) +
+                  " must be 'priority rows width error [deadline_ms]'");
+    if (!(ls >> s.deadline_ms)) s.deadline_ms = -1;
+    if (prio == "interactive") s.priority = Priority::kInteractive;
+    else if (prio == "batch") s.priority = Priority::kBatch;
+    else
+      usage_error("serve: request line " + std::to_string(lineno) +
+                  ": unknown priority '" + prio + "' (interactive|batch)");
+    if (s.rows < 1 || s.width < 1)
+      usage_error("serve: request line " + std::to_string(lineno) +
+                  ": rows and width must be >= 1");
+    if (s.error_fraction < 0.0 || s.error_fraction > 1.0)
+      usage_error("serve: request line " + std::to_string(lineno) +
+                  ": error must be in [0, 1]");
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+int cmd_serve(ArgParser& args, std::ostream& out) {
+  args.parse({"--requests", "--workers", "--queue-cap", "--deadline-ms",
+              "--seed", "--engine"});
+  if (!args.positional().empty() || !args.has("--requests"))
+    usage_error(
+        "serve --requests <file|-> [--workers N] [--queue-cap M] "
+        "[--deadline-ms D] [--seed S] [--engine E] [--checked] [--json]");
+  const std::string requests_path = args.get("--requests", "-");
+  const std::int64_t workers = args.get_int("--workers", 2);
+  const std::int64_t queue_cap = args.get_int("--queue-cap", 64);
+  const std::int64_t default_deadline_ms = args.get_int("--deadline-ms", 0);
+  const std::int64_t seed = args.get_int("--seed", 42);
+  if (workers < 1) usage_error("--workers must be >= 1");
+  if (queue_cap < 1) usage_error("--queue-cap must be >= 1");
+  if (default_deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
+
+  std::vector<ServeSpec> specs;
+  if (requests_path == "-") {
+    specs = parse_serve_requests(std::cin);
+  } else {
+    std::ifstream in(requests_path);
+    SYSRLE_REQUIRE(in.is_open(), "cannot open: " + requests_path);
+    specs = parse_serve_requests(in);
+  }
+
+  ServiceConfig cfg;
+  cfg.workers = static_cast<std::size_t>(workers);
+  cfg.admission.interactive_capacity = static_cast<std::size_t>(queue_cap);
+  cfg.admission.batch_capacity = static_cast<std::size_t>(queue_cap);
+  cfg.use_checked_engine = args.has("--checked");
+  cfg.seed = static_cast<std::uint64_t>(seed);
+
+  ImageDiffOptions options;
+  options.engine = parse_engine(args.get("--engine", "systolic"));
+
+  // Per-class latency of delivered responses; the service's own metrics
+  // cover the queue and shed sides.
+  std::mutex mu;
+  RunningStat latency_us[2];
+  std::uint64_t rows_done = 0;
+  DiffService service(cfg, [&](ServiceResponse r) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (r.status != ServiceResponse::Status::kRejected)
+      latency_us[r.priority == Priority::kInteractive ? 0 : 1].add(r.total_us);
+    rows_done += r.rows_processed;
+  });
+
+  Rng gen_rng(static_cast<std::uint64_t>(seed));
+  std::uint64_t next_id = 0;
+  for (const ServeSpec& s : specs) {
+    ServiceRequest req;
+    req.id = next_id++;
+    req.priority = s.priority;
+    const std::int64_t dl =
+        s.deadline_ms >= 0 ? s.deadline_ms : default_deadline_ms;
+    if (dl > 0) req.deadline = Deadline::after_ms(dl);
+    req.options = options;
+    req.keep_diff = false;
+    Rng rng = gen_rng.split();
+    RowGenParams gp;
+    gp.width = s.width;
+    req.reference = generate_image(rng, s.rows, gp);
+    RleImage scan(s.width, s.rows);
+    ErrorGenParams ep;
+    ep.error_fraction = s.error_fraction;
+    for (pos_t y = 0; y < s.rows; ++y)
+      scan.set_row(y, inject_errors(rng, req.reference.row(y), s.width, ep));
+    req.scan = std::move(scan);
+    service.try_submit(std::move(req));  // sheds are counted in stats()
+  }
+  service.drain();
+  const ServiceStats st = service.stats();
+
+  if (args.has("--json")) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("schema", "sysrle.serve.v1");
+    w.key("params");
+    w.begin_object();
+    w.member("requests", static_cast<std::uint64_t>(specs.size()));
+    w.member("workers", workers);
+    w.member("queue_cap", queue_cap);
+    w.member("deadline_ms", default_deadline_ms);
+    w.member("seed", seed);
+    w.member("checked", args.has("--checked"));
+    w.end_object();
+    w.member("offered", st.offered);
+    w.member("admitted", st.admitted);
+    w.member("completed", st.completed);
+    w.member("failed", st.failed);
+    w.key("shed");
+    w.begin_object();
+    w.member("queue_full", st.shed_queue_full);
+    w.member("circuit_open", st.shed_circuit_open);
+    w.member("shutdown", st.shed_shutdown);
+    w.member("deadline_at_submit", st.shed_deadline_at_submit);
+    w.member("deadline_after_admit", st.shed_deadline_after_admit);
+    w.member("total", st.shed_total());
+    w.end_object();
+    w.member("deadline_misses", st.deadline_misses);
+    w.member("retries", st.retries);
+    w.member("retry_budget_exhausted", st.retry_budget_exhausted);
+    w.member("fallback_rows", st.fallback_rows);
+    w.member("rows_processed", rows_done);
+    w.member("breaker_state", to_string(service.breaker_state()));
+    w.member("accounting_ok", st.offered == st.admitted + st.shed_queue_full +
+                                                st.shed_circuit_open +
+                                                st.shed_shutdown +
+                                                st.shed_deadline_at_submit);
+    for (int c = 0; c < 2; ++c) {
+      w.key(c == 0 ? "latency_us_interactive" : "latency_us_batch");
+      const RunningStat& stc = latency_us[c];
+      if (stc.count() == 0) {
+        w.null();
+        continue;
+      }
+      w.begin_object();
+      w.member("count", static_cast<std::uint64_t>(stc.count()));
+      w.member("mean", stc.mean());
+      w.member("p50", stc.p50());
+      w.member("p95", stc.p95());
+      w.member("p99", stc.p99());
+      w.end_object();
+    }
+    w.end_object();
+    out << '\n';
+  } else {
+    FixedTable table;
+    table.set_header({"outcome", "count"});
+    table.add_row({"offered", FixedTable::num(st.offered)});
+    table.add_row({"admitted", FixedTable::num(st.admitted)});
+    table.add_row({"completed", FixedTable::num(st.completed)});
+    table.add_row({"failed", FixedTable::num(st.failed)});
+    table.add_row({"shed queue_full", FixedTable::num(st.shed_queue_full)});
+    table.add_row(
+        {"shed circuit_open", FixedTable::num(st.shed_circuit_open)});
+    table.add_row({"shed deadline",
+                   FixedTable::num(st.shed_deadline_at_submit +
+                                   st.shed_deadline_after_admit)});
+    table.add_row({"shed shutdown", FixedTable::num(st.shed_shutdown)});
+    table.add_row({"deadline misses", FixedTable::num(st.deadline_misses)});
+    table.add_row({"retries", FixedTable::num(st.retries)});
+    out << table.str();
+    out << "breaker: " << to_string(service.breaker_state()) << '\n';
+    for (int c = 0; c < 2; ++c) {
+      const RunningStat& stc = latency_us[c];
+      if (stc.count() == 0) continue;
+      out << (c == 0 ? "interactive" : "batch") << " latency us: p50="
+          << stc.p50() << " p95=" << stc.p95() << " p99=" << stc.p99()
+          << '\n';
+    }
+  }
+  // A failed request (unrecovered rows) is a serving error; shed load under
+  // overload is the design working as intended and stays exit 0.
+  return st.failed == 0 ? 0 : 1;
+}
+
 int cmd_verilog(ArgParser& args, std::ostream& out) {
   args.parse({"--bits", "--cells", "--prefix"});
   if (args.positional().size() != 1)
@@ -643,6 +848,12 @@ void print_help(std::ostream& out) {
          "      [--no-fallback] [--csv]\n"
          "      fault-injection campaign through the checked engine;\n"
          "      exit 1 on silent corruption or unrecovered rows.\n"
+         "  serve --requests <file|-> [--workers N] [--queue-cap M]\n"
+         "      [--deadline-ms D] [--seed S] [--engine E] [--checked]\n"
+         "      [--json]\n"
+         "      run a request file through the overload-safe service\n"
+         "      (bounded admission, deadlines, retry budget, breaker);\n"
+         "      request lines: 'priority rows width error [deadline_ms]'.\n"
          "  help                 this message.\n\n"
          "global options (any command):\n"
          "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"
@@ -677,6 +888,18 @@ int run_cli(const std::vector<std::string>& args_in, std::ostream& out,
       args.push_back(a);
     }
   }
+  // Fail fast on an unwritable telemetry destination: a long run must not
+  // discover at export time that its data has nowhere to go.  The append-
+  // mode probe creates a missing file but never truncates an existing one.
+  for (const std::string* path : {&metrics_path, &trace_path}) {
+    if (path->empty()) continue;
+    std::ofstream probe(*path, std::ios::app);
+    if (!probe.is_open()) {
+      err << "sysrle: cannot open telemetry output for writing: " << *path
+          << '\n';
+      return 2;
+    }
+  }
   const bool telemetry = !metrics_path.empty() || !trace_path.empty();
   if (telemetry) {
     reset_telemetry();
@@ -700,6 +923,7 @@ int run_cli(const std::vector<std::string>& args_in, std::ostream& out,
       else if (command == "verilog") rc = cmd_verilog(rest, out);
       else if (command == "trace") rc = cmd_trace(rest, out);
       else if (command == "campaign") rc = cmd_campaign(rest, out);
+      else if (command == "serve") rc = cmd_serve(rest, out);
       else usage_error("unknown command '" + command + "' (try: sysrle help)");
     }
   } catch (const std::exception& e) {

@@ -9,15 +9,26 @@
 // order (kFifo — what a streaming camera interface does) or longest-first
 // (kLongestFirst — the classic LPT bound, needs the whole board buffered).
 //
-// The farm is also where machine-level failures are absorbed: a machine can
-// be killed at a configured cycle, its in-flight row is re-dispatched to a
-// surviving machine, and the result reports the degraded-mode makespan plus
-// the full-image difference — which stays correct, because a re-run row is
-// recomputed from its unchanged inputs.
+// The farm is also where machine-level failures are absorbed, in two
+// flavours:
+//   * a machine can be *killed* at a configured cycle (MachineFailure) —
+//     its in-flight row is re-dispatched to a survivor;
+//   * a machine can be *flaky* (FlakyMachine): it stays alive but fails
+//     rows with a configured probability, burning the row's full service
+//     time before the failure is detected (the §4 checkers fire at row
+//     completion).  A failed row is re-dispatched to a different machine.
+// A permanently flaky machine would bleed one wasted service time per
+// dispatched row forever; enabling the per-machine circuit breakers
+// (core/circuit_breaker) stops dispatching to it after
+// `breaker.failure_threshold` consecutive failures, except for half-open
+// probes.  Either way the image-level difference stays correct, because a
+// re-run row is recomputed from its unchanged inputs.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/circuit_breaker.hpp"
 #include "rle/rle_image.hpp"
 #include "systolic/counters.hpp"
 
@@ -27,6 +38,16 @@ namespace sysrle {
 struct MachineFailure {
   std::size_t machine = 0;  ///< which machine dies
   cycle_t at_cycle = 0;     ///< time of death; in-flight work is lost
+};
+
+/// A machine that stays alive but fails dispatched rows.  The failure is
+/// detected at the end of the row's service time (checkers fire at
+/// completion), so every failed dispatch burns a full service time.
+struct FlakyMachine {
+  std::size_t machine = 0;
+  /// Per-dispatch failure probability; 1.0 models a permanent defect.
+  /// Decided by a deterministic Rng seeded from FarmConfig::seed.
+  double failure_probability = 1.0;
 };
 
 /// Farm configuration.
@@ -48,6 +69,20 @@ struct FarmConfig {
   /// named twice, its earliest death wins.  At least one machine must
   /// survive long enough to finish the board, or the simulation throws.
   std::vector<MachineFailure> failures;
+
+  /// Flaky machines (empty = none).  If one machine is named twice, the
+  /// highest failure probability wins.
+  std::vector<FlakyMachine> flaky;
+
+  /// Seeds the per-dispatch failure coin flips, so a flaky-farm run is
+  /// byte-reproducible (docs/TESTING.md, "Deterministic randomness").
+  std::uint64_t seed = 42;
+
+  /// Arm a per-machine circuit breaker with this policy.  Tripped machines
+  /// receive no rows except half-open probes; state is published as
+  /// "service.breaker_state.machine.<i>" when telemetry is on.
+  bool enable_breakers = false;
+  BreakerPolicy breaker;
 };
 
 /// Farm simulation outcome.
@@ -66,12 +101,24 @@ struct FarmResult {
   std::uint64_t redispatched_rows = 0;  ///< rows interrupted and re-run
   cycle_t lost_cycles = 0;  ///< work burned on machines that died mid-row
   bool degraded = false;    ///< true when any injected failure took effect
+
+  // --- flaky-machine / breaker accounting ---------------------------------
+  std::uint64_t faulty_dispatches = 0;  ///< rows that failed on a flaky machine
+  cycle_t faulty_cycles = 0;   ///< cycles burned on those failed dispatches
+  std::uint64_t breaker_opens = 0;      ///< closed/half-open -> open trips
+  std::uint64_t probe_dispatches = 0;   ///< rows admitted as half-open probes
+  /// Rows each machine was asked to run (failures included); shows a tripped
+  /// machine stopped receiving work.
+  std::vector<std::uint64_t> dispatches;
+  /// Final breaker state per machine (empty unless enable_breakers).
+  std::vector<BreakerState> breaker_states;
 };
 
 /// Simulates diffing images `a` and `b` on the farm.  Row service times come
 /// from actually running the systolic simulator on every row pair.
 /// Dimensions must match.  Throws contract_error when every machine dies
-/// before the board is finished.
+/// before the board is finished, or when repeated failures prevent any
+/// progress (every machine flaky with probability 1 and no breaker relief).
 FarmResult simulate_row_farm(const RleImage& a, const RleImage& b,
                              const FarmConfig& config = {});
 

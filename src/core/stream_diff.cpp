@@ -42,8 +42,41 @@ void StreamDiffer::set_engine_override(RowEngine engine) {
   engine_override_ = std::move(engine);
 }
 
+void StreamDiffer::set_deadline(DeadlineCheck expired) {
+  deadline_expired_ = std::move(expired);
+}
+
 void StreamDiffer::report(pos_t y, const std::string& diagnostic) {
   if (on_error_) on_error_(y, diagnostic);
+}
+
+bool StreamDiffer::refuse_if_expired() {
+  if (!deadline_expired_ || !deadline_expired_()) return false;
+  ++summary_.expired_rows;
+  if (telemetry_enabled()) global_metrics().add("stream.expired_rows");
+  return true;
+}
+
+void StreamDiffer::record_row_telemetry(
+    std::chrono::steady_clock::time_point t0, double queue_depth_runs,
+    bool fell_back, bool poisoned) {
+  MetricsRegistry& m = global_metrics();
+  m.add("stream.rows");
+  if (fell_back) m.add("stream.fallback_rows");
+  if (poisoned) m.add("stream.poisoned_rows");
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto us = [](std::chrono::steady_clock::duration d) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  };
+  m.observe("stream.row_latency_us", us(t1 - t0));
+  // A poisoned row holds no runs: the gauge must return to baseline, not
+  // keep advertising the previous row's load.
+  m.set_gauge("stream.queue_depth_runs", queue_depth_runs);
+  const double elapsed_us = us(t1 - first_push_);
+  if (elapsed_us > 0.0)
+    m.set_gauge("stream.rows_per_sec",
+                static_cast<double>(summary_.rows) * 1e6 / elapsed_us);
 }
 
 RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
@@ -81,7 +114,8 @@ RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
   return RleRow{};
 }
 
-void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
+bool StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
+  if (refuse_if_expired()) return false;
   TELEMETRY_SPAN("stream.push_row", "stream");
   const bool telem = telemetry_enabled();
   std::chrono::steady_clock::time_point t0{};
@@ -127,43 +161,43 @@ void StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
   summary_.counters += row_counters;
 
   if (telem) {
-    MetricsRegistry& m = global_metrics();
-    m.add("stream.rows");
-    if (fell_back) m.add("stream.fallback_rows");
-    const auto t1 = std::chrono::steady_clock::now();
-    const auto us = [](std::chrono::steady_clock::duration d) {
-      return static_cast<double>(
-          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
-    };
-    m.observe("stream.row_latency_us", us(t1 - t0));
-    m.set_gauge("stream.queue_depth_runs",
-                static_cast<double>(reference.run_count() + scan.run_count()));
-    const double elapsed_us = us(t1 - first_push_);
-    if (elapsed_us > 0.0)
-      m.set_gauge("stream.rows_per_sec",
-                  static_cast<double>(summary_.rows) * 1e6 / elapsed_us);
+    record_row_telemetry(
+        t0, static_cast<double>(reference.run_count() + scan.run_count()),
+        fell_back, /*poisoned=*/false);
   }
 
   on_row_(y, diff);
+  return true;
 }
 
-void StreamDiffer::push_row_runs(std::vector<Run> reference,
+bool StreamDiffer::push_row_runs(std::vector<Run> reference,
                                  std::vector<Run> scan) {
   const RowValidationReport ra = validate_runs(reference);
   const RowValidationReport rb = validate_runs(scan);
   if (!ra.ok() || !rb.ok()) {
+    if (refuse_if_expired()) return false;
+    const bool telem = telemetry_enabled();
+    std::chrono::steady_clock::time_point t0{};
+    if (telem) {
+      t0 = std::chrono::steady_clock::now();
+      if (!saw_first_push_) {
+        first_push_ = t0;
+        saw_first_push_ = true;
+      }
+    }
     const pos_t y = static_cast<pos_t>(summary_.rows);
     report(y, !ra.ok() ? describe("reference", ra) : describe("scan", rb));
     ++summary_.rows;
     ++summary_.poisoned_rows;
-    if (telemetry_enabled()) {
-      global_metrics().add("stream.rows");
-      global_metrics().add("stream.poisoned_rows");
-    }
+    // A poisoned row carries zero runs into the machine, so the queue-depth
+    // gauge is recorded at baseline (0) rather than left at the previous
+    // row's value.
+    if (telem)
+      record_row_telemetry(t0, 0.0, /*fell_back=*/false, /*poisoned=*/true);
     on_row_(y, RleRow{});
-    return;
+    return true;
   }
-  push_row(RleRow(std::move(reference)), RleRow(std::move(scan)));
+  return push_row(RleRow(std::move(reference)), RleRow(std::move(scan)));
 }
 
 }  // namespace sysrle

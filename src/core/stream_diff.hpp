@@ -38,6 +38,9 @@ struct StreamSummary {
   std::uint64_t fallback_rows = 0;
   /// Invalid input rows degraded to an empty difference row.
   std::uint64_t poisoned_rows = 0;
+  /// Rows refused because the stream's deadline had expired; the engine was
+  /// never invoked for them and the row callback did not fire.
+  std::uint64_t expired_rows = 0;
 };
 
 /// Processes row pairs one at a time with bounded memory.
@@ -62,23 +65,37 @@ class StreamDiffer {
   explicit StreamDiffer(ImageDiffOptions options, RowCallback on_row,
                         cycle_t load_cycles_per_run = 1);
 
+  /// Returns true when the stream's deadline has expired; checked between
+  /// rows (the deadline-propagation rule in docs/ROBUSTNESS.md).
+  using DeadlineCheck = std::function<bool()>;
+
   /// Installs (or clears, with nullptr) the error callback.
   void set_error_callback(ErrorCallback on_error);
 
   /// Overrides the engine selected by ImageDiffOptions (nullptr restores it).
   void set_engine_override(RowEngine engine);
 
+  /// Installs (or clears, with nullptr) a deadline.  Once it reports
+  /// expiry, push_row/push_row_runs refuse rows *before* invoking the
+  /// engine — an expired request must stop consuming machine cycles
+  /// mid-image — and return false; refused rows are counted in
+  /// StreamSummary::expired_rows and the row callback does not fire.
+  void set_deadline(DeadlineCheck expired);
+
   /// Feeds the next scanline pair.  Rows must fit a common width, but the
   /// differ itself is width-agnostic.  An engine failure on this pair is
   /// absorbed: the error callback fires and the row is recomputed on the
   /// sequential merge engine (counted in StreamSummary::fallback_rows).
-  void push_row(const RleRow& reference, const RleRow& scan);
+  /// Returns false (without touching the engine) when the deadline has
+  /// expired, true otherwise.
+  bool push_row(const RleRow& reference, const RleRow& scan);
 
   /// Untrusted entry point: validates both run lists before building rows.
   /// An invalid list does not throw — the row degrades to an empty
   /// difference row, the error callback fires, and the stream continues
-  /// (counted in StreamSummary::poisoned_rows).
-  void push_row_runs(std::vector<Run> reference, std::vector<Run> scan);
+  /// (counted in StreamSummary::poisoned_rows).  Returns false only when
+  /// the deadline has expired (the row is then not consumed).
+  bool push_row_runs(std::vector<Run> reference, std::vector<Run> scan);
 
   /// Number of rows processed so far.
   std::uint64_t rows() const { return summary_.rows; }
@@ -91,11 +108,19 @@ class StreamDiffer {
   RleRow run_engine(const RleRow& reference, const RleRow& scan,
                     SystolicCounters& row_counters);
   void report(pos_t y, const std::string& diagnostic);
+  /// True (and accounts the refusal) when the deadline has expired.
+  bool refuse_if_expired();
+  /// Telemetry epilogue shared by the normal and poisoned row paths, so the
+  /// queue-depth and rows/sec gauges stay balanced on every path.
+  void record_row_telemetry(std::chrono::steady_clock::time_point t0,
+                            double queue_depth_runs, bool fell_back,
+                            bool poisoned);
 
   ImageDiffOptions options_;
   RowCallback on_row_;
   ErrorCallback on_error_;
   RowEngine engine_override_;
+  DeadlineCheck deadline_expired_;
   cycle_t load_cycles_per_run_;
   StreamSummary summary_;
   /// Wall-clock time of the first pushed row; anchors the rows/sec gauge

@@ -1,0 +1,80 @@
+#pragma once
+// Bounded two-class admission queue: the front door of the serving layer.
+//
+// Overload protection starts here.  Each priority class has a hard
+// capacity; a request that does not fit is refused *now*, with a typed
+// reason, instead of growing an unbounded backlog that turns every later
+// request into a deadline miss (the classic collapse mode).  Batch work can
+// additionally be shed early with a probability that ramps up as its queue
+// fills (random early drop), so interactive work keeps headroom — the shed
+// coin is a seeded deterministic Rng (docs/TESTING.md).
+//
+// Pop order: interactive strictly before batch, FIFO within a class.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "service/types.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+
+/// Queue shape and early-shed policy.
+struct AdmissionConfig {
+  std::size_t interactive_capacity = 64;
+  std::size_t batch_capacity = 64;
+
+  /// Batch fill fraction above which arrivals are shed probabilistically
+  /// (linearly from 0 at the threshold to 1 at full).  1.0 disables early
+  /// shedding — only a full queue refuses.
+  double batch_shed_threshold = 1.0;
+};
+
+/// Thread-safe bounded queue with typed refusal.
+class AdmissionQueue {
+ public:
+  /// A queued request plus its admission timestamp (for queue-wait
+  /// accounting).
+  struct Item {
+    ServiceRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// `seed` drives the early-shed coin; equal seeds give equal shed
+  /// decisions for equal push sequences.
+  AdmissionQueue(AdmissionConfig config, std::uint64_t seed);
+
+  /// Admits or refuses immediately (never blocks).  Returns std::nullopt on
+  /// success, the typed reason otherwise.  Publishes
+  /// "service.queue_depth" when telemetry is enabled.
+  std::optional<RejectReason> try_push(ServiceRequest request);
+
+  /// Blocks for the next item (interactive first).  Returns std::nullopt
+  /// once the queue is closed *and* empty — the drain contract: queued work
+  /// is finished, nothing new is admitted.
+  std::optional<Item> pop();
+
+  /// Closes the queue: try_push refuses with kShutdown, pop drains what is
+  /// left.  Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+
+ private:
+  void publish_depth_locked() const;
+
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> interactive_;
+  std::deque<Item> batch_;
+  Rng shed_rng_;
+  bool closed_ = false;
+};
+
+}  // namespace sysrle

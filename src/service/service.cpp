@@ -1,0 +1,312 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sysrle {
+
+namespace {
+
+/// Counts a shed decision into the typed-shed metric family.
+void count_shed(RejectReason reason) {
+  if (!telemetry_enabled()) return;
+  global_metrics().add(std::string("service.shed_total.") + to_string(reason));
+}
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// Per-row retry gate: a retry is allowed only while the request deadline
+/// holds AND the shared bucket has tokens; an allowed retry first sleeps
+/// its jittered exponential backoff.  Fresh per row, so the backoff ladder
+/// restarts for every row's independent retry sequence.
+class BudgetedRetryGate : public RetryGate {
+ public:
+  BudgetedRetryGate(RetryBudget& budget, const Deadline& deadline,
+                    const BackoffPolicy& backoff, Rng& jitter_rng,
+                    std::atomic<std::uint64_t>& retries_taken)
+      : budget_(budget),
+        deadline_(deadline),
+        backoff_(backoff),
+        jitter_rng_(jitter_rng),
+        retries_taken_(retries_taken) {}
+
+  bool allow_retry() override {
+    if (deadline_.expired()) return false;
+    if (!budget_.try_spend()) return false;
+    const std::uint64_t delay = backoff_delay_us(backoff_, attempt_++,
+                                                 jitter_rng_);
+    if (delay > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    retries_taken_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  RetryBudget& budget_;
+  const Deadline& deadline_;
+  const BackoffPolicy& backoff_;
+  Rng& jitter_rng_;
+  std::atomic<std::uint64_t>& retries_taken_;
+  int attempt_ = 0;
+};
+
+}  // namespace
+
+DiffService::DiffService(ServiceConfig config, Completion on_complete)
+    : config_(config),
+      on_complete_(std::move(on_complete)),
+      queue_(config.admission, config.seed),
+      budget_(config.retry_budget),
+      epoch_(std::chrono::steady_clock::now()),
+      breaker_(config.breaker, "service") {
+  SYSRLE_REQUIRE(config_.workers >= 1, "DiffService: need >= 1 worker");
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+DiffService::~DiffService() { drain(); }
+
+std::uint64_t DiffService::now_us() const {
+  return static_cast<std::uint64_t>(us_between(
+      epoch_, std::chrono::steady_clock::now()));
+}
+
+std::optional<RejectReason> DiffService::try_submit(ServiceRequest request) {
+  SYSRLE_REQUIRE(request.reference.width() == request.scan.width() &&
+                     request.reference.height() == request.scan.height(),
+                 "DiffService: request image dimensions differ");
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_enabled()) global_metrics().add("service.requests_offered");
+
+  auto shed = [&](RejectReason reason,
+                  std::atomic<std::uint64_t>& counter) -> RejectReason {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    count_shed(reason);
+    return reason;
+  };
+
+  if (draining_.load(std::memory_order_acquire))
+    return shed(RejectReason::kShutdown, shed_shutdown_);
+  if (request.deadline.expired()) {
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_enabled())
+      global_metrics().add("service.deadline_miss_total");
+    return shed(RejectReason::kDeadlineExpired, shed_deadline_at_submit_);
+  }
+  {
+    std::lock_guard<std::mutex> lk(breaker_mu_);
+    if (!breaker_.allow(now_us()))
+      return shed(RejectReason::kCircuitOpen, shed_circuit_open_);
+  }
+  if (const auto reason = queue_.try_push(std::move(request))) {
+    if (*reason == RejectReason::kQueueFull)
+      return shed(RejectReason::kQueueFull, shed_queue_full_);
+    return shed(RejectReason::kShutdown, shed_shutdown_);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_enabled()) global_metrics().add("service.requests_admitted");
+  return std::nullopt;
+}
+
+void DiffService::worker_loop() {
+  while (auto item = queue_.pop()) process(std::move(*item));
+}
+
+void DiffService::process(AdmissionQueue::Item item) {
+  TELEMETRY_SPAN("service.request", "service");
+  const auto dequeued = std::chrono::steady_clock::now();
+  ServiceRequest& req = item.request;
+
+  ServiceResponse response;
+  response.id = req.id;
+  response.priority = req.priority;
+  response.queue_us = us_between(item.enqueued, dequeued);
+
+  auto finish = [&](ServiceResponse::Status status) {
+    response.status = status;
+    const auto done = std::chrono::steady_clock::now();
+    response.service_us = us_between(dequeued, done);
+    response.total_us = us_between(item.enqueued, done);
+    respond(std::move(response));
+  };
+
+  if (req.deadline.expired()) {
+    // Expired while queued: shed before the engine sees a single run.
+    response.reject_reason = RejectReason::kDeadlineExpired;
+    finish(ServiceResponse::Status::kRejected);
+    return;
+  }
+
+  // Per-request deterministic jitter stream: seed ^ id, independent of
+  // worker/thread interleaving.
+  Rng jitter_rng(config_.seed ^ (0x5ee0bacull + req.id * 0x9e3779b97f4a7c15ull));
+  std::uint64_t checked_fallbacks = 0;
+  std::uint64_t unrecovered = 0;
+
+  std::vector<RleRow> diff_rows;
+  if (req.keep_diff)
+    diff_rows.reserve(static_cast<std::size_t>(req.reference.height()));
+
+  StreamDiffer differ(req.options, [&](pos_t, const RleRow& d) {
+    if (req.keep_diff) diff_rows.push_back(d);
+  });
+  differ.set_deadline([&req] { return req.deadline.expired(); });
+
+  if (req.engine_override) {
+    // Test/bench hook: service-level retries around the injected engine; a
+    // final denial rethrows and StreamDiffer's sequential fallback serves
+    // the row.
+    differ.set_engine_override([&](const RleRow& a, const RleRow& b,
+                                   SystolicCounters& c) -> RleRow {
+      BudgetedRetryGate gate(budget_, req.deadline, config_.backoff,
+                             jitter_rng, retries_);
+      while (true) {
+        try {
+          RleRow out = req.engine_override(a, b, c);
+          budget_.record_success();
+          return out;
+        } catch (const std::exception&) {
+          if (!gate.allow_retry()) throw;
+        }
+      }
+    });
+  } else if (config_.use_checked_engine || req.fault.has_value()) {
+    differ.set_engine_override([&](const RleRow& a, const RleRow& b,
+                                   SystolicCounters& c) -> RleRow {
+      BudgetedRetryGate gate(budget_, req.deadline, config_.backoff,
+                             jitter_rng, retries_);
+      RecoveryPolicy policy = config_.recovery;
+      policy.retry_gate = &gate;
+      FaultInjection injection;
+      if (req.fault.has_value()) injection.spec = &*req.fault;
+      CheckedRowResult r = checked_xor(a, b, policy, injection);
+      c.iterations = r.record.total_cycles;
+      if (r.record.outcome == RecoveryOutcome::kFellBack) ++checked_fallbacks;
+      if (!r.record.ok()) {
+        ++unrecovered;
+        return RleRow{};
+      }
+      budget_.record_success();
+      return std::move(r.output);
+    });
+  }
+
+  bool expired_mid_image = false;
+  for (pos_t y = 0; y < req.reference.height(); ++y) {
+    if (!differ.push_row(req.reference.row(y), req.scan.row(y))) {
+      expired_mid_image = true;
+      break;
+    }
+  }
+
+  const StreamSummary& summary = differ.finish();
+  response.rows_processed = summary.rows;
+  response.fallback_rows = summary.fallback_rows + checked_fallbacks;
+  response.unrecovered_rows = unrecovered;
+  fallback_rows_.fetch_add(response.fallback_rows,
+                           std::memory_order_relaxed);
+  unrecovered_rows_.fetch_add(unrecovered, std::memory_order_relaxed);
+  if (req.keep_diff)
+    response.diff = RleImage(req.reference.width(), std::move(diff_rows));
+
+  if (expired_mid_image) {
+    response.reject_reason = RejectReason::kDeadlineExpired;
+    finish(ServiceResponse::Status::kRejected);
+  } else if (unrecovered > 0) {
+    finish(ServiceResponse::Status::kFailed);
+  } else {
+    finish(ServiceResponse::Status::kCompleted);
+  }
+}
+
+void DiffService::respond(ServiceResponse response) {
+  const bool telem = telemetry_enabled();
+  switch (response.status) {
+    case ServiceResponse::Status::kCompleted:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (telem) global_metrics().add("service.requests_completed");
+      {
+        std::lock_guard<std::mutex> lk(breaker_mu_);
+        breaker_.record_success(now_us());
+      }
+      break;
+    case ServiceResponse::Status::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (telem) global_metrics().add("service.requests_failed");
+      {
+        std::lock_guard<std::mutex> lk(breaker_mu_);
+        breaker_.record_failure(now_us());
+      }
+      break;
+    case ServiceResponse::Status::kRejected:
+      shed_deadline_after_admit_.fetch_add(1, std::memory_order_relaxed);
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (telem) {
+        global_metrics().add("service.deadline_miss_total");
+        count_shed(response.reject_reason);
+      }
+      break;
+  }
+  if (telem) {
+    MetricsRegistry& m = global_metrics();
+    m.observe("service.queue_wait_us", response.queue_us);
+    m.observe(std::string("service.latency_us.") +
+                  to_string(response.priority),
+              response.total_us);
+  }
+  // Sum retries lazily: retries_ is already the live counter; nothing to do
+  // here, but the response carries the request-local view for the caller.
+  if (on_complete_) on_complete_(std::move(response));
+}
+
+void DiffService::drain() {
+  std::call_once(drain_once_, [this] {
+    draining_.store(true, std::memory_order_release);
+    queue_.close();
+    for (std::thread& t : workers_) t.join();
+    if (telemetry_enabled()) {
+      // Flush gauges to their drained baseline so an exported snapshot
+      // cannot advertise phantom queued work.
+      global_metrics().set_gauge("service.queue_depth", 0.0);
+    }
+  });
+}
+
+ServiceStats DiffService::stats() const {
+  ServiceStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_circuit_open = shed_circuit_open_.load(std::memory_order_relaxed);
+  s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  s.shed_deadline_at_submit =
+      shed_deadline_at_submit_.load(std::memory_order_relaxed);
+  s.shed_deadline_after_admit =
+      shed_deadline_after_admit_.load(std::memory_order_relaxed);
+  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retry_budget_exhausted = budget_.exhausted();
+  s.fallback_rows = fallback_rows_.load(std::memory_order_relaxed);
+  s.unrecovered_rows = unrecovered_rows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+BreakerState DiffService::breaker_state() const {
+  std::lock_guard<std::mutex> lk(breaker_mu_);
+  return breaker_.state();
+}
+
+}  // namespace sysrle

@@ -1,0 +1,129 @@
+#pragma once
+// Shared vocabulary of the overload-safe serving layer (src/service): what a
+// request is, how it can be refused, and how its deadline is carried.
+//
+// The ROADMAP's north star is a system "serving heavy traffic from millions
+// of users"; the paper's pitch is bounded per-row latency.  This layer keeps
+// that promise under load the engines cannot absorb: every request either
+// completes or is *shed with a typed reason* — never silently dropped — and
+// an expired request stops consuming machine cycles the moment its deadline
+// passes.  docs/ROBUSTNESS.md ("Serving under overload") has the full state
+// machines.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/faults.hpp"
+#include "core/image_diff.hpp"
+#include "core/stream_diff.hpp"
+#include "rle/rle_image.hpp"
+
+namespace sysrle {
+
+/// Request class.  Interactive requests (an operator waiting at a review
+/// station) are always dequeued before batch requests (offline re-scans).
+enum class Priority {
+  kInteractive,
+  kBatch,
+};
+
+/// Human-readable priority name.
+const char* to_string(Priority priority);
+
+/// Why a request was refused.  Every shed path names one of these — the
+/// "Rejected{...}" outcome of the ISSUE — so offered == admitted + shed is
+/// checkable by the caller (and checked by bench_overload).
+enum class RejectReason {
+  kQueueFull,        ///< the admission queue for the class was at capacity
+  kDeadlineExpired,  ///< the deadline passed before/while the request ran
+  kCircuitOpen,      ///< the service breaker is open (backend failing hard)
+  kShutdown,         ///< the service is draining and admits nothing new
+};
+
+/// Human-readable rejection name (doubles as the metric label suffix of
+/// "service.shed_total.<reason>").
+const char* to_string(RejectReason reason);
+
+/// An absolute point in time after which a request must stop consuming
+/// resources.  Default-constructed: no deadline.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Deadline `d` from now.
+  static Deadline after(std::chrono::microseconds d) {
+    Deadline dl;
+    dl.at_ = std::chrono::steady_clock::now() + d;
+    return dl;
+  }
+  static Deadline after_ms(std::int64_t ms) {
+    return after(std::chrono::microseconds(ms * 1000));
+  }
+
+  bool has_deadline() const { return at_.has_value(); }
+
+  /// True when the deadline has passed (never true without a deadline).
+  bool expired() const {
+    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+/// One unit of service work: diff a reference/scan image pair.
+struct ServiceRequest {
+  std::uint64_t id = 0;
+  Priority priority = Priority::kBatch;
+  Deadline deadline;  ///< default: none
+
+  RleImage reference{0, 0};
+  RleImage scan{0, 0};
+  ImageDiffOptions options;
+
+  /// Inject this fault into every checked-engine row (tests, bench,
+  /// campaign integration); requires the service's checked mode.
+  std::optional<FaultSpec> fault;
+
+  /// Test hook: replaces the row engine exactly like
+  /// StreamDiffer::set_engine_override, with service-level retries applied
+  /// around it.
+  StreamDiffer::RowEngine engine_override;
+
+  /// When false the per-row outputs are discarded (load benches that only
+  /// measure latency).
+  bool keep_diff = true;
+};
+
+/// What happened to one admitted request.  Exactly one response is
+/// delivered per admitted request; submit-time rejections are returned
+/// synchronously and produce no response.
+struct ServiceResponse {
+  enum class Status {
+    kCompleted,  ///< every row computed (possibly via retry or fallback)
+    kRejected,   ///< shed after admission; see reject_reason
+    kFailed,     ///< some rows unrecovered (fallback disabled); diff partial
+  };
+
+  std::uint64_t id = 0;
+  Priority priority = Priority::kBatch;
+  Status status = Status::kCompleted;
+  RejectReason reject_reason = RejectReason::kDeadlineExpired;  ///< kRejected
+
+  RleImage diff{0, 0};  ///< rows processed so far (empty if !keep_diff)
+  std::uint64_t rows_processed = 0;
+  std::uint64_t fallback_rows = 0;     ///< rows served by sequential engine
+  std::uint64_t unrecovered_rows = 0;  ///< rows nobody could compute
+  std::uint64_t retries = 0;           ///< budgeted engine retries taken
+
+  double queue_us = 0.0;    ///< admission -> dequeue
+  double service_us = 0.0;  ///< dequeue -> done
+  double total_us = 0.0;    ///< admission -> done
+};
+
+/// Human-readable status name.
+const char* to_string(ServiceResponse::Status status);
+
+}  // namespace sysrle

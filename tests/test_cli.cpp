@@ -407,5 +407,99 @@ TEST_F(CliFixture, MissingValueForGlobalFlagIsUsageError) {
   EXPECT_NE(rt.err.find("--trace-out"), std::string::npos);
 }
 
+TEST_F(CliFixture, UnwritableTelemetryPathFailsFastWithOneLineDiagnostic) {
+  // Fail before any work happens, not after a full run whose telemetry
+  // silently vanishes.
+  const std::string bad = tmp_path("no_such_dir") + "/metrics.json";
+  for (const char* flag : {"--metrics", "--trace-out"}) {
+    const CliRun r = cli({flag, bad, "diff", path_a_, path_b_});
+    EXPECT_EQ(r.exit_code, 2) << flag;
+    EXPECT_NE(r.err.find(bad), std::string::npos) << flag;
+    // Exactly one diagnostic line.
+    EXPECT_EQ(std::count(r.err.begin(), r.err.end(), '\n'), 1) << flag;
+  }
+}
+
+std::string write_requests_file(const std::string& name,
+                                const std::string& contents) {
+  const std::string path = tmp_path(name);
+  std::ofstream f(path);
+  f << contents;
+  return path;
+}
+
+TEST_F(CliFixture, ServeTextTableReportsOutcomes) {
+  const std::string reqs = write_requests_file("serve_basic.txt",
+                                               "# class rows width error\n"
+                                               "interactive 4 200 0.02\n"
+                                               "batch 4 200 0.02\n"
+                                               "\n"
+                                               "batch 2 100 0.0\n");
+  const CliRun r = cli({"serve", "--requests", reqs, "--workers", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("offered"), std::string::npos);
+  EXPECT_NE(r.out.find("completed"), std::string::npos);
+  EXPECT_NE(r.out.find("breaker: closed"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {
+  const std::string reqs = write_requests_file(
+      "serve_json.txt",
+      "interactive 4 200 0.02\nbatch 4 200 0.02\nbatch 4 200 0.02\n");
+  const CliRun r = cli({"serve", "--requests", reqs, "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v1");
+  EXPECT_DOUBLE_EQ(root.at("params").at("requests").number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at("offered").number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at("admitted").number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at("completed").number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at("failed").number, 0.0);
+  EXPECT_DOUBLE_EQ(root.at("shed").at("total").number, 0.0);
+  EXPECT_TRUE(root.at("accounting_ok").boolean);
+  EXPECT_EQ(root.at("breaker_state").string, "closed");
+  EXPECT_GT(root.at("rows_processed").number, 0.0);
+  EXPECT_GT(root.at("latency_us_interactive").at("count").number, 0.0);
+  EXPECT_GT(root.at("latency_us_batch").at("count").number, 0.0);
+}
+
+TEST_F(CliFixture, ServeEqualSeedsGiveIdenticalDeterministicFields) {
+  const std::string reqs = write_requests_file(
+      "serve_seed.txt", "batch 4 200 0.05\ninteractive 4 200 0.05\n");
+  auto deterministic_fields = [](const JsonValue& root) {
+    return std::vector<double>{
+        root.at("offered").number,        root.at("admitted").number,
+        root.at("completed").number,      root.at("failed").number,
+        root.at("shed").at("total").number, root.at("rows_processed").number};
+  };
+  const CliRun r1 =
+      cli({"serve", "--requests", reqs, "--seed", "7", "--json"});
+  const CliRun r2 =
+      cli({"serve", "--requests", reqs, "--seed", "7", "--json"});
+  ASSERT_EQ(r1.exit_code, 0) << r1.err;
+  ASSERT_EQ(r2.exit_code, 0) << r2.err;
+  EXPECT_EQ(deterministic_fields(parse_json(r1.out)),
+            deterministic_fields(parse_json(r2.out)));
+}
+
+TEST_F(CliFixture, ServeRejectsMalformedRequestLineNamingIt) {
+  const std::string reqs = write_requests_file(
+      "serve_bad.txt", "batch 4 200 0.02\nwhatever 4 200 0.02\n");
+  const CliRun r = cli({"serve", "--requests", reqs});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("line 2"), std::string::npos);
+  const std::string reqs2 =
+      write_requests_file("serve_bad2.txt", "batch nonsense\n");
+  const CliRun r2 = cli({"serve", "--requests", reqs2});
+  EXPECT_EQ(r2.exit_code, 2);
+  EXPECT_NE(r2.err.find("line 1"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeRequiresRequestsFlag) {
+  const CliRun r = cli({"serve"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("--requests"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sysrle

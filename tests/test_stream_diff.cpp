@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/assert.hpp"
 #include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
@@ -227,6 +229,143 @@ TEST(StreamDiff, ClearingEngineOverrideRestoresConfiguredEngine) {
   EXPECT_EQ(differ.finish().fallback_rows, 1u);  // only the first row
   ASSERT_EQ(captured.size(), 2u);
   EXPECT_EQ(captured[0].diff.canonical(), captured[1].diff.canonical());
+}
+
+TEST(StreamDiff, ExpiredDeadlineRefusesRowsBeforeTheEngine) {
+  // The deadline-propagation contract: once expired, push_row returns false
+  // without invoking the engine and without firing the row callback.
+  std::vector<Captured> captured;
+  std::uint64_t engine_calls = 0;
+  bool expired = false;
+  StreamDiffer differ(ImageDiffOptions{}, [&](pos_t y, const RleRow& d) {
+    captured.push_back({y, d});
+  });
+  differ.set_engine_override(
+      [&](const RleRow& a, const RleRow& b, SystolicCounters&) {
+        ++engine_calls;
+        return xor_rows(a, b);
+      });
+  differ.set_deadline([&] { return expired; });
+
+  EXPECT_TRUE(differ.push_row(RleRow{{0, 2}}, RleRow{{4, 2}}));
+  EXPECT_TRUE(differ.push_row(RleRow{{1, 3}}, RleRow{{6, 1}}));
+  expired = true;
+  EXPECT_FALSE(differ.push_row(RleRow{{0, 2}}, RleRow{{4, 2}}));
+  EXPECT_FALSE(differ.push_row_runs({{0, 2}}, {{4, 2}}));
+
+  const StreamSummary& sum = differ.finish();
+  EXPECT_EQ(sum.rows, 2u);
+  EXPECT_EQ(sum.expired_rows, 2u);
+  EXPECT_EQ(engine_calls, 2u);  // never invoked after expiry
+  EXPECT_EQ(captured.size(), 2u);
+
+  // Clearing the deadline (or it un-expiring) resumes the stream.
+  expired = false;
+  EXPECT_TRUE(differ.push_row(RleRow{{0, 2}}, RleRow{{4, 2}}));
+  EXPECT_EQ(differ.finish().rows, 3u);
+  EXPECT_EQ(engine_calls, 3u);
+}
+
+TEST(StreamDiff, GaugesStayBalancedAcrossErrorAndFallbackPaths) {
+  // Pin for the gauge-balance fix: the queue-depth gauge must end at the
+  // last row's true load — 0 for a poisoned row, not the previous row's
+  // leftover — and the throughput gauge must be set on every path.
+  reset_telemetry();
+  set_telemetry_enabled(true);
+  {
+    StreamDiffer differ(ImageDiffOptions{}, [](pos_t, const RleRow&) {});
+    // Normal row: gauge holds its 2+1 runs.
+    differ.push_row(RleRow{{0, 2}, {5, 1}}, RleRow{{9, 3}});
+    EXPECT_EQ(global_metrics().snapshot().gauge("stream.queue_depth_runs",
+                                                -1.0),
+              3.0);
+
+    // Fallback row (engine throws): counters tick, gauge still tracks the
+    // row's real load.
+    differ.set_engine_override(
+        [](const RleRow&, const RleRow&, SystolicCounters&) -> RleRow {
+          throw contract_error("broken engine");
+        });
+    differ.push_row(RleRow{{0, 4}}, RleRow{{6, 2}});
+    differ.set_engine_override(nullptr);
+    MetricsSnapshot snap = global_metrics().snapshot();
+    EXPECT_EQ(snap.counter("stream.fallback_rows"), 1u);
+    EXPECT_EQ(snap.gauge("stream.queue_depth_runs", -1.0), 2.0);
+
+    // Poisoned row: zero runs enter the machine, so the gauge returns to
+    // baseline instead of advertising phantom queued work.
+    differ.push_row_runs({{5, 2}, {0, 2}}, {{1, 1}});
+    snap = global_metrics().snapshot();
+    EXPECT_EQ(snap.counter("stream.poisoned_rows"), 1u);
+    EXPECT_EQ(snap.gauge("stream.queue_depth_runs", -1.0), 0.0);
+    EXPECT_GT(snap.gauge("stream.rows_per_sec", -1.0), 0.0);
+    EXPECT_EQ(snap.counter("stream.rows"), 3u);
+  }
+  set_telemetry_enabled(false);
+  reset_telemetry();
+}
+
+TEST(StreamDiff, AdversarialRunListsNeverThrowAndAreAccountedExactly) {
+  // Hostile input sweep for the untrusted entry point.  Every malformed list
+  // degrades to one empty diff row — never an exception, never a stall —
+  // and poisoned_rows counts exactly the malformed pushes.
+  constexpr len_t kMax = std::numeric_limits<len_t>::max();
+  std::vector<Captured> captured;
+  std::vector<pos_t> error_rows;
+  StreamDiffer differ(ImageDiffOptions{}, [&](pos_t y, const RleRow& d) {
+    captured.push_back({y, d});
+  });
+  differ.set_error_callback(
+      [&](pos_t y, const std::string& diagnostic) {
+        EXPECT_FALSE(diagnostic.empty());
+        error_rows.push_back(y);
+      });
+
+  struct Case {
+    std::vector<sysrle::Run> reference;
+    std::vector<sysrle::Run> scan;
+    bool poisoned;
+  };
+  const std::vector<Case> cases = {
+      // Overlapping runs in the reference.
+      {{{0, 5}, {3, 4}}, {{10, 2}}, true},
+      // Reversed (descending start) order in the scan.
+      {{{0, 2}}, {{9, 2}, {4, 2}}, true},
+      // end < start: non-positive length.
+      {{{4, 0}}, {{0, 1}}, true},
+      {{{4, -3}}, {{0, 1}}, true},
+      // Equal starts (not strictly increasing).
+      {{{7, 1}, {7, 2}}, {{0, 1}}, true},
+      // A healthy pair interleaved: the stream must keep flowing.
+      {{{0, 4}}, {{2, 4}}, false},
+      // Near-len_t-max run: arithmetic on the closed interval must not
+      // overflow, and per-run (not per-pixel) cost means it processes fine.
+      {{{0, kMax - 2}}, {{1, 1}}, false},
+      // Both sides malformed still costs exactly one poisoned row.
+      {{{5, 2}, {1, 1}}, {{8, 0}}, true},
+  };
+
+  std::uint64_t expected_poisoned = 0;
+  for (const Case& c : cases) {
+    EXPECT_TRUE(differ.push_row_runs(c.reference, c.scan));
+    if (c.poisoned) ++expected_poisoned;
+  }
+
+  const StreamSummary& sum = differ.finish();
+  EXPECT_EQ(sum.rows, cases.size());
+  EXPECT_EQ(sum.poisoned_rows, expected_poisoned);
+  EXPECT_EQ(sum.fallback_rows, 0u);
+  EXPECT_EQ(error_rows.size(), expected_poisoned);
+
+  // on_row fired exactly once per push, in order, empty iff poisoned.
+  ASSERT_EQ(captured.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(captured[i].y, static_cast<pos_t>(i));
+    EXPECT_EQ(captured[i].diff.empty(), cases[i].poisoned) << "row " << i;
+  }
+  // The healthy rows carry the true XOR.
+  EXPECT_EQ(captured[5].diff.canonical(),
+            xor_rows(RleRow{{0, 4}}, RleRow{{2, 4}}).canonical());
 }
 
 }  // namespace
