@@ -80,6 +80,11 @@ void CircuitBreaker::record_success(std::uint64_t) {
   }
 }
 
+void CircuitBreaker::release_probe() {
+  if (state_ == BreakerState::kHalfOpen && probes_in_flight_ > 0)
+    --probes_in_flight_;
+}
+
 void CircuitBreaker::record_failure(std::uint64_t now) {
   switch (state_) {
     case BreakerState::kClosed:

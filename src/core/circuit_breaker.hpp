@@ -67,6 +67,14 @@ class CircuitBreaker {
   void record_success(std::uint64_t now);
   void record_failure(std::uint64_t now);
 
+  /// Returns a probe slot taken by allow() when the job produced *no*
+  /// outcome — it was shed at the queue, or its deadline expired before the
+  /// backend ran.  Without this, an abandoned half-open probe pins
+  /// probes_in_flight at its cap and allow() refuses everything forever.
+  /// Tells the breaker nothing about backend health: no state change, no
+  /// success/failure accounting.
+  void release_probe();
+
   BreakerState state() const { return state_; }
   /// Earliest time a probe can be admitted (only meaningful while open);
   /// schedulers use it to know when a tripped backend is worth revisiting.

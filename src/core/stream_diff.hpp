@@ -38,8 +38,12 @@ struct StreamSummary {
   std::uint64_t fallback_rows = 0;
   /// Invalid input rows degraded to an empty difference row.
   std::uint64_t poisoned_rows = 0;
-  /// Rows refused because the stream's deadline had expired; the engine was
-  /// never invoked for them and the row callback did not fire.
+  /// Push *refusal events* after the stream's deadline expired — one per
+  /// push attempt that was refused, NOT the number of rows the caller never
+  /// pushed.  A caller that abandons the image on the first refusal (as
+  /// DiffService does) sees expired_rows == 1; the rows it skipped are
+  /// `image height - rows`.  The engine never ran and the row callback did
+  /// not fire for refused pushes.
   std::uint64_t expired_rows = 0;
 };
 

@@ -35,6 +35,12 @@ void RetryBudget::record_success() {
       std::min(config_.max_tokens, tokens_value_ + config_.tokens_per_success);
 }
 
+void RetryBudget::refund() {
+  std::lock_guard<std::mutex> lk(mu_);
+  tokens_value_ =
+      std::min(config_.max_tokens, tokens_value_ + config_.cost_per_retry);
+}
+
 double RetryBudget::tokens() const {
   std::lock_guard<std::mutex> lk(mu_);
   return tokens_value_;

@@ -42,6 +42,11 @@ class RetryBudget {
   /// Earns tokens_per_success, capped at max_tokens.
   void record_success();
 
+  /// Returns one retry's worth of tokens (capped at max_tokens) when a
+  /// spent retry was never taken — e.g. the request's deadline expired
+  /// during the backoff sleep.  Does not undo the exhausted count.
+  void refund();
+
   double tokens() const;
   std::uint64_t exhausted() const;  ///< denied try_spend calls so far
 

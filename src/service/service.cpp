@@ -43,10 +43,24 @@ class BudgetedRetryGate : public RetryGate {
   bool allow_retry() override {
     if (deadline_.expired()) return false;
     if (!budget_.try_spend()) return false;
+    // Always draw the delay so the jitter stream stays deterministic
+    // regardless of how the deadline interleaves.
     const std::uint64_t delay = backoff_delay_us(backoff_, attempt_++,
                                                  jitter_rng_);
+    if (const auto remaining = deadline_.remaining_us();
+        remaining && delay >= *remaining) {
+      // The required backoff outlasts the deadline: the retry cannot run,
+      // so return the token instead of blocking a worker sleeping toward
+      // an expiry.
+      budget_.refund();
+      return false;
+    }
     if (delay > 0)
       std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    if (deadline_.expired()) {
+      budget_.refund();
+      return false;
+    }
     retries_taken_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -110,6 +124,13 @@ std::optional<RejectReason> DiffService::try_submit(ServiceRequest request) {
       return shed(RejectReason::kCircuitOpen, shed_circuit_open_);
   }
   if (const auto reason = queue_.try_push(std::move(request))) {
+    {
+      // The breaker admitted this request (possibly taking a half-open
+      // probe slot) but the queue refused it, so no outcome will ever be
+      // recorded: give the slot back or the breaker wedges half-open.
+      std::lock_guard<std::mutex> lk(breaker_mu_);
+      breaker_.release_probe();
+    }
     if (*reason == RejectReason::kQueueFull)
       return shed(RejectReason::kQueueFull, shed_queue_full_);
     return shed(RejectReason::kShutdown, shed_shutdown_);
@@ -133,8 +154,14 @@ void DiffService::process(AdmissionQueue::Item item) {
   response.priority = req.priority;
   response.queue_us = us_between(item.enqueued, dequeued);
 
+  // Request-local retry count: the response carries this request's view,
+  // the service-wide retries_ aggregates it at finish.
+  std::atomic<std::uint64_t> request_retries{0};
+
   auto finish = [&](ServiceResponse::Status status) {
     response.status = status;
+    response.retries = request_retries.load(std::memory_order_relaxed);
+    retries_.fetch_add(response.retries, std::memory_order_relaxed);
     const auto done = std::chrono::steady_clock::now();
     response.service_us = us_between(dequeued, done);
     response.total_us = us_between(item.enqueued, done);
@@ -170,7 +197,7 @@ void DiffService::process(AdmissionQueue::Item item) {
     differ.set_engine_override([&](const RleRow& a, const RleRow& b,
                                    SystolicCounters& c) -> RleRow {
       BudgetedRetryGate gate(budget_, req.deadline, config_.backoff,
-                             jitter_rng, retries_);
+                             jitter_rng, request_retries);
       while (true) {
         try {
           RleRow out = req.engine_override(a, b, c);
@@ -185,7 +212,7 @@ void DiffService::process(AdmissionQueue::Item item) {
     differ.set_engine_override([&](const RleRow& a, const RleRow& b,
                                    SystolicCounters& c) -> RleRow {
       BudgetedRetryGate gate(budget_, req.deadline, config_.backoff,
-                             jitter_rng, retries_);
+                             jitter_rng, request_retries);
       RecoveryPolicy policy = config_.recovery;
       policy.retry_gate = &gate;
       FaultInjection injection;
@@ -252,6 +279,13 @@ void DiffService::respond(ServiceResponse response) {
     case ServiceResponse::Status::kRejected:
       shed_deadline_after_admit_.fetch_add(1, std::memory_order_relaxed);
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      {
+        // A deadline expiry says nothing about backend health, but the
+        // request may hold a half-open probe slot from admission: release
+        // it so abandoned probes cannot wedge the breaker half-open.
+        std::lock_guard<std::mutex> lk(breaker_mu_);
+        breaker_.release_probe();
+      }
       if (telem) {
         global_metrics().add("service.deadline_miss_total");
         count_shed(response.reject_reason);
@@ -265,8 +299,6 @@ void DiffService::respond(ServiceResponse response) {
                   to_string(response.priority),
               response.total_us);
   }
-  // Sum retries lazily: retries_ is already the live counter; nothing to do
-  // here, but the response carries the request-local view for the caller.
   if (on_complete_) on_complete_(std::move(response));
 }
 

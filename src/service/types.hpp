@@ -69,6 +69,16 @@ class Deadline {
     return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
   }
 
+  /// Microseconds until expiry, clamped at 0; nullopt without a deadline.
+  /// Backoff sleeps clamp to this so a retry never blocks a worker past
+  /// the point where the request could still complete.
+  std::optional<std::uint64_t> remaining_us() const {
+    if (!at_.has_value()) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        *at_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? static_cast<std::uint64_t>(left.count()) : 0u;
+  }
+
  private:
   std::optional<std::chrono::steady_clock::time_point> at_;
 };

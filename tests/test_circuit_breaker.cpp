@@ -87,6 +87,30 @@ TEST(CircuitBreaker, ProbeFailureReopensImmediately) {
   EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
 }
 
+TEST(CircuitBreaker, ReleaseProbeFreesAnAbandonedHalfOpenSlot) {
+  CircuitBreaker b(policy(1, 50, /*probes=*/1));
+  b.record_failure(0);
+  ASSERT_TRUE(b.allow(50));  // the only probe slot
+  EXPECT_FALSE(b.allow(51));
+  // The probe was shed before the backend ran (queue full / deadline):
+  // releasing the slot re-admits a fresh probe instead of wedging half-open.
+  b.release_probe();
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);  // no outcome recorded
+  EXPECT_TRUE(b.allow(52));
+  b.record_success(53);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, ReleaseProbeIsANoOpOutsideHalfOpen) {
+  CircuitBreaker b(policy(1, 50));
+  b.release_probe();  // closed: nothing to release
+  EXPECT_TRUE(b.allow(1));
+  b.record_failure(2);
+  b.release_probe();  // open: nothing to release
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow(3));
+}
+
 TEST(CircuitBreaker, FullRecoveryCycleCountsTransitions) {
   CircuitBreaker b(policy(2, 10));
   b.record_failure(1);
