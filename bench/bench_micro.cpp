@@ -11,8 +11,10 @@
 #include "baseline/sequential_diff.hpp"
 #include "core/boolean_ops.hpp"
 #include "core/bus_variant.hpp"
+#include "core/image_diff.hpp"
 #include "core/systolic_diff.hpp"
 #include "core/union_variant.hpp"
+#include "rle/rle_image.hpp"
 #include "rle/encode.hpp"
 #include "rle/ops.hpp"
 #include "telemetry/telemetry.hpp"
@@ -77,6 +79,57 @@ void BM_SystolicSimulationTelemetryOn(benchmark::State& state) {
   reset_telemetry();
 }
 BENCHMARK(BM_SystolicSimulationTelemetryOn)->Apply(args_grid);
+
+/// One deterministic whole-image pair for the row-parallel benchmarks.
+struct ImageInputs {
+  RleImage a, b;
+};
+
+ImageInputs make_image_inputs(pos_t rows, pos_t width) {
+  Rng rng(static_cast<std::uint64_t>(rows) * 7919 +
+          static_cast<std::uint64_t>(width));
+  RowGenParams gp;
+  gp.width = width;
+  ImageInputs in{generate_image(rng, rows, gp), RleImage(width, rows)};
+  ErrorGenParams ep;
+  ep.error_fraction = 0.05;
+  for (pos_t y = 0; y < rows; ++y)
+    in.b.set_row(y, inject_errors(rng, in.a.row(y), width, ep));
+  return in;
+}
+
+// The row-executor acceptance pair: telemetry disabled (the default — one
+// relaxed atomic load per row, spans skipped entirely) versus enabled, where
+// per-row spans are sampled at 1/kRowSpanStride so the shared SpanTracer
+// mutex is touched a bounded number of times per image regardless of thread
+// count.
+void BM_ImageDiffParallel(benchmark::State& state) {
+  const ImageInputs in = make_image_inputs(256, 2048);
+  ImageDiffOptions options;
+  options.engine = DiffEngine::kAdaptive;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const ImageDiffResult r = image_diff(in.a, in.b, options);
+    benchmark::DoNotOptimize(r.diff);
+  }
+}
+BENCHMARK(BM_ImageDiffParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ImageDiffParallelTelemetryOn(benchmark::State& state) {
+  const ImageInputs in = make_image_inputs(256, 2048);
+  ImageDiffOptions options;
+  options.engine = DiffEngine::kAdaptive;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  reset_telemetry();
+  set_telemetry_enabled(true);
+  for (auto _ : state) {
+    const ImageDiffResult r = image_diff(in.a, in.b, options);
+    benchmark::DoNotOptimize(r.diff);
+  }
+  set_telemetry_enabled(false);
+  reset_telemetry();
+}
+BENCHMARK(BM_ImageDiffParallelTelemetryOn)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_BusVariantSimulation(benchmark::State& state) {
   const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));

@@ -4,35 +4,158 @@
 // reports the modelled pixel-parallel comparator (section 6), whose O(1) XOR
 // is swamped by decompress/recompress conversions.
 //
-// Flags: --json FILE writes a sysrle.bench.v1 report; --smoke shrinks the
-// sweep for CI.
+// Flags: --json FILE writes a sysrle.bench.v1 report; --threads-json FILE
+// additionally runs the row-parallel thread sweep and writes its own
+// sysrle.bench.v1 report; --smoke shrinks both sweeps for CI.
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/pixel_parallel.hpp"
 #include "baseline/sequential_diff.hpp"
 #include "common/fixed_table.hpp"
 #include "common/stats.hpp"
+#include "core/image_diff.hpp"
 #include "core/systolic_diff.hpp"
 #include "telemetry/bench_report.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
+namespace {
+
+using namespace sysrle;
+
+/// Row-parallel executor sweep: wall time of a whole-image adaptive diff at
+/// 1, 2, 4, ... threads on one fixed workload.  Emits wall_us / rows_per_sec
+/// / speedup series plus a `hardware_threads` scalar so the 4-thread >= 2x
+/// expectation is only enforced where the silicon can deliver it (a 1-core
+/// CI runner cannot speed anything up; see docs/PERFORMANCE.md).
+void run_thread_sweep(const std::string& json_path, bool smoke) {
+  const pos_t rows = smoke ? 512 : 2048;
+  const pos_t width = smoke ? 2048 : 8192;
+  const int reps = smoke ? 3 : 5;
+
+  Rng rng(20260806);
+  RowGenParams gp;
+  gp.width = width;
+  const RleImage a = generate_image(rng, rows, gp);
+  RleImage b(width, rows);
+  ErrorGenParams ep;
+  ep.error_fraction = 0.05;
+  for (pos_t y = 0; y < rows; ++y)
+    b.set_row(y, inject_errors(rng, a.row(y), width, ep));
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t hardware_threads = hw == 0 ? 1 : hw;
+
+  std::cout << "\n=== Row-parallel thread sweep (adaptive engine, " << rows
+            << " x " << width << ", " << hardware_threads
+            << " hardware threads) ===\n";
+
+  FixedTable table;
+  table.set_header({"threads", "wall-us", "rows/s", "speedup", "used"});
+
+  std::vector<double> xs, wall, rps, speedup, used;
+  double serial_wall = 0.0;
+  bool deterministic = true;
+  std::string serial_diff;
+  for (std::size_t t = 1; t <= 8; t *= 2) {
+    ImageDiffOptions options;
+    options.engine = DiffEngine::kAdaptive;
+    options.threads = t;
+    double best_us = 0.0;
+    std::size_t threads_used = 1;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const ImageDiffResult r = image_diff(a, b, options);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double us = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count());
+      if (rep == 0 || us < best_us) best_us = us;
+      threads_used = std::max(threads_used, r.threads_used);
+      if (rep == 0) {
+        std::string rendered;
+        for (pos_t y = 0; y < r.diff.height(); ++y)
+          rendered += r.diff.row(y).to_string() + '\n';
+        if (t == 1) serial_diff = rendered;
+        else if (rendered != serial_diff) deterministic = false;
+      }
+    }
+    if (t == 1) serial_wall = best_us;
+    const double sp = best_us > 0.0 ? serial_wall / best_us : 1.0;
+    table.add_row({FixedTable::num(static_cast<std::int64_t>(t)),
+                   FixedTable::num(best_us, 0),
+                   FixedTable::num(best_us > 0.0 ? static_cast<double>(rows) *
+                                                       1e6 / best_us
+                                                 : 0.0,
+                                   0),
+                   FixedTable::num(sp, 2),
+                   FixedTable::num(static_cast<std::int64_t>(threads_used))});
+    xs.push_back(static_cast<double>(t));
+    wall.push_back(best_us);
+    rps.push_back(best_us > 0.0 ? static_cast<double>(rows) * 1e6 / best_us
+                                : 0.0);
+    speedup.push_back(sp);
+    used.push_back(static_cast<double>(threads_used));
+  }
+  std::cout << table.str();
+
+  double speedup_at_4 = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (xs[i] == 4.0) speedup_at_4 = speedup[i];
+  // Only machines with >= 4 real threads can be held to the 2x bar.
+  const bool scaling_ok = hardware_threads < 4 || speedup_at_4 >= 2.0;
+  std::cout << "speedup at 4 threads: x" << FixedTable::num(speedup_at_4, 2)
+            << (hardware_threads < 4
+                    ? "  [not enforced: fewer than 4 hardware threads]"
+                    : (scaling_ok ? "  [>= 2x ok]" : "  [BELOW 2x]"))
+            << '\n';
+
+  BenchReport report("thread_scaling");
+  report.set_param("rows", static_cast<std::int64_t>(rows));
+  report.set_param("width", static_cast<std::int64_t>(width));
+  report.set_param("error_fraction", 0.05);
+  report.set_param("engine", "adaptive");
+  report.set_param("reps", static_cast<std::int64_t>(reps));
+  report.set_param("mode", smoke ? "smoke" : "full");
+  report.set_x("threads", xs);
+  report.add_series("wall_us", wall);
+  report.add_series("rows_per_sec", rps);
+  report.add_series("speedup", speedup);
+  report.add_series("threads_used", used);
+  report.set_scalar("hardware_threads",
+                    static_cast<double>(hardware_threads));
+  report.set_scalar("speedup_at_4_threads", speedup_at_4);
+  report.set_check("thread_scaling_ok", scaling_ok);
+  report.set_check("deterministic_across_threads", deterministic);
+  report.write_file(json_path);
+  std::cout << "wrote " << json_path << '\n';
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sysrle;
 
   std::string json_path;
+  std::string threads_json_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (a == "--threads-json" && i + 1 < argc) {
+      threads_json_path = argv[++i];
     } else if (a == "--smoke") {
       smoke = true;
     } else {
-      std::cerr << "usage: bench_scaling [--json FILE] [--smoke]\n";
+      std::cerr << "usage: bench_scaling [--json FILE] [--threads-json FILE] "
+                   "[--smoke]\n";
       return 2;
     }
   }
@@ -113,5 +236,7 @@ int main(int argc, char** argv) {
     report.write_file(json_path);
     std::cout << "\nwrote " << json_path << '\n';
   }
+
+  if (!threads_json_path.empty()) run_thread_sweep(threads_json_path, smoke);
   return 0;
 }

@@ -221,23 +221,46 @@ DiffEngine parse_engine(const std::string& name) {
   if (name == "sequential") return DiffEngine::kSequentialMerge;
   if (name == "sweep") return DiffEngine::kParitySweep;
   if (name == "pixel") return DiffEngine::kPixelParallel;
+  if (name == "adaptive") return DiffEngine::kAdaptive;
   usage_error("unknown engine '" + name +
-              "' (systolic|bus|sequential|sweep|pixel)");
+              "' (systolic|bus|sequential|sweep|pixel|adaptive)");
+}
+
+/// Resolves --threads: absent = 0 (auto); present values must be >= 1 —
+/// "--threads 0" is ambiguous enough to refuse rather than guess.
+std::size_t parse_threads(const ArgParser& args) {
+  if (!args.has("--threads")) return 0;
+  const std::int64_t v = args.get_int("--threads", 0);
+  if (v < 1) usage_error("--threads must be >= 1");
+  return static_cast<std::size_t>(v);
+}
+
+/// Emits the effective-parallelism members shared by diff and perf JSON:
+/// a serial fallback is visible as threads_used == 1 / parallel_rows == 0.
+void write_parallelism_members(JsonWriter& w, const ImageDiffResult& r) {
+  w.member("threads_used", r.threads_used);
+  w.member("parallel_rows", r.parallel_rows);
+  w.key("adaptive");
+  w.begin_object();
+  w.member("picked_systolic", r.adaptive_systolic_rows);
+  w.member("picked_sequential", r.adaptive_sequential_rows);
+  w.end_object();
 }
 
 // ------------------------------------------------------------- subcommands
 
 int cmd_diff(ArgParser& args, std::ostream& out) {
-  args.parse({"--engine", "--output"});
+  args.parse({"--engine", "--output", "--threads"});
   if (args.positional().size() != 2)
     usage_error(
-        "diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats] "
-        "[--json]");
+        "diff <a> <b> [-o FILE] [--engine E] [--threads N] [--canonical] "
+        "[--stats] [--json]");
   const RleImage a = load_image(args.positional()[0]);
   const RleImage b = load_image(args.positional()[1]);
 
   ImageDiffOptions options;
   options.engine = parse_engine(args.get("--engine", "systolic"));
+  options.threads = parse_threads(args);
   options.canonicalize_output = args.has("--canonical");
   const ImageDiffResult result = image_diff(a, b, options);
 
@@ -259,6 +282,7 @@ int cmd_diff(ArgParser& args, std::ostream& out) {
     w.end_object();
     w.member("max_row_iterations", result.max_row_iterations);
     w.member("sequential_iterations", result.sequential_iterations);
+    write_parallelism_members(w, result);
     w.key("counters");
     write_counters_json(w, result.counters);
     w.end_object();
@@ -276,19 +300,28 @@ int cmd_diff(ArgParser& args, std::ostream& out) {
     if (result.sequential_iterations > 0)
       out << "sequential iterations: " << result.sequential_iterations << '\n';
     out << "worst-row iterations: " << result.max_row_iterations << '\n';
+    out << "threads used: " << result.threads_used << "  (parallel rows "
+        << result.parallel_rows << ")\n";
+    if (options.engine == DiffEngine::kAdaptive)
+      out << "adaptive mix: " << result.adaptive_systolic_rows
+          << " systolic, " << result.adaptive_sequential_rows
+          << " sequential\n";
   }
   return 0;
 }
 
 int cmd_inspect(ArgParser& args, std::ostream& out) {
-  args.parse({"--engine", "--align", "--min-area"});
+  args.parse({"--engine", "--align", "--min-area", "--threads"});
   if (args.positional().size() != 2)
-    usage_error("inspect <ref> <scan> [--align R] [--min-area N] [--engine E]");
+    usage_error(
+        "inspect <ref> <scan> [--align R] [--min-area N] [--engine E] "
+        "[--threads N]");
   const RleImage ref = load_image(args.positional()[0]);
   const RleImage scan = load_image(args.positional()[1]);
 
   InspectionOptions options;
   options.engine = parse_engine(args.get("--engine", "systolic"));
+  options.threads = parse_threads(args);
   options.alignment_radius = args.get_int("--align", 0);
   options.min_defect_area = args.get_int("--min-area", 2);
   const InspectionReport report = inspect(ref, scan, options);
@@ -508,10 +541,12 @@ int cmd_campaign(ArgParser& args, std::ostream& out) {
 }
 
 int cmd_perf(ArgParser& args, std::ostream& out) {
-  args.parse({"--rows", "--width", "--seed", "--error", "--engine"});
+  args.parse({"--rows", "--width", "--seed", "--error", "--engine",
+              "--threads"});
   if (!args.positional().empty())
     usage_error(
-        "perf [--rows N] [--width W] [--seed S] [--error F] [--engine E]");
+        "perf [--rows N] [--width W] [--seed S] [--error F] [--engine E] "
+        "[--threads N]");
   const std::int64_t rows = args.get_int("--rows", 256);
   const std::int64_t width = args.get_int("--width", 4096);
   if (rows < 1) usage_error("--rows must be >= 1");
@@ -524,6 +559,7 @@ int cmd_perf(ArgParser& args, std::ostream& out) {
 
   ImageDiffOptions options;
   options.engine = parse_engine(engine_name);
+  options.threads = parse_threads(args);
   // Raw (non-canonical) output keeps the Observation-bound telemetry armed:
   // canonicalisation shrinks k3, which would fake violations.
   options.canonicalize_output = false;
@@ -551,11 +587,19 @@ int cmd_perf(ArgParser& args, std::ostream& out) {
   const auto t1 = std::chrono::steady_clock::now();
   const StreamSummary& summary = differ.finish();
 
+  // Second phase: the whole-image row-parallel path, on the same inputs and
+  // engine.  This is where --threads takes effect.
+  const auto t2 = std::chrono::steady_clock::now();
+  const ImageDiffResult image_result = image_diff(a, b, options);
+  const auto t3 = std::chrono::steady_clock::now();
+
   const MetricsSnapshot snap = global_metrics().snapshot();
   set_telemetry_enabled(was_enabled);
 
   const double wall_us = static_cast<double>(
       std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  const double image_wall_us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t3 - t2).count());
 
   JsonWriter w(out);
   w.begin_object();
@@ -579,9 +623,19 @@ int cmd_perf(ArgParser& args, std::ostream& out) {
   w.member("difference_pixels",
            static_cast<std::int64_t>(summary.difference_pixels));
   w.member("max_row_iterations", summary.max_row_iterations);
+  w.member("sequential_iterations", summary.sequential_iterations);
   w.member("pipelined_cycles", summary.pipelined_cycles);
   w.member("fallback_rows", summary.fallback_rows);
   w.member("poisoned_rows", summary.poisoned_rows);
+  w.end_object();
+  w.key("image_diff");
+  w.begin_object();
+  w.member("wall_time_us", image_wall_us);
+  w.member("rows_per_sec", image_wall_us > 0.0
+                               ? static_cast<double>(rows) * 1e6 /
+                                     image_wall_us
+                               : 0.0);
+  write_parallelism_members(w, image_result);
   w.end_object();
   w.key("counters");
   write_counters_json(w, summary.counters);
@@ -653,7 +707,7 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   const std::int64_t queue_cap = args.get_int("--queue-cap", 64);
   const std::int64_t default_deadline_ms = args.get_int("--deadline-ms", 0);
   const std::int64_t seed = args.get_int("--seed", 42);
-  if (workers < 1) usage_error("--workers must be >= 1");
+  if (workers < 0) usage_error("--workers must be >= 0 (0 = auto)");
   if (queue_cap < 1) usage_error("--queue-cap must be >= 1");
   if (default_deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
 
@@ -828,17 +882,20 @@ void print_help(std::ostream& out) {
          "  (systolic RLE image difference; Ercal, Allen, Feng; IPPS 1999)\n\n"
          "usage: sysrle [--metrics FILE] [--trace-out FILE] <command> [args]\n\n"
          "commands:\n"
-         "  diff <a> <b> [-o FILE] [--engine E] [--canonical] [--stats]\n"
-         "      [--json]   XOR two images in the compressed domain.\n"
+         "  diff <a> <b> [-o FILE] [--engine E] [--threads N] [--canonical]\n"
+         "      [--stats] [--json]   XOR two images in the compressed domain.\n"
          "  inspect <ref> <scan> [--align R] [--min-area N] [--engine E]\n"
+         "      [--threads N]\n"
          "      reference-based inspection; exit 1 when defects are found.\n"
          "  gen pcb|random <out> [--seed N] [--width W] [--height H]\n"
          "      [--density D] [--defects N]   generate synthetic workloads.\n"
          "  convert <in> <out>   convert between PBM and sysrle RLE.\n"
          "  stats <file> [--json]   print image statistics.\n"
          "  perf [--rows N] [--width W] [--seed S] [--error F] [--engine E]\n"
+         "      [--threads N]\n"
          "      run a synthetic workload through the streaming differ and\n"
-         "      print a machine-readable sysrle.perf.v1 JSON report.\n"
+         "      the row-parallel image differ; print a machine-readable\n"
+         "      sysrle.perf.v1 JSON report.\n"
          "  verilog <outdir> [--bits W] [--cells N] [--prefix P]\n"
          "      emit synthesizable RTL for the Figure-2 machine.\n"
          "  trace \"<s,l> <s,l> ...\" \"<s,l> ...\" [--cells N]\n"
@@ -853,14 +910,18 @@ void print_help(std::ostream& out) {
          "      [--json]\n"
          "      run a request file through the overload-safe service\n"
          "      (bounded admission, deadlines, retry budget, breaker);\n"
-         "      request lines: 'priority rows width error [deadline_ms]'.\n"
+         "      request lines: 'priority rows width error [deadline_ms]';\n"
+         "      --workers 0 sizes the pool from the hardware.\n"
          "  help                 this message.\n\n"
          "global options (any command):\n"
          "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"
          "                    telemetry recorded during the command.\n"
          "  --trace-out FILE  write a Chrome trace_event file loadable by\n"
          "                    chrome://tracing and Perfetto.\n\n"
-         "engines: systolic (default) | bus | sequential | sweep | pixel\n"
+         "engines: systolic (default) | bus | sequential | sweep | pixel |\n"
+         "         adaptive (per-row systolic/sequential by run-count shape)\n"
+         "threads: --threads N forces N row workers (N >= 1); omitted or 0\n"
+         "         sizes the pool from the hardware (1 when unknown)\n"
          "formats: auto-detected on read; chosen by extension on write\n"
          "         (.pbm, .srlt = text RLE, otherwise binary RLE)\n";
 }

@@ -14,4 +14,14 @@ DiffCostPrediction predict_costs(const RleRow& a, const RleRow& b) {
   return p;
 }
 
+AdaptiveRoute choose_adaptive_route(std::uint64_t k1, std::uint64_t k2,
+                                    double similarity_threshold) {
+  const std::uint64_t difference = k1 > k2 ? k1 - k2 : k2 - k1;
+  const std::uint64_t total = k1 + k2;
+  return static_cast<double>(difference) <=
+                 similarity_threshold * static_cast<double>(total)
+             ? AdaptiveRoute::kSystolic
+             : AdaptiveRoute::kSequential;
+}
+
 }  // namespace sysrle

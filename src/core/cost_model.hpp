@@ -39,4 +39,24 @@ struct DiffCostPrediction {
 /// Builds the prediction for one row pair.
 DiffCostPrediction predict_costs(const RleRow& a, const RleRow& b);
 
+/// Which engine the adaptive dispatcher picked for one row.
+enum class AdaptiveRoute {
+  kSystolic,    ///< similar rows: the machine finishes in ~|k1 - k2| cycles
+  kSequential,  ///< dissimilar rows: the merge's k1 + k2 is the better deal
+};
+
+/// The *cheap* half of the model, usable per row on the hot path: it needs
+/// only k1, k2 and |k1 - k2| — no k3, which would require computing the XOR
+/// itself.  The Figure-5 correlation says systolic iterations track
+/// |k1 - k2| when the rows are similar, while the sequential merge always
+/// pays Θ(k1 + k2); a row is routed to the machine when
+///
+///     |k1 - k2| <= similarity_threshold * (k1 + k2)
+///
+/// (boundary inclusive), and to the merge otherwise.  Two empty rows are
+/// trivially similar.  The default threshold of 0.5 sends a row sequential
+/// once one input carries over three times the runs of the other.
+AdaptiveRoute choose_adaptive_route(std::uint64_t k1, std::uint64_t k2,
+                                    double similarity_threshold = 0.5);
+
 }  // namespace sysrle

@@ -1,15 +1,22 @@
 #include "core/image_diff.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "baseline/pixel_parallel.hpp"
 #include "baseline/sequential_diff.hpp"
 #include "common/assert.hpp"
 #include "core/bus_variant.hpp"
+#include "core/cost_model.hpp"
+#include "core/row_executor.hpp"
 #include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
 #include "telemetry/telemetry.hpp"
+
+#ifdef SYSRLE_HAVE_OPENMP
+#include <omp.h>
+#endif
 
 namespace sysrle {
 
@@ -25,11 +32,24 @@ const char* to_string(DiffEngine engine) {
       return "parity-sweep";
     case DiffEngine::kPixelParallel:
       return "pixel-parallel";
+    case DiffEngine::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
 }
 
 namespace {
+
+/// The scheduling grain, matching the old `schedule(dynamic, 16)`.
+constexpr std::size_t kRowChunk = 16;
+
+/// Per-row spans contend on the shared trace buffer at high thread counts,
+/// so only every kRowSpanStride-th row opens one.  Sampling by row index is
+/// deterministic: the same rows are sampled at any thread count.
+constexpr std::size_t kRowSpanStride = 64;
+
+/// Which engine actually ran a row (kAdaptive resolves to one of the two).
+enum class RowRoute { kFixed, kSystolic, kSequential };
 
 /// Per-row outcome gathered before serial aggregation (keeps the parallel
 /// loop free of shared mutable state).
@@ -37,18 +57,24 @@ struct RowOutcome {
   RleRow output;
   SystolicCounters counters;
   std::uint64_t sequential_iterations = 0;
+  RowRoute route = RowRoute::kFixed;
 };
 
-RowOutcome diff_one_row(const RleRow& ra, const RleRow& rb, pos_t width,
-                        const ImageDiffOptions& options) {
-  TELEMETRY_SPAN("row_diff", "image");
+/// Per-participant scratch: one machine whose cell storage is recycled
+/// across every row this worker processes, instead of reallocated per row.
+struct RowScratch {
+  SystolicDiffMachine machine;
+};
+
+RowOutcome diff_row_body(const RleRow& ra, const RleRow& rb, pos_t width,
+                         const ImageDiffOptions& options, RowScratch& scratch) {
   RowOutcome out;
   switch (options.engine) {
     case DiffEngine::kSystolic: {
       SystolicConfig cfg;
       cfg.check_invariants = options.check_invariants;
       cfg.canonicalize_output = options.canonicalize_output;
-      SystolicResult r = systolic_xor(ra, rb, cfg);
+      SystolicResult r = systolic_xor(ra, rb, cfg, scratch.machine);
       out.output = std::move(r.output);
       out.counters = r.counters;
       break;
@@ -78,9 +104,84 @@ RowOutcome diff_one_row(const RleRow& ra, const RleRow& rb, pos_t width,
       out.output = std::move(r.output);  // canonical by construction
       break;
     }
+    case DiffEngine::kAdaptive: {
+      // Route on the cheap half of the cost model only (k1, k2, |k1 - k2|);
+      // the decision depends on nothing but the input rows, so the mix is
+      // identical at every thread count.
+      const AdaptiveRoute route =
+          choose_adaptive_route(ra.run_count(), rb.run_count(),
+                                options.adaptive_similarity_threshold);
+      if (route == AdaptiveRoute::kSystolic) {
+        SystolicConfig cfg;
+        cfg.check_invariants = options.check_invariants;
+        cfg.canonicalize_output = options.canonicalize_output;
+        SystolicResult r = systolic_xor(ra, rb, cfg, scratch.machine);
+        out.output = std::move(r.output);
+        out.counters = r.counters;
+        out.route = RowRoute::kSystolic;
+      } else {
+        SequentialDiffResult r = sequential_xor(ra, rb);
+        out.output = std::move(r.output);
+        out.sequential_iterations = r.iterations;
+        if (options.canonicalize_output) out.output.canonicalize();
+        out.route = RowRoute::kSequential;
+      }
+      break;
+    }
   }
   return out;
 }
+
+RowOutcome diff_one_row(std::size_t y, const RleRow& ra, const RleRow& rb,
+                        pos_t width, const ImageDiffOptions& options,
+                        RowScratch& scratch) {
+  if (y % kRowSpanStride == 0) {
+    TELEMETRY_SPAN("row_diff", "image");
+    return diff_row_body(ra, rb, width, options, scratch);
+  }
+  return diff_row_body(ra, rb, width, options, scratch);
+}
+
+RowRunStats run_rows_native(const RleImage& a, const RleImage& b,
+                            const ImageDiffOptions& options,
+                            std::vector<RowOutcome>& outcomes) {
+  RowExecutor& executor = RowExecutor::global();
+  const std::size_t n = outcomes.size();
+  std::vector<RowScratch> scratch(
+      std::max<std::size_t>(1, executor.plan_slots(n, options.threads,
+                                                   kRowChunk)));
+  return executor.run(
+      n,
+      [&](std::size_t i, std::size_t slot) {
+        const pos_t y = static_cast<pos_t>(i);
+        outcomes[i] =
+            diff_one_row(i, a.row(y), b.row(y), a.width(), options,
+                         scratch[slot]);
+      },
+      options.threads, kRowChunk);
+}
+
+#ifdef SYSRLE_HAVE_OPENMP
+RowRunStats run_rows_openmp(const RleImage& a, const RleImage& b,
+                            const ImageDiffOptions& options,
+                            std::vector<RowOutcome>& outcomes) {
+  const std::size_t slots = RowExecutor::resolve_threads(options.threads);
+  std::vector<RowScratch> scratch(slots);
+  RowRunStats stats;
+  stats.rows_per_slot.assign(slots, 0);
+  const pos_t height = static_cast<pos_t>(outcomes.size());
+#pragma omp parallel for schedule(dynamic, 16) \
+    num_threads(static_cast<int>(slots))
+  for (pos_t y = 0; y < height; ++y) {
+    const std::size_t slot = static_cast<std::size_t>(omp_get_thread_num());
+    outcomes[static_cast<std::size_t>(y)] =
+        diff_one_row(static_cast<std::size_t>(y), a.row(y), b.row(y),
+                     a.width(), options, scratch[slot]);
+    ++stats.rows_per_slot[slot];  // slots are per-thread: no race
+  }
+  return stats;
+}
+#endif
 
 }  // namespace
 
@@ -92,21 +193,45 @@ ImageDiffResult image_diff(const RleImage& a, const RleImage& b,
   const pos_t height = a.height();
   std::vector<RowOutcome> outcomes(static_cast<std::size_t>(height));
 
+  RowRunStats stats;
 #ifdef SYSRLE_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 16)
+  if (options.backend == ParallelBackend::kOpenMP)
+    stats = run_rows_openmp(a, b, options, outcomes);
+  else
+    stats = run_rows_native(a, b, options, outcomes);
+#else
+  // Without OpenMP in the build, kOpenMP degrades to the native executor —
+  // still parallel, never silently serial.
+  stats = run_rows_native(a, b, options, outcomes);
 #endif
-  for (pos_t y = 0; y < height; ++y)
-    outcomes[static_cast<std::size_t>(y)] =
-        diff_one_row(a.row(y), b.row(y), a.width(), options);
 
-  ImageDiffResult result{RleImage(a.width(), height), {}, 0, 0};
+  ImageDiffResult result;
+  result.diff = RleImage(a.width(), height);
   for (pos_t y = 0; y < height; ++y) {
     RowOutcome& o = outcomes[static_cast<std::size_t>(y)];
     result.max_row_iterations =
         std::max(result.max_row_iterations, o.counters.iterations);
     result.counters += o.counters;
     result.sequential_iterations += o.sequential_iterations;
+    if (o.route == RowRoute::kSystolic) ++result.adaptive_systolic_rows;
+    if (o.route == RowRoute::kSequential) ++result.adaptive_sequential_rows;
     result.diff.set_row(y, std::move(o.output));
+  }
+  result.threads_used = std::max<std::uint64_t>(stats.threads_used(), 1);
+  result.parallel_rows = stats.parallel_rows();
+
+  if (telemetry_enabled()) {
+    MetricsRegistry& m = global_metrics();
+    m.observe("image.threads_used",
+              static_cast<double>(result.threads_used));
+    for (const std::uint64_t rows : stats.rows_per_slot)
+      if (rows > 0)
+        m.observe("image.rows_per_thread", static_cast<double>(rows));
+    m.add("image.parallel_rows", result.parallel_rows);
+    if (options.engine == DiffEngine::kAdaptive) {
+      m.add("adaptive.picked_systolic", result.adaptive_systolic_rows);
+      m.add("adaptive.picked_sequential", result.adaptive_sequential_rows);
+    }
   }
   return result;
 }

@@ -3,6 +3,13 @@
 // two RLE images.  This is the operation a PCB inspection system performs per
 // acquired board image (reference CAD artwork vs scan), and the natural unit
 // for which the paper's per-row machine would be replicated or time-shared.
+//
+// Rows are independent (the whole premise of the paper's systolic array), so
+// the row loop always runs on the native RowExecutor pool — parallelism is
+// unconditional, not a configure-time accident of finding OpenMP.  OpenMP
+// remains available as an optional backend.  The result is bit-identical to
+// a serial run regardless of thread count: scheduling decides who computes a
+// row, never what, and aggregation is serial in row order.
 
 #include <cstdint>
 
@@ -18,10 +25,19 @@ enum class DiffEngine {
   kSequentialMerge,  ///< the paper's sequential comparator
   kParitySweep,      ///< library fast path (rle/ops.hpp xor_rows)
   kPixelParallel,    ///< decompress + word-parallel XOR + recompress
+  kAdaptive,         ///< per-row systolic/sequential dispatch on the cheap
+                     ///< half of the §5 cost model (see core/cost_model.hpp)
 };
 
 /// Human-readable engine name (for bench output).
 const char* to_string(DiffEngine engine);
+
+/// Which runtime drives the parallel row loop.
+enum class ParallelBackend {
+  kNative,  ///< core/row_executor.hpp — always available
+  kOpenMP,  ///< the OpenMP runtime; falls back to kNative when the build
+            ///< has no OpenMP (SYSRLE_WITH_OPENMP=OFF or not found)
+};
 
 /// Options for image_diff.
 struct ImageDiffOptions {
@@ -32,20 +48,43 @@ struct ImageDiffOptions {
   bool check_invariants = false;
   /// Bus width for kBusSystolic (0 = unbounded).
   std::size_t bus_width = 0;
+
+  /// Worker threads for the row loop: 0 = auto (everything the shared pool
+  /// offers), 1 = serial in the calling thread, N = exactly N participants
+  /// (growing the pool on demand, capped at RowExecutor::kMaxThreads).
+  std::size_t threads = 0;
+
+  /// Row-loop runtime (see ParallelBackend).
+  ParallelBackend backend = ParallelBackend::kNative;
+
+  /// kAdaptive routing knob: a row goes systolic when
+  /// |k1 - k2| <= threshold * (k1 + k2), sequential otherwise.
+  double adaptive_similarity_threshold = 0.5;
 };
 
 /// Aggregated result of an image-level diff.
 struct ImageDiffResult {
-  RleImage diff;                   ///< per-row XOR of the two images
+  RleImage diff{0, 0};             ///< per-row XOR of the two images
   SystolicCounters counters;       ///< summed machine activity (systolic/bus)
   std::uint64_t sequential_iterations = 0;  ///< summed merge iterations
   cycle_t max_row_iterations = 0;  ///< worst row (array latency if machines
                                    ///< process rows in parallel)
+
+  /// kAdaptive dispatch mix (both zero for fixed engines).
+  std::uint64_t adaptive_systolic_rows = 0;
+  std::uint64_t adaptive_sequential_rows = 0;
+
+  /// Effective parallelism of this call: participants that processed at
+  /// least one row, and rows processed off the calling thread.  A silently
+  /// serial run is detectable as threads_used == 1 / parallel_rows == 0.
+  std::uint64_t threads_used = 1;
+  std::uint64_t parallel_rows = 0;
 };
 
 /// Computes the per-row XOR of two equal-sized RLE images with the selected
-/// engine.  Rows are independent; when OpenMP is available they are processed
-/// in parallel (the result is deterministic regardless).
+/// engine.  Rows are processed in parallel on the native executor (or the
+/// OpenMP backend when requested and compiled in); output and aggregated
+/// counters are bit-identical to a serial run for any thread count.
 ImageDiffResult image_diff(const RleImage& a, const RleImage& b,
                            const ImageDiffOptions& options = {});
 

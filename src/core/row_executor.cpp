@@ -1,0 +1,176 @@
+#include "core/row_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace sysrle {
+
+std::size_t RowRunStats::threads_used() const {
+  std::size_t used = 0;
+  for (const std::uint64_t rows : rows_per_slot)
+    if (rows > 0) ++used;
+  return used;
+}
+
+std::uint64_t RowRunStats::parallel_rows() const {
+  std::uint64_t rows = 0;
+  for (std::size_t s = 1; s < rows_per_slot.size(); ++s)
+    rows += rows_per_slot[s];
+  return rows;
+}
+
+/// One run() in flight.  The atomic cursor is the scheduling state; slot
+/// assignment and helper accounting stay under the pool mutex.
+struct RowExecutor::Job {
+  const RowFn* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::size_t max_slots = 1;
+
+  std::atomic<std::size_t> next{0};    ///< first unclaimed index
+  std::atomic<bool> failed{false};     ///< a body threw; stop claiming
+
+  // Guarded by RowExecutor::mu_.
+  std::size_t slots_taken = 1;         ///< slot 0 is the caller's
+  std::size_t active_helpers = 0;
+  std::exception_ptr error;
+
+  /// Written once per participant at its unique slot index; read by the
+  /// caller only after every helper has retired.
+  std::vector<std::uint64_t> rows_per_slot;
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= n;
+  }
+};
+
+RowExecutor::RowExecutor(RowExecutorConfig config)
+    : config_(config), auto_parallelism_(resolve_threads(config.threads)) {
+  if (config_.chunk == 0) config_.chunk = 1;
+}
+
+RowExecutor::~RowExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t RowExecutor::resolve_threads(std::size_t requested) {
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxThreads);
+}
+
+RowExecutor& RowExecutor::global() {
+  static RowExecutor executor;
+  return executor;
+}
+
+std::size_t RowExecutor::plan_slots(std::size_t n, std::size_t max_parallelism,
+                                    std::size_t chunk) const {
+  if (n == 0) return 0;
+  const std::size_t grain = chunk == 0 ? config_.chunk : chunk;
+  const std::size_t limit = max_parallelism == 0
+                                ? auto_parallelism_
+                                : std::min(max_parallelism, kMaxThreads);
+  // More participants than chunks could never all receive work.
+  const std::size_t by_work = (n + grain - 1) / grain;
+  return std::max<std::size_t>(1, std::min(limit, by_work));
+}
+
+RowRunStats RowExecutor::run(std::size_t n, const RowFn& fn,
+                             std::size_t max_parallelism, std::size_t chunk) {
+  RowRunStats stats;
+  if (n == 0) return stats;
+  const std::size_t grain = chunk == 0 ? config_.chunk : chunk;
+  const std::size_t slots = plan_slots(n, max_parallelism, grain);
+
+  if (slots <= 1) {
+    // Serial fast path: no pool traffic, no wakeups.
+    stats.rows_per_slot.assign(1, 0);
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    stats.rows_per_slot[0] = n;
+    return stats;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->chunk = grain;
+  job->max_slots = slots;
+  job->rows_per_slot.assign(slots, 0);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ensure_workers(slots - 1);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  execute(*job, 0);  // the caller is participant 0
+
+  std::unique_lock<std::mutex> lk(mu_);
+  // All indices are claimed; helpers that have not joined yet would find no
+  // work, so stop advertising the job.
+  unlist(job);
+  done_cv_.wait(lk, [&] { return job->active_helpers == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+  stats.rows_per_slot = std::move(job->rows_per_slot);
+  return stats;
+}
+
+void RowExecutor::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<Job> job = jobs_.front();
+    if (job->slots_taken >= job->max_slots || job->exhausted()) {
+      unlist(job);  // stale entry; re-examine the queue
+      continue;
+    }
+    const std::size_t slot = job->slots_taken++;
+    if (job->slots_taken >= job->max_slots) unlist(job);
+    ++job->active_helpers;
+    lk.unlock();
+    execute(*job, slot);
+    lk.lock();
+    if (--job->active_helpers == 0) done_cv_.notify_all();
+  }
+}
+
+void RowExecutor::execute(Job& job, std::size_t slot) {
+  std::uint64_t done = 0;
+  try {
+    while (!job.failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin =
+          job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (begin >= job.n) break;
+      const std::size_t end = std::min(begin + job.chunk, job.n);
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i, slot);
+      done += end - begin;
+    }
+  } catch (...) {
+    job.failed.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!job.error) job.error = std::current_exception();
+  }
+  job.rows_per_slot[slot] = done;
+}
+
+void RowExecutor::ensure_workers(std::size_t helpers) {
+  const std::size_t target = std::min(helpers, kMaxThreads - 1);
+  while (workers_.size() < target)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void RowExecutor::unlist(const std::shared_ptr<Job>& job) {
+  const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+}
+
+}  // namespace sysrle

@@ -6,6 +6,7 @@
 #include "baseline/sequential_diff.hpp"
 #include "common/assert.hpp"
 #include "core/bus_variant.hpp"
+#include "core/cost_model.hpp"
 #include "core/systolic_diff.hpp"
 #include "rle/ops.hpp"
 #include "rle/validate.hpp"
@@ -88,8 +89,25 @@ RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
       SystolicConfig cfg;
       cfg.check_invariants = options_.check_invariants;
       cfg.canonicalize_output = options_.canonicalize_output;
-      SystolicResult r = systolic_xor(reference, scan, cfg);
+      SystolicResult r = systolic_xor(reference, scan, cfg, machine_workspace_);
       row_counters = r.counters;
+      return std::move(r.output);
+    }
+    case DiffEngine::kAdaptive: {
+      if (choose_adaptive_route(reference.run_count(), scan.run_count(),
+                                options_.adaptive_similarity_threshold) ==
+          AdaptiveRoute::kSystolic) {
+        SystolicConfig cfg;
+        cfg.check_invariants = options_.check_invariants;
+        cfg.canonicalize_output = options_.canonicalize_output;
+        SystolicResult r =
+            systolic_xor(reference, scan, cfg, machine_workspace_);
+        row_counters = r.counters;
+        return std::move(r.output);
+      }
+      SequentialDiffResult r = sequential_xor(reference, scan);
+      summary_.sequential_iterations += r.iterations;
+      if (options_.canonicalize_output) r.output.canonicalize();
       return std::move(r.output);
     }
     case DiffEngine::kBusSystolic: {
@@ -102,6 +120,7 @@ RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
     }
     case DiffEngine::kSequentialMerge: {
       SequentialDiffResult r = sequential_xor(reference, scan);
+      summary_.sequential_iterations += r.iterations;
       if (options_.canonicalize_output) r.output.canonicalize();
       return std::move(r.output);
     }
@@ -141,6 +160,7 @@ bool StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
     report(y, e.what());
     row_counters = SystolicCounters{};
     SequentialDiffResult r = sequential_xor(reference, scan);
+    summary_.sequential_iterations += r.iterations;
     diff = std::move(r.output);
     if (options_.canonicalize_output) diff.canonicalize();
     ++summary_.fallback_rows;

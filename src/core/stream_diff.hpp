@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/image_diff.hpp"
+#include "core/systolic_diff.hpp"
 #include "rle/rle_row.hpp"
 
 namespace sysrle {
@@ -34,6 +35,9 @@ struct StreamSummary {
   /// costs max(iterations, load_cycles), because the next row's runs stream
   /// into the shadow registers while the current row computes.
   cycle_t pipelined_cycles = 0;
+  /// Merge-loop iterations by the sequential engine (the kSequentialMerge
+  /// engine, adaptive rows routed to the merge, and fallback recomputes).
+  std::uint64_t sequential_iterations = 0;
   /// Rows recomputed by the sequential fallback after the engine threw.
   std::uint64_t fallback_rows = 0;
   /// Invalid input rows degraded to an empty difference row.
@@ -127,6 +131,9 @@ class StreamDiffer {
   DeadlineCheck deadline_expired_;
   cycle_t load_cycles_per_run_;
   StreamSummary summary_;
+  /// Machine workspace recycled across rows for the systolic and adaptive
+  /// engines (the stream is serial, so one workspace suffices).
+  SystolicDiffMachine machine_workspace_;
   /// Wall-clock time of the first pushed row; anchors the rows/sec gauge
   /// when telemetry is enabled.  Unused (never read) otherwise.
   std::chrono::steady_clock::time_point first_push_{};

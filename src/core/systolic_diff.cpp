@@ -20,12 +20,18 @@ std::size_t auto_capacity(std::size_t k1, std::size_t k2) {
 }  // namespace
 
 SystolicDiffMachine::SystolicDiffMachine(const RleRow& a, const RleRow& b,
-                                         const SystolicConfig& config)
-    : config_(config),
-      array_(config.capacity ? config.capacity
-                             : auto_capacity(a.run_count(), b.run_count())),
-      k1_(a.run_count()),
-      k2_(b.run_count()) {
+                                         const SystolicConfig& config) {
+  load(a, b, config);
+}
+
+void SystolicDiffMachine::load(const RleRow& a, const RleRow& b,
+                               const SystolicConfig& config) {
+  config_ = config;
+  array_.reset(config.capacity ? config.capacity
+                               : auto_capacity(a.run_count(), b.run_count()));
+  counters_ = SystolicCounters{};
+  k1_ = a.run_count();
+  k2_ = b.run_count();
   SYSRLE_REQUIRE(array_.size() >= std::max(a.run_count(), b.run_count()),
                  "SystolicDiffMachine: capacity below input run count");
   for (std::size_t i = 0; i < a.run_count(); ++i)
@@ -147,9 +153,12 @@ void SystolicDiffMachine::note_occupancy() {
   }
 }
 
-SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
-                            const SystolicConfig& config) {
-  SystolicDiffMachine machine(a, b, config);
+namespace {
+
+/// Shared tail of both systolic_xor overloads: run the (loaded) machine,
+/// gather the answer, record per-row telemetry.
+SystolicResult finish_systolic_run(SystolicDiffMachine& machine,
+                                   const SystolicConfig& config) {
   machine.run();
   SystolicResult result;
   result.output = machine.gather_output();
@@ -173,6 +182,21 @@ SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
       m.add("systolic.obs_bound_violations");
   }
   return result;
+}
+
+}  // namespace
+
+SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
+                            const SystolicConfig& config) {
+  SystolicDiffMachine machine(a, b, config);
+  return finish_systolic_run(machine, config);
+}
+
+SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
+                            const SystolicConfig& config,
+                            SystolicDiffMachine& workspace) {
+  workspace.load(a, b, config);
+  return finish_systolic_run(workspace, config);
 }
 
 }  // namespace sysrle

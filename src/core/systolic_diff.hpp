@@ -58,10 +58,21 @@ SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
 /// and step-level tests.  systolic_xor is a convenience wrapper.
 class SystolicDiffMachine {
  public:
+  /// An unloaded workspace: owns cell storage but holds no rows.  Call
+  /// load() before stepping.  Reusing one machine across many rows keeps
+  /// the cell vector's allocation alive instead of paying it per row — the
+  /// row executor gives every worker thread one such workspace.
+  SystolicDiffMachine() = default;
+
   /// Loads row a into the RegSmall lane and row b into the RegBig lane,
   /// cell i receiving run i of each row (the paper's initial placement).
   SystolicDiffMachine(const RleRow& a, const RleRow& b,
                       const SystolicConfig& config);
+
+  /// Re-initialises this machine for a new row pair, recycling the cell
+  /// storage.  Counters restart from zero; the previous run's state is
+  /// discarded.  Equivalent to constructing a fresh machine.
+  void load(const RleRow& a, const RleRow& b, const SystolicConfig& config);
 
   /// Wired-AND of the completion lines: true when every RegBig is empty.
   bool terminated() const;
@@ -92,5 +103,13 @@ class SystolicDiffMachine {
   cycle_t k1_ = 0;
   cycle_t k2_ = 0;
 };
+
+/// Workspace-reusing variant of systolic_xor: identical output and counters,
+/// but runs inside `workspace`, recycling its cell storage instead of
+/// allocating a machine per row.  Hot image-level loops hand each worker
+/// thread one workspace (see core/row_executor.hpp).
+SystolicResult systolic_xor(const RleRow& a, const RleRow& b,
+                            const SystolicConfig& config,
+                            SystolicDiffMachine& workspace);
 
 }  // namespace sysrle

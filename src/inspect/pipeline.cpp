@@ -82,6 +82,7 @@ InspectionReport inspect(const RleImage& reference, const RleImage& scan,
   // Stage 2: compressed-domain difference.
   ImageDiffOptions diff_options;
   diff_options.engine = options.engine;
+  diff_options.threads = options.threads;
   diff_options.canonicalize_output = true;
   const ImageDiffResult diff = image_diff(reference, *aligned, diff_options);
   report.diff_counters = diff.counters;

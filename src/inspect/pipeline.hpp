@@ -22,6 +22,10 @@ struct InspectionOptions {
   /// Row-diff engine for the difference stage.
   DiffEngine engine = DiffEngine::kSystolic;
 
+  /// Worker threads for the difference stage's row loop (0 = auto, 1 =
+  /// serial; see ImageDiffOptions::threads).
+  std::size_t threads = 0;
+
   /// Horizontal alignment search radius in pixels (0 disables alignment).
   /// Scan images from a line camera are commonly offset by a few columns;
   /// the pipeline picks the shift minimising the difference pixel count.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/row_executor.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -83,7 +84,9 @@ DiffService::DiffService(ServiceConfig config, Completion on_complete)
       budget_(config.retry_budget),
       epoch_(std::chrono::steady_clock::now()),
       breaker_(config.breaker, "service") {
-  SYSRLE_REQUIRE(config_.workers >= 1, "DiffService: need >= 1 worker");
+  // Worker sizing shares the row executor's resolution rule: 0 = auto
+  // (hardware_concurrency, never 0), explicit counts honoured and capped.
+  config_.workers = RowExecutor::resolve_threads(config_.workers);
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });

@@ -44,6 +44,9 @@ namespace sysrle {
 
 /// Service shape and policies.
 struct ServiceConfig {
+  /// Worker threads.  0 = auto, resolved by the same rule as the row
+  /// executor (RowExecutor::resolve_threads): hardware_concurrency with
+  /// "unknown" treated as 1, capped at kMaxThreads.
   std::size_t workers = 2;
   AdmissionConfig admission;
   RetryBudgetConfig retry_budget;

@@ -23,8 +23,20 @@ namespace sysrle {
 template <typename Cell>
 class LinearArray {
  public:
+  /// A default-constructed array is a valid one-cell array; reset() resizes
+  /// it in place (reusing the cell storage) before each run.
+  LinearArray() : cells_(1) {}
+
   explicit LinearArray(std::size_t n) : cells_(n) {
     SYSRLE_REQUIRE(n >= 1, "LinearArray: need at least one cell");
+  }
+
+  /// Re-dimensions the array to `n` default-constructed cells, reusing the
+  /// existing allocation when capacity allows.  This is what lets one
+  /// machine workspace serve many rows without reallocating per row.
+  void reset(std::size_t n) {
+    SYSRLE_REQUIRE(n >= 1, "LinearArray: need at least one cell");
+    cells_.assign(n, Cell{});
   }
 
   std::size_t size() const { return cells_.size(); }

@@ -33,7 +33,13 @@ CliRun cli(std::vector<std::string> args) {
 }
 
 std::string tmp_path(const std::string& name) {
-  return ::testing::TempDir() + "/sysrle_cli_" + name;
+  // Include the running test's name: ctest runs every test as its own
+  // process in parallel, and shared fixture file names would let one
+  // process's SetUp truncate a file another process is reading.
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string test = info ? std::string(info->name()) + "_" : "";
+  return ::testing::TempDir() + "/sysrle_cli_" + test + name;
 }
 
 class CliFixture : public ::testing::Test {
@@ -97,7 +103,7 @@ TEST_F(CliFixture, DiffWritesOutputFile) {
 TEST_F(CliFixture, DiffEnginesAgree) {
   std::string previous;
   for (const char* engine : {"systolic", "bus", "sequential", "sweep",
-                             "pixel"}) {
+                             "pixel", "adaptive"}) {
     const std::string out_path = tmp_path(std::string("diff_") + engine);
     const CliRun r = cli({"diff", path_a_, path_b_, "-o", out_path,
                           "--canonical", "--engine", engine});
@@ -116,6 +122,60 @@ TEST_F(CliFixture, DiffRejectsBadEngine) {
   const CliRun r = cli({"diff", path_a_, path_b_, "--engine", "magic"});
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.err.find("unknown engine"), std::string::npos);
+}
+
+TEST_F(CliFixture, ThreadsFlagValidation) {
+  // 0, negative, and garbage all fail with the standard one-line diagnostic
+  // naming the flag; "auto" is spelt by omitting the flag, not with 0.
+  for (const char* bad : {"0", "-3", "banana"}) {
+    const CliRun r = cli({"diff", path_a_, path_b_, "--threads", bad});
+    EXPECT_EQ(r.exit_code, 2) << bad;
+    EXPECT_TRUE(r.out.empty()) << bad;
+    EXPECT_NE(r.err.find("--threads"), std::string::npos) << bad;
+    EXPECT_EQ(std::count(r.err.begin(), r.err.end(), '\n'), 1) << bad;
+  }
+  // An explicit thread count is honoured on every diff-running command.
+  EXPECT_EQ(cli({"diff", path_a_, path_b_, "--threads", "2"}).exit_code, 0);
+  EXPECT_EQ(cli({"inspect", path_a_, path_a_, "--threads", "2"}).exit_code, 0);
+  EXPECT_EQ(cli({"perf", "--rows", "8", "--width", "128", "--threads", "2"})
+                .exit_code,
+            0);
+}
+
+TEST_F(CliFixture, DiffJsonReportsParallelismAndEngineMix) {
+  const CliRun r = cli({"diff", path_a_, path_b_, "--json", "--engine",
+                        "adaptive", "--threads", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const sysrle::testing::JsonValue root = sysrle::testing::parse_json(r.out);
+  EXPECT_EQ(root.at("engine").string, "adaptive");
+  EXPECT_GE(root.at("threads_used").number, 1.0);
+  EXPECT_LE(root.at("threads_used").number, 2.0);
+  EXPECT_GE(root.at("parallel_rows").number, 0.0);
+  const sysrle::testing::JsonValue& mix = root.at("adaptive");
+  // Every row routes somewhere; the two tallies cover the image exactly.
+  EXPECT_DOUBLE_EQ(mix.at("picked_systolic").number +
+                       mix.at("picked_sequential").number,
+                   10.0);  // fixture images are 10 rows tall
+}
+
+TEST_F(CliFixture, DiffThreadedOutputMatchesSerial) {
+  const std::string serial_path = tmp_path("diff_serial.srl");
+  const std::string threaded_path = tmp_path("diff_threaded.srl");
+  ASSERT_EQ(cli({"diff", path_a_, path_b_, "-o", serial_path, "--threads",
+                 "1"})
+                .exit_code,
+            0);
+  ASSERT_EQ(cli({"diff", path_a_, path_b_, "-o", threaded_path, "--threads",
+                 "4"})
+                .exit_code,
+            0);
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(read_file(serial_path), read_file(threaded_path));
 }
 
 TEST_F(CliFixture, InspectExitCodesReflectVerdict) {
@@ -359,8 +419,15 @@ TEST_F(CliFixture, PerfEmitsSchemaJsonAndExportsFiles) {
   EXPECT_DOUBLE_EQ(root.at("summary").at("rows").number, 16.0);
   EXPECT_GT(root.at("wall_time_us").number, 0.0);
   EXPECT_TRUE(root.at("observation_bound_ok").boolean);
+  // The row-parallel phase reports its effective parallelism.
+  const JsonValue& image = root.at("image_diff");
+  EXPECT_GE(image.at("wall_time_us").number, 0.0);
+  EXPECT_GE(image.at("threads_used").number, 1.0);
+  EXPECT_GE(image.at("parallel_rows").number, 0.0);
   const JsonValue& iters = root.at("row_iterations");
-  EXPECT_DOUBLE_EQ(iters.at("count").number, 16.0);
+  // Both instrumented phases (streaming + row-parallel) record per-row
+  // iteration samples: 16 rows each.
+  EXPECT_DOUBLE_EQ(iters.at("count").number, 32.0);
   EXPECT_GE(iters.at("p99").number, iters.at("p50").number);
 
   // The global flags still export alongside the stdout report.
@@ -440,6 +507,17 @@ TEST_F(CliFixture, ServeTextTableReportsOutcomes) {
   EXPECT_NE(r.out.find("offered"), std::string::npos);
   EXPECT_NE(r.out.find("completed"), std::string::npos);
   EXPECT_NE(r.out.find("breaker: closed"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeWorkersZeroMeansAutoAndNegativeRejected) {
+  const std::string reqs =
+      write_requests_file("serve_auto.txt", "batch 2 100 0.0\n");
+  const CliRun r = cli({"serve", "--requests", reqs, "--workers", "0"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("completed"), std::string::npos);
+  const CliRun bad = cli({"serve", "--requests", reqs, "--workers", "-1"});
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("--workers"), std::string::npos);
 }
 
 TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {

@@ -64,6 +64,34 @@ TEST(CostModel, ObservationBoundsCanonicalInputs) {
   }
 }
 
+TEST(CostModel, AdaptiveRouteSimilarShapesToSystolic) {
+  // Figure-5 regime: similar run counts mean few iterations on the machine.
+  EXPECT_EQ(choose_adaptive_route(10, 10), AdaptiveRoute::kSystolic);
+  EXPECT_EQ(choose_adaptive_route(10, 12), AdaptiveRoute::kSystolic);
+  EXPECT_EQ(choose_adaptive_route(0, 0), AdaptiveRoute::kSystolic);
+  EXPECT_EQ(choose_adaptive_route(1, 1), AdaptiveRoute::kSystolic);
+}
+
+TEST(CostModel, AdaptiveRouteDissimilarShapesToSequential) {
+  // One side empty (or nearly) makes |k1 - k2| approach k1 + k2: the merge
+  // wins because the machine would grind through max(k1, k2) iterations.
+  EXPECT_EQ(choose_adaptive_route(0, 10), AdaptiveRoute::kSequential);
+  EXPECT_EQ(choose_adaptive_route(10, 0), AdaptiveRoute::kSequential);
+  EXPECT_EQ(choose_adaptive_route(1, 100), AdaptiveRoute::kSequential);
+}
+
+TEST(CostModel, AdaptiveRouteBoundaryIsInclusive) {
+  // |k1 - k2| == threshold * (k1 + k2) exactly: systolic (the machine is
+  // the paper's default; ties go to it).
+  EXPECT_EQ(choose_adaptive_route(3, 9), AdaptiveRoute::kSystolic);   // 6 == 6
+  EXPECT_EQ(choose_adaptive_route(3, 10), AdaptiveRoute::kSequential);
+  // Custom thresholds move the boundary.
+  EXPECT_EQ(choose_adaptive_route(5, 10, 1.0), AdaptiveRoute::kSystolic);
+  EXPECT_EQ(choose_adaptive_route(0, 10, 1.0), AdaptiveRoute::kSystolic);
+  EXPECT_EQ(choose_adaptive_route(10, 11, 0.0), AdaptiveRoute::kSequential);
+  EXPECT_EQ(choose_adaptive_route(10, 10, 0.0), AdaptiveRoute::kSystolic);
+}
+
 TEST(CostModel, SequentialCostPredictsMergeIterations) {
   Rng rng(503);
   for (int trial = 0; trial < 30; ++trial) {

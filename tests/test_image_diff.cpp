@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "bitmap/bit_ops.hpp"
 #include "bitmap/convert.hpp"
 #include "common/assert.hpp"
@@ -34,7 +38,7 @@ TEST(ImageDiff, AllEnginesAgreeWithBitmapGroundTruth) {
   for (const DiffEngine engine :
        {DiffEngine::kSystolic, DiffEngine::kBusSystolic,
         DiffEngine::kSequentialMerge, DiffEngine::kParitySweep,
-        DiffEngine::kPixelParallel}) {
+        DiffEngine::kPixelParallel, DiffEngine::kAdaptive}) {
     ImageDiffOptions opts;
     opts.engine = engine;
     opts.canonicalize_output = true;
@@ -92,6 +96,124 @@ TEST(ImageDiff, EmptyImages) {
   const ImageDiffResult r = image_diff(a, a);
   EXPECT_EQ(r.diff.height(), 0);
   EXPECT_EQ(r.counters.iterations, 0u);
+}
+
+// The determinism pin: a 4-thread run must be bit-identical to the serial
+// run — same RleImage, same aggregated counters, same per-row maxima.  This
+// is the guarantee that makes the parallel executor a drop-in replacement
+// (scheduling decides who computes a row, never what).
+TEST(ImageDiff, ParallelMatchesSerialBitForBit) {
+  Rng rng(804);
+  const RleImage a = random_image(rng, 600, 64, 0.3);
+  RleImage b = a;
+  for (pos_t y = 0; y < b.height(); ++y) {
+    Rng row_rng = rng.split();
+    b.set_row(y, inject_errors(row_rng, a.row(y), a.width(), {}));
+  }
+
+  for (const DiffEngine engine :
+       {DiffEngine::kSystolic, DiffEngine::kSequentialMerge,
+        DiffEngine::kAdaptive}) {
+    ImageDiffOptions serial;
+    serial.engine = engine;
+    serial.threads = 1;
+    const ImageDiffResult rs = image_diff(a, b, serial);
+
+    ImageDiffOptions parallel = serial;
+    parallel.threads = 4;
+    const ImageDiffResult rp = image_diff(a, b, parallel);
+
+    EXPECT_EQ(rp.diff, rs.diff) << to_string(engine);
+    EXPECT_EQ(rp.counters.to_string(), rs.counters.to_string())
+        << to_string(engine);
+    EXPECT_EQ(rp.max_row_iterations, rs.max_row_iterations);
+    EXPECT_EQ(rp.sequential_iterations, rs.sequential_iterations);
+    EXPECT_EQ(rp.adaptive_systolic_rows, rs.adaptive_systolic_rows);
+    EXPECT_EQ(rp.adaptive_sequential_rows, rs.adaptive_sequential_rows);
+  }
+}
+
+TEST(ImageDiff, ThreadsUsedIsSurfaced) {
+  Rng rng(805);
+  const RleImage a = random_image(rng, 200, 32, 0.3);
+  ImageDiffOptions opts;
+  opts.threads = 1;
+  const ImageDiffResult serial = image_diff(a, a, opts);
+  EXPECT_EQ(serial.threads_used, 1u);
+  EXPECT_EQ(serial.parallel_rows, 0u);
+
+  opts.threads = 4;
+  const ImageDiffResult parallel = image_diff(a, a, opts);
+  EXPECT_GE(parallel.threads_used, 1u);
+  EXPECT_LE(parallel.threads_used, 4u);
+}
+
+TEST(ImageDiff, ConcurrentCallsShareTheGlobalPool) {
+  // Several threads run threaded image_diffs at once (the service's
+  // pattern); every caller must still get the exact serial answer.  The
+  // TSan CI job runs this for data races.
+  Rng rng(807);
+  const RleImage a = random_image(rng, 300, 48, 0.3);
+  RleImage b = a;
+  for (pos_t y = 0; y < b.height(); ++y) {
+    Rng row_rng = rng.split();
+    b.set_row(y, inject_errors(row_rng, a.row(y), a.width(), {}));
+  }
+  ImageDiffOptions opts;
+  opts.engine = DiffEngine::kAdaptive;
+  opts.threads = 1;
+  const ImageDiffResult expected = image_diff(a, b, opts);
+
+  opts.threads = 3;
+  std::vector<std::thread> callers;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < 3; ++rep) {
+        const ImageDiffResult r = image_diff(a, b, opts);
+        if (!(r.diff == expected.diff) ||
+            r.counters.to_string() != expected.counters.to_string())
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ImageDiff, AdaptiveRoutesSimilarRowsToSystolic) {
+  // Identical images: every row pair has k1 == k2, the most similar shape
+  // possible — the adaptive engine must pick the systolic machine for every
+  // non-trivial row and never fall back to the merge.
+  Rng rng(806);
+  const RleImage a = random_image(rng, 300, 16, 0.3);
+  ImageDiffOptions opts;
+  opts.engine = DiffEngine::kAdaptive;
+  const ImageDiffResult r = image_diff(a, a, opts);
+  EXPECT_EQ(r.adaptive_sequential_rows, 0u);
+  EXPECT_EQ(r.adaptive_systolic_rows, static_cast<std::uint64_t>(a.height()));
+  EXPECT_EQ(r.sequential_iterations, 0u);
+}
+
+TEST(ImageDiff, AdaptiveRoutesDissimilarRowsToSequential) {
+  // Empty rows against heavily fragmented rows: |k1 - k2| == k1 + k2, the
+  // most dissimilar shape — every row must take the sequential merge.
+  const pos_t width = 400;
+  const pos_t height = 8;
+  const RleImage empty(width, height);
+  RleImage busy(width, height);
+  for (pos_t y = 0; y < height; ++y) {
+    RleRow row;
+    for (pos_t x = 0; x + 1 < width; x += 8) row.push_back(sysrle::Run{x, 2});
+    busy.set_row(y, std::move(row));
+  }
+  ImageDiffOptions opts;
+  opts.engine = DiffEngine::kAdaptive;
+  const ImageDiffResult r = image_diff(empty, busy, opts);
+  EXPECT_EQ(r.adaptive_systolic_rows, 0u);
+  EXPECT_EQ(r.adaptive_sequential_rows, static_cast<std::uint64_t>(height));
+  EXPECT_GT(r.sequential_iterations, 0u);
+  EXPECT_EQ(r.counters.iterations, 0u);  // no machine ran
 }
 
 }  // namespace

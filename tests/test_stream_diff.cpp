@@ -101,7 +101,8 @@ TEST(StreamDiff, EnginesAgreeRowByRow) {
   std::vector<std::vector<RleRow>> results;
   for (const DiffEngine engine :
        {DiffEngine::kSystolic, DiffEngine::kBusSystolic,
-        DiffEngine::kSequentialMerge, DiffEngine::kParitySweep}) {
+        DiffEngine::kSequentialMerge, DiffEngine::kParitySweep,
+        DiffEngine::kAdaptive}) {
     ImageDiffOptions opts;
     opts.engine = engine;
     opts.canonicalize_output = true;
@@ -114,6 +115,23 @@ TEST(StreamDiff, EnginesAgreeRowByRow) {
   }
   for (std::size_t e = 1; e < results.size(); ++e)
     EXPECT_EQ(results[e], results[0]) << "engine " << e;
+}
+
+TEST(StreamDiff, AdaptiveEngineRoutesPerRowAndAccountsBothWays) {
+  // One similar pair (machine) and one empty-vs-busy pair (merge): the
+  // stream must run both engines and account each in its own column.
+  ImageDiffOptions opts;
+  opts.engine = DiffEngine::kAdaptive;
+  StreamDiffer differ(opts, [](pos_t, const RleRow&) {});
+  const RleRow similar_a{{10, 3}, {16, 2}};
+  const RleRow similar_b{{10, 3}, {20, 2}};
+  differ.push_row(similar_a, similar_b);
+  const RleRow busy{{0, 2}, {4, 2}, {8, 2}, {12, 2}, {16, 2}, {20, 2}};
+  differ.push_row(RleRow{}, busy);
+  const StreamSummary& s = differ.finish();
+  EXPECT_EQ(s.rows, 2u);
+  EXPECT_GT(s.counters.iterations, 0u);    // row 0 took the machine
+  EXPECT_GT(s.sequential_iterations, 0u);  // row 1 took the merge
 }
 
 TEST(StreamDiff, NullCallbackRejected) {

@@ -182,6 +182,37 @@ TEST(SystolicDiff, AdjacentRunsInInputsAreHandled) {
   EXPECT_EQ(r.output.canonical(), xor_rows(a, b));
 }
 
+TEST(SystolicDiffMachine, WorkspaceReuseMatchesFreshMachine) {
+  // The row-parallel executor keeps one machine per slot and re-load()s it
+  // for every row: recycled cell storage must behave exactly like a freshly
+  // constructed machine, including after runs of very different sizes.
+  Rng rng(907);
+  SystolicDiffMachine workspace;
+  const SystolicConfig cfg;
+  for (int trial = 0; trial < 50; ++trial) {
+    const pos_t width = rng.uniform(1, 400);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    const SystolicResult fresh = systolic_xor(a, b, cfg);
+    const SystolicResult reused = systolic_xor(a, b, cfg, workspace);
+    EXPECT_EQ(reused.output, fresh.output) << "trial " << trial;
+    EXPECT_EQ(reused.counters.iterations, fresh.counters.iterations)
+        << "trial " << trial;
+    EXPECT_EQ(reused.counters.cells_used, fresh.counters.cells_used)
+        << "trial " << trial;
+  }
+}
+
+TEST(SystolicDiffMachine, LoadResetsTerminatedState) {
+  SystolicDiffMachine m(kImg1, kImg2, {});
+  m.run();
+  EXPECT_TRUE(m.terminated());
+  m.load(kImg1, kImg2, {});
+  EXPECT_FALSE(m.terminated());
+  m.run();
+  EXPECT_EQ(m.gather_output(), kExpected);
+}
+
 TEST(SystolicDiff, WideCoordinatesDoNotOverflow) {
   const pos_t big = pos_t{1} << 40;
   const RleRow a{{big, 100}};
