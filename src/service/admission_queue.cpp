@@ -27,6 +27,10 @@ const char* to_string(RejectReason reason) {
       return "circuit_open";
     case RejectReason::kShutdown:
       return "shutdown";
+    case RejectReason::kCancelled:
+      return "cancelled";
+    case RejectReason::kShardDown:
+      return "shard_down";
   }
   return "unknown";
 }
@@ -55,9 +59,15 @@ AdmissionQueue::AdmissionQueue(AdmissionConfig config, std::uint64_t seed)
 
 void AdmissionQueue::publish_depth_locked() const {
   if (!telemetry_enabled()) return;
-  global_metrics().set_gauge(
-      "service.queue_depth",
-      static_cast<double>(interactive_.size() + batch_.size()));
+  // Aggregate plus per-class depth: hot-shard skew shows up as one class
+  // backing up while the other stays shallow, which the aggregate hides.
+  MetricsRegistry& m = global_metrics();
+  m.set_gauge("service.queue_depth",
+              static_cast<double>(interactive_.size() + batch_.size()));
+  m.set_gauge("service.queue_depth.interactive",
+              static_cast<double>(interactive_.size()));
+  m.set_gauge("service.queue_depth.batch",
+              static_cast<double>(batch_.size()));
 }
 
 std::optional<RejectReason> AdmissionQueue::try_push(ServiceRequest request) {

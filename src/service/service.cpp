@@ -171,9 +171,13 @@ void DiffService::process(AdmissionQueue::Item item) {
     respond(std::move(response));
   };
 
-  if (req.deadline.expired()) {
-    // Expired while queued: shed before the engine sees a single run.
-    response.reject_reason = RejectReason::kDeadlineExpired;
+  if (req.deadline.expired() || req.cancelled()) {
+    // Expired or cancelled while queued: shed before the engine sees a
+    // single run.  Cancellation is checked second so a request that is both
+    // expired and cancelled reports the deadline (the stronger signal).
+    response.reject_reason = req.deadline.expired()
+                                 ? RejectReason::kDeadlineExpired
+                                 : RejectReason::kCancelled;
     finish(ServiceResponse::Status::kRejected);
     return;
   }
@@ -191,7 +195,8 @@ void DiffService::process(AdmissionQueue::Item item) {
   StreamDiffer differ(req.options, [&](pos_t, const RleRow& d) {
     if (req.keep_diff) diff_rows.push_back(d);
   });
-  differ.set_deadline([&req] { return req.deadline.expired(); });
+  differ.set_deadline(
+      [&req] { return req.deadline.expired() || req.cancelled(); });
 
   if (req.engine_override) {
     // Test/bench hook: service-level retries around the injected engine; a
@@ -251,7 +256,9 @@ void DiffService::process(AdmissionQueue::Item item) {
     response.diff = RleImage(req.reference.width(), std::move(diff_rows));
 
   if (expired_mid_image) {
-    response.reject_reason = RejectReason::kDeadlineExpired;
+    response.reject_reason = req.deadline.expired()
+                                 ? RejectReason::kDeadlineExpired
+                                 : RejectReason::kCancelled;
     finish(ServiceResponse::Status::kRejected);
   } else if (unrecovered > 0) {
     finish(ServiceResponse::Status::kFailed);
@@ -280,19 +287,22 @@ void DiffService::respond(ServiceResponse response) {
       }
       break;
     case ServiceResponse::Status::kRejected:
-      shed_deadline_after_admit_.fetch_add(1, std::memory_order_relaxed);
-      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (response.reject_reason == RejectReason::kCancelled) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shed_deadline_after_admit_.fetch_add(1, std::memory_order_relaxed);
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        if (telem) global_metrics().add("service.deadline_miss_total");
+      }
       {
-        // A deadline expiry says nothing about backend health, but the
-        // request may hold a half-open probe slot from admission: release
-        // it so abandoned probes cannot wedge the breaker half-open.
+        // A deadline expiry (or a hedge cancellation) says nothing about
+        // backend health, but the request may hold a half-open probe slot
+        // from admission: release it so abandoned probes cannot wedge the
+        // breaker half-open.
         std::lock_guard<std::mutex> lk(breaker_mu_);
         breaker_.release_probe();
       }
-      if (telem) {
-        global_metrics().add("service.deadline_miss_total");
-        count_shed(response.reject_reason);
-      }
+      if (telem) count_shed(response.reject_reason);
       break;
   }
   if (telem) {
@@ -313,7 +323,10 @@ void DiffService::drain() {
     if (telemetry_enabled()) {
       // Flush gauges to their drained baseline so an exported snapshot
       // cannot advertise phantom queued work.
-      global_metrics().set_gauge("service.queue_depth", 0.0);
+      MetricsRegistry& m = global_metrics();
+      m.set_gauge("service.queue_depth", 0.0);
+      m.set_gauge("service.queue_depth.interactive", 0.0);
+      m.set_gauge("service.queue_depth.batch", 0.0);
     }
   });
 }
@@ -331,6 +344,7 @@ ServiceStats DiffService::stats() const {
       shed_deadline_at_submit_.load(std::memory_order_relaxed);
   s.shed_deadline_after_admit =
       shed_deadline_after_admit_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.retry_budget_exhausted = budget_.exhausted();

@@ -1,0 +1,642 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sysrle {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// Pops the earliest entry of a min-heap on fire_at.
+struct HedgeEarlier {
+  bool operator()(const auto& a, const auto& b) const {
+    return a.fire_at > b.fire_at;  // std::*_heap are max-heaps; invert
+  }
+};
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterConfig config, Completion on_complete)
+    : config_(config),
+      on_complete_(std::move(on_complete)),
+      epoch_(std::chrono::steady_clock::now()),
+      hedge_budget_(config.hedge.budget,
+                    "router.hedge_budget_exhausted_total") {
+  SYSRLE_REQUIRE(config_.shards >= 1, "ShardRouter: need at least one shard");
+  SYSRLE_REQUIRE(config_.replicas >= 1,
+                 "ShardRouter: need at least one replica per shard");
+  SYSRLE_REQUIRE(config_.virtual_nodes >= 1,
+                 "ShardRouter: need at least one virtual node per shard");
+
+  sets_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    ReplicaSetConfig rsc;
+    rsc.replicas = config_.replicas;
+    rsc.service = config_.replica_service;
+    rsc.service.seed = config_.replica_service.seed ^ mix64(s + 0x5a4d);
+    rsc.breaker = config_.replica_breaker;
+    sets_.push_back(std::make_unique<ReplicaSet>(
+        s, rsc, [this, s](std::size_t r) -> DiffService::Completion {
+          return [this, s, r](ServiceResponse resp) {
+            on_replica_response(s, r, std::move(resp));
+          };
+        }));
+  }
+
+  ring_.reserve(config_.shards * config_.virtual_nodes);
+  for (std::size_t s = 0; s < config_.shards; ++s)
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v)
+      ring_.emplace_back(
+          mix64(config_.seed ^ mix64(s * config_.virtual_nodes + v + 1)), s);
+  std::sort(ring_.begin(), ring_.end());
+
+  if (config_.hedge.enabled)
+    hedge_thread_ = std::thread([this] { hedge_loop(); });
+}
+
+ShardRouter::~ShardRouter() { drain(); }
+
+std::uint64_t ShardRouter::now_us() const {
+  return static_cast<std::uint64_t>(
+      us_between(epoch_, std::chrono::steady_clock::now()));
+}
+
+void ShardRouter::count_metric(const char* name) const {
+  if (telemetry_enabled()) global_metrics().add(name);
+}
+
+std::uint64_t ShardRouter::route_key_of(const ServiceRequest& request) {
+  if (request.route_key != 0) return request.route_key;
+  return mix64(image_fingerprint(request.reference) ^
+               mix64(image_fingerprint(request.scan)));
+}
+
+std::size_t ShardRouter::shard_of(std::uint64_t key) const {
+  const std::uint64_t point = mix64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(point, std::size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
+  SYSRLE_REQUIRE(request.reference.width() == request.scan.width() &&
+                     request.reference.height() == request.scan.height(),
+                 "ShardRouter: request image dimensions differ");
+  std::vector<Delivery> deliveries;
+  std::optional<RejectReason> result;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++stats_.offered;
+    count_metric("router.requests_offered");
+    if (draining_) {
+      ++stats_.shed_shutdown;
+      result = RejectReason::kShutdown;
+    } else if (request.deadline.expired()) {
+      ++stats_.shed_deadline_at_submit;
+      result = RejectReason::kDeadlineExpired;
+    } else {
+      const std::uint64_t key = route_key_of(request);
+      const std::size_t home = shard_of(key);
+
+      // Coalescing: requests carrying per-request behaviour hooks (fault
+      // injection, engine overrides) never share a computation.
+      const bool coalescible = config_.coalesce && !request.fault &&
+                               !request.engine_override;
+      bool registered = false;
+      CoalesceKey ckey;
+      if (coalescible) {
+        ckey = coalesce_key(request.reference, request.scan, request.options);
+        const Coalescer::AdmitResult admit = coalescer_.admit(
+            ckey, request.reference, request.scan, next_call_id_);
+        // A collision runs uncoalesced AND unregistered — it must never
+        // finish() a key another computation owns.
+        registered = admit.primary && !admit.collision;
+        if (!admit.primary) {
+          auto owner = calls_.find(admit.owner);
+          SYSRLE_REQUIRE(owner != calls_.end(),
+                         "ShardRouter: coalescer owner is not a live call");
+          owner->second->waiters.push_back(
+              {std::move(request), std::chrono::steady_clock::now()});
+          ++stats_.coalesced;
+          ++stats_.admitted;
+          count_metric("router.coalesced");
+          return std::nullopt;
+        }
+      }
+
+      auto call = std::make_shared<Call>();
+      call->call_id = next_call_id_++;  // the id admit() registered above
+      call->request = std::move(request);
+      call->accepted = std::chrono::steady_clock::now();
+      call->key = key;
+      call->home_shard = home;
+      call->ckey = ckey;
+      call->coalesce_registered = registered;
+
+      result = dispatch_locked(call, /*is_hedge=*/false,
+                               /*exclude_replica=*/SIZE_MAX, deliveries);
+      if (result) {
+        if (call->coalesce_registered) coalescer_.finish(call->ckey);
+        if (*result == RejectReason::kShardDown) {
+          ++stats_.shed_shard_down;
+          count_metric("router.shard_down_sheds");
+        } else {
+          ++stats_.shed_shutdown;
+        }
+      } else {
+        ++stats_.admitted;
+        calls_.emplace(call->call_id, call);
+        if (config_.hedge.enabled &&
+            call->request.priority == Priority::kInteractive) {
+          call->hedge_scheduled = true;
+          hedge_heap_.push_back(
+              {call->accepted + std::chrono::microseconds(
+                                    current_hedge_delay_us()),
+               call->call_id});
+          std::push_heap(hedge_heap_.begin(), hedge_heap_.end(),
+                         HedgeEarlier{});
+          hedge_cv_.notify_one();
+        }
+      }
+    }
+  }
+  deliver(deliveries);
+  return result;
+}
+
+std::optional<RejectReason> ShardRouter::dispatch_locked(
+    const std::shared_ptr<Call>& call, bool is_hedge,
+    std::size_t exclude_replica, std::vector<Delivery>& out) {
+  (void)out;
+  const bool interactive = call->request.priority == Priority::kInteractive;
+  bool crossed_shard = false;
+
+  // Shard order: home first, then — interactive only — the rest of the
+  // ring.  Batch work is keyed to its shard (its handles, its cache
+  // locality); when the whole shard is down it sheds typed instead of
+  // spilling onto healthy shards that interactive traffic needs.
+  for (std::size_t hop = 0; hop < sets_.size(); ++hop) {
+    if (hop > 0 && !interactive) break;
+    const std::size_t shard = (call->home_shard + hop) % sets_.size();
+    ReplicaSet& set = *sets_[shard];
+    const std::vector<std::size_t> order = set.preference(call->key);
+
+    // Each failed submission records a breaker failure, so this loop
+    // terminates: every iteration moves some breaker toward open.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts =
+        set.size() *
+        (static_cast<std::size_t>(config_.replica_breaker.failure_threshold) +
+         2);
+    while (attempts++ < max_attempts) {
+      const std::optional<std::size_t> r =
+          set.pick(call->key, now_us(), hop == 0 ? exclude_replica : SIZE_MAX);
+      if (!r) break;
+      if (submit_to_replica_locked(call, shard, *r, is_hedge)) {
+        if (*r != order.front() && !is_hedge) {
+          ++stats_.failovers;
+          count_metric("router.failovers");
+        }
+        if (crossed_shard || hop > 0) {
+          ++stats_.cross_shard_failovers;
+          count_metric("router.cross_shard_failovers");
+        }
+        return std::nullopt;
+      }
+    }
+    crossed_shard = true;
+  }
+  return RejectReason::kShardDown;
+}
+
+bool ShardRouter::submit_to_replica_locked(const std::shared_ptr<Call>& call,
+                                           std::size_t shard,
+                                           std::size_t replica,
+                                           bool is_hedge) {
+  Dispatch d;
+  d.call = call;
+  d.shard = shard;
+  d.replica = replica;
+  d.is_hedge = is_hedge;
+  d.cancel = std::make_shared<std::atomic<bool>>(false);
+
+  ServiceRequest backend = call->request;  // deep copy: hedges need another
+  const std::uint64_t dispatch_id = next_dispatch_id_++;
+  backend.id = dispatch_id;
+  backend.cancel = d.cancel;
+
+  const std::shared_ptr<DiffService> service =
+      sets_[shard]->replica(replica);
+  const std::optional<RejectReason> reason =
+      service->try_submit(std::move(backend));
+  if (reason) {
+    // A shed — queue_full, shutdown (killed replica), circuit_open — is the
+    // router-level health signal: it counts as a replica failure so a
+    // replica that keeps shedding gets quarantined.
+    sets_[shard]->record_failure(replica, now_us());
+    return false;
+  }
+  ++call->pending_dispatches;
+  if (!is_hedge) {
+    call->primary_shard = shard;
+    call->primary_replica = replica;
+  }
+  call->dispatch_ids.push_back(dispatch_id);
+  dispatches_.emplace(dispatch_id, std::move(d));
+  return true;
+}
+
+void ShardRouter::on_replica_response(std::size_t shard, std::size_t replica,
+                                      ServiceResponse response) {
+  std::vector<Delivery> deliveries;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = dispatches_.find(response.id);
+    SYSRLE_REQUIRE(it != dispatches_.end(),
+                   "ShardRouter: response for unknown dispatch");
+    const Dispatch dispatch = std::move(it->second);
+    dispatches_.erase(it);
+    const std::shared_ptr<Call>& call = dispatch.call;
+    --call->pending_dispatches;
+
+    // Router-level breaker accounting for the replica that served it.  A
+    // deadline expiry or hedge cancellation says nothing about replica
+    // health; release the probe slot pick() may have taken.
+    switch (response.status) {
+      case ServiceResponse::Status::kCompleted:
+        sets_[shard]->record_success(replica, now_us());
+        break;
+      case ServiceResponse::Status::kFailed:
+        sets_[shard]->record_failure(replica, now_us());
+        break;
+      case ServiceResponse::Status::kRejected:
+        sets_[shard]->release_probe(replica);
+        break;
+    }
+
+    if (call->finished) {
+      // The losing half of a hedged pair (cancelled, or it finished after
+      // the winner): swallow — the client already has its one response.
+      if (dispatch.is_hedge) {
+        ++stats_.hedges_lost;
+        count_metric("router.hedges_lost");
+      }
+      if (call->pending_dispatches == 0) calls_.erase(call->call_id);
+    } else if (response.status == ServiceResponse::Status::kCompleted) {
+      finish_call_locked(call, response, dispatch.is_hedge, deliveries);
+    } else if (call->pending_dispatches > 0) {
+      // A failure, but a hedge twin is still running — it may yet rescue
+      // the request.  Keep the more informative outcome for the case where
+      // nothing succeeds: an engine failure beats a deadline rejection.
+      if (!call->provisional ||
+          response.status == ServiceResponse::Status::kFailed)
+        call->provisional = std::move(response);
+    } else {
+      ServiceResponse final_response = std::move(response);
+      if (call->provisional &&
+          call->provisional->status == ServiceResponse::Status::kFailed &&
+          final_response.status != ServiceResponse::Status::kFailed)
+        final_response = std::move(*call->provisional);
+      finish_call_locked(call, final_response, dispatch.is_hedge, deliveries);
+    }
+  }
+  deliver(deliveries);
+}
+
+ServiceResponse ShardRouter::client_response_locked(
+    const Call& call, const ServiceResponse& winner) const {
+  ServiceResponse r = winner;
+  r.id = call.request.id;
+  r.priority = call.request.priority;
+  r.total_us = us_between(call.accepted, std::chrono::steady_clock::now());
+  return r;
+}
+
+void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
+                                     const ServiceResponse& winner,
+                                     bool winner_is_hedge,
+                                     std::vector<Delivery>& out) {
+  call->finished = true;
+
+  // Cancel the losing dispatch (if a hedge twin is still in flight): the
+  // token trips the backend's deadline machinery at its next check.
+  for (const std::uint64_t id : call->dispatch_ids) {
+    auto it = dispatches_.find(id);
+    if (it != dispatches_.end())
+      it->second.cancel->store(true, std::memory_order_release);
+  }
+
+  if (winner_is_hedge &&
+      winner.status == ServiceResponse::Status::kCompleted) {
+    ++stats_.hedges_won;
+    count_metric("router.hedges_won");
+  }
+
+  // The client's one response.
+  const ServiceResponse client = client_response_locked(*call, winner);
+  switch (client.status) {
+    case ServiceResponse::Status::kCompleted:
+      ++stats_.completed;
+      hedge_budget_.record_success();
+      if (client.priority == Priority::kInteractive)
+        interactive_latency_us_.add(client.total_us);
+      break;
+    case ServiceResponse::Status::kFailed:
+      ++stats_.failed;
+      break;
+    case ServiceResponse::Status::kRejected:
+      ++stats_.rejected;
+      break;
+  }
+  out.push_back({client});
+
+  // Waiters.  A completed or failed outcome propagates typed to every
+  // waiter (bit-identical response copy for completions).  A rejected
+  // outcome (the primary's deadline expired or it was shed mid-flight)
+  // promotes the first waiter whose own deadline still holds into a fresh
+  // primary — the computation is still wanted, just not by the original
+  // requester.
+  std::vector<Waiter> waiters = std::move(call->waiters);
+  call->waiters.clear();
+  const bool propagate =
+      winner.status != ServiceResponse::Status::kRejected;
+  const auto now = std::chrono::steady_clock::now();
+
+  std::size_t w = 0;
+  if (propagate) {
+    for (; w < waiters.size(); ++w) {
+      Waiter& waiter = waiters[w];
+      ServiceResponse wr;
+      if (waiter.request.deadline.expired()) {
+        // The waiter's own (shorter) deadline lapsed while the primary ran.
+        wr.status = ServiceResponse::Status::kRejected;
+        wr.reject_reason = RejectReason::kDeadlineExpired;
+        ++stats_.waiter_deadline_sheds;
+        ++stats_.rejected;
+      } else {
+        wr = winner;  // same diff bytes as the primary's response
+        switch (wr.status) {
+          case ServiceResponse::Status::kCompleted:
+            ++stats_.completed;
+            break;
+          case ServiceResponse::Status::kFailed:
+            ++stats_.failed;
+            break;
+          case ServiceResponse::Status::kRejected:
+            ++stats_.rejected;
+            break;
+        }
+      }
+      wr.id = waiter.request.id;
+      wr.priority = waiter.request.priority;
+      wr.queue_us = 0.0;
+      wr.total_us = us_between(waiter.arrived, now);
+      out.push_back({std::move(wr)});
+    }
+    if (call->coalesce_registered) coalescer_.finish(call->ckey);
+  } else {
+    bool promoted = false;
+    for (; w < waiters.size(); ++w) {
+      Waiter& waiter = waiters[w];
+      if (waiter.request.deadline.expired()) {
+        ServiceResponse wr;
+        wr.status = ServiceResponse::Status::kRejected;
+        wr.reject_reason = RejectReason::kDeadlineExpired;
+        wr.id = waiter.request.id;
+        wr.priority = waiter.request.priority;
+        wr.total_us = us_between(waiter.arrived, now);
+        ++stats_.waiter_deadline_sheds;
+        ++stats_.rejected;
+        out.push_back({std::move(wr)});
+        continue;
+      }
+      // Promote: this waiter becomes the new primary of the same key.
+      auto next = std::make_shared<Call>();
+      next->call_id = next_call_id_++;
+      next->request = std::move(waiter.request);
+      next->accepted = waiter.arrived;
+      next->key = call->key;
+      next->home_shard = call->home_shard;
+      next->ckey = call->ckey;
+      next->coalesce_registered = call->coalesce_registered;
+      const std::optional<RejectReason> reason =
+          dispatch_locked(next, /*is_hedge=*/false, SIZE_MAX, out);
+      if (reason) {
+        // Nowhere to run it: the waiter was admitted, so it gets a typed
+        // response (shard_down / shutdown), never silence.
+        ServiceResponse wr;
+        wr.status = ServiceResponse::Status::kRejected;
+        wr.reject_reason = *reason;
+        wr.id = next->request.id;
+        wr.priority = next->request.priority;
+        wr.total_us = us_between(waiter.arrived, now);
+        ++stats_.rejected;
+        if (*reason == RejectReason::kShardDown)
+          count_metric("router.shard_down_sheds");
+        out.push_back({std::move(wr)});
+        continue;
+      }
+      next->waiters.assign(std::make_move_iterator(waiters.begin() + w + 1),
+                           std::make_move_iterator(waiters.end()));
+      if (next->coalesce_registered)
+        coalescer_.reassign(next->ckey, next->call_id);
+      calls_.emplace(next->call_id, next);
+      ++stats_.coalesce_promotions;
+      count_metric("router.coalesce_promotions");
+      if (config_.hedge.enabled &&
+          next->request.priority == Priority::kInteractive) {
+        next->hedge_scheduled = true;
+        hedge_heap_.push_back(
+            {std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(current_hedge_delay_us()),
+             next->call_id});
+        std::push_heap(hedge_heap_.begin(), hedge_heap_.end(),
+                       HedgeEarlier{});
+        hedge_cv_.notify_one();
+      }
+      promoted = true;
+      break;
+    }
+    if (!promoted && call->coalesce_registered)
+      coalescer_.finish(call->ckey);
+  }
+
+  if (call->pending_dispatches == 0) calls_.erase(call->call_id);
+}
+
+std::uint64_t ShardRouter::current_hedge_delay_us() const {
+  const HedgePolicy& h = config_.hedge;
+  if (h.fixed_delay_us > 0) return h.fixed_delay_us;
+  if (interactive_latency_us_.count() <
+      static_cast<std::size_t>(h.min_samples))
+    return h.initial_delay_us;
+  const double p99 = interactive_latency_us_.p99();
+  return std::clamp(static_cast<std::uint64_t>(p99), h.min_delay_us,
+                    h.max_delay_us);
+}
+
+void ShardRouter::fire_hedge_locked(const std::shared_ptr<Call>& call,
+                                    std::vector<Delivery>& out) {
+  (void)out;
+  call->hedge_fired = true;
+  if (!hedge_budget_.try_spend()) {
+    ++stats_.hedges_suppressed;
+    count_metric("router.hedges_suppressed");
+    return;
+  }
+
+  // Second copy to a different replica: same shard first (excluding the
+  // primary's replica), then — the request is interactive by construction —
+  // any other shard.
+  const std::size_t home = call->home_shard;
+  std::size_t attempts = 0;
+  for (std::size_t hop = 0; hop < sets_.size(); ++hop) {
+    const std::size_t shard = (home + hop) % sets_.size();
+    ReplicaSet& set = *sets_[shard];
+    const std::size_t exclude =
+        (hop == 0 && call->primary_shard == shard) ? call->primary_replica
+                                                   : SIZE_MAX;
+    const std::size_t max_attempts =
+        set.size() *
+        (static_cast<std::size_t>(config_.replica_breaker.failure_threshold) +
+         2);
+    while (attempts++ < max_attempts) {
+      const std::optional<std::size_t> r =
+          set.pick(call->key, now_us(), exclude);
+      if (!r) break;
+      if (submit_to_replica_locked(call, shard, *r, /*is_hedge=*/true)) {
+        ++stats_.hedges_fired;
+        count_metric("router.hedges_fired");
+        return;
+      }
+    }
+  }
+  // No second replica could take it: give the token back — nothing fired.
+  hedge_budget_.refund();
+  ++stats_.hedges_unroutable;
+  count_metric("router.hedges_unroutable");
+}
+
+void ShardRouter::hedge_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!draining_) {
+    if (hedge_heap_.empty()) {
+      hedge_cv_.wait(lk);
+      continue;
+    }
+    const auto fire_at = hedge_heap_.front().fire_at;
+    if (std::chrono::steady_clock::now() < fire_at) {
+      hedge_cv_.wait_until(lk, fire_at);
+      continue;
+    }
+    std::pop_heap(hedge_heap_.begin(), hedge_heap_.end(), HedgeEarlier{});
+    const HedgeEntry entry = hedge_heap_.back();
+    hedge_heap_.pop_back();
+    auto it = calls_.find(entry.call_id);
+    if (it == calls_.end()) continue;
+    const std::shared_ptr<Call> call = it->second;
+    if (call->finished || call->hedge_fired) continue;
+    std::vector<Delivery> deliveries;
+    fire_hedge_locked(call, deliveries);
+    if (!deliveries.empty()) {
+      lk.unlock();
+      deliver(deliveries);
+      lk.lock();
+    }
+  }
+}
+
+void ShardRouter::deliver(std::vector<Delivery>& deliveries) {
+  if (!on_complete_) return;
+  for (Delivery& d : deliveries) on_complete_(std::move(d.response));
+}
+
+void ShardRouter::drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) {
+      // Idempotent: a second drain() (e.g. the destructor after an explicit
+      // drain) must not re-join the hedge thread.
+    }
+    draining_ = true;
+    hedge_cv_.notify_all();
+  }
+  if (hedge_thread_.joinable()) hedge_thread_.join();
+  // Replica drains deliver every outstanding response; those responses
+  // resolve every pending call (and its waiters) through
+  // on_replica_response, which still runs during drain.
+  for (const auto& set : sets_) set->drain();
+}
+
+RouterStats ShardRouter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  RouterStats s = stats_;
+  s.coalesce_collisions = coalescer_.collisions();
+  return s;
+}
+
+ServiceStats ShardRouter::backend_stats() const {
+  ServiceStats total;
+  for (const auto& set : sets_) {
+    const ServiceStats s = set->aggregate_stats();
+    total.offered += s.offered;
+    total.admitted += s.admitted;
+    total.completed += s.completed;
+    total.failed += s.failed;
+    total.shed_queue_full += s.shed_queue_full;
+    total.shed_circuit_open += s.shed_circuit_open;
+    total.shed_shutdown += s.shed_shutdown;
+    total.shed_deadline_at_submit += s.shed_deadline_at_submit;
+    total.shed_deadline_after_admit += s.shed_deadline_after_admit;
+    total.cancelled += s.cancelled;
+    total.deadline_misses += s.deadline_misses;
+    total.retries += s.retries;
+    total.retry_budget_exhausted += s.retry_budget_exhausted;
+    total.fallback_rows += s.fallback_rows;
+    total.unrecovered_rows += s.unrecovered_rows;
+  }
+  return total;
+}
+
+BreakerState ShardRouter::replica_breaker_state(std::size_t shard,
+                                                std::size_t replica) const {
+  return sets_.at(shard)->breaker_state(replica);
+}
+
+std::size_t ShardRouter::healthy_replicas() const {
+  std::size_t healthy = 0;
+  for (const auto& set : sets_)
+    for (std::size_t r = 0; r < set->size(); ++r)
+      if (set->breaker_state(r) != BreakerState::kOpen) ++healthy;
+  return healthy;
+}
+
+void ShardRouter::kill_replica(std::size_t shard, std::size_t replica) {
+  sets_.at(shard)->kill(replica);
+}
+
+void ShardRouter::revive_replica(std::size_t shard, std::size_t replica) {
+  sets_.at(shard)->revive(replica);
+}
+
+}  // namespace sysrle

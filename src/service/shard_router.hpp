@@ -1,0 +1,302 @@
+#pragma once
+// ShardRouter: the replicated, failover-capable front door of the farm.
+//
+// DiffService protects one process from overload; the router makes *loss of
+// a backend* invisible, the way the paper's array keeps computing when work
+// is spread over many identical cells.  It consistent-hashes request route
+// keys (image handles) over N shards of R replicas each and layers four
+// mechanisms on top (docs/ROBUSTNESS.md, "Sharded serving and failover"):
+//
+//   failover     per-replica circuit breakers at the router (ReplicaSet)
+//                quarantine a replica that keeps shedding or failing; its
+//                keys route to the next replica in rendezvous order, and a
+//                half-open probe re-admits it when it recovers;
+//   hedging      an interactive request still pending after a p99-derived
+//                hedge delay is dispatched a second time to a different
+//                replica; the first response wins and the loser is
+//                cancelled through the deadline machinery (it stops at the
+//                next row boundary, responds Rejected{cancelled}, and the
+//                router swallows the duplicate).  A token-bucket hedge
+//                budget (reusing RetryBudget) bounds hedges to a fraction
+//                of successful work, so hedging can never double offered
+//                load under overload — suppressed hedges are counted, not
+//                fired;
+//   coalescing   identical in-flight diffs (same images, same engine)
+//                share one computation; waiters get a bit-identical copy of
+//                the primary's response, a typed copy of its failure, or —
+//                when the primary's own deadline expired but a waiter's
+//                still holds — promotion: the waiter re-dispatches as the
+//                new primary (Coalescer);
+//   degraded     when every replica of a shard is quarantined, batch
+//                traffic sheds with typed kShardDown and interactive
+//                traffic fails over cross-shard to the next shard on the
+//                ring.
+//
+// Accounting contract (bench_overload asserts it across a replica kill):
+// every offered request gets exactly one client-visible outcome — a typed
+// synchronous rejection from try_submit, or exactly one delivered
+// ServiceResponse.  Never both, never neither, no matter which replicas
+// die mid-flight.
+//
+// Metrics (docs/OBSERVABILITY.md): router.failovers,
+// router.cross_shard_failovers, router.hedges_fired, router.hedges_won,
+// router.hedges_suppressed, router.coalesced, router.coalesce_promotions,
+// router.shard_down_sheds, plus per-replica
+// service.breaker_state.shard<S>.replica<R> gauges.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "service/coalescer.hpp"
+#include "service/replica_set.hpp"
+#include "service/retry_budget.hpp"
+#include "service/service.hpp"
+#include "service/types.hpp"
+
+namespace sysrle {
+
+/// When and how aggressively to hedge interactive requests.
+struct HedgePolicy {
+  bool enabled = true;
+
+  /// Fixed hedge delay; 0 = derive from the observed interactive p99
+  /// (clamped to [min_delay_us, max_delay_us]).
+  std::uint64_t fixed_delay_us = 0;
+  std::uint64_t min_delay_us = 500;
+  std::uint64_t max_delay_us = 200000;
+  /// Until this many interactive latencies are observed, the p99-derived
+  /// delay falls back to initial_delay_us.
+  std::size_t min_samples = 16;
+  std::uint64_t initial_delay_us = 10000;
+
+  /// Token bucket bounding hedges: each fired hedge spends one token,
+  /// completed requests earn tokens_per_success.  Exhausted bucket =
+  /// hedge suppressed (counted), request continues unhedged.
+  RetryBudgetConfig budget{.initial_tokens = 8.0,
+                           .max_tokens = 8.0,
+                           .tokens_per_success = 0.1,
+                           .cost_per_retry = 1.0};
+};
+
+struct RouterConfig {
+  std::size_t shards = 2;
+  std::size_t replicas = 2;
+  /// Ring points per shard; more = smoother key spread.
+  std::size_t virtual_nodes = 32;
+
+  /// Per-replica backend shape.
+  ServiceConfig replica_service;
+  /// Router-level per-replica breaker (clocked in µs of router uptime).
+  BreakerPolicy replica_breaker{.failure_threshold = 3,
+                                .open_duration = 50000,
+                                .probe_successes_to_close = 1};
+  HedgePolicy hedge;
+  bool coalesce = true;
+
+  /// Seeds the ring and rendezvous salts (and, xored per replica, the
+  /// backend seeds).
+  std::uint64_t seed = 42;
+};
+
+/// Monotonic counters over the router lifetime.
+struct RouterStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;  ///< offered - synchronous sheds
+
+  // Synchronous sheds (try_submit returned a reason; no response follows).
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t shed_deadline_at_submit = 0;
+  std::uint64_t shed_shard_down = 0;
+
+  // Delivered client responses by status.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;  ///< kRejected responses (deadline/shard_down)
+
+  std::uint64_t failovers = 0;  ///< dispatches not on the preferred replica
+  std::uint64_t cross_shard_failovers = 0;
+
+  std::uint64_t hedges_fired = 0;
+  std::uint64_t hedges_won = 0;   ///< hedge finished first with a result
+  std::uint64_t hedges_lost = 0;  ///< hedge cancelled/beaten by the primary
+  std::uint64_t hedges_suppressed = 0;   ///< denied by the hedge budget
+  std::uint64_t hedges_unroutable = 0;   ///< no second healthy replica
+
+  std::uint64_t coalesced = 0;  ///< requests attached as waiters
+  std::uint64_t coalesce_promotions = 0;
+  std::uint64_t coalesce_collisions = 0;
+  std::uint64_t waiter_deadline_sheds = 0;
+
+  std::uint64_t responses() const { return completed + failed + rejected; }
+  std::uint64_t shed_submit_total() const {
+    return shed_shutdown + shed_deadline_at_submit + shed_shard_down;
+  }
+  /// The zero-silent-drops identity.
+  bool accounted() const {
+    return offered == admitted + shed_submit_total() &&
+           responses() == admitted;
+  }
+};
+
+/// Routes requests over shards × replicas of in-process DiffServices.
+class ShardRouter {
+ public:
+  using Completion = std::function<void(ServiceResponse)>;
+
+  ShardRouter(RouterConfig config, Completion on_complete);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Admits, coalesces, or sheds.  std::nullopt: exactly one response will
+  /// be delivered later.  A returned reason is final — no response follows.
+  std::optional<RejectReason> try_submit(ServiceRequest request);
+
+  /// Stops admitting, finishes all in-flight work on every replica,
+  /// delivers every pending response (including waiters), joins the hedge
+  /// timer.  Idempotent.
+  void drain();
+
+  RouterStats stats() const;
+  /// Sum of backend DiffService stats across all live replicas.
+  ServiceStats backend_stats() const;
+
+  /// The routing key try_submit would use for `request`.
+  static std::uint64_t route_key_of(const ServiceRequest& request);
+  /// Ring lookup (stable for the router's lifetime).
+  std::size_t shard_of(std::uint64_t key) const;
+  std::size_t shards() const { return sets_.size(); }
+  std::size_t replicas() const { return config_.replicas; }
+
+  /// The hedge delay a request admitted now would get (µs).
+  std::uint64_t current_hedge_delay_us() const;
+
+  BreakerState replica_breaker_state(std::size_t shard,
+                                     std::size_t replica) const;
+  /// Closed / half-open replica breakers across the fleet.
+  std::size_t healthy_replicas() const;
+
+  /// Fault-injection hooks (bench_overload's kill-a-replica phase, tests).
+  void kill_replica(std::size_t shard, std::size_t replica);
+  void revive_replica(std::size_t shard, std::size_t replica);
+
+ private:
+  struct Waiter {
+    ServiceRequest request;
+    std::chrono::steady_clock::time_point arrived;
+  };
+
+  struct Call {
+    std::uint64_t call_id = 0;
+    ServiceRequest request;  ///< client's original (no cancel token)
+    std::chrono::steady_clock::time_point accepted;
+    std::uint64_t key = 0;
+    std::size_t home_shard = 0;
+
+    CoalesceKey ckey;
+    bool coalesce_registered = false;
+    std::vector<Waiter> waiters;
+
+    /// Where the primary (non-hedge) dispatch landed; the hedge excludes
+    /// this replica when picking its second target.
+    std::size_t primary_shard = 0;
+    std::size_t primary_replica = 0;
+    /// Every dispatch issued for this call (primary + hedge); used to
+    /// cancel the loser once a winner is chosen.
+    std::vector<std::uint64_t> dispatch_ids;
+
+    int pending_dispatches = 0;
+    bool finished = false;
+    bool hedge_fired = false;
+    bool hedge_scheduled = false;
+    /// Best failure response seen so far while another dispatch is still
+    /// pending (delivered only if nothing succeeds).
+    std::optional<ServiceResponse> provisional;
+  };
+
+  struct Dispatch {
+    std::shared_ptr<Call> call;
+    std::size_t shard = 0;
+    std::size_t replica = 0;
+    bool is_hedge = false;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  struct HedgeEntry {
+    std::chrono::steady_clock::time_point fire_at;
+    std::uint64_t call_id = 0;
+  };
+
+  /// One client-visible delivery, built under the lock, invoked outside it.
+  struct Delivery {
+    ServiceResponse response;
+  };
+
+  std::uint64_t now_us() const;
+
+  /// Dispatches `call`'s request to shard `shard` (failing over across its
+  /// replicas, then — for interactive — across shards).  Returns the shed
+  /// reason when no backend admitted it.  Lock held.
+  std::optional<RejectReason> dispatch_locked(
+      const std::shared_ptr<Call>& call, bool is_hedge,
+      std::size_t exclude_replica, std::vector<Delivery>& out);
+
+  /// One replica-level submission attempt.  True = admitted.
+  bool submit_to_replica_locked(const std::shared_ptr<Call>& call,
+                                std::size_t shard, std::size_t replica,
+                                bool is_hedge);
+
+  void on_replica_response(std::size_t shard, std::size_t replica,
+                           ServiceResponse response);
+
+  /// Finishes `call` with the winning response; fans out to waiters,
+  /// promotes on deadline expiry.  Lock held; deliveries collected.
+  void finish_call_locked(const std::shared_ptr<Call>& call,
+                          const ServiceResponse& winner, bool winner_is_hedge,
+                          std::vector<Delivery>& out);
+
+  /// Builds the client-visible response for `call` from `winner`.
+  ServiceResponse client_response_locked(const Call& call,
+                                         const ServiceResponse& winner) const;
+
+  void hedge_loop();
+  void fire_hedge_locked(const std::shared_ptr<Call>& call,
+                         std::vector<Delivery>& out);
+  void deliver(std::vector<Delivery>& deliveries);
+
+  void count_metric(const char* name) const;
+
+  RouterConfig config_;
+  Completion on_complete_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::vector<std::unique_ptr<ReplicaSet>> sets_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;  ///< sorted
+
+  mutable std::mutex mu_;
+  Coalescer coalescer_;
+  RetryBudget hedge_budget_;
+  RunningStat interactive_latency_us_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Call>> calls_;
+  std::unordered_map<std::uint64_t, Dispatch> dispatches_;
+  std::vector<HedgeEntry> hedge_heap_;  ///< min-heap on fire_at
+  std::uint64_t next_call_id_ = 1;
+  std::uint64_t next_dispatch_id_ = 1;
+  bool draining_ = false;
+
+  std::condition_variable hedge_cv_;
+  std::thread hedge_thread_;
+
+  // Stats (under mu_).
+  RouterStats stats_;
+};
+
+}  // namespace sysrle

@@ -506,7 +506,7 @@ TEST_F(CliFixture, ServeTextTableReportsOutcomes) {
   EXPECT_EQ(r.exit_code, 0) << r.err;
   EXPECT_NE(r.out.find("offered"), std::string::npos);
   EXPECT_NE(r.out.find("completed"), std::string::npos);
-  EXPECT_NE(r.out.find("breaker: closed"), std::string::npos);
+  EXPECT_NE(r.out.find("breakers: shard0.replica0=closed"), std::string::npos);
 }
 
 TEST_F(CliFixture, ServeWorkersZeroMeansAutoAndNegativeRejected) {
@@ -527,18 +527,61 @@ TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {
   const CliRun r = cli({"serve", "--requests", reqs, "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v1");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v2");
   EXPECT_DOUBLE_EQ(root.at("params").at("requests").number, 3.0);
+  EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 1.0);
+  EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 1.0);
   EXPECT_DOUBLE_EQ(root.at("offered").number, 3.0);
   EXPECT_DOUBLE_EQ(root.at("admitted").number, 3.0);
   EXPECT_DOUBLE_EQ(root.at("completed").number, 3.0);
   EXPECT_DOUBLE_EQ(root.at("failed").number, 0.0);
   EXPECT_DOUBLE_EQ(root.at("shed").at("total").number, 0.0);
+  EXPECT_DOUBLE_EQ(root.at("shed").at("shard_down").number, 0.0);
+  EXPECT_DOUBLE_EQ(root.at("backend").at("shed").at("cancelled").number, 0.0);
+  EXPECT_DOUBLE_EQ(root.at("router").at("failovers").number, 0.0);
   EXPECT_TRUE(root.at("accounting_ok").boolean);
-  EXPECT_EQ(root.at("breaker_state").string, "closed");
+  ASSERT_EQ(root.at("breakers").array.size(), 1u);
+  EXPECT_EQ(root.at("breakers").array[0].string, "shard0.replica0=closed");
+  EXPECT_DOUBLE_EQ(root.at("healthy_replicas").number, 1.0);
   EXPECT_GT(root.at("rows_processed").number, 0.0);
   EXPECT_GT(root.at("latency_us_interactive").at("count").number, 0.0);
   EXPECT_GT(root.at("latency_us_batch").at("count").number, 0.0);
+}
+
+TEST_F(CliFixture, ServeMultiShardTopologyRoutesAndStaysAccounted) {
+  // Duplicate specs do NOT coalesce (each request draws fresh images), so
+  // this checks routing across a 2x2 topology, not coalescing.
+  std::string lines;
+  for (int i = 0; i < 8; ++i)
+    lines += (i % 2 ? "batch 4 200 0.02\n" : "interactive 4 200 0.02\n");
+  const std::string reqs = write_requests_file("serve_shards.txt", lines);
+  const CliRun r = cli({"serve", "--requests", reqs, "--shards", "2",
+                        "--replicas", "2", "--hedge-ms", "50", "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v2");
+  EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("params").at("hedge_ms").number, 50.0);
+  EXPECT_DOUBLE_EQ(root.at("offered").number, 8.0);
+  EXPECT_DOUBLE_EQ(root.at("completed").number, 8.0);
+  EXPECT_TRUE(root.at("accounting_ok").boolean);
+  EXPECT_EQ(root.at("breakers").array.size(), 4u);
+  EXPECT_DOUBLE_EQ(root.at("healthy_replicas").number, 4.0);
+  EXPECT_DOUBLE_EQ(root.at("router").at("hedge_delay_us").number, 50000.0);
+}
+
+TEST_F(CliFixture, ServeRejectsBadTopologyFlags) {
+  const std::string reqs =
+      write_requests_file("serve_topo.txt", "batch 2 100 0.0\n");
+  for (const char* flag : {"--shards", "--replicas"}) {
+    const CliRun r = cli({"serve", "--requests", reqs, flag, "0"});
+    EXPECT_EQ(r.exit_code, 2) << flag;
+    EXPECT_NE(r.err.find(flag), std::string::npos) << flag;
+  }
+  const CliRun r = cli({"serve", "--requests", reqs, "--hedge-ms", "-1"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("--hedge-ms"), std::string::npos);
 }
 
 TEST_F(CliFixture, ServeEqualSeedsGiveIdenticalDeterministicFields) {

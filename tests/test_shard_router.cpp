@@ -1,0 +1,461 @@
+// Tests for ShardRouter: routing, failover across killed replicas, hedged
+// requests (fired / won / suppressed), in-flight coalescing edge cases
+// (waiter deadlines, promotion, bit-identical fan-out), degraded mode, and
+// the zero-silent-drops accounting identity.
+
+#include "service/shard_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rle/ops.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sysrle {
+namespace {
+
+struct Workload {
+  RleImage a{0, 0};
+  RleImage b{0, 0};
+};
+
+Workload make_workload(std::uint64_t seed, pos_t rows = 8, pos_t width = 256) {
+  Rng rng(seed);
+  RowGenParams p;
+  p.width = width;
+  Workload w;
+  w.a = generate_image(rng, rows, p);
+  w.b = RleImage(width, rows);
+  for (pos_t y = 0; y < rows; ++y) {
+    ErrorGenParams ep;
+    ep.error_fraction = 0.03;
+    w.b.set_row(y, inject_errors(rng, w.a.row(y), width, ep));
+  }
+  return w;
+}
+
+ServiceRequest make_request(const Workload& w, std::uint64_t id,
+                            Priority priority = Priority::kBatch) {
+  ServiceRequest req;
+  req.id = id;
+  req.priority = priority;
+  req.reference = w.a;
+  req.scan = w.b;
+  return req;
+}
+
+void expect_correct_diff(const ServiceResponse& r, const Workload& w) {
+  ASSERT_EQ(r.diff.height(), w.a.height());
+  for (pos_t y = 0; y < w.a.height(); ++y)
+    EXPECT_EQ(r.diff.row(y), xor_rows(w.a.row(y), w.b.row(y)).canonical())
+        << "row " << y;
+}
+
+class Collector {
+ public:
+  /// Blocks (bounded) until `n` responses have been delivered — used before
+  /// drain() in tests whose asynchronous machinery (hedge timer, waiter
+  /// promotion) must run against a live router, not a draining one.
+  void wait_for(std::size_t n) const {
+    for (int i = 0; i < 5000; ++i) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (responses_.size() >= n) return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "timed out waiting for " << n << " responses";
+  }
+
+  ShardRouter::Completion callback() {
+    return [this](ServiceResponse r) {
+      std::lock_guard<std::mutex> lk(mu_);
+      by_id_.emplace(r.id, r);
+      responses_.push_back(std::move(r));
+    };
+  }
+  std::vector<ServiceResponse> responses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return responses_;
+  }
+  /// The one response delivered for request `id` (fails the test if the
+  /// router delivered zero or several — the accounting contract).
+  ServiceResponse only(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    EXPECT_EQ(by_id_.count(id), 1u) << "request " << id;
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? ServiceResponse{} : it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ServiceResponse> responses_;
+  std::multimap<std::uint64_t, ServiceResponse> by_id_;
+};
+
+RouterConfig small_router(std::size_t shards, std::size_t replicas,
+                          bool hedge_enabled = false) {
+  RouterConfig cfg;
+  cfg.shards = shards;
+  cfg.replicas = replicas;
+  cfg.replica_service.workers = 1;
+  cfg.hedge.enabled = hedge_enabled;
+  return cfg;
+}
+
+/// A batch request whose engine blocks every row until `release` flips —
+/// pins one replica's worker so later submissions are deterministically
+/// in flight (engine overrides are never coalesced, so the plug cannot
+/// interfere with coalescing under test).
+ServiceRequest make_plug(const Workload& w, std::uint64_t id,
+                         std::atomic<bool>& release) {
+  ServiceRequest plug = make_request(w, id);
+  plug.engine_override = [&release](const RleRow& a, const RleRow& b,
+                                    SystolicCounters&) {
+    while (!release.load()) std::this_thread::yield();
+    return xor_rows(a, b);
+  };
+  return plug;
+}
+
+TEST(ShardRouter, RoutesCompletesAndAccountsAcrossShards) {
+  Collector collector;
+  ShardRouter router(small_router(3, 2), collector.callback());
+  std::vector<Workload> pool;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    pool.push_back(make_workload(100 + i));
+    ASSERT_FALSE(router.try_submit(make_request(pool.back(), i)).has_value());
+  }
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.offered, 12u);
+  EXPECT_EQ(st.admitted, 12u);
+  EXPECT_EQ(st.completed, 12u);
+  EXPECT_TRUE(st.accounted());
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const ServiceResponse r = collector.only(i);
+    EXPECT_EQ(r.status, ServiceResponse::Status::kCompleted);
+    expect_correct_diff(r, pool[i]);
+  }
+}
+
+TEST(ShardRouter, RouteKeyOverrideAndContentKeysAreStable) {
+  const Workload w = make_workload(1);
+  ServiceRequest req = make_request(w, 1);
+  const std::uint64_t content_key = ShardRouter::route_key_of(req);
+  EXPECT_EQ(content_key, ShardRouter::route_key_of(req));
+  EXPECT_NE(content_key, 0u);
+
+  req.route_key = 77;
+  EXPECT_EQ(ShardRouter::route_key_of(req), 77u);
+
+  Collector collector;
+  ShardRouter router(small_router(4, 1), collector.callback());
+  EXPECT_EQ(router.shard_of(77), router.shard_of(77));
+  EXPECT_LT(router.shard_of(77), 4u);
+  router.drain();
+}
+
+TEST(ShardRouter, ShedsTypedAtSubmitWhenDrainingOrExpired) {
+  Collector collector;
+  ShardRouter router(small_router(1, 1), collector.callback());
+  const Workload w = make_workload(2);
+
+  ServiceRequest expired = make_request(w, 1);
+  expired.deadline = Deadline::after(std::chrono::microseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto reason = router.try_submit(std::move(expired));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, RejectReason::kDeadlineExpired);
+
+  router.drain();
+  reason = router.try_submit(make_request(w, 2));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, RejectReason::kShutdown);
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.offered, 2u);
+  EXPECT_EQ(st.shed_deadline_at_submit, 1u);
+  EXPECT_EQ(st.shed_shutdown, 1u);
+  EXPECT_TRUE(st.accounted());
+  EXPECT_TRUE(collector.responses().empty());
+}
+
+TEST(ShardRouter, CoalescedWaiterGetsBitIdenticalResponse) {
+  Collector collector;
+  ShardRouter router(small_router(1, 1), collector.callback());
+  const Workload plug_w = make_workload(10);
+  const Workload w = make_workload(11);
+
+  std::atomic<bool> release{false};
+  ASSERT_FALSE(router.try_submit(make_plug(plug_w, 1, release)).has_value());
+  ASSERT_FALSE(router.try_submit(make_request(w, 100)).has_value());
+  ASSERT_FALSE(router.try_submit(make_request(w, 101)).has_value());
+  release.store(true);
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.coalesced, 1u);
+  EXPECT_TRUE(st.accounted());
+
+  const ServiceResponse primary = collector.only(100);
+  const ServiceResponse waiter = collector.only(101);
+  EXPECT_EQ(primary.status, ServiceResponse::Status::kCompleted);
+  EXPECT_EQ(waiter.status, ServiceResponse::Status::kCompleted);
+  // Bit-identical: the waiter received a copy of the primary's diff, and
+  // both equal the uncoalesced ground truth.
+  EXPECT_EQ(primary.diff, waiter.diff);
+  expect_correct_diff(primary, w);
+  expect_correct_diff(waiter, w);
+}
+
+TEST(ShardRouter, WaiterWithShorterDeadlineShedsTypedWhilePrimaryCompletes) {
+  Collector collector;
+  ShardRouter router(small_router(1, 1), collector.callback());
+  const Workload plug_w = make_workload(12);
+  const Workload w = make_workload(13);
+
+  std::atomic<bool> release{false};
+  ASSERT_FALSE(router.try_submit(make_plug(plug_w, 1, release)).has_value());
+  ASSERT_FALSE(router.try_submit(make_request(w, 100)).has_value());
+  ServiceRequest short_lived = make_request(w, 101);
+  short_lived.deadline = Deadline::after(std::chrono::milliseconds(1));
+  ASSERT_FALSE(router.try_submit(std::move(short_lived)).has_value());
+  // Let the waiter's deadline lapse while the plug still pins the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  release.store(true);
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.coalesced, 1u);
+  EXPECT_EQ(st.waiter_deadline_sheds, 1u);
+  EXPECT_TRUE(st.accounted());
+
+  EXPECT_EQ(collector.only(100).status, ServiceResponse::Status::kCompleted);
+  const ServiceResponse waiter = collector.only(101);
+  EXPECT_EQ(waiter.status, ServiceResponse::Status::kRejected);
+  EXPECT_EQ(waiter.reject_reason, RejectReason::kDeadlineExpired);
+}
+
+TEST(ShardRouter, ExpiredPrimaryPromotesLiveWaiterToNewPrimary) {
+  Collector collector;
+  ShardRouter router(small_router(1, 1), collector.callback());
+  const Workload plug_w = make_workload(14);
+  const Workload w = make_workload(15);
+
+  std::atomic<bool> release{false};
+  ASSERT_FALSE(router.try_submit(make_plug(plug_w, 1, release)).has_value());
+  ServiceRequest doomed = make_request(w, 100);
+  doomed.deadline = Deadline::after(std::chrono::milliseconds(1));
+  ASSERT_FALSE(router.try_submit(std::move(doomed)).has_value());
+  ASSERT_FALSE(router.try_submit(make_request(w, 101)).has_value());
+  // The primary's deadline lapses in the queue behind the plug; the waiter
+  // has none and must inherit the computation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  release.store(true);
+  // The promotion re-dispatch must land in a live backend, not a draining
+  // one: wait for all three outcomes (plug, doomed primary, promoted
+  // waiter) before tearing down.
+  collector.wait_for(3);
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.coalesced, 1u);
+  EXPECT_EQ(st.coalesce_promotions, 1u);
+  EXPECT_TRUE(st.accounted());
+
+  const ServiceResponse doomed_r = collector.only(100);
+  EXPECT_EQ(doomed_r.status, ServiceResponse::Status::kRejected);
+  EXPECT_EQ(doomed_r.reject_reason, RejectReason::kDeadlineExpired);
+  const ServiceResponse promoted = collector.only(101);
+  EXPECT_EQ(promoted.status, ServiceResponse::Status::kCompleted);
+  expect_correct_diff(promoted, w);
+}
+
+TEST(ShardRouter, FailsOverAcrossReplicasWhenOneIsKilled) {
+  Collector collector;
+  RouterConfig cfg = small_router(1, 2);
+  ShardRouter router(cfg, collector.callback());
+  router.kill_replica(0, 0);
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Workload w = make_workload(200 + i);
+    ASSERT_FALSE(router.try_submit(make_request(w, i)).has_value())
+        << "request " << i << " should fail over, not shed";
+  }
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_GT(st.failovers, 0u);
+  EXPECT_TRUE(st.accounted());
+  // The killed replica kept shedding until its router breaker quarantined it.
+  EXPECT_EQ(router.replica_breaker_state(0, 0), BreakerState::kOpen);
+  EXPECT_EQ(router.healthy_replicas(), 1u);
+}
+
+TEST(ShardRouter, ProbeReadmitsARevivedReplica) {
+  Collector collector;
+  RouterConfig cfg = small_router(1, 2);
+  cfg.replica_breaker.open_duration = 20000;  // 20 ms quarantine
+  ShardRouter router(cfg, collector.callback());
+  router.kill_replica(0, 0);
+
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ASSERT_FALSE(
+        router.try_submit(make_request(make_workload(300 + i), i)).has_value());
+  ASSERT_EQ(router.replica_breaker_state(0, 0), BreakerState::kOpen);
+
+  router.revive_replica(0, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  // Fresh traffic: keys preferring replica 0 probe it half-open; the
+  // revived backend completes the probe and the breaker closes.
+  for (std::uint64_t i = 8; i < 24; ++i)
+    ASSERT_FALSE(
+        router.try_submit(make_request(make_workload(300 + i), i)).has_value());
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.completed, 24u);
+  EXPECT_TRUE(st.accounted());
+  EXPECT_EQ(router.replica_breaker_state(0, 0), BreakerState::kClosed);
+  EXPECT_EQ(router.healthy_replicas(), 2u);
+}
+
+TEST(ShardRouter, DegradedModeShedsBatchTypedAndFailsOverInteractive) {
+  Collector collector;
+  ShardRouter router(small_router(2, 1), collector.callback());
+
+  // A key homed on each shard, via the public ring lookup.
+  std::uint64_t dead_key = 0;
+  for (std::uint64_t k = 1; dead_key == 0; ++k)
+    if (router.shard_of(k) == 0) dead_key = k;
+  router.kill_replica(0, 0);
+
+  const Workload w = make_workload(20);
+  ServiceRequest batch = make_request(w, 1);
+  batch.route_key = dead_key;
+  const auto reason = router.try_submit(std::move(batch));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, RejectReason::kShardDown);
+
+  ServiceRequest interactive = make_request(w, 2, Priority::kInteractive);
+  interactive.route_key = dead_key;
+  ASSERT_FALSE(router.try_submit(std::move(interactive)).has_value());
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.shed_shard_down, 1u);
+  EXPECT_GE(st.cross_shard_failovers, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_TRUE(st.accounted());
+
+  const ServiceResponse r = collector.only(2);
+  EXPECT_EQ(r.status, ServiceResponse::Status::kCompleted);
+  expect_correct_diff(r, w);
+}
+
+TEST(ShardRouter, HedgeFiresToASecondReplicaAndOneResponseWins) {
+  Collector collector;
+  RouterConfig cfg = small_router(1, 2, /*hedge_enabled=*/true);
+  cfg.hedge.fixed_delay_us = 2000;
+  cfg.coalesce = false;
+  ShardRouter router(cfg, collector.callback());
+
+  const Workload w = make_workload(21, /*rows=*/4, /*width=*/128);
+  ServiceRequest req = make_request(w, 1, Priority::kInteractive);
+  // ~40 ms of engine time per dispatch: the 2 ms hedge delay always lapses
+  // while the primary is mid-image.
+  req.engine_override = [](const RleRow& a, const RleRow& b,
+                           SystolicCounters&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return xor_rows(a, b);
+  };
+  ASSERT_FALSE(router.try_submit(std::move(req)).has_value());
+  // Draining joins the hedge timer; wait for the winner first so the 2 ms
+  // hedge delay elapses against a live router.
+  collector.wait_for(1);
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.hedges_fired, 1u);
+  EXPECT_EQ(st.hedges_won + st.hedges_lost, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_TRUE(st.accounted());
+  EXPECT_EQ(collector.only(1).status, ServiceResponse::Status::kCompleted);
+  EXPECT_EQ(collector.responses().size(), 1u) << "loser must be swallowed";
+}
+
+TEST(ShardRouter, HedgeSuppressedWhenBudgetIsExhausted) {
+  Collector collector;
+  RouterConfig cfg = small_router(1, 2, /*hedge_enabled=*/true);
+  cfg.hedge.fixed_delay_us = 1000;
+  cfg.hedge.budget.initial_tokens = 0.0;
+  cfg.hedge.budget.tokens_per_success = 0.0;
+  cfg.coalesce = false;
+  ShardRouter router(cfg, collector.callback());
+
+  const Workload w = make_workload(22, /*rows=*/2, /*width=*/128);
+  ServiceRequest req = make_request(w, 1, Priority::kInteractive);
+  req.engine_override = [](const RleRow& a, const RleRow& b,
+                           SystolicCounters&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return xor_rows(a, b);
+  };
+  ASSERT_FALSE(router.try_submit(std::move(req)).has_value());
+  collector.wait_for(1);
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.hedges_fired, 0u);
+  EXPECT_EQ(st.hedges_suppressed, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_TRUE(st.accounted());
+}
+
+TEST(ShardRouter, MixedBurstWithEverythingEnabledStaysAccounted) {
+  Collector collector;
+  RouterConfig cfg = small_router(2, 2, /*hedge_enabled=*/true);
+  cfg.hedge.fixed_delay_us = 500;
+  ShardRouter router(cfg, collector.callback());
+
+  // A small pool of pairs (duplicates force coalescing), mixed priorities,
+  // some tight deadlines, and a mid-burst replica kill.
+  std::vector<Workload> pool;
+  for (std::uint64_t i = 0; i < 4; ++i) pool.push_back(make_workload(400 + i));
+  std::uint64_t offered = 0, shed = 0;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    if (i == 20) router.kill_replica(0, 0);
+    ServiceRequest req = make_request(
+        pool[i % pool.size()], i,
+        i % 3 == 0 ? Priority::kInteractive : Priority::kBatch);
+    if (i % 7 == 0) req.deadline = Deadline::after_ms(5);
+    ++offered;
+    if (router.try_submit(std::move(req)).has_value()) ++shed;
+  }
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.offered, offered);
+  EXPECT_EQ(st.shed_submit_total(), shed);
+  EXPECT_TRUE(st.accounted())
+      << "offered=" << st.offered << " admitted=" << st.admitted
+      << " responses=" << st.responses() << " sheds=" << st.shed_submit_total();
+  EXPECT_EQ(collector.responses().size(), st.responses());
+
+  // Backend-level accounting survives too: every backend admission got a
+  // backend response (completed, failed, or typed rejection).
+  const ServiceStats bs = router.backend_stats();
+  EXPECT_EQ(bs.responses(), bs.admitted);
+}
+
+}  // namespace
+}  // namespace sysrle
