@@ -31,6 +31,17 @@
 //      killed mid-phase.  Zero silent drops (router accounting identity
 //      holds across the kill) and interactive p99 stays within 2x of the
 //      healthy-topology phase driven by the *identical* arrival stream.
+//      The phase runs under a FlightRecorder sized to hold every event, and
+//      the bench replays the ring afterwards: every offered request id must
+//      reconstruct to a timeline ending in a terminal event (respond or a
+//      router-level shed), every hedged / failed-over / coalesced request
+//      must have its respond on record, and a hedge win must leave a
+//      retained anomaly timeline.
+//   7. Flight-recorder overhead — the closed-loop calibration workload runs
+//      twice, recorder installed vs not; the instrumented per-request cost
+//      must stay within 25% of the disabled cost (the disabled fast path is
+//      one relaxed atomic load, the enabled path a ticket fetch_add plus
+//      relaxed stores per event).
 //
 // Arrival streams are a pure function of (seed, phase index) — never of
 // worker count or topology — so any two phases handed the same pair see
@@ -48,6 +59,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/fixed_table.hpp"
@@ -57,6 +69,7 @@
 #include "service/service.hpp"
 #include "service/shard_router.hpp"
 #include "telemetry/bench_report.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
@@ -234,14 +247,18 @@ struct RouterPhaseOutcome {
 /// capacity).  `hot_fraction` of requests carry an explicit route key pinned
 /// to shard 0; the rest go to shard 1.  When `kill_at >= 0`, replica
 /// (0, 0) — a hot-shard replica — is killed right before request `kill_at`
-/// is offered and stays dead for the remainder of the phase.
+/// is offered and stays dead for the remainder of the phase.  When `flight`
+/// is non-null it is installed as the process recorder for exactly the
+/// lifetime of the router, so the ring afterwards holds this phase's events
+/// and nothing else.
 RouterPhaseOutcome run_router_phase(const std::vector<ImagePair>& pool,
                                     double load, int n,
                                     double base_interarrival_us,
                                     double hot_fraction, HedgePolicy hedge,
                                     std::uint64_t seed,
                                     std::uint64_t arrival_seed,
-                                    int kill_at) {
+                                    int kill_at,
+                                    FlightRecorder* flight = nullptr) {
   RouterConfig cfg;
   cfg.shards = 2;
   cfg.replicas = 2;
@@ -254,57 +271,120 @@ RouterPhaseOutcome run_router_phase(const std::vector<ImagePair>& pool,
 
   RouterPhaseOutcome out;
   std::mutex mu;
-  ShardRouter router(cfg, [&](ServiceResponse r) {
-    std::lock_guard<std::mutex> lk(mu);
-    ++out.responses;
-    if (r.status == ServiceResponse::Status::kCompleted) {
-      (r.priority == Priority::kInteractive ? out.interactive_us
-                                            : out.batch_us)
-          .add(r.total_us);
+  if (flight) set_flight_recorder(flight);
+  {
+    ShardRouter router(cfg, [&](ServiceResponse r) {
+      std::lock_guard<std::mutex> lk(mu);
+      ++out.responses;
+      if (r.status == ServiceResponse::Status::kCompleted) {
+        (r.priority == Priority::kInteractive ? out.interactive_us
+                                              : out.batch_us)
+            .add(r.total_us);
+      }
+    });
+
+    // Route keys pinned per shard, discovered through the router's own ring
+    // so the skew survives any ring-layout change.  The hot/cold choice per
+    // request comes from its own seeded stream — like the arrivals, a pure
+    // function of (seed, phase).
+    std::vector<std::uint64_t> hot_keys;
+    std::vector<std::uint64_t> cold_keys;
+    for (std::uint64_t k = 1; hot_keys.size() < 8 || cold_keys.size() < 8;
+         ++k) {
+      std::vector<std::uint64_t>& dst =
+          router.shard_of(k) == 0 ? hot_keys : cold_keys;
+      if (dst.size() < 8) dst.push_back(k);
     }
-  });
+    Rng skew_rng(arrival_seed ^ 0x5ced5ull);
 
-  // Route keys pinned per shard, discovered through the router's own ring so
-  // the skew survives any ring-layout change.  The hot/cold choice per
-  // request comes from its own seeded stream — like the arrivals, a pure
-  // function of (seed, phase).
-  std::vector<std::uint64_t> hot_keys;
-  std::vector<std::uint64_t> cold_keys;
-  for (std::uint64_t k = 1; hot_keys.size() < 8 || cold_keys.size() < 8;
-       ++k) {
-    std::vector<std::uint64_t>& dst =
-        router.shard_of(k) == 0 ? hot_keys : cold_keys;
-    if (dst.size() < 8) dst.push_back(k);
+    const double mean_interarrival_us = base_interarrival_us / load;
+    Rng arrival_rng(arrival_seed);
+    double arrival_us = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) {
+      arrival_us +=
+          -std::log(1.0 - arrival_rng.uniform01()) * mean_interarrival_us;
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(
+                      static_cast<std::int64_t>(arrival_us)));
+      if (i == kill_at) router.kill_replica(0, 0);
+      ServiceRequest req;
+      req.id = static_cast<std::uint64_t>(i);
+      req.priority = i % 4 == 0 ? Priority::kInteractive : Priority::kBatch;
+      const bool hot = skew_rng.uniform01() < hot_fraction;
+      const std::vector<std::uint64_t>& keys = hot ? hot_keys : cold_keys;
+      req.route_key = keys[static_cast<std::size_t>(i) % keys.size()];
+      const ImagePair& p = pool[static_cast<std::size_t>(i) % pool.size()];
+      req.reference = p.a;
+      req.scan = p.b;
+      req.keep_diff = false;
+      (void)router.try_submit(std::move(req));
+    }
+    router.drain();
+    out.stats = router.stats();
+    out.backend = router.backend_stats();
   }
-  Rng skew_rng(arrival_seed ^ 0x5ced5ull);
-
-  const double mean_interarrival_us = base_interarrival_us / load;
-  Rng arrival_rng(arrival_seed);
-  double arrival_us = 0.0;
-  const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < n; ++i) {
-    arrival_us +=
-        -std::log(1.0 - arrival_rng.uniform01()) * mean_interarrival_us;
-    std::this_thread::sleep_until(
-        start + std::chrono::microseconds(
-                    static_cast<std::int64_t>(arrival_us)));
-    if (i == kill_at) router.kill_replica(0, 0);
-    ServiceRequest req;
-    req.id = static_cast<std::uint64_t>(i);
-    req.priority = i % 4 == 0 ? Priority::kInteractive : Priority::kBatch;
-    const bool hot = skew_rng.uniform01() < hot_fraction;
-    const std::vector<std::uint64_t>& keys = hot ? hot_keys : cold_keys;
-    req.route_key = keys[static_cast<std::size_t>(i) % keys.size()];
-    const ImagePair& p = pool[static_cast<std::size_t>(i) % pool.size()];
-    req.reference = p.a;
-    req.scan = p.b;
-    req.keep_diff = false;
-    (void)router.try_submit(std::move(req));
-  }
-  router.drain();
-  out.stats = router.stats();
-  out.backend = router.backend_stats();
+  if (flight) set_flight_recorder(nullptr);
   return out;
+}
+
+/// Folds a flight-recorder snapshot into per-request timeline facts for the
+/// reconstructability checks after the kill-a-replica phase.
+struct FlightAudit {
+  std::uint64_t requests_seen = 0;    ///< distinct client request ids
+  std::uint64_t missing_terminal = 0; ///< ids with no respond/router shed
+  std::uint64_t interesting = 0;      ///< hedged/failed-over/coalesced/shed
+  std::uint64_t interesting_without_respond = 0;
+};
+
+FlightAudit audit_flight(const FlightRecorder& flight) {
+  struct PerRequest {
+    bool terminal = false;     ///< respond, or a router-level shed
+    bool respond = false;
+    bool interesting = false;  ///< hedge/failover/coalesce/shed touched it
+    bool shed_only = false;    ///< shed was the terminal outcome
+  };
+  std::unordered_map<std::uint64_t, PerRequest> by_request;
+  for (const FlightEvent& e : flight.snapshot()) {
+    if (!e.ctx.active) continue;
+    PerRequest& pr = by_request[e.ctx.request_id];
+    switch (e.kind) {
+      case FlightEventKind::kRespond:
+        pr.terminal = true;
+        pr.respond = true;
+        break;
+      case FlightEventKind::kShed:
+        pr.interesting = true;
+        // A router-level shed (no shard routed yet) is itself the terminal
+        // client outcome; a backend shed feeds failover and the client
+        // response arrives later as a respond event.
+        if (e.ctx.shard < 0) {
+          pr.terminal = true;
+          pr.shed_only = true;
+        }
+        break;
+      case FlightEventKind::kHedgeFired:
+      case FlightEventKind::kHedgeWon:
+      case FlightEventKind::kHedgeLost:
+      case FlightEventKind::kFailover:
+      case FlightEventKind::kCoalesceJoined:
+      case FlightEventKind::kCoalescePromoted:
+        pr.interesting = true;
+        break;
+      default:
+        break;
+    }
+  }
+  FlightAudit audit;
+  audit.requests_seen = by_request.size();
+  for (const auto& [rid, pr] : by_request) {
+    if (!pr.terminal) ++audit.missing_terminal;
+    if (pr.interesting) {
+      ++audit.interesting;
+      if (!pr.respond && !pr.shed_only) ++audit.interesting_without_respond;
+    }
+  }
+  return audit;
 }
 
 /// Breaker-trip phase: checked engine, permanent stuck-comparator fault,
@@ -550,12 +630,23 @@ int main(int argc, char** argv) {
       run_router_phase(pool, 0.5, kRequests, interarrival_us,
                        /*hot_fraction=*/0.5, kill_hedge, kSeed,
                        kill_arrival_seed, /*kill_at=*/-1);
+  // The killed run flies with the recorder installed; the ring is sized far
+  // beyond the phase's event volume so nothing wraps and the audit below
+  // sees every request's complete timeline.
+  FlightRecorder flight(1 << 14);
   const RouterPhaseOutcome killed =
       run_router_phase(pool, 0.5, kRequests, interarrival_us,
                        /*hot_fraction=*/0.5, kill_hedge, kSeed,
-                       kill_arrival_seed, /*kill_at=*/kRequests / 8);
+                       kill_arrival_seed, /*kill_at=*/kRequests / 8, &flight);
   const double p99_healthy = healthy.interactive_us.p99();
   const double p99_killed = killed.interactive_us.p99();
+  const FlightAudit audit = audit_flight(flight);
+  const std::vector<FlightRecorder::RetainedTimeline> retained =
+      flight.retained();
+  bool hedge_win_retained = killed.stats.hedges_won == 0;
+  for (const FlightRecorder::RetainedTimeline& t : retained)
+    if (t.anomaly == "hedge_won" && !t.events.empty())
+      hedge_win_retained = true;
   std::cout << "--- 6. kill a replica (replica 0.0 down from request "
             << kRequests / 8 << ") ---\n"
             << "healthy:      completed " << healthy.stats.completed
@@ -566,13 +657,50 @@ int main(int argc, char** argv) {
             << killed.stats.rejected << '\n'
             << "accounted: healthy " << (healthy.accounted() ? "yes" : "NO")
             << ", replica down " << (killed.accounted() ? "yes" : "NO")
-            << "\n\n";
+            << '\n'
+            << "flight: " << flight.recorded() << " events ("
+            << flight.dropped() << " overwritten), " << audit.requests_seen
+            << " request timelines (" << audit.interesting
+            << " hedged/failed-over/coalesced/shed), " << retained.size()
+            << " retained anomalies\n\n";
   const bool router_no_silent_drops =
       hot.accounted() && healthy.accounted() && killed.accounted();
   const bool replica_down_failover =
       killed.stats.failovers > 0 && killed.stats.completed > 0;
   const bool replica_down_p99_bounded =
       p99_healthy > 0.0 && p99_killed <= 2.0 * p99_healthy;
+  // Reconstructability: the ring held everything (no wrap), every offered
+  // request id shows up, every timeline reaches a terminal event, and every
+  // request a hedge/failover/coalesce/shed touched has its client respond
+  // (or router-level shed) on record.  A hedge win must also survive as a
+  // retained anomaly timeline.
+  const bool flight_timelines_complete =
+      flight.dropped() == 0 &&
+      audit.requests_seen == killed.stats.offered &&
+      audit.missing_terminal == 0 && audit.interesting_without_respond == 0 &&
+      hedge_win_retained;
+
+  // --- 7. flight-recorder overhead ----------------------------------------
+  // The same closed-loop workload as the capacity calibration, with and
+  // without the recorder installed.  The instrumented run records the full
+  // per-request event set, so this is the marginal cost of flying with the
+  // recorder on.
+  const int overhead_n = smoke ? 16 : 48;
+  const double disabled_us_per_req =
+      calibrate_interarrival_us(pool, overhead_n, kWorkers);
+  FlightRecorder overhead_flight(1 << 12);
+  set_flight_recorder(&overhead_flight);
+  const double enabled_us_per_req =
+      calibrate_interarrival_us(pool, overhead_n, kWorkers);
+  set_flight_recorder(nullptr);
+  const double overhead_ratio = enabled_us_per_req / disabled_us_per_req;
+  std::cout << "--- 7. flight-recorder overhead (closed loop, " << overhead_n
+            << " requests) ---\n"
+            << "disabled: " << disabled_us_per_req
+            << " us/request   enabled: " << enabled_us_per_req
+            << " us/request (ratio " << overhead_ratio << ", "
+            << overhead_flight.recorded() << " events recorded)\n\n";
+  const bool flight_overhead_bounded = overhead_ratio <= 1.25;
 
   const bool all_ok = no_silent_drops && typed_shed_under_overload &&
                       interactive_p99_bounded && deadline_sheds_typed &&
@@ -580,7 +708,8 @@ int main(int argc, char** argv) {
                       farm_breaker_relief && router_no_silent_drops &&
                       hedges_fired_under_overload &&
                       hedge_budget_caps_hedges && replica_down_failover &&
-                      replica_down_p99_bounded;
+                      replica_down_p99_bounded && flight_timelines_complete &&
+                      flight_overhead_bounded;
   std::cout << "verdict: "
             << (all_ok ? "overload contained (all checks pass)"
                        : "OVERLOAD GAP (see failed checks)")
@@ -631,6 +760,17 @@ int main(int argc, char** argv) {
                       static_cast<double>(killed.stats.failovers));
     report.set_scalar("p99_healthy_topology_us", p99_healthy);
     report.set_scalar("p99_replica_down_us", p99_killed);
+    report.set_scalar("flight_events_recorded",
+                      static_cast<double>(flight.recorded()));
+    report.set_scalar("flight_events_dropped",
+                      static_cast<double>(flight.dropped()));
+    report.set_scalar("flight_timelines",
+                      static_cast<double>(audit.requests_seen));
+    report.set_scalar("flight_retained_anomalies",
+                      static_cast<double>(retained.size()));
+    report.set_scalar("flight_disabled_us_per_request", disabled_us_per_req);
+    report.set_scalar("flight_enabled_us_per_request", enabled_us_per_req);
+    report.set_scalar("flight_overhead_ratio", overhead_ratio);
     report.set_check("no_silent_drops", no_silent_drops);
     report.set_check("typed_shed_under_overload", typed_shed_under_overload);
     report.set_check("interactive_p99_bounded", interactive_p99_bounded);
@@ -644,6 +784,8 @@ int main(int argc, char** argv) {
     report.set_check("hedge_budget_caps_hedges", hedge_budget_caps_hedges);
     report.set_check("replica_down_failover", replica_down_failover);
     report.set_check("replica_down_p99_bounded", replica_down_p99_bounded);
+    report.set_check("flight_timelines_complete", flight_timelines_complete);
+    report.set_check("flight_overhead_bounded", flight_overhead_bounded);
     report.write_file(json_path);
   }
   return all_ok ? 0 : 1;

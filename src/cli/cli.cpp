@@ -28,6 +28,7 @@
 #include "systolic/verilog_gen.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/json_writer.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/generator.hpp"
 #include "workload/pcb.hpp"
@@ -696,14 +697,41 @@ std::vector<ServeSpec> parse_serve_requests(std::istream& in) {
   return specs;
 }
 
+/// Parsed --kill-replica S.R@K: kill shard S's replica R once K requests
+/// have been submitted (a mid-run fault for exercising failover/hedging).
+struct KillSpec {
+  std::size_t shard = 0;
+  std::size_t replica = 0;
+  std::uint64_t after = 0;
+};
+
+KillSpec parse_kill_replica(const std::string& text) {
+  const std::size_t dot = text.find('.');
+  const std::size_t at = text.find('@');
+  if (dot == std::string::npos || at == std::string::npos || at < dot)
+    usage_error("--kill-replica expects S.R@K (shard.replica@after_requests)");
+  KillSpec k;
+  k.shard = static_cast<std::size_t>(
+      parse_i64(text.substr(0, dot), "--kill-replica shard"));
+  k.replica = static_cast<std::size_t>(
+      parse_i64(text.substr(dot + 1, at - dot - 1), "--kill-replica replica"));
+  k.after = static_cast<std::uint64_t>(
+      parse_i64(text.substr(at + 1), "--kill-replica after"));
+  return k;
+}
+
 int cmd_serve(ArgParser& args, std::ostream& out) {
   args.parse({"--requests", "--workers", "--queue-cap", "--deadline-ms",
-              "--seed", "--engine", "--shards", "--replicas", "--hedge-ms"});
+              "--seed", "--engine", "--shards", "--replicas", "--hedge-ms",
+              "--flight-recorder", "--flight-out", "--flight-trace",
+              "--slo-p99-ms", "--kill-replica"});
   if (!args.positional().empty() || !args.has("--requests"))
     usage_error(
         "serve --requests <file|-> [--workers N] [--queue-cap M] "
         "[--deadline-ms D] [--seed S] [--engine E] [--shards N] "
-        "[--replicas R] [--hedge-ms H] [--checked] [--json]");
+        "[--replicas R] [--hedge-ms H] [--flight-recorder N] "
+        "[--flight-out FILE] [--flight-trace FILE] [--slo-p99-ms D] "
+        "[--kill-replica S.R@K] [--checked] [--json]");
   const std::string requests_path = args.get("--requests", "-");
   const std::int64_t workers = args.get_int("--workers", 2);
   const std::int64_t queue_cap = args.get_int("--queue-cap", 64);
@@ -712,12 +740,36 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   const std::int64_t shards = args.get_int("--shards", 1);
   const std::int64_t replicas = args.get_int("--replicas", 1);
   const std::int64_t hedge_ms = args.get_int("--hedge-ms", 0);
+  const std::int64_t flight_cap = args.get_int("--flight-recorder", 0);
+  const std::string flight_out = args.get("--flight-out", "");
+  const std::string flight_trace = args.get("--flight-trace", "");
+  const std::int64_t slo_p99_ms = args.get_int("--slo-p99-ms", 50);
   if (workers < 0) usage_error("--workers must be >= 0 (0 = auto)");
   if (queue_cap < 1) usage_error("--queue-cap must be >= 1");
   if (default_deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
   if (shards < 1) usage_error("--shards must be >= 1");
   if (replicas < 1) usage_error("--replicas must be >= 1");
   if (hedge_ms < 0) usage_error("--hedge-ms must be >= 0 (0 = adaptive p99)");
+  if (flight_cap < 0)
+    usage_error("--flight-recorder must be >= 0 (0 = off; N = ring slots)");
+  if (flight_cap == 0 && (!flight_out.empty() || !flight_trace.empty()))
+    usage_error("--flight-out/--flight-trace require --flight-recorder N");
+  if (slo_p99_ms < 1) usage_error("--slo-p99-ms must be >= 1");
+  std::optional<KillSpec> kill;
+  if (args.has("--kill-replica")) {
+    kill = parse_kill_replica(args.get("--kill-replica", ""));
+    if (kill->shard >= static_cast<std::size_t>(shards) ||
+        kill->replica >= static_cast<std::size_t>(replicas))
+      usage_error("--kill-replica names a shard.replica outside the topology");
+  }
+  // Fail fast on unwritable flight destinations, same contract as the
+  // global --metrics/--trace-out preflight.
+  for (const std::string* path : {&flight_out, &flight_trace}) {
+    if (path->empty()) continue;
+    std::ofstream probe(*path, std::ios::app);
+    if (!probe.is_open())
+      throw contract_error("cannot open flight output for writing: " + *path);
+  }
 
   std::vector<ServeSpec> specs;
   if (requests_path == "-") {
@@ -747,6 +799,27 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   ImageDiffOptions options;
   options.engine = parse_engine(args.get("--engine", "systolic"));
 
+  // Flight recorder: installed for the router's whole lifetime, removed
+  // before export (no writers can race the dump once drain() returned).
+  std::optional<FlightRecorder> flight;
+  if (flight_cap > 0) {
+    flight.emplace(static_cast<std::size_t>(flight_cap));
+    set_flight_recorder(&*flight);
+  }
+
+  // Interactive SLO: a request is good iff it completed within the target.
+  // Rejected/failed interactive requests burn budget regardless of latency.
+  SloTracker::Config slo_cfg;
+  slo_cfg.target_us = static_cast<std::uint64_t>(slo_p99_ms) * 1000;
+  SloTracker slo(slo_cfg);
+  const auto serve_epoch = std::chrono::steady_clock::now();
+  auto slo_now_us = [&serve_epoch] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - serve_epoch)
+            .count());
+  };
+
   // Per-class latency of delivered responses; the router and service
   // metrics cover the queue and shed sides.
   std::mutex mu;
@@ -754,6 +827,12 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   std::uint64_t rows_done = 0;
   ShardRouter router(rcfg, [&](ServiceResponse r) {
     std::lock_guard<std::mutex> lk(mu);
+    if (r.priority == Priority::kInteractive) {
+      if (r.status == ServiceResponse::Status::kCompleted)
+        slo.record(slo_now_us(), static_cast<std::uint64_t>(r.total_us));
+      else
+        slo.record_breach(slo_now_us());
+    }
     if (r.status != ServiceResponse::Status::kRejected)
       latency_us[r.priority == Priority::kInteractive ? 0 : 1].add(r.total_us);
     rows_done += r.rows_processed;
@@ -762,6 +841,8 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   Rng gen_rng(static_cast<std::uint64_t>(seed));
   std::uint64_t next_id = 0;
   for (const ServeSpec& s : specs) {
+    if (kill && next_id == kill->after)
+      router.kill_replica(kill->shard, kill->replica);
     ServiceRequest req;
     req.id = next_id++;
     req.priority = s.priority;
@@ -780,16 +861,32 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     for (pos_t y = 0; y < s.rows; ++y)
       scan.set_row(y, inject_errors(rng, req.reference.row(y), s.width, ep));
     req.scan = std::move(scan);
-    (void)router.try_submit(std::move(req));  // sheds are counted in stats()
+    // Synchronous sheds are interactive SLO breaches too: the client got a
+    // refusal, not a result.  Counted here because no response follows.
+    const std::optional<RejectReason> shed = router.try_submit(std::move(req));
+    if (shed && s.priority == Priority::kInteractive)
+      slo.record_breach(slo_now_us());
   }
   router.drain();
+  if (flight) set_flight_recorder(nullptr);
   const RouterStats rt = router.stats();
   const ServiceStats st = router.backend_stats();
+
+  const std::uint64_t slo_now = slo_now_us();
+  const SloTracker::Burn slo_short = slo.short_window(slo_now);
+  const SloTracker::Burn slo_long = slo.long_window(slo_now);
+  if (telemetry_enabled()) slo.export_gauges(global_metrics(), slo_now);
+
+  if (flight) {
+    if (!flight_out.empty()) write_flight_jsonl_file(*flight, flight_out);
+    if (!flight_trace.empty())
+      write_flight_chrome_trace_file(*flight, flight_trace);
+  }
 
   if (args.has("--json")) {
     JsonWriter w(out);
     w.begin_object();
-    w.member("schema", "sysrle.serve.v2");
+    w.member("schema", "sysrle.serve.v3");
     w.key("params");
     w.begin_object();
     w.member("requests", static_cast<std::uint64_t>(specs.size()));
@@ -801,6 +898,13 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("shards", shards);
     w.member("replicas", replicas);
     w.member("hedge_ms", hedge_ms);
+    w.member("slo_p99_ms", slo_p99_ms);
+    w.member("flight_recorder", flight_cap);
+    if (kill)
+      w.member("kill_replica",
+               std::to_string(kill->shard) + "." +
+                   std::to_string(kill->replica) + "@" +
+                   std::to_string(kill->after));
     w.end_object();
     // Client-visible accounting: what the router offered, admitted, and
     // delivered (one outcome per request — the zero-silent-drops identity).
@@ -865,6 +969,32 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
              static_cast<std::uint64_t>(router.healthy_replicas()));
     w.member("accounting_ok",
              rt.accounted() && st.responses() == st.admitted);
+    // Interactive SLO (sysrle.serve.v3): latency-objective burn rates over
+    // the short/long rolling windows at drain time.
+    w.key("slo");
+    w.begin_object();
+    w.member("target_p99_ms", slo_p99_ms);
+    w.member("objective", slo.config().objective);
+    w.member("good", slo.total() - slo.bad());
+    w.member("bad", slo.bad());
+    w.member("burn_rate_short", slo_short.burn_rate);
+    w.member("burn_rate_long", slo_long.burn_rate);
+    w.member("bad_fraction_long", slo_long.bad_fraction);
+    w.end_object();
+    // Flight recorder accounting (null when not enabled).
+    w.key("flight");
+    if (flight) {
+      w.begin_object();
+      w.member("capacity", static_cast<std::uint64_t>(flight->capacity()));
+      w.member("recorded", flight->recorded());
+      w.member("dropped", flight->dropped());
+      w.member("retained",
+               static_cast<std::uint64_t>(flight->retained().size()));
+      w.member("retain_dropped", flight->retain_dropped());
+      w.end_object();
+    } else {
+      w.null();
+    }
     for (int c = 0; c < 2; ++c) {
       w.key(c == 0 ? "latency_us_interactive" : "latency_us_batch");
       const RunningStat& stc = latency_us[c];
@@ -913,6 +1043,14 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
           << stc.p50() << " p95=" << stc.p95() << " p99=" << stc.p99()
           << '\n';
     }
+    if (slo.total() > 0)
+      out << "slo: target_p99_ms=" << slo_p99_ms << " good="
+          << (slo.total() - slo.bad()) << " bad=" << slo.bad()
+          << " burn_rate_long=" << slo_long.burn_rate << '\n';
+    if (flight)
+      out << "flight: recorded=" << flight->recorded() << " dropped="
+          << flight->dropped() << " retained=" << flight->retained().size()
+          << '\n';
   }
   // A failed request (unrecovered rows) is a serving error; shed load under
   // overload is the design working as intended and stays exit 0.
@@ -973,12 +1111,19 @@ void print_help(std::ostream& out) {
          "      fault-injection campaign through the checked engine;\n"
          "      exit 1 on silent corruption or unrecovered rows.\n"
          "  serve --requests <file|-> [--workers N] [--queue-cap M]\n"
-         "      [--deadline-ms D] [--seed S] [--engine E] [--checked]\n"
-         "      [--json]\n"
-         "      run a request file through the overload-safe service\n"
-         "      (bounded admission, deadlines, retry budget, breaker);\n"
-         "      request lines: 'priority rows width error [deadline_ms]';\n"
-         "      --workers 0 sizes the pool from the hardware.\n"
+         "      [--deadline-ms D] [--seed S] [--engine E] [--shards N]\n"
+         "      [--replicas R] [--hedge-ms H] [--flight-recorder N]\n"
+         "      [--flight-out FILE] [--flight-trace FILE] [--slo-p99-ms D]\n"
+         "      [--kill-replica S.R@K] [--checked] [--json]\n"
+         "      run a request file through the overload-safe sharded service\n"
+         "      (bounded admission, deadlines, retry budget, breakers,\n"
+         "      hedging, coalescing); request lines: 'priority rows width\n"
+         "      error [deadline_ms]'; --workers 0 sizes the pool from the\n"
+         "      hardware.  --flight-recorder N keeps the last N per-request\n"
+         "      events in a lock-free ring; --flight-out dumps them as\n"
+         "      sysrle.flight.v1 JSONL, --flight-trace as a Chrome trace.\n"
+         "      --kill-replica S.R@K kills shard S replica R after K\n"
+         "      submissions (failover drill).\n"
          "  help                 this message.\n\n"
          "global options (any command):\n"
          "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"

@@ -79,9 +79,12 @@ void ReplicaSet::record_success(std::size_t index, std::uint64_t now) {
   replicas_.at(index)->breaker.record_success(now);
 }
 
-void ReplicaSet::record_failure(std::size_t index, std::uint64_t now) {
+BreakerState ReplicaSet::record_failure(std::size_t index,
+                                        std::uint64_t now) {
   std::lock_guard<std::mutex> lk(mu_);
-  replicas_.at(index)->breaker.record_failure(now);
+  CircuitBreaker& breaker = replicas_.at(index)->breaker;
+  breaker.record_failure(now);
+  return breaker.state();
 }
 
 void ReplicaSet::release_probe(std::size_t index) {

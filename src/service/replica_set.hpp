@@ -80,7 +80,9 @@ class ReplicaSet {
   std::shared_ptr<DiffService> replica(std::size_t index) const;
 
   void record_success(std::size_t index, std::uint64_t now);
-  void record_failure(std::size_t index, std::uint64_t now);
+  /// Returns the breaker's state *after* the failure, so the caller can
+  /// observe the closed->open transition (flight-recorder breaker_trip).
+  BreakerState record_failure(std::size_t index, std::uint64_t now);
   void release_probe(std::size_t index);
 
   BreakerState breaker_state(std::size_t index) const;

@@ -5,8 +5,12 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "common/assert.hpp"
 #include "core/row_executor.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/request_context.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -106,10 +110,22 @@ std::optional<RejectReason> DiffService::try_submit(ServiceRequest request) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry_enabled()) global_metrics().add("service.requests_offered");
 
+  // Standalone submissions self-stamp an unrouted context; the shard router
+  // pre-stamps routed ones (client id + attempt + shard/replica).
+  if (!request.ctx.active) {
+    request.ctx.active = true;
+    request.ctx.request_id = request.id;
+  }
+  // Copy before the queue push can move the request away.
+  const RequestContext ctx = request.ctx;
+  const Priority priority = request.priority;
+
   auto shed = [&](RejectReason reason,
                   std::atomic<std::uint64_t>& counter) -> RejectReason {
     counter.fetch_add(1, std::memory_order_relaxed);
     count_shed(reason);
+    flight_record(FlightEventKind::kShed, ctx, to_string(reason));
+    flight_retain(ctx.request_id, "shed");
     return reason;
   };
 
@@ -140,6 +156,7 @@ std::optional<RejectReason> DiffService::try_submit(ServiceRequest request) {
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry_enabled()) global_metrics().add("service.requests_admitted");
+  flight_record(FlightEventKind::kEnqueue, ctx, to_string(priority));
   return std::nullopt;
 }
 
@@ -148,9 +165,29 @@ void DiffService::worker_loop() {
 }
 
 void DiffService::process(AdmissionQueue::Item item) {
-  TELEMETRY_SPAN("service.request", "service");
-  const auto dequeued = std::chrono::steady_clock::now();
   ServiceRequest& req = item.request;
+
+  // Install the request's identity on this worker thread for the duration:
+  // every span the engines record underneath (stream.push_row, checked.row)
+  // and every flight event picks it up automatically.  The scope outlives
+  // the span below, so the span's destructor still sees the context.
+  RequestContextScope ctx_scope(req.ctx);
+
+  // Routed requests get a per-replica span label (owned-name small-buffer
+  // storage: the string dies with this frame, the event does not).
+  std::optional<TelemetrySpan> span;
+  if (telemetry_enabled() && req.ctx.shard >= 0) {
+    span.emplace("service.request.s" + std::to_string(req.ctx.shard) + ".r" +
+                     std::to_string(req.ctx.replica),
+                 "service");
+  } else {
+    span.emplace("service.request", "service");
+  }
+
+  const auto dequeued = std::chrono::steady_clock::now();
+  flight_record(FlightEventKind::kDequeue, req.ctx, "",
+                static_cast<std::uint64_t>(us_between(item.enqueued,
+                                                      dequeued)));
 
   ServiceResponse response;
   response.id = req.id;
@@ -178,6 +215,10 @@ void DiffService::process(AdmissionQueue::Item item) {
     response.reject_reason = req.deadline.expired()
                                  ? RejectReason::kDeadlineExpired
                                  : RejectReason::kCancelled;
+    flight_record(response.reject_reason == RejectReason::kDeadlineExpired
+                      ? FlightEventKind::kDeadlineExpired
+                      : FlightEventKind::kCancelled,
+                  req.ctx, "in_queue");
     finish(ServiceResponse::Status::kRejected);
     return;
   }
@@ -259,6 +300,10 @@ void DiffService::process(AdmissionQueue::Item item) {
     response.reject_reason = req.deadline.expired()
                                  ? RejectReason::kDeadlineExpired
                                  : RejectReason::kCancelled;
+    flight_record(response.reject_reason == RejectReason::kDeadlineExpired
+                      ? FlightEventKind::kDeadlineExpired
+                      : FlightEventKind::kCancelled,
+                  req.ctx, "mid_image", response.rows_processed);
     finish(ServiceResponse::Status::kRejected);
   } else if (unrecovered > 0) {
     finish(ServiceResponse::Status::kFailed);
@@ -269,6 +314,9 @@ void DiffService::process(AdmissionQueue::Item item) {
 
 void DiffService::respond(ServiceResponse response) {
   const bool telem = telemetry_enabled();
+  // The worker's RequestContextScope is still installed here, so flight
+  // events carry the request identity without threading it through.
+  const RequestContext& ctx = current_request_context();
   switch (response.status) {
     case ServiceResponse::Status::kCompleted:
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -278,14 +326,23 @@ void DiffService::respond(ServiceResponse response) {
         breaker_.record_success(now_us());
       }
       break;
-    case ServiceResponse::Status::kFailed:
+    case ServiceResponse::Status::kFailed: {
       failed_.fetch_add(1, std::memory_order_relaxed);
       if (telem) global_metrics().add("service.requests_failed");
+      bool tripped = false;
       {
         std::lock_guard<std::mutex> lk(breaker_mu_);
+        const BreakerState before = breaker_.state();
         breaker_.record_failure(now_us());
+        tripped = before != BreakerState::kOpen &&
+                  breaker_.state() == BreakerState::kOpen;
+      }
+      if (tripped) {
+        flight_record(FlightEventKind::kBreakerTrip, ctx, "service");
+        flight_retain(ctx.request_id, "breaker_trip");
       }
       break;
+    }
     case ServiceResponse::Status::kRejected:
       if (response.reject_reason == RejectReason::kCancelled) {
         cancelled_.fetch_add(1, std::memory_order_relaxed);
@@ -293,6 +350,7 @@ void DiffService::respond(ServiceResponse response) {
         shed_deadline_after_admit_.fetch_add(1, std::memory_order_relaxed);
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
         if (telem) global_metrics().add("service.deadline_miss_total");
+        flight_retain(ctx.request_id, "deadline_expired");
       }
       {
         // A deadline expiry (or a hedge cancellation) says nothing about
@@ -312,6 +370,8 @@ void DiffService::respond(ServiceResponse response) {
                   to_string(response.priority),
               response.total_us);
   }
+  flight_record(FlightEventKind::kRespond, ctx, to_string(response.status),
+                static_cast<std::uint64_t>(response.total_us));
   if (on_complete_) on_complete_(std::move(response));
 }
 

@@ -6,11 +6,21 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace sysrle {
 
 namespace {
+
+/// Router-level (unrouted) flight context for a client request: events at
+/// admission/response granularity, before/after any shard placement.
+RequestContext client_ctx(std::uint64_t request_id) {
+  RequestContext ctx;
+  ctx.active = true;
+  ctx.request_id = request_id;
+  return ctx;
+}
 
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -108,12 +118,17 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
     std::unique_lock<std::mutex> lk(mu_);
     ++stats_.offered;
     count_metric("router.requests_offered");
+    const RequestContext cctx = client_ctx(request.id);
     if (draining_) {
       ++stats_.shed_shutdown;
       result = RejectReason::kShutdown;
+      flight_record(FlightEventKind::kShed, cctx, to_string(*result));
+      flight_retain(cctx.request_id, "shed");
     } else if (request.deadline.expired()) {
       ++stats_.shed_deadline_at_submit;
       result = RejectReason::kDeadlineExpired;
+      flight_record(FlightEventKind::kShed, cctx, to_string(*result));
+      flight_retain(cctx.request_id, "shed");
     } else {
       const std::uint64_t key = route_key_of(request);
       const std::size_t home = shard_of(key);
@@ -135,6 +150,9 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
           auto owner = calls_.find(admit.owner);
           SYSRLE_REQUIRE(owner != calls_.end(),
                          "ShardRouter: coalescer owner is not a live call");
+          flight_record(FlightEventKind::kAdmit, cctx, "coalesced");
+          flight_record(FlightEventKind::kCoalesceJoined, cctx, "",
+                        owner->second->request.id);
           owner->second->waiters.push_back(
               {std::move(request), std::chrono::steady_clock::now()});
           ++stats_.coalesced;
@@ -163,8 +181,11 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
         } else {
           ++stats_.shed_shutdown;
         }
+        flight_record(FlightEventKind::kShed, cctx, to_string(*result));
+        flight_retain(cctx.request_id, "shed");
       } else {
         ++stats_.admitted;
+        flight_record(FlightEventKind::kAdmit, cctx, "primary");
         calls_.emplace(call->call_id, call);
         if (config_.hedge.enabled &&
             call->request.priority == Priority::kInteractive) {
@@ -216,6 +237,8 @@ std::optional<RejectReason> ShardRouter::dispatch_locked(
         if (*r != order.front() && !is_hedge) {
           ++stats_.failovers;
           count_metric("router.failovers");
+          flight_record(FlightEventKind::kFailover, call->last_dispatch_ctx,
+                        hop > 0 ? "cross_shard" : "in_shard");
         }
         if (crossed_shard || hop > 0) {
           ++stats_.cross_shard_failovers;
@@ -245,6 +268,17 @@ bool ShardRouter::submit_to_replica_locked(const std::shared_ptr<Call>& call,
   backend.id = dispatch_id;
   backend.cancel = d.cancel;
 
+  // Observability identity: client request id (stable across failover,
+  // hedging, promotion), this dispatch's ordinal, and where it landed.
+  RequestContext ctx;
+  ctx.active = true;
+  ctx.request_id = call->request.id;
+  ctx.attempt = call->dispatch_count++;
+  ctx.shard = static_cast<std::int32_t>(shard);
+  ctx.replica = static_cast<std::int32_t>(replica);
+  backend.ctx = ctx;
+  d.ctx = ctx;
+
   const std::shared_ptr<DiffService> service =
       sets_[shard]->replica(replica);
   const std::optional<RejectReason> reason =
@@ -253,14 +287,22 @@ bool ShardRouter::submit_to_replica_locked(const std::shared_ptr<Call>& call,
     // A shed — queue_full, shutdown (killed replica), circuit_open — is the
     // router-level health signal: it counts as a replica failure so a
     // replica that keeps shedding gets quarantined.
-    sets_[shard]->record_failure(replica, now_us());
+    const BreakerState before = sets_[shard]->breaker_state(replica);
+    const BreakerState after = sets_[shard]->record_failure(replica, now_us());
+    if (before != BreakerState::kOpen && after == BreakerState::kOpen) {
+      flight_record(FlightEventKind::kBreakerTrip, ctx, to_string(*reason));
+      flight_retain(ctx.request_id, "breaker_trip");
+    }
     return false;
   }
+  flight_record(FlightEventKind::kDispatch, ctx,
+                is_hedge ? "hedge" : "primary", dispatch_id);
   ++call->pending_dispatches;
   if (!is_hedge) {
     call->primary_shard = shard;
     call->primary_replica = replica;
   }
+  call->last_dispatch_ctx = ctx;
   call->dispatch_ids.push_back(dispatch_id);
   dispatches_.emplace(dispatch_id, std::move(d));
   return true;
@@ -286,9 +328,17 @@ void ShardRouter::on_replica_response(std::size_t shard, std::size_t replica,
       case ServiceResponse::Status::kCompleted:
         sets_[shard]->record_success(replica, now_us());
         break;
-      case ServiceResponse::Status::kFailed:
-        sets_[shard]->record_failure(replica, now_us());
+      case ServiceResponse::Status::kFailed: {
+        const BreakerState before = sets_[shard]->breaker_state(replica);
+        const BreakerState after =
+            sets_[shard]->record_failure(replica, now_us());
+        if (before != BreakerState::kOpen && after == BreakerState::kOpen) {
+          flight_record(FlightEventKind::kBreakerTrip, dispatch.ctx,
+                        "replica_failed");
+          flight_retain(dispatch.ctx.request_id, "breaker_trip");
+        }
         break;
+      }
       case ServiceResponse::Status::kRejected:
         sets_[shard]->release_probe(replica);
         break;
@@ -300,10 +350,13 @@ void ShardRouter::on_replica_response(std::size_t shard, std::size_t replica,
       if (dispatch.is_hedge) {
         ++stats_.hedges_lost;
         count_metric("router.hedges_lost");
+        flight_record(FlightEventKind::kHedgeLost, dispatch.ctx,
+                      to_string(response.status));
       }
       if (call->pending_dispatches == 0) calls_.erase(call->call_id);
     } else if (response.status == ServiceResponse::Status::kCompleted) {
-      finish_call_locked(call, response, dispatch.is_hedge, deliveries);
+      finish_call_locked(call, response, dispatch.is_hedge, dispatch.ctx,
+                         deliveries);
     } else if (call->pending_dispatches > 0) {
       // A failure, but a hedge twin is still running — it may yet rescue
       // the request.  Keep the more informative outcome for the case where
@@ -317,7 +370,8 @@ void ShardRouter::on_replica_response(std::size_t shard, std::size_t replica,
           call->provisional->status == ServiceResponse::Status::kFailed &&
           final_response.status != ServiceResponse::Status::kFailed)
         final_response = std::move(*call->provisional);
-      finish_call_locked(call, final_response, dispatch.is_hedge, deliveries);
+      finish_call_locked(call, final_response, dispatch.is_hedge,
+                         dispatch.ctx, deliveries);
     }
   }
   deliver(deliveries);
@@ -335,6 +389,7 @@ ServiceResponse ShardRouter::client_response_locked(
 void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
                                      const ServiceResponse& winner,
                                      bool winner_is_hedge,
+                                     const RequestContext& winner_ctx,
                                      std::vector<Delivery>& out) {
   call->finished = true;
 
@@ -350,6 +405,10 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
       winner.status == ServiceResponse::Status::kCompleted) {
     ++stats_.hedges_won;
     count_metric("router.hedges_won");
+    // A hedge win is an anomaly worth keeping whole: the retained timeline
+    // shows the slow primary, the hedge decision, and the win.
+    flight_record(FlightEventKind::kHedgeWon, winner_ctx);
+    flight_retain(winner_ctx.request_id, "hedge_won");
   }
 
   // The client's one response.
@@ -368,6 +427,9 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
       ++stats_.rejected;
       break;
   }
+  flight_record(FlightEventKind::kRespond, client_ctx(client.id),
+                to_string(client.status),
+                static_cast<std::uint64_t>(client.total_us));
   out.push_back({client});
 
   // Waiters.  A completed or failed outcome propagates typed to every
@@ -393,6 +455,9 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
         wr.reject_reason = RejectReason::kDeadlineExpired;
         ++stats_.waiter_deadline_sheds;
         ++stats_.rejected;
+        flight_record(FlightEventKind::kDeadlineExpired,
+                      client_ctx(waiter.request.id), "waiter");
+        flight_retain(waiter.request.id, "deadline_expired");
       } else {
         wr = winner;  // same diff bytes as the primary's response
         switch (wr.status) {
@@ -411,6 +476,9 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
       wr.priority = waiter.request.priority;
       wr.queue_us = 0.0;
       wr.total_us = us_between(waiter.arrived, now);
+      flight_record(FlightEventKind::kRespond, client_ctx(wr.id),
+                    to_string(wr.status),
+                    static_cast<std::uint64_t>(wr.total_us));
       out.push_back({std::move(wr)});
     }
     if (call->coalesce_registered) coalescer_.finish(call->ckey);
@@ -427,6 +495,12 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
         wr.total_us = us_between(waiter.arrived, now);
         ++stats_.waiter_deadline_sheds;
         ++stats_.rejected;
+        flight_record(FlightEventKind::kDeadlineExpired,
+                      client_ctx(wr.id), "waiter");
+        flight_retain(wr.id, "deadline_expired");
+        flight_record(FlightEventKind::kRespond, client_ctx(wr.id),
+                      to_string(wr.status),
+                      static_cast<std::uint64_t>(wr.total_us));
         out.push_back({std::move(wr)});
         continue;
       }
@@ -453,6 +527,9 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
         ++stats_.rejected;
         if (*reason == RejectReason::kShardDown)
           count_metric("router.shard_down_sheds");
+        flight_record(FlightEventKind::kRespond, client_ctx(wr.id),
+                      to_string(wr.status),
+                      static_cast<std::uint64_t>(wr.total_us));
         out.push_back({std::move(wr)});
         continue;
       }
@@ -463,6 +540,8 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
       calls_.emplace(next->call_id, next);
       ++stats_.coalesce_promotions;
       count_metric("router.coalesce_promotions");
+      flight_record(FlightEventKind::kCoalescePromoted,
+                    client_ctx(next->request.id), "", call->request.id);
       if (config_.hedge.enabled &&
           next->request.priority == Priority::kInteractive) {
         next->hedge_scheduled = true;
@@ -502,6 +581,8 @@ void ShardRouter::fire_hedge_locked(const std::shared_ptr<Call>& call,
   if (!hedge_budget_.try_spend()) {
     ++stats_.hedges_suppressed;
     count_metric("router.hedges_suppressed");
+    flight_record(FlightEventKind::kHedgeSuppressed,
+                  client_ctx(call->request.id), "budget");
     return;
   }
 
@@ -527,6 +608,8 @@ void ShardRouter::fire_hedge_locked(const std::shared_ptr<Call>& call,
       if (submit_to_replica_locked(call, shard, *r, /*is_hedge=*/true)) {
         ++stats_.hedges_fired;
         count_metric("router.hedges_fired");
+        flight_record(FlightEventKind::kHedgeFired, call->last_dispatch_ctx,
+                      hop == 0 ? "in_shard" : "cross_shard");
         return;
       }
     }
@@ -535,6 +618,8 @@ void ShardRouter::fire_hedge_locked(const std::shared_ptr<Call>& call,
   hedge_budget_.refund();
   ++stats_.hedges_unroutable;
   count_metric("router.hedges_unroutable");
+  flight_record(FlightEventKind::kHedgeUnroutable,
+                client_ctx(call->request.id));
 }
 
 void ShardRouter::hedge_loop() {

@@ -220,6 +220,13 @@ class ShardRouter {
     /// Best failure response seen so far while another dispatch is still
     /// pending (delivered only if nothing succeeds).
     std::optional<ServiceResponse> provisional;
+
+    /// Dispatch ordinal source: attempt 0 is the first backend submission,
+    /// 1+ are failover re-submissions and hedges (RequestContext::attempt).
+    std::uint32_t dispatch_count = 0;
+    /// Context of the most recent successful backend submission (flight
+    /// recorder: failover / hedge_fired events name where work landed).
+    RequestContext last_dispatch_ctx;
   };
 
   struct Dispatch {
@@ -228,6 +235,9 @@ class ShardRouter {
     std::size_t replica = 0;
     bool is_hedge = false;
     std::shared_ptr<std::atomic<bool>> cancel;
+    /// Identity stamped on the backend submission (client id + attempt +
+    /// shard/replica) — reused for hedge_won/hedge_lost flight events.
+    RequestContext ctx;
   };
 
   struct HedgeEntry {
@@ -259,8 +269,11 @@ class ShardRouter {
 
   /// Finishes `call` with the winning response; fans out to waiters,
   /// promotes on deadline expiry.  Lock held; deliveries collected.
+  /// `winner_ctx` is the winning dispatch's stamped context (flight
+  /// recorder: hedge_won is attributed to the replica that won).
   void finish_call_locked(const std::shared_ptr<Call>& call,
                           const ServiceResponse& winner, bool winner_is_hedge,
+                          const RequestContext& winner_ctx,
                           std::vector<Delivery>& out);
 
   /// Builds the client-visible response for `call` from `winner`.

@@ -21,6 +21,7 @@
 #include "core/image_diff.hpp"
 #include "core/stream_diff.hpp"
 #include "rle/rle_image.hpp"
+#include "telemetry/request_context.hpp"
 
 namespace sysrle {
 
@@ -126,6 +127,13 @@ struct ServiceRequest {
   /// When false the per-row outputs are discarded (load benches that only
   /// measure latency).
   bool keep_diff = true;
+
+  /// Observability identity (telemetry/request_context.hpp).  The shard
+  /// router stamps it on every backend submission (client id, dispatch
+  /// attempt, shard/replica); a standalone DiffService self-stamps an
+  /// unrouted context at admission.  Spans and flight-recorder events
+  /// recorded while the request runs carry this identity.
+  RequestContext ctx;
 };
 
 /// What happened to one admitted request.  Exactly one response is

@@ -23,9 +23,16 @@ void write_histogram(JsonWriter& w, const Histogram& h) {
   w.member("p99", s.p99());
   w.member("scale", h.spec().scale == HistogramSpec::Scale::kLog2 ? "log2"
                                                                   : "fixed");
+  const std::vector<std::uint64_t>& buckets = h.buckets();
+  // The full bucket layout, so consumers can reconstruct the distribution
+  // (and know which buckets were empty) without re-deriving the spec.
+  w.key("boundaries");
+  w.begin_array();
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    w.value(h.bucket_upper(i));
+  w.end_array();
   w.key("buckets");
   w.begin_array();
-  const std::vector<std::uint64_t>& buckets = h.buckets();
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     if (buckets[i] == 0) continue;  // sparse: empty buckets are implicit
     w.begin_object();
@@ -95,13 +102,22 @@ void write_chrome_trace(const SpanTracer& tracer, std::ostream& out) {
 
   for (const SpanEvent& e : tracer.snapshot()) {
     w.begin_object();
-    w.member("name", e.name);
+    w.member("name", e.label());
     w.member("cat", e.category);
     w.member("ph", "X");
     w.member("ts", e.ts_us);
     w.member("dur", e.dur_us);
     w.member("pid", 1);
     w.member("tid", static_cast<std::uint64_t>(e.tid));
+    if (e.ctx.active) {
+      w.key("args");
+      w.begin_object();
+      w.member("request_id", e.ctx.request_id);
+      w.member("attempt", static_cast<std::uint64_t>(e.ctx.attempt));
+      w.member("shard", static_cast<std::int64_t>(e.ctx.shard));
+      w.member("replica", static_cast<std::int64_t>(e.ctx.replica));
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -123,6 +139,166 @@ void write_chrome_trace_file(const SpanTracer& tracer,
   std::ofstream out(path, std::ios::binary);
   SYSRLE_REQUIRE(out.is_open(), "trace export: cannot open for write: " + path);
   write_chrome_trace(tracer, out);
+}
+
+namespace {
+
+// One compact JSON object for one flight event (no trailing newline).
+void write_flight_event_fields(JsonWriter& w, const FlightEvent& e) {
+  w.member("seq", e.seq);
+  w.member("ts_us", e.ts_us);
+  w.member("kind", to_string(e.kind));
+  w.member("active", e.ctx.active);
+  w.member("request_id", e.ctx.request_id);
+  w.member("attempt", static_cast<std::uint64_t>(e.ctx.attempt));
+  w.member("shard", static_cast<std::int64_t>(e.ctx.shard));
+  w.member("replica", static_cast<std::int64_t>(e.ctx.replica));
+  w.member("detail", e.detail);
+  w.member("arg", e.arg);
+}
+
+// Track id for flight events in the Chrome rendering: one lane per
+// (shard, replica), lane 0 for unrouted events.
+std::uint64_t flight_tid(const RequestContext& ctx) {
+  if (ctx.shard < 0) return 0;
+  const std::uint64_t replica =
+      ctx.replica < 0 ? 0 : static_cast<std::uint64_t>(ctx.replica);
+  return static_cast<std::uint64_t>(ctx.shard) * 100 + replica + 1;
+}
+
+}  // namespace
+
+void write_flight_jsonl(const FlightRecorder& recorder, std::ostream& out) {
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  const std::vector<FlightRecorder::RetainedTimeline> retained =
+      recorder.retained();
+  {
+    JsonWriter w(out, 0);
+    w.begin_object();
+    w.member("type", "header");
+    w.member("schema", kFlightSchema);
+    w.member("capacity", static_cast<std::uint64_t>(recorder.capacity()));
+    w.member("recorded", recorder.recorded());
+    w.member("dropped", recorder.dropped());
+    w.member("retained", static_cast<std::uint64_t>(retained.size()));
+    w.member("retain_dropped", recorder.retain_dropped());
+    w.end_object();
+    out << '\n';
+  }
+  for (const FlightEvent& e : events) {
+    JsonWriter w(out, 0);
+    w.begin_object();
+    w.member("type", "event");
+    write_flight_event_fields(w, e);
+    w.end_object();
+    out << '\n';
+  }
+  for (const FlightRecorder::RetainedTimeline& t : retained) {
+    JsonWriter w(out, 0);
+    w.begin_object();
+    w.member("type", "retained");
+    w.member("request_id", t.request_id);
+    w.member("anomaly", t.anomaly);
+    w.key("events");
+    w.begin_array();
+    for (const FlightEvent& e : t.events) {
+      w.begin_object();
+      write_flight_event_fields(w, e);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
+  SYSRLE_ENSURE(out.good(), "flight export: write failed");
+}
+
+void write_flight_jsonl_file(const FlightRecorder& recorder,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SYSRLE_REQUIRE(out.is_open(),
+                 "flight export: cannot open for write: " + path);
+  write_flight_jsonl(recorder, out);
+}
+
+void write_flight_chrome_trace(const FlightRecorder& recorder,
+                               std::ostream& out) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  w.begin_object();
+  w.member("name", "process_name");
+  w.member("ph", "M");
+  w.member("pid", 1);
+  w.member("tid", 0);
+  w.key("args");
+  w.begin_object();
+  w.member("name", "sysrle flight recorder");
+  w.end_object();
+  w.end_object();
+
+  for (const FlightEvent& e : recorder.snapshot()) {
+    const std::uint64_t tid = flight_tid(e.ctx);
+    w.begin_object();
+    w.member("name", to_string(e.kind));
+    w.member("cat", "flight");
+    w.member("ph", "i");
+    w.member("s", "t");
+    w.member("ts", e.ts_us);
+    w.member("pid", 1);
+    w.member("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.member("seq", e.seq);
+    w.member("request_id", e.ctx.request_id);
+    w.member("attempt", static_cast<std::uint64_t>(e.ctx.attempt));
+    w.member("detail", e.detail);
+    w.member("arg", e.arg);
+    w.end_object();
+    w.end_object();
+
+    // Flow arrows: a hedge_fired starts a flow under the request id; the
+    // hedge_won/hedge_lost resolution finishes it, so the viewer draws the
+    // hedge attempt connected to the primary it raced.
+    const bool flow_start = e.kind == FlightEventKind::kHedgeFired;
+    const bool flow_end = e.kind == FlightEventKind::kHedgeWon ||
+                          e.kind == FlightEventKind::kHedgeLost;
+    if (flow_start || flow_end) {
+      w.begin_object();
+      w.member("name", "hedge");
+      w.member("cat", "flight");
+      w.member("ph", flow_start ? "s" : "f");
+      if (flow_end) w.member("bp", "e");
+      w.member("id", e.ctx.request_id);
+      w.member("ts", e.ts_us);
+      w.member("pid", 1);
+      w.member("tid", tid);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.member("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.member("schema", kFlightSchema);
+  w.member("recorded", recorder.recorded());
+  w.member("dropped", recorder.dropped());
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+  SYSRLE_ENSURE(out.good(), "flight export: write failed");
+}
+
+void write_flight_chrome_trace_file(const FlightRecorder& recorder,
+                                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SYSRLE_REQUIRE(out.is_open(),
+                 "flight export: cannot open for write: " + path);
+  write_flight_chrome_trace(recorder, out);
 }
 
 }  // namespace sysrle

@@ -3,7 +3,10 @@
 //   * a JSON metrics snapshot ("sysrle.metrics.v1" — counters, gauges,
 //     histograms with moments, p50/p95/p99 and bucket counts), and
 //   * a Chrome trace_event file (the object form with "traceEvents"),
-//     loadable directly by chrome://tracing and Perfetto.
+//     loadable directly by chrome://tracing and Perfetto, and
+//   * flight-recorder dumps ("sysrle.flight.v1"): a JSONL stream of ring
+//     events and retained anomaly timelines, plus a Chrome trace rendering
+//     with flow events linking hedge attempts to their primaries.
 //
 // Schema versioning policy (docs/OBSERVABILITY.md): the "schema" string is
 // bumped whenever a field is removed or changes meaning; adding fields is
@@ -12,6 +15,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
@@ -19,6 +23,9 @@ namespace sysrle {
 
 /// Schema identifier embedded in every metrics snapshot.
 inline constexpr const char* kMetricsSchema = "sysrle.metrics.v1";
+
+/// Schema identifier on the header line of every flight-recorder JSONL dump.
+inline constexpr const char* kFlightSchema = "sysrle.flight.v1";
 
 /// Writes the snapshot as indented JSON.
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);
@@ -31,5 +38,23 @@ void write_metrics_json_file(const MetricsSnapshot& snapshot,
 void write_chrome_trace(const SpanTracer& tracer, std::ostream& out);
 void write_chrome_trace_file(const SpanTracer& tracer,
                              const std::string& path);
+
+/// Writes the recorder as JSONL ("sysrle.flight.v1"): one compact JSON
+/// object per line.  Line 1 is a header ("type":"header") with the schema
+/// and ring accounting; then every live ring event ("type":"event") in seq
+/// order; then one line per retained anomaly timeline ("type":"retained")
+/// carrying its events inline.  Grep-able and `json.loads`-able per line.
+void write_flight_jsonl(const FlightRecorder& recorder, std::ostream& out);
+void write_flight_jsonl_file(const FlightRecorder& recorder,
+                             const std::string& path);
+
+/// Writes the recorder as a Chrome trace: one instant event per flight
+/// event, tracked per shard/replica, with flow events ("ph":"s"/"f",
+/// id = request id) linking each hedge_fired to the hedge_won/hedge_lost
+/// resolution so the hedge's relationship to its primary is a drawn arrow.
+void write_flight_chrome_trace(const FlightRecorder& recorder,
+                               std::ostream& out);
+void write_flight_chrome_trace_file(const FlightRecorder& recorder,
+                                    const std::string& path);
 
 }  // namespace sysrle

@@ -1,0 +1,18 @@
+#include "telemetry/request_context.hpp"
+
+namespace sysrle {
+
+namespace {
+thread_local RequestContext t_current;
+}  // namespace
+
+const RequestContext& current_request_context() { return t_current; }
+
+RequestContextScope::RequestContextScope(const RequestContext& ctx)
+    : saved_(t_current) {
+  t_current = ctx;
+}
+
+RequestContextScope::~RequestContextScope() { t_current = saved_; }
+
+}  // namespace sysrle

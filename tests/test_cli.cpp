@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "bitmap/convert.hpp"
@@ -527,7 +528,7 @@ TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {
   const CliRun r = cli({"serve", "--requests", reqs, "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v2");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v3");
   EXPECT_DOUBLE_EQ(root.at("params").at("requests").number, 3.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 1.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 1.0);
@@ -546,6 +547,18 @@ TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {
   EXPECT_GT(root.at("rows_processed").number, 0.0);
   EXPECT_GT(root.at("latency_us_interactive").at("count").number, 0.0);
   EXPECT_GT(root.at("latency_us_batch").at("count").number, 0.0);
+  // v3 additions: the SLO block is always present; the flight block is null
+  // until --flight-recorder turns the recorder on.
+  EXPECT_DOUBLE_EQ(root.at("params").at("slo_p99_ms").number, 50.0);
+  EXPECT_DOUBLE_EQ(root.at("params").at("flight_recorder").number, 0.0);
+  const JsonValue& slo = root.at("slo");
+  EXPECT_DOUBLE_EQ(slo.at("target_p99_ms").number, 50.0);
+  EXPECT_DOUBLE_EQ(slo.at("objective").number, 0.99);
+  // The SLO plane tracks the interactive class; this workload has one
+  // interactive request among the three.
+  EXPECT_DOUBLE_EQ(slo.at("good").number + slo.at("bad").number, 1.0);
+  EXPECT_GE(slo.at("burn_rate_long").number, 0.0);
+  EXPECT_TRUE(root.at("flight").is_null());
 }
 
 TEST_F(CliFixture, ServeMultiShardTopologyRoutesAndStaysAccounted) {
@@ -559,7 +572,7 @@ TEST_F(CliFixture, ServeMultiShardTopologyRoutesAndStaysAccounted) {
                         "--replicas", "2", "--hedge-ms", "50", "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v2");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v3");
   EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("hedge_ms").number, 50.0);
@@ -620,6 +633,85 @@ TEST_F(CliFixture, ServeRequiresRequestsFlag) {
   const CliRun r = cli({"serve"});
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.err.find("--requests"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeFlightRecorderExportsJsonlAndKillShowsInReport) {
+  std::string lines;
+  for (int i = 0; i < 6; ++i)
+    lines += (i % 2 ? "batch 4 200 0.02\n" : "interactive 4 200 0.02\n");
+  const std::string reqs = write_requests_file("serve_flight.txt", lines);
+  const std::string jsonl = tmp_path("flight.jsonl");
+  const std::string trace = tmp_path("flight_trace.json");
+  const CliRun r = cli({"serve", "--requests", reqs, "--shards", "1",
+                        "--replicas", "2", "--flight-recorder", "1024",
+                        "--flight-out", jsonl, "--flight-trace", trace,
+                        "--kill-replica", "0.1@3", "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v3");
+  EXPECT_EQ(root.at("params").at("kill_replica").string, "0.1@3");
+  EXPECT_DOUBLE_EQ(root.at("params").at("flight_recorder").number, 1024.0);
+  const JsonValue& flight = root.at("flight");
+  EXPECT_DOUBLE_EQ(flight.at("capacity").number, 1024.0);
+  EXPECT_GT(flight.at("recorded").number, 0.0);
+  EXPECT_DOUBLE_EQ(flight.at("dropped").number, 0.0);
+  EXPECT_TRUE(root.at("accounting_ok").boolean);
+
+  // The JSONL file: a schema header, then one parseable object per line,
+  // with every offered request represented among the events.
+  std::ifstream in(jsonl);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const JsonValue header = parse_json(line);
+  EXPECT_EQ(header.at("type").string, "header");
+  EXPECT_EQ(header.at("schema").string, "sysrle.flight.v1");
+  std::set<double> rids;
+  while (std::getline(in, line)) {
+    const JsonValue v = parse_json(line);
+    if (v.at("type").string == "event" && v.at("active").boolean)
+      rids.insert(v.at("request_id").number);
+  }
+  EXPECT_EQ(rids.size(), 6u) << "every offered request has flight events";
+
+  // The Chrome rendering parses and contains flight instants.
+  const JsonValue troot = parse_json(slurp(trace));
+  EXPECT_GE(troot.at("traceEvents").array.size(), 2u);
+}
+
+TEST_F(CliFixture, ServeRejectsBadObservabilityFlags) {
+  const std::string reqs =
+      write_requests_file("serve_obs.txt", "batch 2 100 0.0\n");
+  const CliRun neg = cli({"serve", "--requests", reqs, "--flight-recorder",
+                          "-1"});
+  EXPECT_EQ(neg.exit_code, 2);
+  EXPECT_NE(neg.err.find("--flight-recorder"), std::string::npos);
+
+  // Flight outputs without the recorder are a contradiction, not a no-op.
+  const CliRun orphan = cli({"serve", "--requests", reqs, "--flight-out",
+                             tmp_path("orphan.jsonl")});
+  EXPECT_EQ(orphan.exit_code, 2);
+  EXPECT_NE(orphan.err.find("--flight-recorder"), std::string::npos);
+
+  const CliRun slo = cli({"serve", "--requests", reqs, "--slo-p99-ms", "0"});
+  EXPECT_EQ(slo.exit_code, 2);
+  EXPECT_NE(slo.err.find("--slo-p99-ms"), std::string::npos);
+
+  for (const char* bad : {"banana", "1.2", "0.0", "9.9@1"}) {
+    const CliRun r =
+        cli({"serve", "--requests", reqs, "--kill-replica", bad});
+    EXPECT_EQ(r.exit_code, 2) << bad;
+    EXPECT_NE(r.err.find("--kill-replica"), std::string::npos) << bad;
+  }
+
+  // Unwritable flight destinations fail before any serving happens.
+  const std::string bad_path = tmp_path("no_dir") + "/flight.jsonl";
+  const CliRun unwritable =
+      cli({"serve", "--requests", reqs, "--flight-recorder", "64",
+           "--flight-out", bad_path});
+  EXPECT_EQ(unwritable.exit_code, 2);
+  EXPECT_NE(unwritable.err.find(bad_path), std::string::npos);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rle/ops.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
 
@@ -419,6 +420,89 @@ TEST(ShardRouter, HedgeSuppressedWhenBudgetIsExhausted) {
   EXPECT_EQ(st.hedges_suppressed, 1u);
   EXPECT_EQ(st.completed, 1u);
   EXPECT_TRUE(st.accounted());
+}
+
+TEST(ShardRouter, HedgeWinLeavesARetainedFlightTimeline) {
+  // End-to-end flight-recorder integration: force a deterministic hedge win
+  // (the primary's replica is pinned by an engine that never finishes until
+  // the hedge has won) and assert the recorder retained the full story —
+  // admit, both dispatches, hedge_fired, hedge_won, respond — keyed by the
+  // client's request id.
+  FlightRecorder flight(1 << 10);
+  set_flight_recorder(&flight);
+
+  Collector collector;
+  RouterConfig cfg = small_router(1, 2, /*hedge_enabled=*/true);
+  cfg.hedge.fixed_delay_us = 2000;
+  cfg.coalesce = false;
+  {
+    ShardRouter router(cfg, collector.callback());
+    const Workload w = make_workload(23, /*rows=*/4, /*width=*/128);
+    ServiceRequest req = make_request(w, 77, Priority::kInteractive);
+    std::atomic<int> dispatches{0};
+    req.engine_override = [&dispatches](const RleRow& a, const RleRow& b,
+                                        SystolicCounters&) {
+      // First dispatch (the primary) stalls each row; the hedge runs clean
+      // and wins.
+      if (dispatches.fetch_add(1) == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return xor_rows(a, b);
+    };
+    ASSERT_FALSE(router.try_submit(std::move(req)).has_value());
+    collector.wait_for(1);
+    router.drain();
+
+    const RouterStats st = router.stats();
+    ASSERT_EQ(st.hedges_fired, 1u);
+    ASSERT_EQ(st.hedges_won, 1u);
+    EXPECT_TRUE(st.accounted());
+  }
+  set_flight_recorder(nullptr);
+
+  // The ring reconstructs the request end to end under the client id.
+  const std::vector<FlightEvent> timeline = flight.timeline(77);
+  ASSERT_FALSE(timeline.empty());
+  int dispatches_seen = 0;
+  bool fired = false, won = false, responded = false;
+  std::uint32_t hedge_attempt = 0;
+  for (const FlightEvent& e : timeline) {
+    switch (e.kind) {
+      case FlightEventKind::kDispatch:
+        ++dispatches_seen;
+        break;
+      case FlightEventKind::kHedgeFired:
+        fired = true;
+        break;
+      case FlightEventKind::kHedgeWon:
+        won = true;
+        hedge_attempt = e.ctx.attempt;
+        EXPECT_GE(e.ctx.shard, 0);
+        EXPECT_GE(e.ctx.replica, 0);
+        break;
+      case FlightEventKind::kRespond:
+        // Backend-level responds (routed ctx) include the cancelled loser's
+        // rejection; the client-visible delivery is the unrouted one.
+        if (e.ctx.shard < 0) {
+          responded = true;
+          EXPECT_STREQ(e.detail, "completed");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(dispatches_seen, 2) << "primary + hedge";
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(won);
+  EXPECT_TRUE(responded);
+  EXPECT_GE(hedge_attempt, 1u) << "the hedge is never dispatch ordinal 0";
+
+  // ... and the win was anomaly-retained, surviving any later ring wrap.
+  bool retained_win = false;
+  for (const FlightRecorder::RetainedTimeline& t : flight.retained())
+    if (t.request_id == 77 && t.anomaly == "hedge_won" && !t.events.empty())
+      retained_win = true;
+  EXPECT_TRUE(retained_win);
 }
 
 TEST(ShardRouter, MixedBurstWithEverythingEnabledStaysAccounted) {

@@ -337,6 +337,87 @@ TEST_F(TelemetryTest, MetricsJsonExportRoundTrips) {
   EXPECT_DOUBLE_EQ(total, 4.0);
 }
 
+TEST_F(TelemetryTest, HistogramExportListsAllBucketBoundaries) {
+  MetricsRegistry m;
+  HistogramSpec spec;
+  spec.scale = HistogramSpec::Scale::kFixed;
+  spec.bucket_width = 10.0;
+  spec.bucket_count = 4;
+  m.observe("lat", 5.0, spec);
+  m.observe("lat", 35.0);
+
+  std::ostringstream os;
+  write_metrics_json(m.snapshot(), os);
+  const JsonValue root = parse_json(os.str());
+  const JsonValue& h = root.at("histograms").at("lat");
+
+  // The dense boundaries array names every bucket's upper edge, so a reader
+  // can reconstruct the full layout even though "buckets" is sparse.
+  const JsonValue& bounds = h.at("boundaries");
+  ASSERT_EQ(bounds.array.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(bounds.array[i].number, 10.0 * static_cast<double>(i + 1));
+  // Every sparse bucket's le appears among the boundaries.
+  for (const JsonValue& b : h.at("buckets").array) {
+    bool found = false;
+    for (const JsonValue& edge : bounds.array)
+      if (edge.number == b.at("le").number) found = true;
+    EXPECT_TRUE(found) << "le " << b.at("le").number;
+  }
+}
+
+TEST_F(TelemetryTest, EmptyTracerExportsMetadataOnlyTrace) {
+  SpanTracer t;
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const JsonValue root = parse_json(os.str());
+  ASSERT_EQ(root.at("traceEvents").array.size(), 1u);  // metadata only
+  EXPECT_EQ(root.at("traceEvents").array[0].at("ph").string, "M");
+  EXPECT_DOUBLE_EQ(root.at("otherData").at("dropped_events").number, 0.0);
+}
+
+TEST_F(TelemetryTest, EmptyMetricsExportIsWellFormed) {
+  MetricsRegistry m;
+  std::ostringstream os;
+  write_metrics_json(m.snapshot(), os);
+  const JsonValue root = parse_json(os.str());
+  EXPECT_EQ(root.at("schema").string, "sysrle.metrics.v1");
+  EXPECT_TRUE(root.at("counters").object.empty());
+  EXPECT_TRUE(root.at("gauges").object.empty());
+  EXPECT_TRUE(root.at("histograms").object.empty());
+}
+
+TEST_F(TelemetryTest, ExportersRunConcurrentlyWithRecorders) {
+  // Exercised under -fsanitize=thread in CI: snapshot-based exporters must
+  // be safe while recording threads are still hot.  A small tracer keeps
+  // each export (and its parse) cheap while the hammer runs.
+  MetricsRegistry metrics;
+  SpanTracer tracer(512);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, &metrics, &tracer] {
+      std::uint64_t i = 0;
+      while (!stop.load()) {
+        metrics.add("race.count");
+        metrics.observe("race.hist", static_cast<double>(i % 32));
+        tracer.record_owned("race.span", "test", i, 1);
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 20; ++round) {
+    std::ostringstream metrics_os, trace_os;
+    write_metrics_json(metrics.snapshot(), metrics_os);
+    write_chrome_trace(tracer, trace_os);
+    // Both exports parse mid-hammer.
+    (void)parse_json(metrics_os.str());
+    (void)parse_json(trace_os.str());
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
 TEST_F(TelemetryTest, ChromeTraceExportIsWellFormed) {
   SpanTracer t;
   t.record("row_diff", "image", 50, 10);
