@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -25,6 +26,8 @@
 #include "rle/serialize.hpp"
 #include "service/service.hpp"
 #include "service/shard_router.hpp"
+#include "store/image_store.hpp"
+#include "store/result_cache.hpp"
 #include "systolic/verilog_gen.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/json_writer.hpp"
@@ -663,10 +666,54 @@ struct ServeSpec {
   std::int64_t deadline_ms = -1;  ///< -1: use the command-wide default
 };
 
-/// Parses "priority rows width error [deadline_ms]" (# comments and blank
-/// lines skipped); errors name the offending line.
-std::vector<ServeSpec> parse_serve_requests(std::istream& in) {
-  std::vector<ServeSpec> specs;
+/// `register <name> <rows> <width> [density]`: generate an image and put it
+/// in the session's ImageStore under <name> (store mode only).
+struct RegisterSpec {
+  std::string name;
+  std::int64_t rows = 64;
+  std::int64_t width = 1024;
+  double density = 0.30;
+};
+
+/// `diff-handles <priority> <a> <b> [deadline_ms]`: diff two registered
+/// images by handle (store mode only).
+struct HandleDiffSpec {
+  Priority priority = Priority::kBatch;
+  std::string a;
+  std::string b;
+  std::int64_t deadline_ms = -1;
+};
+
+/// One line of a serve request file: a plain generated-pair spec, or (in
+/// --store mode) a store verb.  `wait` blocks submission until every
+/// previously submitted request has been delivered — it separates
+/// concurrent identical diffs (coalesced) from sequential ones (cache
+/// hits) deterministically.
+struct ServeAction {
+  enum class Kind { kSpec, kRegister, kDiffHandles, kWait };
+  Kind kind = Kind::kSpec;
+  ServeSpec spec;
+  RegisterSpec reg;
+  HandleDiffSpec diff;
+};
+
+Priority parse_priority(const std::string& prio, std::size_t lineno) {
+  if (prio == "interactive") return Priority::kInteractive;
+  if (prio == "batch") return Priority::kBatch;
+  usage_error("serve: request line " + std::to_string(lineno) +
+              ": unknown priority '" + prio + "' (interactive|batch)");
+}
+
+/// Parses a serve request file (# comments and blank lines skipped); errors
+/// name the offending line.  Plain lines are
+/// "priority rows width error [deadline_ms]"; with `store_mode` the verbs
+/// "register <name> <rows> <width> [density]" and
+/// "diff-handles <priority> <a> <b> [deadline_ms]" (trailing ':' on the
+/// verb accepted) are also understood.  Without store mode the verbs are a
+/// usage error naming the missing flag, not a silent misparse.
+std::vector<ServeAction> parse_serve_actions(std::istream& in,
+                                             bool store_mode) {
+  std::vector<ServeAction> actions;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -674,27 +721,70 @@ std::vector<ServeSpec> parse_serve_requests(std::istream& in) {
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (!head.empty() && head.back() == ':') head.pop_back();
+    if (head == "register" || head == "diff-handles" || head == "wait") {
+      if (!store_mode)
+        usage_error("serve: request line " + std::to_string(lineno) + ": '" +
+                    head + "' requires --store");
+      ServeAction a;
+      if (head == "wait") {
+        a.kind = ServeAction::Kind::kWait;
+        std::string extra;
+        if (ls >> extra)
+          usage_error("serve: request line " + std::to_string(lineno) +
+                      ": 'wait' takes no operands");
+        actions.push_back(std::move(a));
+        continue;
+      }
+      if (head == "register") {
+        a.kind = ServeAction::Kind::kRegister;
+        ls >> a.reg.name >> a.reg.rows >> a.reg.width;
+        if (!ls || a.reg.name.empty())
+          usage_error("serve: request line " + std::to_string(lineno) +
+                      " must be 'register <name> <rows> <width> [density]'");
+        if (!(ls >> a.reg.density)) a.reg.density = 0.30;
+        if (a.reg.rows < 1 || a.reg.width < 1)
+          usage_error("serve: request line " + std::to_string(lineno) +
+                      ": rows and width must be >= 1");
+        if (a.reg.density <= 0.0 || a.reg.density >= 1.0)
+          usage_error("serve: request line " + std::to_string(lineno) +
+                      ": density must be in (0, 1)");
+      } else {
+        a.kind = ServeAction::Kind::kDiffHandles;
+        std::string prio;
+        ls >> prio >> a.diff.a >> a.diff.b;
+        if (!ls || a.diff.a.empty() || a.diff.b.empty())
+          usage_error(
+              "serve: request line " + std::to_string(lineno) +
+              " must be 'diff-handles <priority> <a> <b> [deadline_ms]'");
+        if (!(ls >> a.diff.deadline_ms)) a.diff.deadline_ms = -1;
+        a.diff.priority = parse_priority(prio, lineno);
+      }
+      actions.push_back(std::move(a));
+      continue;
+    }
+    ServeAction a;
+    a.kind = ServeAction::Kind::kSpec;
+    ServeSpec& s = a.spec;
+    std::istringstream sl(line);
     std::string prio;
-    ServeSpec s;
-    ls >> prio >> s.rows >> s.width >> s.error_fraction;
-    if (!ls)
+    sl >> prio >> s.rows >> s.width >> s.error_fraction;
+    if (!sl)
       usage_error("serve: request line " + std::to_string(lineno) +
                   " must be 'priority rows width error [deadline_ms]'");
-    if (!(ls >> s.deadline_ms)) s.deadline_ms = -1;
-    if (prio == "interactive") s.priority = Priority::kInteractive;
-    else if (prio == "batch") s.priority = Priority::kBatch;
-    else
-      usage_error("serve: request line " + std::to_string(lineno) +
-                  ": unknown priority '" + prio + "' (interactive|batch)");
+    if (!(sl >> s.deadline_ms)) s.deadline_ms = -1;
+    s.priority = parse_priority(prio, lineno);
     if (s.rows < 1 || s.width < 1)
       usage_error("serve: request line " + std::to_string(lineno) +
                   ": rows and width must be >= 1");
     if (s.error_fraction < 0.0 || s.error_fraction > 1.0)
       usage_error("serve: request line " + std::to_string(lineno) +
                   ": error must be in [0, 1]");
-    specs.push_back(s);
+    actions.push_back(std::move(a));
   }
-  return specs;
+  return actions;
 }
 
 /// Parsed --kill-replica S.R@K: kill shard S's replica R once K requests
@@ -724,14 +814,16 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   args.parse({"--requests", "--workers", "--queue-cap", "--deadline-ms",
               "--seed", "--engine", "--shards", "--replicas", "--hedge-ms",
               "--flight-recorder", "--flight-out", "--flight-trace",
-              "--slo-p99-ms", "--kill-replica"});
+              "--slo-p99-ms", "--kill-replica", "--store-cap-mb",
+              "--cache-cap-mb"});
   if (!args.positional().empty() || !args.has("--requests"))
     usage_error(
         "serve --requests <file|-> [--workers N] [--queue-cap M] "
         "[--deadline-ms D] [--seed S] [--engine E] [--shards N] "
         "[--replicas R] [--hedge-ms H] [--flight-recorder N] "
         "[--flight-out FILE] [--flight-trace FILE] [--slo-p99-ms D] "
-        "[--kill-replica S.R@K] [--checked] [--json]");
+        "[--kill-replica S.R@K] [--store] [--store-cap-mb N] "
+        "[--cache-cap-mb N] [--checked] [--json]");
   const std::string requests_path = args.get("--requests", "-");
   const std::int64_t workers = args.get_int("--workers", 2);
   const std::int64_t queue_cap = args.get_int("--queue-cap", 64);
@@ -744,12 +836,21 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   const std::string flight_out = args.get("--flight-out", "");
   const std::string flight_trace = args.get("--flight-trace", "");
   const std::int64_t slo_p99_ms = args.get_int("--slo-p99-ms", 50);
+  const bool use_store = args.has("--store");
+  const std::int64_t store_cap_mb = args.get_int("--store-cap-mb", 64);
+  const std::int64_t cache_cap_mb = args.get_int("--cache-cap-mb", 16);
   if (workers < 0) usage_error("--workers must be >= 0 (0 = auto)");
   if (queue_cap < 1) usage_error("--queue-cap must be >= 1");
   if (default_deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
   if (shards < 1) usage_error("--shards must be >= 1");
   if (replicas < 1) usage_error("--replicas must be >= 1");
   if (hedge_ms < 0) usage_error("--hedge-ms must be >= 0 (0 = adaptive p99)");
+  if (!use_store && args.has("--store-cap-mb"))
+    usage_error("--store-cap-mb requires --store");
+  if (!use_store && args.has("--cache-cap-mb"))
+    usage_error("--cache-cap-mb requires --store");
+  if (store_cap_mb < 1) usage_error("--store-cap-mb must be >= 1");
+  if (cache_cap_mb < 1) usage_error("--cache-cap-mb must be >= 1");
   if (flight_cap < 0)
     usage_error("--flight-recorder must be >= 0 (0 = off; N = ring slots)");
   if (flight_cap == 0 && (!flight_out.empty() || !flight_trace.empty()))
@@ -771,13 +872,33 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
       throw contract_error("cannot open flight output for writing: " + *path);
   }
 
-  std::vector<ServeSpec> specs;
+  std::vector<ServeAction> actions;
   if (requests_path == "-") {
-    specs = parse_serve_requests(std::cin);
+    actions = parse_serve_actions(std::cin, use_store);
   } else {
     std::ifstream in(requests_path);
     SYSRLE_REQUIRE(in.is_open(), "cannot open: " + requests_path);
-    specs = parse_serve_requests(in);
+    actions = parse_serve_actions(in, use_store);
+  }
+  std::uint64_t n_requests = 0;
+  for (const ServeAction& a : actions)
+    if (a.kind == ServeAction::Kind::kSpec ||
+        a.kind == ServeAction::Kind::kDiffHandles)
+      ++n_requests;
+
+  // Store-mode session state: the persistent image store and the
+  // content-addressed result cache shared by every shard of the router.
+  std::shared_ptr<ImageStore> store;
+  std::shared_ptr<ResultCache> cache;
+  if (use_store) {
+    StoreConfig sc;
+    sc.capacity_bytes =
+        static_cast<std::size_t>(store_cap_mb) * (std::size_t{1} << 20);
+    store = std::make_shared<ImageStore>(sc);
+    CacheConfig cc;
+    cc.capacity_bytes =
+        static_cast<std::size_t>(cache_cap_mb) * (std::size_t{1} << 20);
+    cache = std::make_shared<ResultCache>(cc);
   }
 
   RouterConfig rcfg;
@@ -795,6 +916,8 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   // every hedge would be unroutable noise.
   rcfg.hedge.enabled = rcfg.shards * rcfg.replicas > 1;
   rcfg.hedge.fixed_delay_us = static_cast<std::uint64_t>(hedge_ms) * 1000;
+  rcfg.store = store;
+  rcfg.cache = cache;
 
   ImageDiffOptions options;
   options.engine = parse_engine(args.get("--engine", "systolic"));
@@ -820,13 +943,30 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
             .count());
   };
 
+  // Per-request outcome of a `diff-handles` line, for the handle_diffs
+  // report: the store-session smoke asserts the second identical diff is a
+  // cache hit with a bit-identical payload via diff_fingerprint.
+  struct HandleOutcome {
+    std::string a;
+    std::string b;
+    std::string status = "pending";
+    bool from_cache = false;
+    std::uint64_t diff_fingerprint = 0;
+    std::uint64_t rows_processed = 0;
+  };
+
   // Per-class latency of delivered responses; the router and service
   // metrics cover the queue and shed sides.
   std::mutex mu;
+  std::condition_variable delivered_cv;
+  std::uint64_t delivered = 0;  ///< responses seen (for the `wait` verb)
   RunningStat latency_us[2];
   std::uint64_t rows_done = 0;
+  std::map<std::uint64_t, HandleOutcome> handle_diffs;
   ShardRouter router(rcfg, [&](ServiceResponse r) {
     std::lock_guard<std::mutex> lk(mu);
+    ++delivered;
+    delivered_cv.notify_all();
     if (r.priority == Priority::kInteractive) {
       if (r.status == ServiceResponse::Status::kCompleted)
         slo.record(slo_now_us(), static_cast<std::uint64_t>(r.total_us));
@@ -836,36 +976,107 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     if (r.status != ServiceResponse::Status::kRejected)
       latency_us[r.priority == Priority::kInteractive ? 0 : 1].add(r.total_us);
     rows_done += r.rows_processed;
+    const auto it = handle_diffs.find(r.id);
+    if (it != handle_diffs.end()) {
+      HandleOutcome& h = it->second;
+      switch (r.status) {
+        case ServiceResponse::Status::kCompleted: h.status = "completed"; break;
+        case ServiceResponse::Status::kFailed: h.status = "failed"; break;
+        case ServiceResponse::Status::kRejected: h.status = "rejected"; break;
+      }
+      h.from_cache = r.from_cache;
+      h.rows_processed = r.rows_processed;
+      if (r.status == ServiceResponse::Status::kCompleted)
+        h.diff_fingerprint = canonical_fingerprint(r.diff);
+    }
   });
 
   Rng gen_rng(static_cast<std::uint64_t>(seed));
   std::uint64_t next_id = 0;
-  for (const ServeSpec& s : specs) {
+  std::uint64_t expected_responses = 0;
+  std::map<std::string, ImageHandle> handles;  // register: latest wins
+  std::uint64_t registered_lines = 0;
+  for (const ServeAction& action : actions) {
+    if (action.kind == ServeAction::Kind::kWait) {
+      std::unique_lock<std::mutex> lk(mu);
+      delivered_cv.wait(lk, [&] { return delivered >= expected_responses; });
+      continue;
+    }
+    if (action.kind == ServeAction::Kind::kRegister) {
+      const RegisterSpec& g = action.reg;
+      Rng rng = gen_rng.split();
+      RowGenParams gp;
+      gp.width = g.width;
+      gp.density = g.density;
+      const RleImage image = generate_image(rng, g.rows, gp);
+      const ImageStore::RegisterResult rr = store->register_image(image);
+      if (!rr.ok)
+        throw contract_error("serve: register '" + g.name +
+                             "' refused by the store (fingerprint collision)");
+      handles[g.name] = rr.handle;
+      ++registered_lines;
+      continue;
+    }
     if (kill && next_id == kill->after)
       router.kill_replica(kill->shard, kill->replica);
     ServiceRequest req;
     req.id = next_id++;
-    req.priority = s.priority;
-    const std::int64_t dl =
-        s.deadline_ms >= 0 ? s.deadline_ms : default_deadline_ms;
-    if (dl > 0) req.deadline = Deadline::after_ms(dl);
     req.options = options;
-    req.keep_diff = false;
-    Rng rng = gen_rng.split();
-    RowGenParams gp;
-    gp.width = s.width;
-    req.reference = generate_image(rng, s.rows, gp);
-    RleImage scan(s.width, s.rows);
-    ErrorGenParams ep;
-    ep.error_fraction = s.error_fraction;
-    for (pos_t y = 0; y < s.rows; ++y)
-      scan.set_row(y, inject_errors(rng, req.reference.row(y), s.width, ep));
-    req.scan = std::move(scan);
+    Priority prio = Priority::kBatch;
+    if (action.kind == ServeAction::Kind::kDiffHandles) {
+      const HandleDiffSpec& d = action.diff;
+      prio = d.priority;
+      req.priority = d.priority;
+      const std::int64_t dl =
+          d.deadline_ms >= 0 ? d.deadline_ms : default_deadline_ms;
+      if (dl > 0) req.deadline = Deadline::after_ms(dl);
+      const auto ia = handles.find(d.a);
+      const auto ib = handles.find(d.b);
+      if (ia == handles.end() || ib == handles.end())
+        usage_error("serve: diff-handles names an unregistered image '" +
+                    (ia == handles.end() ? d.a : d.b) + "'");
+      req.ref_handle = ia->second;
+      req.scan_handle = ib->second;
+      req.keep_diff = true;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        HandleOutcome h;
+        h.a = d.a;
+        h.b = d.b;
+        handle_diffs.emplace(req.id, std::move(h));
+      }
+    } else {
+      const ServeSpec& s = action.spec;
+      prio = s.priority;
+      req.priority = s.priority;
+      const std::int64_t dl =
+          s.deadline_ms >= 0 ? s.deadline_ms : default_deadline_ms;
+      if (dl > 0) req.deadline = Deadline::after_ms(dl);
+      req.keep_diff = false;
+      Rng rng = gen_rng.split();
+      RowGenParams gp;
+      gp.width = s.width;
+      req.reference = generate_image(rng, s.rows, gp);
+      RleImage scan(s.width, s.rows);
+      ErrorGenParams ep;
+      ep.error_fraction = s.error_fraction;
+      for (pos_t y = 0; y < s.rows; ++y)
+        scan.set_row(y, inject_errors(rng, req.reference.row(y), s.width, ep));
+      req.scan = std::move(scan);
+    }
+    const std::uint64_t req_id = req.id;
     // Synchronous sheds are interactive SLO breaches too: the client got a
     // refusal, not a result.  Counted here because no response follows.
     const std::optional<RejectReason> shed = router.try_submit(std::move(req));
-    if (shed && s.priority == Priority::kInteractive)
-      slo.record_breach(slo_now_us());
+    if (shed) {
+      if (prio == Priority::kInteractive) slo.record_breach(slo_now_us());
+      std::lock_guard<std::mutex> lk(mu);
+      const auto it = handle_diffs.find(req_id);
+      if (it != handle_diffs.end())
+        it->second.status = std::string("shed_") + to_string(*shed);
+    } else {
+      ++expected_responses;
+    }
   }
   router.drain();
   if (flight) set_flight_recorder(nullptr);
@@ -886,10 +1097,11 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   if (args.has("--json")) {
     JsonWriter w(out);
     w.begin_object();
-    w.member("schema", "sysrle.serve.v3");
+    w.member("schema", "sysrle.serve.v4");
     w.key("params");
     w.begin_object();
-    w.member("requests", static_cast<std::uint64_t>(specs.size()));
+    w.member("requests", n_requests);
+    w.member("registers", registered_lines);
     w.member("workers", workers);
     w.member("queue_cap", queue_cap);
     w.member("deadline_ms", default_deadline_ms);
@@ -900,6 +1112,9 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("hedge_ms", hedge_ms);
     w.member("slo_p99_ms", slo_p99_ms);
     w.member("flight_recorder", flight_cap);
+    w.member("store", use_store);
+    w.member("store_cap_mb", store_cap_mb);
+    w.member("cache_cap_mb", cache_cap_mb);
     if (kill)
       w.member("kill_replica",
                std::to_string(kill->shard) + "." +
@@ -918,6 +1133,7 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("shutdown", rt.shed_shutdown);
     w.member("deadline_at_submit", rt.shed_deadline_at_submit);
     w.member("shard_down", rt.shed_shard_down);
+    w.member("unknown_handle", rt.shed_unknown_handle);
     w.member("total", rt.shed_submit_total());
     w.end_object();
     w.key("router");
@@ -933,6 +1149,9 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("coalesce_promotions", rt.coalesce_promotions);
     w.member("coalesce_collisions", rt.coalesce_collisions);
     w.member("waiter_deadline_sheds", rt.waiter_deadline_sheds);
+    w.member("cache_hits", rt.cache_hits);
+    w.member("cache_misses", rt.cache_misses);
+    w.member("cache_stores", rt.cache_stores);
     w.member("hedge_delay_us", router.current_hedge_delay_us());
     w.end_object();
     // Backend view, aggregated over every replica DiffService.
@@ -956,7 +1175,74 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("retries", st.retries);
     w.member("retry_budget_exhausted", st.retry_budget_exhausted);
     w.member("fallback_rows", st.fallback_rows);
+    w.member("engine_invocations", st.engine_invocations);
     w.end_object();
+    // Store-session accounting (null without --store): the zero-leak
+    // identities registered == resident + evicted and
+    // lookups == hits + misses.
+    w.key("store");
+    if (store) {
+      const StoreStats ss = store->stats();
+      const SlabArena::Stats as = store->arena_stats();
+      w.begin_object();
+      w.member("registered", ss.registered);
+      w.member("dedup_hits", ss.dedup_hits);
+      w.member("collisions", ss.collisions);
+      w.member("evicted", ss.evicted);
+      w.member("evict_blocked_by_pin", ss.evict_blocked_by_pin);
+      w.member("acquires", ss.acquires);
+      w.member("lookup_misses", ss.lookup_misses);
+      w.member("resident", static_cast<std::uint64_t>(ss.resident));
+      w.member("resident_bytes",
+               static_cast<std::uint64_t>(ss.resident_bytes));
+      w.member("arena_live_bytes", static_cast<std::uint64_t>(as.live_bytes));
+      w.member("arena_reserved_bytes",
+               static_cast<std::uint64_t>(as.reserved_bytes));
+      w.member("accounting_ok", ss.accounted());
+      w.end_object();
+    } else {
+      w.null();
+    }
+    w.key("cache");
+    if (cache) {
+      const CacheStats cs = cache->stats();
+      w.begin_object();
+      w.member("lookups", cs.lookups);
+      w.member("hits", cs.hits);
+      w.member("misses", cs.misses);
+      w.member("collisions", cs.collisions);
+      w.member("insertions", cs.insertions);
+      w.member("evictions", cs.evictions);
+      w.member("resident", static_cast<std::uint64_t>(cs.resident));
+      w.member("resident_bytes",
+               static_cast<std::uint64_t>(cs.resident_bytes));
+      w.member("hit_ratio", cs.lookups > 0
+                                ? static_cast<double>(cs.hits) /
+                                      static_cast<double>(cs.lookups)
+                                : 0.0);
+      w.member("accounting_ok", cs.accounted());
+      w.end_object();
+    } else {
+      w.null();
+    }
+    // Per-request outcomes of diff-handles lines, in submission order.
+    w.key("handle_diffs");
+    w.begin_array();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      for (const auto& [id, h] : handle_diffs) {
+        w.begin_object();
+        w.member("id", id);
+        w.member("a", h.a);
+        w.member("b", h.b);
+        w.member("status", h.status);
+        w.member("from_cache", h.from_cache);
+        w.member("diff_fingerprint", h.diff_fingerprint);
+        w.member("rows_processed", h.rows_processed);
+        w.end_object();
+      }
+    }
+    w.end_array();
     w.member("rows_processed", rows_done);
     w.key("breakers");
     w.begin_array();
@@ -968,7 +1254,9 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("healthy_replicas",
              static_cast<std::uint64_t>(router.healthy_replicas()));
     w.member("accounting_ok",
-             rt.accounted() && st.responses() == st.admitted);
+             rt.accounted() && st.responses() == st.admitted &&
+                 (!store || store->stats().accounted()) &&
+                 (!cache || cache->stats().accounted()));
     // Interactive SLO (sysrle.serve.v3): latency-objective burn rates over
     // the short/long rolling windows at drain time.
     w.key("slo");
@@ -1024,12 +1312,32 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     table.add_row(
         {"shed deadline", FixedTable::num(rt.shed_deadline_at_submit)});
     table.add_row({"shed shard_down", FixedTable::num(rt.shed_shard_down)});
+    if (use_store)
+      table.add_row(
+          {"shed unknown_handle", FixedTable::num(rt.shed_unknown_handle)});
     table.add_row({"failovers", FixedTable::num(rt.failovers)});
     table.add_row({"hedges fired", FixedTable::num(rt.hedges_fired)});
     table.add_row({"coalesced", FixedTable::num(rt.coalesced)});
+    if (use_store) {
+      table.add_row({"cache hits", FixedTable::num(rt.cache_hits)});
+      table.add_row({"cache misses", FixedTable::num(rt.cache_misses)});
+    }
     table.add_row({"deadline misses", FixedTable::num(st.deadline_misses)});
     table.add_row({"retries", FixedTable::num(st.retries)});
     out << table.str();
+    if (store) {
+      const StoreStats ss = store->stats();
+      out << "store: registered=" << ss.registered << " resident="
+          << ss.resident << " evicted=" << ss.evicted << " resident_bytes="
+          << ss.resident_bytes << " accounting_ok="
+          << (ss.accounted() ? "true" : "false") << '\n';
+    }
+    if (cache) {
+      const CacheStats cs = cache->stats();
+      out << "cache: lookups=" << cs.lookups << " hits=" << cs.hits
+          << " misses=" << cs.misses << " accounting_ok="
+          << (cs.accounted() ? "true" : "false") << '\n';
+    }
     out << "breakers:";
     for (std::size_t s = 0; s < router.shards(); ++s)
       for (std::size_t r = 0; r < router.replicas(); ++r)
@@ -1114,7 +1422,8 @@ void print_help(std::ostream& out) {
          "      [--deadline-ms D] [--seed S] [--engine E] [--shards N]\n"
          "      [--replicas R] [--hedge-ms H] [--flight-recorder N]\n"
          "      [--flight-out FILE] [--flight-trace FILE] [--slo-p99-ms D]\n"
-         "      [--kill-replica S.R@K] [--checked] [--json]\n"
+         "      [--kill-replica S.R@K] [--store] [--store-cap-mb N]\n"
+         "      [--cache-cap-mb N] [--checked] [--json]\n"
          "      run a request file through the overload-safe sharded service\n"
          "      (bounded admission, deadlines, retry budget, breakers,\n"
          "      hedging, coalescing); request lines: 'priority rows width\n"
@@ -1123,7 +1432,12 @@ void print_help(std::ostream& out) {
          "      events in a lock-free ring; --flight-out dumps them as\n"
          "      sysrle.flight.v1 JSONL, --flight-trace as a Chrome trace.\n"
          "      --kill-replica S.R@K kills shard S replica R after K\n"
-         "      submissions (failover drill).\n"
+         "      submissions (failover drill).  --store enables the session\n"
+         "      image store + result cache and the request-file verbs\n"
+         "      'register <name> <rows> <width> [density]' and\n"
+         "      'diff-handles <priority> <a> <b> [deadline_ms]'; the second\n"
+         "      identical by-handle diff is served from the cache without\n"
+         "      invoking an engine.\n"
          "  help                 this message.\n\n"
          "global options (any command):\n"
          "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"

@@ -41,6 +41,39 @@ std::int64_t get_i64(std::istream& in) {
   return static_cast<std::int64_t>(u);
 }
 
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Feeds the canonical SRLB byte sequence of `img` to `sink(data, size)`.
+/// Shared by canonical_rle_bytes and canonical_fingerprint so the string
+/// and the streamed hash can never disagree about the encoding.
+template <typename Sink>
+void emit_canonical(const RleImage& img, Sink&& sink) {
+  auto put = [&sink](std::int64_t v) {
+    unsigned char buf[8];
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+      buf[i] = static_cast<unsigned char>(u >> (8 * i));
+    sink(reinterpret_cast<const char*>(buf), std::size_t{8});
+  };
+  sink(kBinaryMagic, std::size_t{4});
+  put(1);  // version, matching write_rle's SRLB header
+  put(img.width());
+  put(img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    const RleRow& raw = img.row(y);
+    // Avoid the canonicalizing copy when the row is already maximally
+    // compressed (the common case for generator and engine output).
+    const RleRow merged = raw.is_canonical() ? RleRow{} : raw.canonical();
+    const RleRow& row = raw.is_canonical() ? raw : merged;
+    put(static_cast<std::int64_t>(row.run_count()));
+    for (const Run& r : row) {
+      put(r.start);
+      put(r.length);
+    }
+  }
+}
+
 /// Wraps raw runs in an RleRow after validating them against the width.
 RleRow checked_row(std::vector<Run> runs, pos_t width) {
   ValidateOptions opts;
@@ -192,6 +225,37 @@ RleImage read_rle_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SYSRLE_REQUIRE(in.is_open(), "RLE: cannot open: " + path);
   return read_rle(in);
+}
+
+std::string canonical_rle_bytes(const RleImage& img) {
+  std::string bytes;
+  // Header (4 + 24) plus run-count word per row; runs grow it as needed.
+  bytes.reserve(28 + static_cast<std::size_t>(img.height()) * 8);
+  emit_canonical(img, [&bytes](const char* data, std::size_t size) {
+    bytes.append(data, size);
+  });
+  return bytes;
+}
+
+std::uint64_t fingerprint_bytes(const void* data, std::size_t size) {
+  std::uint64_t h = kFnvOffset;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t canonical_fingerprint(const RleImage& img) {
+  std::uint64_t h = kFnvOffset;
+  emit_canonical(img, [&h](const char* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= kFnvPrime;
+    }
+  });
+  return h;
 }
 
 }  // namespace sysrle

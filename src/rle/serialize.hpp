@@ -6,6 +6,8 @@
 // Readers validate every row (ordering, overlap, width) and throw
 // contract_error on malformed input.
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -30,5 +32,20 @@ RleImage read_rle(std::istream& in);
 void write_rle_file(const std::string& path, const RleImage& img,
                     RleFormat format = RleFormat::kBinary);
 RleImage read_rle_file(const std::string& path);
+
+/// Canonical serialized bytes: the SRLB encoding of `img` with every row
+/// canonicalized (adjacent runs merged) first.  Two in-memory
+/// representations of the same pixels — e.g. a run split as (0,2)(2,3)
+/// versus the merged (0,5) — produce byte-identical output, so these bytes
+/// are a stable content identity for the image store.
+std::string canonical_rle_bytes(const RleImage& img);
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+std::uint64_t fingerprint_bytes(const void* data, std::size_t size);
+
+/// FNV-1a fingerprint of canonical_rle_bytes(img), computed by streaming the
+/// same byte sequence through the hash without materializing the string.
+/// Representation-independent: equal pixels always fingerprint equal.
+std::uint64_t canonical_fingerprint(const RleImage& img);
 
 }  // namespace sysrle

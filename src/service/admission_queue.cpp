@@ -31,6 +31,8 @@ const char* to_string(RejectReason reason) {
       return "cancelled";
     case RejectReason::kShardDown:
       return "shard_down";
+    case RejectReason::kUnknownHandle:
+      return "unknown_handle";
   }
   return "unknown";
 }

@@ -174,6 +174,7 @@ ServiceStats ReplicaSet::aggregate_stats() const {
     total.cancelled += s.cancelled;
     total.deadline_misses += s.deadline_misses;
     total.retries += s.retries;
+    total.engine_invocations += s.engine_invocations;
     total.retry_budget_exhausted += s.retry_budget_exhausted;
     total.fallback_rows += s.fallback_rows;
     total.unrecovered_rows += s.unrecovered_rows;

@@ -104,8 +104,9 @@ std::uint64_t DiffService::now_us() const {
 }
 
 std::optional<RejectReason> DiffService::try_submit(ServiceRequest request) {
-  SYSRLE_REQUIRE(request.reference.width() == request.scan.width() &&
-                     request.reference.height() == request.scan.height(),
+  SYSRLE_REQUIRE(request.ref_image().width() == request.scan_image().width() &&
+                     request.ref_image().height() ==
+                         request.scan_image().height(),
                  "DiffService: request image dimensions differ");
   offered_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry_enabled()) global_metrics().add("service.requests_offered");
@@ -229,9 +230,14 @@ void DiffService::process(AdmissionQueue::Item item) {
   std::uint64_t checked_fallbacks = 0;
   std::uint64_t unrecovered = 0;
 
+  // By-handle requests carry pinned store images; by-value ones carry their
+  // own.  Everything below reads through these, never req.reference/scan.
+  const RleImage& reference = req.ref_image();
+  const RleImage& scan = req.scan_image();
+
   std::vector<RleRow> diff_rows;
   if (req.keep_diff)
-    diff_rows.reserve(static_cast<std::size_t>(req.reference.height()));
+    diff_rows.reserve(static_cast<std::size_t>(reference.height()));
 
   StreamDiffer differ(req.options, [&](pos_t, const RleRow& d) {
     if (req.keep_diff) diff_rows.push_back(d);
@@ -278,9 +284,10 @@ void DiffService::process(AdmissionQueue::Item item) {
     });
   }
 
+  engine_invocations_.fetch_add(1, std::memory_order_relaxed);
   bool expired_mid_image = false;
-  for (pos_t y = 0; y < req.reference.height(); ++y) {
-    if (!differ.push_row(req.reference.row(y), req.scan.row(y))) {
+  for (pos_t y = 0; y < reference.height(); ++y) {
+    if (!differ.push_row(reference.row(y), scan.row(y))) {
       expired_mid_image = true;
       break;
     }
@@ -294,7 +301,7 @@ void DiffService::process(AdmissionQueue::Item item) {
                            std::memory_order_relaxed);
   unrecovered_rows_.fetch_add(unrecovered, std::memory_order_relaxed);
   if (req.keep_diff)
-    response.diff = RleImage(req.reference.width(), std::move(diff_rows));
+    response.diff = RleImage(reference.width(), std::move(diff_rows));
 
   if (expired_mid_image) {
     response.reject_reason = req.deadline.expired()
@@ -407,6 +414,7 @@ ServiceStats DiffService::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
+  s.engine_invocations = engine_invocations_.load(std::memory_order_relaxed);
   s.retry_budget_exhausted = budget_.exhausted();
   s.fallback_rows = fallback_rows_.load(std::memory_order_relaxed);
   s.unrecovered_rows = unrecovered_rows_.load(std::memory_order_relaxed);

@@ -91,6 +91,9 @@ struct ServiceStats {
 
   std::uint64_t deadline_misses = 0;  ///< all deadline-expired outcomes
   std::uint64_t retries = 0;          ///< budgeted retries actually taken
+  /// Requests that actually entered the engine row loop.  The result cache
+  /// asserts its contract against this: a cache hit must not move it.
+  std::uint64_t engine_invocations = 0;
   std::uint64_t retry_budget_exhausted = 0;
   std::uint64_t fallback_rows = 0;
   std::uint64_t unrecovered_rows = 0;
@@ -154,7 +157,8 @@ class DiffService {
       failed_{0}, shed_queue_full_{0}, shed_circuit_open_{0},
       shed_shutdown_{0}, shed_deadline_at_submit_{0},
       shed_deadline_after_admit_{0}, cancelled_{0}, deadline_misses_{0},
-      retries_{0}, fallback_rows_{0}, unrecovered_rows_{0};
+      retries_{0}, engine_invocations_{0}, fallback_rows_{0},
+      unrecovered_rows_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -95,6 +95,11 @@ void ShardRouter::count_metric(const char* name) const {
 
 std::uint64_t ShardRouter::route_key_of(const ServiceRequest& request) {
   if (request.route_key != 0) return request.route_key;
+  // By-handle requests route on their handles: the handle IS the content
+  // fingerprint, so re-submissions of the same pair land on the same shard
+  // without hashing any image bytes.
+  if (request.by_handle())
+    return mix64(request.ref_handle ^ mix64(request.scan_handle));
   return mix64(image_fingerprint(request.reference) ^
                mix64(image_fingerprint(request.scan)));
 }
@@ -109,8 +114,9 @@ std::size_t ShardRouter::shard_of(std::uint64_t key) const {
 }
 
 std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
-  SYSRLE_REQUIRE(request.reference.width() == request.scan.width() &&
-                     request.reference.height() == request.scan.height(),
+  SYSRLE_REQUIRE(request.by_handle() ||
+                     (request.reference.width() == request.scan.width() &&
+                      request.reference.height() == request.scan.height()),
                  "ShardRouter: request image dimensions differ");
   std::vector<Delivery> deliveries;
   std::optional<RejectReason> result;
@@ -119,6 +125,21 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
     ++stats_.offered;
     count_metric("router.requests_offered");
     const RequestContext cctx = client_ctx(request.id);
+
+    // Resolve by-handle operands before any routing decision: the pinned
+    // images ride inside the request for its whole lifetime (the pin blocks
+    // store eviction until the last dispatch copy dies).
+    bool unknown_handle = false;
+    if (request.by_handle()) {
+      if (config_.store) {
+        if (request.ref_handle != 0)
+          request.pinned_ref = config_.store->acquire(request.ref_handle);
+        if (request.scan_handle != 0)
+          request.pinned_scan = config_.store->acquire(request.scan_handle);
+      }
+      unknown_handle = !request.pinned_ref || !request.pinned_scan;
+    }
+
     if (draining_) {
       ++stats_.shed_shutdown;
       result = RejectReason::kShutdown;
@@ -129,10 +150,68 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
       result = RejectReason::kDeadlineExpired;
       flight_record(FlightEventKind::kShed, cctx, to_string(*result));
       flight_retain(cctx.request_id, "shed");
+    } else if (unknown_handle) {
+      // Typed shed: the operand was never registered (or already evicted).
+      // The caller re-registers and re-submits; nothing is silently dropped.
+      ++stats_.shed_unknown_handle;
+      result = RejectReason::kUnknownHandle;
+      count_metric("router.unknown_handle_sheds");
+      flight_record(FlightEventKind::kShed, cctx, to_string(*result));
+      flight_retain(cctx.request_id, "shed");
     } else {
+      SYSRLE_REQUIRE(
+          request.ref_image().width() == request.scan_image().width() &&
+              request.ref_image().height() == request.scan_image().height(),
+          "ShardRouter: by-handle image dimensions differ");
       const std::uint64_t key = route_key_of(request);
       const std::size_t home = shard_of(key);
 
+      // Result cache: only by-handle requests are eligible — their key is
+      // the verified store fingerprint pair, so a hit is answerable without
+      // re-hashing anything.  Hooked requests (fault injection, engine
+      // override) change behaviour per request and bypass the cache.
+      const bool cacheable = config_.cache != nullptr && request.by_handle() &&
+                             !request.fault && !request.engine_override;
+      ResultKey rkey;
+      bool served_from_cache = false;
+      if (cacheable) {
+        rkey.fp_a = request.ref_handle;
+        rkey.fp_b = request.scan_handle;
+        rkey.engine = request.options.engine;
+        rkey.canonicalize = request.options.canonicalize_output;
+        if (const std::shared_ptr<const CachedDiff> hit = config_.cache->lookup(
+                rkey, request.ref_image(), request.scan_image())) {
+          // Bit-identical replay of the original completion; no engine, no
+          // queue, no dispatch.  Delivered outside the lock like every
+          // other response.
+          ++stats_.admitted;
+          ++stats_.completed;
+          ++stats_.cache_hits;
+          count_metric("router.cache_hits");
+          flight_record(FlightEventKind::kAdmit, cctx, "cache");
+          flight_record(FlightEventKind::kCacheHit, cctx, "", rkey.fp_a);
+          ServiceResponse resp;
+          resp.id = request.id;
+          resp.priority = request.priority;
+          resp.status = ServiceResponse::Status::kCompleted;
+          resp.from_cache = true;
+          if (request.keep_diff) resp.diff = hit->diff;
+          resp.rows_processed = hit->rows_processed;
+          resp.fallback_rows = hit->fallback_rows;
+          flight_record(FlightEventKind::kRespond, cctx,
+                        to_string(resp.status));
+          deliveries.push_back({std::move(resp)});
+          served_from_cache = true;
+        } else {
+          ++stats_.cache_misses;
+          count_metric("router.cache_misses");
+          flight_record(FlightEventKind::kCacheMiss, cctx, "", rkey.fp_a);
+        }
+      }
+
+      if (served_from_cache) {
+        // result stays nullopt: the response above is the one delivery.
+      } else {
       // Coalescing: requests carrying per-request behaviour hooks (fault
       // injection, engine overrides) never share a computation.
       const bool coalescible = config_.coalesce && !request.fault &&
@@ -140,9 +219,19 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
       bool registered = false;
       CoalesceKey ckey;
       if (coalescible) {
-        ckey = coalesce_key(request.reference, request.scan, request.options);
+        // By-handle keys reuse the store fingerprints directly — no image
+        // hashing; the equality check below still defeats collisions.
+        if (request.by_handle()) {
+          ckey.fp_a = request.ref_handle;
+          ckey.fp_b = request.scan_handle;
+          ckey.engine = request.options.engine;
+          ckey.canonicalize = request.options.canonicalize_output;
+        } else {
+          ckey =
+              coalesce_key(request.reference, request.scan, request.options);
+        }
         const Coalescer::AdmitResult admit = coalescer_.admit(
-            ckey, request.reference, request.scan, next_call_id_);
+            ckey, request.ref_image(), request.scan_image(), next_call_id_);
         // A collision runs uncoalesced AND unregistered — it must never
         // finish() a key another computation owns.
         registered = admit.primary && !admit.collision;
@@ -170,6 +259,8 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
       call->home_shard = home;
       call->ckey = ckey;
       call->coalesce_registered = registered;
+      call->cacheable = cacheable;
+      call->rkey = rkey;
 
       result = dispatch_locked(call, /*is_hedge=*/false,
                                /*exclude_replica=*/SIZE_MAX, deliveries);
@@ -199,6 +290,7 @@ std::optional<RejectReason> ShardRouter::try_submit(ServiceRequest request) {
           hedge_cv_.notify_one();
         }
       }
+      }  // !served_from_cache
     }
   }
   deliver(deliveries);
@@ -409,6 +501,21 @@ void ShardRouter::finish_call_locked(const std::shared_ptr<Call>& call,
     // shows the slow primary, the hedge decision, and the win.
     flight_record(FlightEventKind::kHedgeWon, winner_ctx);
     flight_retain(winner_ctx.request_id, "hedge_won");
+  }
+
+  // Feed the result cache: a cache-eligible completion with a payload (the
+  // diff was kept) becomes the stored answer for this fingerprint pair.
+  // The operand references are non-pinning shares of the store entries, so
+  // caching never blocks store eviction.
+  if (call->cacheable && config_.cache &&
+      winner.status == ServiceResponse::Status::kCompleted &&
+      call->request.keep_diff) {
+    config_.cache->insert(
+        call->rkey, call->request.pinned_ref.share(),
+        call->request.pinned_scan.share(),
+        CachedDiff{winner.diff, winner.rows_processed, winner.fallback_rows});
+    ++stats_.cache_stores;
+    count_metric("router.cache_stores");
   }
 
   // The client's one response.
@@ -696,6 +803,7 @@ ServiceStats ShardRouter::backend_stats() const {
     total.cancelled += s.cancelled;
     total.deadline_misses += s.deadline_misses;
     total.retries += s.retries;
+    total.engine_invocations += s.engine_invocations;
     total.retry_budget_exhausted += s.retry_budget_exhausted;
     total.fallback_rows += s.fallback_rows;
     total.unrecovered_rows += s.unrecovered_rows;

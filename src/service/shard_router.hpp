@@ -59,6 +59,8 @@
 #include "service/retry_budget.hpp"
 #include "service/service.hpp"
 #include "service/types.hpp"
+#include "store/image_store.hpp"
+#include "store/result_cache.hpp"
 
 namespace sysrle {
 
@@ -100,6 +102,16 @@ struct RouterConfig {
   HedgePolicy hedge;
   bool coalesce = true;
 
+  /// Persistent image store for by-handle requests (ServiceRequest::
+  /// ref_handle/scan_handle).  Null: by-handle requests shed with
+  /// kUnknownHandle.  Shared so the caller can register images and read
+  /// store stats alongside the router.
+  std::shared_ptr<ImageStore> store;
+  /// Content-addressed result cache over completed by-handle diffs.  Null:
+  /// every request runs an engine.  Only by-handle requests are cached —
+  /// their operand identity is the store fingerprint, already verified.
+  std::shared_ptr<ResultCache> cache;
+
   /// Seeds the ring and rendezvous salts (and, xored per replica, the
   /// backend seeds).
   std::uint64_t seed = 42;
@@ -114,6 +126,7 @@ struct RouterStats {
   std::uint64_t shed_shutdown = 0;
   std::uint64_t shed_deadline_at_submit = 0;
   std::uint64_t shed_shard_down = 0;
+  std::uint64_t shed_unknown_handle = 0;  ///< by-handle operand not resident
 
   // Delivered client responses by status.
   std::uint64_t completed = 0;
@@ -134,9 +147,14 @@ struct RouterStats {
   std::uint64_t coalesce_collisions = 0;
   std::uint64_t waiter_deadline_sheds = 0;
 
+  std::uint64_t cache_hits = 0;    ///< responses served from the result cache
+  std::uint64_t cache_misses = 0;  ///< cache-eligible requests that ran
+  std::uint64_t cache_stores = 0;  ///< completions inserted into the cache
+
   std::uint64_t responses() const { return completed + failed + rejected; }
   std::uint64_t shed_submit_total() const {
-    return shed_shutdown + shed_deadline_at_submit + shed_shard_down;
+    return shed_shutdown + shed_deadline_at_submit + shed_shard_down +
+           shed_unknown_handle;
   }
   /// The zero-silent-drops identity.
   bool accounted() const {
@@ -204,6 +222,10 @@ class ShardRouter {
     CoalesceKey ckey;
     bool coalesce_registered = false;
     std::vector<Waiter> waiters;
+
+    /// Cache-eligible by-handle call: its completion is inserted under rkey.
+    bool cacheable = false;
+    ResultKey rkey;
 
     /// Where the primary (non-hedge) dispatch landed; the hedge excludes
     /// this replica when picking its second target.

@@ -21,6 +21,7 @@
 #include "core/image_diff.hpp"
 #include "core/stream_diff.hpp"
 #include "rle/rle_image.hpp"
+#include "store/image_store.hpp"
 #include "telemetry/request_context.hpp"
 
 namespace sysrle {
@@ -45,6 +46,7 @@ enum class RejectReason {
   kShutdown,         ///< the service is draining and admits nothing new
   kCancelled,        ///< the caller cancelled (hedged-request loser)
   kShardDown,        ///< every replica of the routed shard is quarantined
+  kUnknownHandle,    ///< a by-handle operand is not resident in the store
 };
 
 /// Human-readable rejection name (doubles as the metric label suffix of
@@ -115,6 +117,29 @@ struct ServiceRequest {
   RleImage scan{0, 0};
   ImageDiffOptions options;
 
+  /// By-handle operands: non-zero handles name images registered in the
+  /// router's ImageStore (handle = canonical-bytes fingerprint, see
+  /// store/image_store.hpp), replacing the by-value images above.  The
+  /// router resolves them at submit (unknown handle = typed shed,
+  /// kUnknownHandle) and pins the resolved images for the request's
+  /// lifetime in pinned_ref/pinned_scan; the engines then read through
+  /// ref_image()/scan_image(), which prefer the pinned parse.
+  ImageHandle ref_handle = 0;
+  ImageHandle scan_handle = 0;
+  PinnedImage pinned_ref;
+  PinnedImage pinned_scan;
+
+  bool by_handle() const { return ref_handle != 0 || scan_handle != 0; }
+
+  /// The reference/scan operand actually in effect: the pinned store image
+  /// for by-handle requests, the by-value member otherwise.
+  const RleImage& ref_image() const {
+    return pinned_ref ? pinned_ref.image() : reference;
+  }
+  const RleImage& scan_image() const {
+    return pinned_scan ? pinned_scan.image() : scan;
+  }
+
   /// Inject this fault into every checked-engine row (tests, bench,
   /// campaign integration); requires the service's checked mode.
   std::optional<FaultSpec> fault;
@@ -152,6 +177,9 @@ struct ServiceResponse {
   RejectReason reject_reason = RejectReason::kDeadlineExpired;  ///< kRejected
 
   RleImage diff{0, 0};  ///< rows processed so far (empty if !keep_diff)
+  /// True when the router answered from the result cache: the payload is
+  /// bit-identical to the original completion and no engine ran.
+  bool from_cache = false;
   std::uint64_t rows_processed = 0;
   std::uint64_t fallback_rows = 0;     ///< rows served by sequential engine
   std::uint64_t unrecovered_rows = 0;  ///< rows nobody could compute

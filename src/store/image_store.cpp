@@ -1,0 +1,166 @@
+#include "store/image_store.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "rle/serialize.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sysrle {
+
+ImageStore::ImageStore(StoreConfig config)
+    : config_(std::move(config)), arena_(config_.slab_bytes) {
+  SYSRLE_REQUIRE(config_.capacity_bytes > 0,
+                 "ImageStore: capacity must be positive");
+}
+
+void ImageStore::evict_for_locked(std::size_t incoming) {
+  // Walk from the LRU tail; pinned entries are skipped (and counted), so a
+  // fully pinned store simply overshoots its budget rather than refusing
+  // the registration or yanking an image out from under a diff.
+  auto it = lru_.end();
+  while (resident_bytes_ + incoming > config_.capacity_bytes &&
+         it != lru_.begin()) {
+    --it;
+    auto found = entries_.find(*it);
+    SYSRLE_REQUIRE(found != entries_.end(), "ImageStore: LRU/map desync");
+    Entry& entry = *found->second;
+    if (entry.pins.load(std::memory_order_acquire) > 0) {
+      ++evict_blocked_by_pin_;
+      if (telemetry_enabled())
+        global_metrics().add("store.evict_blocked_by_pin");
+      continue;
+    }
+    const ImageHandle fp = entry.fingerprint;
+    resident_bytes_ -= entry.bytes;
+    arena_.release(entry.span);
+    it = lru_.erase(it);  // next iteration re-decrements onto the new tail
+    entries_.erase(found);
+    ++evicted_;
+    if (telemetry_enabled()) global_metrics().add("store.evictions");
+    flight_record(FlightEventKind::kStoreEvict, RequestContext{}, "", fp);
+  }
+}
+
+ImageStore::RegisterResult ImageStore::register_image(const RleImage& image) {
+  const std::uint64_t fp = config_.fingerprint_override
+                               ? config_.fingerprint_override(image)
+                               : canonical_fingerprint(image);
+  std::string bytes = canonical_rle_bytes(image);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegisterResult result;
+  result.handle = fp;
+  auto found = entries_.find(fp);
+  if (found != entries_.end()) {
+    Entry& entry = *found->second;
+    const bool same = entry.span.size == bytes.size() &&
+                      std::memcmp(entry.span.data, bytes.data(),
+                                  bytes.size()) == 0;
+    if (same) {
+      // Already resident: dedup, and refresh its recency.
+      lru_.splice(lru_.begin(), lru_, entry.lru);
+      ++dedup_hits_;
+      if (telemetry_enabled()) global_metrics().add("store.dedup_hits");
+      result.ok = true;
+      result.deduplicated = true;
+      return result;
+    }
+    // Fingerprint taken by different content.  Refuse — the caller gets a
+    // typed failure instead of two images silently sharing one handle.
+    ++collisions_;
+    if (telemetry_enabled()) global_metrics().add("store.collisions");
+    result.collision = true;
+    return result;
+  }
+
+  evict_for_locked(bytes.size());
+  auto entry = std::make_shared<Entry>();
+  entry->fingerprint = fp;
+  // Store the canonical parse: by-handle diffs then never pay a per-request
+  // canonicalization, and the resident image matches the canonical bytes.
+  std::vector<RleRow> rows;
+  rows.reserve(static_cast<std::size_t>(image.height()));
+  for (const RleRow& row : image.rows())
+    rows.push_back(row.is_canonical() ? row : row.canonical());
+  entry->image = RleImage(image.width(), std::move(rows));
+  entry->span = arena_.store(bytes.data(), bytes.size());
+  entry->bytes = bytes.size();
+  lru_.push_front(fp);
+  entry->lru = lru_.begin();
+  resident_bytes_ += entry->bytes;
+  entries_.emplace(fp, std::move(entry));
+  ++registered_;
+  if (telemetry_enabled()) {
+    global_metrics().add("store.registered");
+    export_gauges_locked();
+  }
+  result.ok = true;
+  return result;
+}
+
+PinnedImage ImageStore::acquire(ImageHandle handle) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto found = entries_.find(handle);
+  if (found == entries_.end()) {
+    ++lookup_misses_;
+    if (telemetry_enabled()) global_metrics().add("store.lookup_misses");
+    return PinnedImage{};
+  }
+  std::shared_ptr<Entry> entry = found->second;
+  lru_.splice(lru_.begin(), lru_, entry->lru);
+  ++acquires_;
+  if (telemetry_enabled()) global_metrics().add("store.acquires");
+
+  entry->pins.fetch_add(1, std::memory_order_acq_rel);
+  PinnedImage pinned;
+  // Aliasing pointer: shares the entry's lifetime but exposes the image, so
+  // a cached share() outlives eviction without blocking it.
+  pinned.image_ = std::shared_ptr<const RleImage>(entry, &entry->image);
+  // One pin token per acquire; copies of the PinnedImage share it, and the
+  // last copy's destructor releases the pin lock-free.
+  pinned.pin_ = std::shared_ptr<void>(
+      static_cast<void*>(nullptr), [entry](void*) {
+        entry->pins.fetch_sub(1, std::memory_order_acq_rel);
+      });
+  pinned.handle_ = handle;
+  pinned.bytes_ = entry->bytes;
+  return pinned;
+}
+
+bool ImageStore::contains(ImageHandle handle) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(handle) != 0;
+}
+
+StoreStats ImageStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  StoreStats s;
+  s.registered = registered_;
+  s.dedup_hits = dedup_hits_;
+  s.collisions = collisions_;
+  s.evicted = evicted_;
+  s.evict_blocked_by_pin = evict_blocked_by_pin_;
+  s.acquires = acquires_;
+  s.lookup_misses = lookup_misses_;
+  s.resident = entries_.size();
+  s.resident_bytes = resident_bytes_;
+  for (const auto& [fp, entry] : entries_)
+    if (entry->pins.load(std::memory_order_acquire) > 0) ++s.pinned;
+  return s;
+}
+
+SlabArena::Stats ImageStore::arena_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return arena_.stats();
+}
+
+void ImageStore::export_gauges_locked() const {
+  MetricsRegistry& m = global_metrics();
+  m.set_gauge("store.resident", static_cast<double>(entries_.size()));
+  m.set_gauge("store.resident_bytes", static_cast<double>(resident_bytes_));
+}
+
+}  // namespace sysrle

@@ -1,0 +1,173 @@
+#pragma once
+// ImageStore: a long-lived, content-addressed store of RLE images.
+//
+// The serving path used to re-parse every operand on every request; for the
+// golden-panel workload (one hot reference image diffed by every scan) the
+// parse dominated small-diff service time.  The store registers an image
+// once under a content-addressed handle — the FNV-1a fingerprint of its
+// canonical serialized bytes (rle/serialize.hpp) — and hot requests then
+// submit by handle: the router resolves the handle to a pinned, already-
+// parsed image, so the reference is parsed zero times per request and the
+// handle doubles as a stable shard-routing key.
+//
+// Safety contracts:
+//   collision  a register whose fingerprint is already taken by *different*
+//              bytes is refused (RegisterResult::collision) — the Coalescer
+//              idiom: a 64-bit collision degrades to "this image cannot be
+//              stored", never to two images silently sharing a handle;
+//   pinning    acquire() returns a PinnedImage holding a refcount; a pinned
+//              entry is never evicted, so an image cannot vanish mid-diff.
+//              Pins released after eviction-time store destruction remain
+//              safe (the entry is shared-ptr-owned past the store);
+//   budget     byte-budgeted LRU eviction over the canonical bytes; the
+//              identity registered == resident + evicted always holds
+//              (bench_store asserts it), and pinned entries may push the
+//              store transiently over budget (evict_blocked_by_pin counts
+//              every such skip).
+//
+// Thread-safe: all entry points lock; pin release is a lock-free atomic
+// decrement so dropping a PinnedImage never contends with the serving path.
+//
+// Metrics (docs/OBSERVABILITY.md): store.registered, store.dedup_hits,
+// store.collisions, store.evictions, store.evict_blocked_by_pin,
+// store.acquires, store.lookup_misses, store.resident / .resident_bytes
+// gauges.  Evictions record a FlightRecorder store_evict event.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "rle/rle_image.hpp"
+#include "store/slab_arena.hpp"
+
+namespace sysrle {
+
+/// Content-addressed image handle: the canonical-bytes fingerprint.  Equal
+/// handles name equal pixels (the store refuses colliding registrations).
+/// 0 is reserved for "no handle" in the service request vocabulary.
+using ImageHandle = std::uint64_t;
+
+struct StoreConfig {
+  /// Byte budget over resident canonical bytes; registration evicts the LRU
+  /// tail past it.  Pinned entries are skipped, so the budget can be
+  /// overshot while pins hold.
+  std::size_t capacity_bytes = std::size_t{64} << 20;
+  std::size_t slab_bytes = std::size_t{1} << 20;
+  /// Test seam: replaces canonical_fingerprint so fingerprint collisions
+  /// (unconstructable for the real 64-bit hash) are testable.
+  std::function<std::uint64_t(const RleImage&)> fingerprint_override;
+};
+
+/// One coherent snapshot of the store counters.
+struct StoreStats {
+  std::uint64_t registered = 0;  ///< accepted registrations (dedup excluded)
+  std::uint64_t dedup_hits = 0;  ///< re-registrations of a resident image
+  std::uint64_t collisions = 0;  ///< refused: fingerprint taken by other bytes
+  std::uint64_t evicted = 0;
+  std::uint64_t evict_blocked_by_pin = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t lookup_misses = 0;  ///< acquire() of unknown/evicted handles
+  std::size_t resident = 0;
+  std::size_t resident_bytes = 0;  ///< canonical bytes of resident entries
+  std::size_t pinned = 0;          ///< resident entries with a live pin
+
+  /// Every accepted registration is still resident or was evicted.
+  bool accounted() const { return registered == resident + evicted; }
+};
+
+class ImageStore;
+
+/// A pinned, parsed image.  While any copy is alive the underlying store
+/// entry cannot be evicted; copies share one pin (refcounted token), and
+/// the last copy releases it with a single atomic decrement.  Safe to hold
+/// across the owning store's eviction or destruction.
+class PinnedImage {
+ public:
+  PinnedImage() = default;
+
+  explicit operator bool() const { return image_ != nullptr; }
+  const RleImage& image() const { return *image_; }
+  ImageHandle handle() const { return handle_; }
+  /// Canonical-bytes size (the entry's byte-budget charge).
+  std::size_t bytes() const { return bytes_; }
+
+  /// Shares the parsed image without pin semantics: the returned pointer
+  /// keeps the image alive (past eviction) but does not block eviction.
+  /// Store entries are stable, so pointer equality of two shares means
+  /// same entry — the result cache's collision fast path.
+  std::shared_ptr<const RleImage> share() const { return image_; }
+
+ private:
+  friend class ImageStore;
+  std::shared_ptr<const RleImage> image_;  ///< aliases the store entry
+  std::shared_ptr<void> pin_;              ///< shared pin token
+  ImageHandle handle_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+/// The store.  See the header comment for the contracts.
+class ImageStore {
+ public:
+  struct RegisterResult {
+    bool ok = false;
+    ImageHandle handle = 0;
+    bool deduplicated = false;  ///< the image was already resident
+    bool collision = false;     ///< refused: handle taken by different bytes
+  };
+
+  explicit ImageStore(StoreConfig config = {});
+
+  ImageStore(const ImageStore&) = delete;
+  ImageStore& operator=(const ImageStore&) = delete;
+
+  /// Registers (a parsed copy of) `image` under its content handle.
+  /// Re-registering resident content dedups to the existing handle.
+  RegisterResult register_image(const RleImage& image);
+
+  /// Pins and returns the image, or an empty PinnedImage when the handle is
+  /// unknown (never registered, refused, or evicted).
+  PinnedImage acquire(ImageHandle handle);
+
+  bool contains(ImageHandle handle) const;
+
+  StoreStats stats() const;
+  SlabArena::Stats arena_stats() const;
+  std::size_t capacity_bytes() const { return config_.capacity_bytes; }
+
+ private:
+  struct Entry {
+    ImageHandle fingerprint = 0;
+    RleImage image{0, 0};
+    SlabArena::Span span;       ///< canonical bytes (identity + defense)
+    std::size_t bytes = 0;      ///< budget charge (span size)
+    std::atomic<std::uint64_t> pins{0};
+    std::list<ImageHandle>::iterator lru;
+  };
+
+  /// Evicts LRU-tail unpinned entries until `incoming` more bytes fit (or
+  /// nothing evictable remains).  Lock held.
+  void evict_for_locked(std::size_t incoming);
+
+  void export_gauges_locked() const;
+
+  StoreConfig config_;
+  mutable std::mutex mu_;
+  SlabArena arena_;
+  std::unordered_map<ImageHandle, std::shared_ptr<Entry>> entries_;
+  std::list<ImageHandle> lru_;  ///< front = most recently used
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t registered_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t evict_blocked_by_pin_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t lookup_misses_ = 0;
+};
+
+}  // namespace sysrle

@@ -1,0 +1,107 @@
+#include "store/result_cache.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sysrle {
+
+ResultCache::ResultCache(CacheConfig config) : config_(config) {
+  SYSRLE_REQUIRE(config_.capacity_bytes > 0,
+                 "ResultCache: capacity must be positive");
+}
+
+std::size_t ResultCache::cost_of(const RleImage& diff) {
+  // Run storage plus per-row vector overhead plus a fixed per-entry charge
+  // for the map/list/operand-reference bookkeeping.  Approximate is fine —
+  // the budget bounds memory order-of-magnitude, not byte-exactly.
+  std::size_t bytes = 128;
+  for (const RleRow& row : diff.rows())
+    bytes += sizeof(RleRow) + row.run_count() * sizeof(Run);
+  return bytes;
+}
+
+void ResultCache::evict_for_locked(std::size_t incoming) {
+  while (resident_bytes_ + incoming > config_.capacity_bytes &&
+         !lru_.empty()) {
+    const ResultKey victim = lru_.back();
+    auto found = entries_.find(victim);
+    SYSRLE_REQUIRE(found != entries_.end(), "ResultCache: LRU/map desync");
+    resident_bytes_ -= found->second.bytes;
+    lru_.pop_back();
+    entries_.erase(found);
+    ++stats_.evictions;
+    if (telemetry_enabled()) global_metrics().add("cache.evictions");
+  }
+}
+
+std::shared_ptr<const CachedDiff> ResultCache::lookup(const ResultKey& key,
+                                                      const RleImage& a,
+                                                      const RleImage& b) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  if (telemetry_enabled()) global_metrics().add("cache.lookups");
+  auto found = entries_.find(key);
+  if (found != entries_.end()) {
+    Entry& entry = found->second;
+    // Collision defense: the key only *names* the operands; verify them.
+    // Store entries are stable objects, so pointer equality (the common
+    // case for by-handle requests) short-circuits the full compare.
+    const bool same_a = entry.a.get() == &a || *entry.a == a;
+    const bool same_b = entry.b.get() == &b || *entry.b == b;
+    if (same_a && same_b) {
+      lru_.splice(lru_.begin(), lru_, entry.lru);
+      ++stats_.hits;
+      if (telemetry_enabled()) global_metrics().add("cache.hits");
+      return entry.result;
+    }
+    ++stats_.collisions;
+    if (telemetry_enabled()) global_metrics().add("cache.collisions");
+  }
+  ++stats_.misses;
+  if (telemetry_enabled()) global_metrics().add("cache.misses");
+  return nullptr;
+}
+
+void ResultCache::insert(const ResultKey& key,
+                         std::shared_ptr<const RleImage> a,
+                         std::shared_ptr<const RleImage> b,
+                         CachedDiff result) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto found = entries_.find(key);
+  if (found != entries_.end()) {
+    // Already cached (two primaries can race to completion under key
+    // collision or promotion); keep the incumbent, refresh recency.
+    lru_.splice(lru_.begin(), lru_, found->second.lru);
+    return;
+  }
+  const std::size_t bytes = cost_of(result.diff);
+  evict_for_locked(bytes);
+  Entry entry;
+  entry.a = std::move(a);
+  entry.b = std::move(b);
+  entry.result = std::make_shared<const CachedDiff>(std::move(result));
+  entry.bytes = bytes;
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  resident_bytes_ += bytes;
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+  if (telemetry_enabled()) {
+    MetricsRegistry& m = global_metrics();
+    m.add("cache.insertions");
+    m.set_gauge("cache.resident", static_cast<double>(entries_.size()));
+    m.set_gauge("cache.resident_bytes", static_cast<double>(resident_bytes_));
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.resident = entries_.size();
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+}  // namespace sysrle

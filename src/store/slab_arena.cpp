@@ -1,0 +1,77 @@
+#include "store/slab_arena.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+SlabArena::SlabArena(std::size_t slab_bytes) : slab_bytes_(slab_bytes) {
+  SYSRLE_REQUIRE(slab_bytes_ > 0, "SlabArena: slab size must be positive");
+}
+
+std::size_t SlabArena::slab_for(std::size_t size) {
+  if (open_ != kNoSlab) {
+    Slab& open = slabs_[open_];
+    if (open.capacity - open.used >= size) return open_;
+  }
+  // Reuse a freed slot before growing the vector, so a churn workload does
+  // not leave an ever-growing trail of dead Slab entries.
+  std::size_t slot = slabs_.size();
+  for (std::size_t i = 0; i < slabs_.size(); ++i) {
+    if (slabs_[i].capacity == 0 && i != open_) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == slabs_.size()) slabs_.emplace_back();
+  Slab& slab = slabs_[slot];
+  slab.capacity = size > slab_bytes_ ? size : slab_bytes_;
+  slab.bytes = std::make_unique<unsigned char[]>(slab.capacity);
+  slab.used = 0;
+  slab.live_spans = 0;
+  ++stats_.slabs_allocated;
+  stats_.reserved_bytes += slab.capacity;
+  // Oversized spans fill their dedicated slab completely; keep the open
+  // slab pointed at a shared chunk.
+  if (size <= slab_bytes_) open_ = slot;
+  return slot;
+}
+
+SlabArena::Span SlabArena::store(const void* data, std::size_t size) {
+  if (size == 0) return Span{};
+  const std::size_t slot = slab_for(size);
+  Slab& slab = slabs_[slot];
+  unsigned char* dst = slab.bytes.get() + slab.used;
+  std::memcpy(dst, data, size);
+  slab.used += size;
+  ++slab.live_spans;
+  ++stats_.spans_stored;
+  stats_.live_bytes += size;
+  return Span{dst, size, slot};
+}
+
+void SlabArena::release(Span& span) {
+  if (!span.valid()) return;
+  SYSRLE_REQUIRE(span.slab < slabs_.size() && slabs_[span.slab].live_spans > 0,
+                 "SlabArena: release of a span this arena does not own");
+  Slab& slab = slabs_[span.slab];
+  --slab.live_spans;
+  ++stats_.spans_released;
+  stats_.live_bytes -= span.size;
+  if (slab.live_spans == 0) {
+    if (span.slab == open_) {
+      // Recycle the open slab in place: the next store() bumps from 0.
+      slab.used = 0;
+    } else {
+      stats_.reserved_bytes -= slab.capacity;
+      ++stats_.slabs_freed;
+      slab.bytes.reset();
+      slab.capacity = 0;
+      slab.used = 0;
+    }
+  }
+  span = Span{};
+}
+
+}  // namespace sysrle

@@ -1,0 +1,77 @@
+#pragma once
+// SlabArena: bump allocation of immutable byte spans in shared slabs.
+//
+// The image store keeps the canonical serialized bytes of every resident
+// image (its content identity and the collision-defense evidence) alive for
+// the store's lifetime.  Allocating each byte string on the general heap
+// would fragment it with thousands of medium-sized, long-lived blocks; the
+// arena instead packs spans into slab chunks and frees a whole slab once
+// every span in it has been released.  Spans are written once at store()
+// and never mutated, so readers need no synchronization with the arena —
+// the owning ImageStore serializes store()/release() under its own lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sysrle {
+
+/// Arena of immutable byte spans packed into shared slabs.  Not thread-safe
+/// on its own; the ImageStore guards it.
+class SlabArena {
+ public:
+  /// One stored byte range.  `data` stays valid until release().
+  struct Span {
+    const unsigned char* data = nullptr;
+    std::size_t size = 0;
+    std::size_t slab = kNoSlab;  ///< owning slab index
+
+    bool valid() const { return data != nullptr; }
+  };
+
+  static constexpr std::size_t kNoSlab = static_cast<std::size_t>(-1);
+
+  /// `slab_bytes` is the shared-chunk size; spans larger than it get a
+  /// dedicated exact-size slab.
+  explicit SlabArena(std::size_t slab_bytes = std::size_t{1} << 20);
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Copies `size` bytes into the arena and returns their span.
+  Span store(const void* data, std::size_t size);
+
+  /// Releases one span.  When the last live span of a slab is released the
+  /// slab is recycled (if it is the open slab) or its memory freed.
+  void release(Span& span);
+
+  struct Stats {
+    std::uint64_t spans_stored = 0;
+    std::uint64_t spans_released = 0;
+    std::uint64_t slabs_allocated = 0;
+    std::uint64_t slabs_freed = 0;
+    std::size_t live_bytes = 0;      ///< bytes in unreleased spans
+    std::size_t reserved_bytes = 0;  ///< bytes currently held in slabs
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<unsigned char[]> bytes;
+    std::size_t capacity = 0;
+    std::size_t used = 0;        ///< bump offset
+    std::size_t live_spans = 0;  ///< unreleased spans in this slab
+  };
+
+  /// Index of a slab with at least `size` free bytes (allocating or reusing
+  /// a freed slot as needed).
+  std::size_t slab_for(std::size_t size);
+
+  std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t open_ = kNoSlab;  ///< slab currently taking new spans
+  Stats stats_;
+};
+
+}  // namespace sysrle

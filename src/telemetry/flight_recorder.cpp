@@ -28,6 +28,9 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::kDeadlineExpired: return "deadline_expired";
     case FlightEventKind::kCancelled: return "cancelled";
     case FlightEventKind::kRespond: return "respond";
+    case FlightEventKind::kCacheHit: return "cache_hit";
+    case FlightEventKind::kCacheMiss: return "cache_miss";
+    case FlightEventKind::kStoreEvict: return "store_evict";
   }
   return "unknown";
 }

@@ -62,6 +62,9 @@ enum class FlightEventKind : std::uint8_t {
   kDeadlineExpired,   ///< deadline passed after admission (queue/mid-image)
   kCancelled,         ///< cooperative cancellation (hedge loser)
   kRespond,           ///< client-visible response delivered (detail = status)
+  kCacheHit,          ///< by-handle diff served from the result cache
+  kCacheMiss,         ///< by-handle diff missed the result cache
+  kStoreEvict,        ///< image store evicted an entry (arg = fingerprint)
 };
 
 /// Human-readable (and JSONL) kind name, e.g. "hedge_fired".

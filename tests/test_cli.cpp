@@ -528,7 +528,7 @@ TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {
   const CliRun r = cli({"serve", "--requests", reqs, "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v3");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
   EXPECT_DOUBLE_EQ(root.at("params").at("requests").number, 3.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 1.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 1.0);
@@ -572,7 +572,7 @@ TEST_F(CliFixture, ServeMultiShardTopologyRoutesAndStaysAccounted) {
                         "--replicas", "2", "--hedge-ms", "50", "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v3");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
   EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("hedge_ms").number, 50.0);
@@ -649,7 +649,7 @@ TEST_F(CliFixture, ServeFlightRecorderExportsJsonlAndKillShowsInReport) {
   EXPECT_EQ(r.exit_code, 0) << r.err;
 
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v3");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
   EXPECT_EQ(root.at("params").at("kill_replica").string, "0.1@3");
   EXPECT_DOUBLE_EQ(root.at("params").at("flight_recorder").number, 1024.0);
   const JsonValue& flight = root.at("flight");
@@ -712,6 +712,88 @@ TEST_F(CliFixture, ServeRejectsBadObservabilityFlags) {
            "--flight-out", bad_path});
   EXPECT_EQ(unwritable.exit_code, 2);
   EXPECT_NE(unwritable.err.find(bad_path), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeRejectsBadStoreFlags) {
+  const std::string reqs =
+      write_requests_file("serve_store_flags.txt", "batch 2 100 0.0\n");
+  // Capacity flags demand a positive integer.
+  for (const char* flag : {"--store-cap-mb", "--cache-cap-mb"}) {
+    for (const char* bad : {"0", "-3", "banana"}) {
+      const CliRun r =
+          cli({"serve", "--requests", reqs, "--store", flag, bad});
+      EXPECT_EQ(r.exit_code, 2) << flag << " " << bad;
+      EXPECT_NE(r.err.find(flag), std::string::npos) << flag << " " << bad;
+    }
+    // Capacity flags without --store are a contradiction, not a no-op.
+    const CliRun orphan = cli({"serve", "--requests", reqs, flag, "8"});
+    EXPECT_EQ(orphan.exit_code, 2) << flag;
+    EXPECT_NE(orphan.err.find("--store"), std::string::npos) << flag;
+  }
+  // Store verbs in the request file demand --store.
+  const std::string verbs = write_requests_file(
+      "serve_store_verbs.txt", "register a 4 200 0.02\n");
+  const CliRun r = cli({"serve", "--requests", verbs});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("--store"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeStoreSessionServesRepeatDiffFromCache) {
+  // Two registered images, the same by-handle diff twice.  The `wait` line
+  // fences the first response so the second submit cannot coalesce with it
+  // and must be answered by the result cache — bit-identical, without
+  // invoking the engine again.
+  const std::string reqs = write_requests_file(
+      "serve_store.txt",
+      "register ref 6 200 0.02\n"
+      "register scan 6 200 0.05\n"
+      "diff-handles batch ref scan\n"
+      "wait\n"
+      "diff-handles batch ref scan\n");
+  const CliRun r =
+      cli({"serve", "--requests", reqs, "--store", "--json"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  const JsonValue root = parse_json(r.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
+  EXPECT_TRUE(root.at("params").at("store").boolean);
+  EXPECT_DOUBLE_EQ(root.at("params").at("registers").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("offered").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("completed").number, 2.0);
+
+  const JsonValue& store = root.at("store");
+  EXPECT_DOUBLE_EQ(store.at("registered").number, 2.0);
+  EXPECT_DOUBLE_EQ(store.at("resident").number, 2.0);
+  EXPECT_TRUE(store.at("accounting_ok").boolean);
+
+  const JsonValue& cache = root.at("cache");
+  EXPECT_DOUBLE_EQ(cache.at("hits").number, 1.0);
+  EXPECT_DOUBLE_EQ(cache.at("misses").number, 1.0);
+  EXPECT_TRUE(cache.at("accounting_ok").boolean);
+
+  // The engine ran once; the repeat was served from the cache with the
+  // same payload (canonical fingerprints of the delivered diffs match).
+  EXPECT_DOUBLE_EQ(root.at("backend").at("engine_invocations").number, 1.0);
+  EXPECT_DOUBLE_EQ(root.at("router").at("cache_hits").number, 1.0);
+  const JsonValue& diffs = root.at("handle_diffs");
+  ASSERT_EQ(diffs.array.size(), 2u);
+  EXPECT_EQ(diffs.array[0].at("status").string, "completed");
+  EXPECT_EQ(diffs.array[1].at("status").string, "completed");
+  EXPECT_FALSE(diffs.array[0].at("from_cache").boolean);
+  EXPECT_TRUE(diffs.array[1].at("from_cache").boolean);
+  EXPECT_GT(diffs.array[0].at("diff_fingerprint").number, 0.0);
+  EXPECT_DOUBLE_EQ(diffs.array[0].at("diff_fingerprint").number,
+                   diffs.array[1].at("diff_fingerprint").number);
+  EXPECT_TRUE(root.at("accounting_ok").boolean);
+}
+
+TEST_F(CliFixture, ServeStoreDiffHandlesNamesUnknownImage) {
+  const std::string reqs = write_requests_file(
+      "serve_store_unknown.txt",
+      "register ref 4 200 0.02\n"
+      "diff-handles batch ref ghost\n");
+  const CliRun r = cli({"serve", "--requests", reqs, "--store"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("ghost"), std::string::npos);
 }
 
 }  // namespace

@@ -245,5 +245,54 @@ TEST(Serialize, FileRoundTrip) {
   EXPECT_THROW(read_rle_file(path + ".missing"), contract_error);
 }
 
+// The content-address contract: two in-memory representations of the same
+// pixels must serialize to byte-identical canonical bytes and therefore
+// fingerprint identically — a run split as (0,2)(2,3) versus the merged
+// (0,5) is the classic case.
+TEST(Serialize, CanonicalBytesRepresentationIndependent) {
+  RleImage split(10, 1);
+  split.set_row(0, RleRow({{0, 2}, {2, 3}}));
+  RleImage merged(10, 1);
+  merged.set_row(0, RleRow({{0, 5}}));
+  ASSERT_FALSE(split.row(0).is_canonical());
+  ASSERT_TRUE(merged.row(0).is_canonical());
+  EXPECT_EQ(canonical_rle_bytes(split), canonical_rle_bytes(merged));
+  EXPECT_EQ(canonical_fingerprint(split), canonical_fingerprint(merged));
+}
+
+// The streamed fingerprint must equal hashing the materialized canonical
+// bytes — one byte sequence, two computations.
+TEST(Serialize, CanonicalFingerprintMatchesBytes) {
+  const RleImage img = sample_image();
+  const std::string bytes = canonical_rle_bytes(img);
+  EXPECT_EQ(canonical_fingerprint(img),
+            fingerprint_bytes(bytes.data(), bytes.size()));
+}
+
+// Canonical bytes are valid SRLB: reading them back yields the same pixels
+// (canonicalized), so the store can keep them as its collision-defense
+// identity and still rehydrate if it ever needs to.
+TEST(Serialize, CanonicalBytesRoundTrip) {
+  RleImage split(10, 2);
+  split.set_row(0, RleRow({{0, 2}, {2, 3}}));
+  split.set_row(1, RleRow({{4, 1}, {5, 2}}));
+  std::stringstream ss(canonical_rle_bytes(split));
+  const RleImage back = read_rle(ss);
+  ASSERT_EQ(back.height(), 2);
+  EXPECT_EQ(back.row(0), RleRow({{0, 5}}));
+  EXPECT_EQ(back.row(1), RleRow({{4, 3}}));
+}
+
+// Different pixels must (for any realistic corpus) fingerprint differently;
+// at minimum the canonical bytes differ.
+TEST(Serialize, DifferentPixelsDifferentBytes) {
+  RleImage a(10, 1);
+  a.set_row(0, RleRow({{0, 5}}));
+  RleImage b(10, 1);
+  b.set_row(0, RleRow({{0, 6}}));
+  EXPECT_NE(canonical_rle_bytes(a), canonical_rle_bytes(b));
+  EXPECT_NE(canonical_fingerprint(a), canonical_fingerprint(b));
+}
+
 }  // namespace
 }  // namespace sysrle

@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "rle/ops.hpp"
+#include "rle/serialize.hpp"
+#include "store/image_store.hpp"
+#include "store/result_cache.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "workload/generator.hpp"
 #include "workload/rng.hpp"
@@ -539,6 +542,146 @@ TEST(ShardRouter, MixedBurstWithEverythingEnabledStaysAccounted) {
   // backend response (completed, failed, or typed rejection).
   const ServiceStats bs = router.backend_stats();
   EXPECT_EQ(bs.responses(), bs.admitted);
+}
+
+// ------------------------------------------------------------- by handle
+
+RouterConfig store_router(std::shared_ptr<ImageStore>& store,
+                          std::shared_ptr<ResultCache>& cache) {
+  store = std::make_shared<ImageStore>();
+  cache = std::make_shared<ResultCache>();
+  RouterConfig cfg = small_router(2, 1);
+  cfg.store = store;
+  cfg.cache = cache;
+  return cfg;
+}
+
+TEST(ShardRouter, ByHandleRequestResolvesPinsAndCompletes) {
+  std::shared_ptr<ImageStore> store;
+  std::shared_ptr<ResultCache> cache;
+  Collector collector;
+  const Workload w = make_workload(600);
+  ShardRouter router(store_router(store, cache), collector.callback());
+  ServiceRequest req;
+  req.id = 0;
+  req.ref_handle = store->register_image(w.a).handle;
+  req.scan_handle = store->register_image(w.b).handle;
+  req.keep_diff = true;
+  ASSERT_FALSE(router.try_submit(std::move(req)).has_value());
+  router.drain();
+
+  const ServiceResponse r = collector.only(0);
+  ASSERT_EQ(r.status, ServiceResponse::Status::kCompleted);
+  EXPECT_FALSE(r.from_cache);
+  expect_correct_diff(r, w);
+  EXPECT_TRUE(router.stats().accounted());
+}
+
+// The tentpole's acceptance bar: the second identical by-handle diff is
+// served from the result cache — bit-identical payload, no second engine
+// invocation (asserted via the backend's engine-invocation counter).
+TEST(ShardRouter, SecondIdenticalByHandleDiffIsServedFromCache) {
+  std::shared_ptr<ImageStore> store;
+  std::shared_ptr<ResultCache> cache;
+  Collector collector;
+  const Workload w = make_workload(601);
+  ShardRouter router(store_router(store, cache), collector.callback());
+  const ImageHandle ha = store->register_image(w.a).handle;
+  const ImageHandle hb = store->register_image(w.b).handle;
+
+  auto by_handle = [&](std::uint64_t id) {
+    ServiceRequest req;
+    req.id = id;
+    req.ref_handle = ha;
+    req.scan_handle = hb;
+    req.keep_diff = true;
+    return req;
+  };
+  ASSERT_FALSE(router.try_submit(by_handle(0)).has_value());
+  collector.wait_for(1);  // sequential, so the repeat cannot coalesce
+  ASSERT_FALSE(router.try_submit(by_handle(1)).has_value());
+  collector.wait_for(2);
+  router.drain();
+
+  const ServiceResponse first = collector.only(0);
+  const ServiceResponse second = collector.only(1);
+  ASSERT_EQ(first.status, ServiceResponse::Status::kCompleted);
+  ASSERT_EQ(second.status, ServiceResponse::Status::kCompleted);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.diff, first.diff);  // bit-identical payload
+  expect_correct_diff(second, w);
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_stores, 1u);
+  EXPECT_TRUE(st.accounted());
+  // The engine ran once; the cache served the repeat without re-running it.
+  EXPECT_EQ(router.backend_stats().engine_invocations, 1u);
+  EXPECT_TRUE(cache->stats().accounted());
+}
+
+TEST(ShardRouter, UnknownHandleIsATypedShed) {
+  std::shared_ptr<ImageStore> store;
+  std::shared_ptr<ResultCache> cache;
+  Collector collector;
+  const Workload w = make_workload(602);
+  ShardRouter router(store_router(store, cache), collector.callback());
+  ServiceRequest req;
+  req.id = 0;
+  req.ref_handle = store->register_image(w.a).handle;
+  req.scan_handle = 0xdeadbeef;  // never registered
+  const std::optional<RejectReason> shed = router.try_submit(std::move(req));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(*shed, RejectReason::kUnknownHandle);
+  router.drain();
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.shed_unknown_handle, 1u);
+  EXPECT_TRUE(st.accounted());  // the shed is inside the identity
+  EXPECT_TRUE(collector.responses().empty());
+}
+
+// A pinned request survives its operands being evicted mid-flight: the pin
+// taken at submit keeps the image alive and blocks eviction of its entry
+// until the response is delivered.
+TEST(ShardRouter, ByHandleDiffSurvivesConcurrentStoreChurn) {
+  std::shared_ptr<ImageStore> store;
+  std::shared_ptr<ResultCache> cache;
+  Collector collector;
+  const Workload w = make_workload(603, 16, 512);
+  StoreConfig tight;
+  tight.capacity_bytes = 3 * canonical_rle_bytes(w.a).size();
+  store = std::make_shared<ImageStore>(tight);
+  cache = std::make_shared<ResultCache>();
+  RouterConfig cfg = small_router(1, 1);
+  cfg.store = store;
+  cfg.cache = cache;
+  ShardRouter router(cfg, collector.callback());
+  const ImageHandle ha = store->register_image(w.a).handle;
+  const ImageHandle hb = store->register_image(w.b).handle;
+
+  ServiceRequest req;
+  req.id = 0;
+  req.ref_handle = ha;
+  req.scan_handle = hb;
+  req.keep_diff = true;
+  ASSERT_FALSE(router.try_submit(std::move(req)).has_value());
+  // Churn the store while the diff is in flight; the pinned operands must
+  // not be evicted out from under the engine.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Rng rng(700 + i);
+    RowGenParams p;
+    p.width = 512;
+    (void)store->register_image(generate_image(rng, 16, p));
+  }
+  router.drain();
+
+  const ServiceResponse r = collector.only(0);
+  ASSERT_EQ(r.status, ServiceResponse::Status::kCompleted);
+  expect_correct_diff(r, w);
+  EXPECT_TRUE(store->stats().accounted());
 }
 
 }  // namespace
