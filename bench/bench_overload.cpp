@@ -577,13 +577,20 @@ int main(int argc, char** argv) {
             << " faulty dispatches " << fb.faulty_dispatches
             << " wasted cycles " << fb.faulty_cycles << " (probes "
             << fb.probe_dispatches << ")\n\n";
-  // Quarantining the flaky machine removes it from the worker pool, so the
-  // makespan may tick up a sliver while the wasted-dispatch bleed collapses;
-  // the relief claim is "no material makespan cost", not strict dominance.
+  // Both runs complete the same useful rows on the same healthy machines
+  // (re-dispatch excludes the flaky machine), so the breaker cannot cost
+  // useful work — only tail packing. Quarantining machine 1 perturbs the
+  // FIFO dispatch order (fewer burn/re-queue events shift row start times),
+  // and list scheduling is not monotone under such perturbations, so the
+  // makespan can drift either way by at most one row's service time: the
+  // classic Graham list-scheduling anomaly. Measured at the fixed seed:
+  // full size 1598 vs 1577 (+21 cycles, critical row 61), smoke 162 vs 167
+  // (breakers win outright). The former 1.05x multiplicative slack (~79
+  // cycles at full size) over-allowed; the additive one-critical-row bound
+  // is both tighter and principled.
   const bool farm_breaker_relief =
       fb.faulty_cycles < fw.faulty_cycles &&
-      static_cast<double>(fb.makespan) <=
-          1.05 * static_cast<double>(fw.makespan) &&
+      fb.makespan <= fw.makespan + fb.critical_row &&
       fb.faulty_dispatches < fw.faulty_dispatches;
 
   // --- 5. hot shard -------------------------------------------------------

@@ -26,6 +26,7 @@
 #include "rle/serialize.hpp"
 #include "service/service.hpp"
 #include "service/shard_router.hpp"
+#include "store/durable_store.hpp"
 #include "store/image_store.hpp"
 #include "store/result_cache.hpp"
 #include "systolic/verilog_gen.hpp"
@@ -815,14 +816,15 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
               "--seed", "--engine", "--shards", "--replicas", "--hedge-ms",
               "--flight-recorder", "--flight-out", "--flight-trace",
               "--slo-p99-ms", "--kill-replica", "--store-cap-mb",
-              "--cache-cap-mb"});
+              "--cache-cap-mb", "--store-dir", "--snapshot-every"});
   if (!args.positional().empty() || !args.has("--requests"))
     usage_error(
         "serve --requests <file|-> [--workers N] [--queue-cap M] "
         "[--deadline-ms D] [--seed S] [--engine E] [--shards N] "
         "[--replicas R] [--hedge-ms H] [--flight-recorder N] "
         "[--flight-out FILE] [--flight-trace FILE] [--slo-p99-ms D] "
-        "[--kill-replica S.R@K] [--store] [--store-cap-mb N] "
+        "[--kill-replica S.R@K] [--store] [--store-dir DIR] "
+        "[--snapshot-every N] [--store-cap-mb N] "
         "[--cache-cap-mb N] [--checked] [--json]");
   const std::string requests_path = args.get("--requests", "-");
   const std::int64_t workers = args.get_int("--workers", 2);
@@ -836,9 +838,13 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   const std::string flight_out = args.get("--flight-out", "");
   const std::string flight_trace = args.get("--flight-trace", "");
   const std::int64_t slo_p99_ms = args.get_int("--slo-p99-ms", 50);
-  const bool use_store = args.has("--store");
+  const std::string store_dir = args.get("--store-dir", "");
+  // A durable directory implies store mode: recovery repopulates the session
+  // store and every registration/eviction is journaled.
+  const bool use_store = args.has("--store") || !store_dir.empty();
   const std::int64_t store_cap_mb = args.get_int("--store-cap-mb", 64);
   const std::int64_t cache_cap_mb = args.get_int("--cache-cap-mb", 16);
+  const std::int64_t snapshot_every = args.get_int("--snapshot-every", 64);
   if (workers < 0) usage_error("--workers must be >= 0 (0 = auto)");
   if (queue_cap < 1) usage_error("--queue-cap must be >= 1");
   if (default_deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
@@ -851,6 +857,10 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     usage_error("--cache-cap-mb requires --store");
   if (store_cap_mb < 1) usage_error("--store-cap-mb must be >= 1");
   if (cache_cap_mb < 1) usage_error("--cache-cap-mb must be >= 1");
+  if (args.has("--snapshot-every") && store_dir.empty())
+    usage_error("--snapshot-every requires --store-dir");
+  if (snapshot_every < 0)
+    usage_error("--snapshot-every must be >= 0 (0 = compact only on recovery)");
   if (flight_cap < 0)
     usage_error("--flight-recorder must be >= 0 (0 = off; N = ring slots)");
   if (flight_cap == 0 && (!flight_out.empty() || !flight_trace.empty()))
@@ -871,6 +881,21 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     if (!probe.is_open())
       throw contract_error("cannot open flight output for writing: " + *path);
   }
+  // Same contract for the durable store directory: a serve session must not
+  // discover at the first registration that its journal has nowhere to go.
+  // The probe file exercises actual write permission, not just stat bits.
+  if (!store_dir.empty()) {
+    if (!std::filesystem::is_directory(store_dir))
+      throw contract_error("--store-dir is not an existing directory: " +
+                           store_dir);
+    const std::string probe_path = store_dir + "/.sysrle-preflight";
+    std::ofstream probe(probe_path, std::ios::app);
+    if (!probe.is_open())
+      throw contract_error("--store-dir is not writable: " + store_dir);
+    probe.close();
+    std::error_code ec;
+    std::filesystem::remove(probe_path, ec);
+  }
 
   std::vector<ServeAction> actions;
   if (requests_path == "-") {
@@ -888,13 +913,26 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
 
   // Store-mode session state: the persistent image store and the
   // content-addressed result cache shared by every shard of the router.
+  // With --store-dir the store is durable: the constructor recovers
+  // snapshot + journal (re-verifying every fingerprint) and every later
+  // registration/eviction is journaled before it is acknowledged.
   std::shared_ptr<ImageStore> store;
   std::shared_ptr<ResultCache> cache;
+  std::unique_ptr<DurableStore> durable;
   if (use_store) {
     StoreConfig sc;
     sc.capacity_bytes =
         static_cast<std::size_t>(store_cap_mb) * (std::size_t{1} << 20);
-    store = std::make_shared<ImageStore>(sc);
+    if (!store_dir.empty()) {
+      DurableStoreConfig dc;
+      dc.dir = store_dir;
+      dc.store = sc;
+      dc.snapshot_every = static_cast<std::uint64_t>(snapshot_every);
+      durable = std::make_unique<DurableStore>(std::move(dc));
+      store = durable->store_ptr();
+    } else {
+      store = std::make_shared<ImageStore>(sc);
+    }
     CacheConfig cc;
     cc.capacity_bytes =
         static_cast<std::size_t>(cache_cap_mb) * (std::size_t{1} << 20);
@@ -995,6 +1033,9 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   std::uint64_t next_id = 0;
   std::uint64_t expected_responses = 0;
   std::map<std::string, ImageHandle> handles;  // register: latest wins
+  // Recovered names resolve immediately: a pre-crash `register ref ...` can
+  // be diffed by handle in the restarted session without re-registering.
+  if (durable) handles = durable->labels();
   std::uint64_t registered_lines = 0;
   for (const ServeAction& action : actions) {
     if (action.kind == ServeAction::Kind::kWait) {
@@ -1009,7 +1050,9 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
       gp.width = g.width;
       gp.density = g.density;
       const RleImage image = generate_image(rng, g.rows, gp);
-      const ImageStore::RegisterResult rr = store->register_image(image);
+      const ImageStore::RegisterResult rr =
+          durable ? durable->register_image(image, g.name)
+                  : store->register_image(image);
       if (!rr.ok)
         throw contract_error("serve: register '" + g.name +
                              "' refused by the store (fingerprint collision)");
@@ -1097,7 +1140,7 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   if (args.has("--json")) {
     JsonWriter w(out);
     w.begin_object();
-    w.member("schema", "sysrle.serve.v4");
+    w.member("schema", "sysrle.serve.v5");
     w.key("params");
     w.begin_object();
     w.member("requests", n_requests);
@@ -1113,6 +1156,8 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     w.member("slo_p99_ms", slo_p99_ms);
     w.member("flight_recorder", flight_cap);
     w.member("store", use_store);
+    w.member("store_dir", store_dir);
+    w.member("snapshot_every", snapshot_every);
     w.member("store_cap_mb", store_cap_mb);
     w.member("cache_cap_mb", cache_cap_mb);
     if (kill)
@@ -1221,6 +1266,50 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
                                       static_cast<double>(cs.lookups)
                                 : 0.0);
       w.member("accounting_ok", cs.accounted());
+      w.end_object();
+    } else {
+      w.null();
+    }
+    // Durability accounting (null without --store-dir): the journal/snapshot
+    // counters plus what this session's recovery found.  accounting_ok pins
+    // the recovery identity — every register record seen on disk was either
+    // replayed or dropped with a typed reason.
+    w.key("durability");
+    if (durable) {
+      const DurabilityStats ds = durable->durability_stats();
+      const RecoveryReport& rec = ds.recovery;
+      const std::uint64_t evict_records =
+          rec.replayed_evicts + rec.evicts_unmatched;
+      const std::uint64_t register_records =
+          rec.snapshot_entries + rec.journal_records - evict_records;
+      w.begin_object();
+      w.member("dir", store_dir);
+      w.key("journal");
+      w.begin_object();
+      w.member("appends", ds.journal.appends);
+      w.member("appended_bytes", ds.journal.appended_bytes);
+      w.member("fsyncs", ds.journal.fsyncs);
+      w.member("truncations", ds.journal.truncations);
+      w.member("size_bytes", ds.journal_size_bytes);
+      w.end_object();
+      w.member("snapshots", ds.snapshots);
+      w.member("last_snapshot_entries", ds.last_snapshot_entries);
+      w.key("recovery");
+      w.begin_object();
+      w.member("snapshot_present", rec.snapshot_present);
+      w.member("snapshot_entries", rec.snapshot_entries);
+      w.member("journal_records", rec.journal_records);
+      w.member("replayed_registers", rec.replayed_registers);
+      w.member("replayed_evicts", rec.replayed_evicts);
+      w.member("dropped_malformed", rec.dropped_malformed);
+      w.member("dropped_fingerprint", rec.dropped_fingerprint);
+      w.member("dropped_collision", rec.dropped_collision);
+      w.member("evicts_unmatched", rec.evicts_unmatched);
+      w.member("salvaged_bytes", rec.salvaged_bytes());
+      w.member("journal_tail_reason", rec.journal_tail_reason);
+      w.end_object();
+      w.member("accounting_ok",
+               rec.replayed_registers + rec.dropped() == register_records);
       w.end_object();
     } else {
       w.null();
@@ -1338,6 +1427,14 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
           << " misses=" << cs.misses << " accounting_ok="
           << (cs.accounted() ? "true" : "false") << '\n';
     }
+    if (durable) {
+      const DurabilityStats ds = durable->durability_stats();
+      out << "durability: journal_appends=" << ds.journal.appends
+          << " fsyncs=" << ds.journal.fsyncs << " snapshots=" << ds.snapshots
+          << " recovered=" << ds.recovery.replayed_registers
+          << " dropped=" << ds.recovery.dropped()
+          << " salvaged_bytes=" << ds.recovery.salvaged_bytes() << '\n';
+    }
     out << "breakers:";
     for (std::size_t s = 0; s < router.shards(); ++s)
       for (std::size_t r = 0; r < router.replicas(); ++r)
@@ -1363,6 +1460,74 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   // A failed request (unrecovered rows) is a serving error; shed load under
   // overload is the design working as intended and stays exit 0.
   return rt.failed == 0 ? 0 : 1;
+}
+
+/// `sysrle store fsck <dir> [--json]`: read-only integrity check of a
+/// durable store directory.  Verifies file structure, record CRCs, SRLB
+/// parseability, and every image's canonical fingerprint against its handle
+/// without modifying a byte.  Exit 0 when the directory would recover with
+/// nothing salvaged or dropped, 1 when fsck found issues (recovery would
+/// still succeed — by salvaging/dropping what fsck flagged), 2 on usage.
+int cmd_store(ArgParser& args, std::ostream& out) {
+  args.parse({});
+  const auto& pos = args.positional();
+  if (pos.size() != 2 || pos[0] != "fsck")
+    usage_error("store fsck <dir> [--json]");
+  const std::string& dir = pos[1];
+  if (!std::filesystem::is_directory(dir))
+    throw contract_error("store fsck: not an existing directory: " + dir);
+
+  const FsckReport report = fsck_store_dir(dir);
+  if (args.has("--json")) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("schema", "sysrle.fsck.v1");
+    w.member("dir", dir);
+    w.key("snapshot");
+    w.begin_object();
+    w.member("present", report.snapshot_present);
+    w.member("header_ok", report.snapshot_header_ok);
+    w.member("entries", report.snapshot_entries);
+    w.member("salvaged_tail_bytes", report.snapshot_salvaged_bytes);
+    w.member("tail_reason", report.snapshot_tail_reason);
+    w.end_object();
+    w.key("journal");
+    w.begin_object();
+    w.member("present", report.journal_present);
+    w.member("header_ok", report.journal_header_ok);
+    w.member("registers", report.journal_registers);
+    w.member("evicts", report.journal_evicts);
+    w.member("salvaged_tail_bytes", report.journal_salvaged_bytes);
+    w.member("tail_reason", report.journal_tail_reason);
+    w.end_object();
+    w.member("verified_images", report.verified_images);
+    w.member("malformed_images", report.malformed_images);
+    w.member("fingerprint_mismatches", report.fingerprint_mismatches);
+    w.member("clean", report.clean());
+    w.end_object();
+    out << '\n';
+  } else {
+    out << "snapshot: present=" << (report.snapshot_present ? "true" : "false")
+        << " header_ok=" << (report.snapshot_header_ok ? "true" : "false")
+        << " entries=" << report.snapshot_entries
+        << " salvaged_tail_bytes=" << report.snapshot_salvaged_bytes;
+    if (!report.snapshot_tail_reason.empty())
+      out << " tail_reason=" << report.snapshot_tail_reason;
+    out << '\n';
+    out << "journal: present=" << (report.journal_present ? "true" : "false")
+        << " header_ok=" << (report.journal_header_ok ? "true" : "false")
+        << " registers=" << report.journal_registers
+        << " evicts=" << report.journal_evicts
+        << " salvaged_tail_bytes=" << report.journal_salvaged_bytes;
+    if (!report.journal_tail_reason.empty())
+      out << " tail_reason=" << report.journal_tail_reason;
+    out << '\n';
+    out << "images: verified=" << report.verified_images
+        << " malformed=" << report.malformed_images
+        << " fingerprint_mismatches=" << report.fingerprint_mismatches << '\n';
+    out << (report.clean() ? "clean" : "issues found") << '\n';
+  }
+  return report.clean() ? 0 : 1;
 }
 
 int cmd_verilog(ArgParser& args, std::ostream& out) {
@@ -1422,7 +1587,8 @@ void print_help(std::ostream& out) {
          "      [--deadline-ms D] [--seed S] [--engine E] [--shards N]\n"
          "      [--replicas R] [--hedge-ms H] [--flight-recorder N]\n"
          "      [--flight-out FILE] [--flight-trace FILE] [--slo-p99-ms D]\n"
-         "      [--kill-replica S.R@K] [--store] [--store-cap-mb N]\n"
+         "      [--kill-replica S.R@K] [--store] [--store-dir DIR]\n"
+         "      [--snapshot-every N] [--store-cap-mb N]\n"
          "      [--cache-cap-mb N] [--checked] [--json]\n"
          "      run a request file through the overload-safe sharded service\n"
          "      (bounded admission, deadlines, retry budget, breakers,\n"
@@ -1437,7 +1603,17 @@ void print_help(std::ostream& out) {
          "      'register <name> <rows> <width> [density]' and\n"
          "      'diff-handles <priority> <a> <b> [deadline_ms]'; the second\n"
          "      identical by-handle diff is served from the cache without\n"
-         "      invoking an engine.\n"
+         "      invoking an engine.  --store-dir DIR (implies --store) makes\n"
+         "      the store durable: registrations and evictions are journaled\n"
+         "      (CRC-checksummed write-ahead log, fsync before ack), the\n"
+         "      resident set is compacted into an atomic snapshot every\n"
+         "      --snapshot-every records, and startup recovers the previous\n"
+         "      session's images — re-verifying every canonical fingerprint,\n"
+         "      so a corrupted at-rest byte is dropped, never served.\n"
+         "  store fsck <dir> [--json]\n"
+         "      read-only integrity check of a --store-dir directory\n"
+         "      (structure, record CRCs, fingerprint match per image);\n"
+         "      exit 0 clean, 1 issues found.\n"
          "  help                 this message.\n\n"
          "global options (any command):\n"
          "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"
@@ -1511,6 +1687,7 @@ int run_cli(const std::vector<std::string>& args_in, std::ostream& out,
       else if (command == "trace") rc = cmd_trace(rest, out);
       else if (command == "campaign") rc = cmd_campaign(rest, out);
       else if (command == "serve") rc = cmd_serve(rest, out);
+      else if (command == "store") rc = cmd_store(rest, out);
       else usage_error("unknown command '" + command + "' (try: sysrle help)");
     }
   } catch (const std::exception& e) {

@@ -41,7 +41,53 @@ void ImageStore::evict_for_locked(std::size_t incoming) {
     ++evicted_;
     if (telemetry_enabled()) global_metrics().add("store.evictions");
     flight_record(FlightEventKind::kStoreEvict, RequestContext{}, "", fp);
+    if (config_.on_evict) config_.on_evict(fp);
   }
+}
+
+bool ImageStore::evict(ImageHandle handle) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto found = entries_.find(handle);
+  if (found == entries_.end()) return false;
+  Entry& entry = *found->second;
+  if (entry.pins.load(std::memory_order_acquire) > 0) {
+    ++evict_blocked_by_pin_;
+    if (telemetry_enabled())
+      global_metrics().add("store.evict_blocked_by_pin");
+    return false;
+  }
+  resident_bytes_ -= entry.bytes;
+  arena_.release(entry.span);
+  lru_.erase(entry.lru);
+  entries_.erase(found);
+  ++evicted_;
+  if (telemetry_enabled()) {
+    global_metrics().add("store.evictions");
+    export_gauges_locked();
+  }
+  flight_record(FlightEventKind::kStoreEvict, RequestContext{}, "", handle);
+  if (config_.on_evict) config_.on_evict(handle);
+  return true;
+}
+
+std::vector<ImageStore::ResidentEntry> ImageStore::resident_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResidentEntry> out;
+  out.reserve(entries_.size());
+  // lru_ front = most recent; walk from the back so the result replays
+  // oldest-first.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto found = entries_.find(*it);
+    SYSRLE_REQUIRE(found != entries_.end(), "ImageStore: LRU/map desync");
+    const Entry& entry = *found->second;
+    ResidentEntry re;
+    re.handle = entry.fingerprint;
+    re.bytes.assign(static_cast<const char*>(
+                        static_cast<const void*>(entry.span.data)),
+                    entry.span.size);
+    out.push_back(std::move(re));
+  }
+  return out;
 }
 
 ImageStore::RegisterResult ImageStore::register_image(const RleImage& image) {

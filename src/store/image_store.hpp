@@ -40,7 +40,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "rle/rle_image.hpp"
 #include "store/slab_arena.hpp"
@@ -61,6 +63,9 @@ struct StoreConfig {
   /// Test seam: replaces canonical_fingerprint so fingerprint collisions
   /// (unconstructable for the real 64-bit hash) are testable.
   std::function<std::uint64_t(const RleImage&)> fingerprint_override;
+  /// Durability seam: invoked (with the store lock held) for every eviction,
+  /// budget-driven or explicit.  The callback must not re-enter the store.
+  std::function<void(ImageHandle)> on_evict;
 };
 
 /// One coherent snapshot of the store counters.
@@ -134,6 +139,19 @@ class ImageStore {
   PinnedImage acquire(ImageHandle handle);
 
   bool contains(ImageHandle handle) const;
+
+  /// Explicitly evicts one entry (journal replay / administrative drop).
+  /// Returns false when the handle is unknown or the entry is pinned; a
+  /// successful evict counts toward `evicted` exactly like a budget evict.
+  bool evict(ImageHandle handle);
+
+  struct ResidentEntry {
+    ImageHandle handle = 0;
+    std::string bytes;  ///< canonical SRLB bytes (a copy of the span)
+  };
+  /// Copies out every resident entry's canonical bytes, least recently used
+  /// first, so replaying the list in order reproduces today's LRU order.
+  std::vector<ResidentEntry> resident_entries() const;
 
   StoreStats stats() const;
   SlabArena::Stats arena_stats() const;

@@ -1,0 +1,327 @@
+#include "store/store_journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sysrle {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'L', 'J'};
+constexpr std::size_t kHeaderBytes = 8;  // magic + u32 version
+constexpr std::uint32_t kMaxLabel = 1u << 16;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::string header_bytes() {
+  std::string h(kMagic, sizeof(kMagic));
+  put_u32(h, StoreJournal::kVersion);
+  return h;
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SYSRLE_REQUIRE(false, "StoreJournal: write failed for " + path + ": " +
+                                std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return crc;
+}
+
+/// The record CRC covers the 4 length-prefix bytes followed by the payload,
+/// so framing corruption is as detectable as payload corruption.
+std::uint32_t record_crc(std::uint32_t payload_len, const char* payload) {
+  std::string len_le;
+  put_u32(len_le, payload_len);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  crc = crc32_update(crc, len_le.data(), len_le.size());
+  crc = crc32_update(crc, payload, payload_len);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+std::uint32_t crc32_bytes(const void* data, std::size_t size) {
+  return crc32_update(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+StoreJournal::StoreJournal(std::string path, std::size_t fsync_every)
+    : path_(std::move(path)),
+      fsync_every_(fsync_every == 0 ? 1 : fsync_every) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  SYSRLE_REQUIRE(fd_ >= 0, "StoreJournal: cannot open " + path_ + ": " +
+                               std::strerror(errno));
+  struct stat st {};
+  SYSRLE_REQUIRE(::fstat(fd_, &st) == 0,
+                 "StoreJournal: fstat failed for " + path_);
+  if (st.st_size == 0) {
+    const std::string header = header_bytes();
+    write_all(fd_, header.data(), header.size(), path_);
+    SYSRLE_REQUIRE(::fsync(fd_) == 0,
+                   "StoreJournal: fsync failed for " + path_);
+    file_bytes_ = header.size();
+  } else {
+    char buf[kHeaderBytes] = {};
+    const ssize_t n = ::pread(fd_, buf, kHeaderBytes, 0);
+    const bool ok = n == static_cast<ssize_t>(kHeaderBytes) &&
+                    std::memcmp(buf, kMagic, sizeof(kMagic)) == 0 &&
+                    get_u32(buf + 4) == kVersion;
+    SYSRLE_REQUIRE(ok, "StoreJournal: " + path_ +
+                           " exists but is not a v1 journal (salvage first)");
+    file_bytes_ = static_cast<std::uint64_t>(st.st_size);
+    SYSRLE_REQUIRE(::lseek(fd_, 0, SEEK_END) >= 0,
+                   "StoreJournal: seek failed for " + path_);
+  }
+}
+
+StoreJournal::~StoreJournal() {
+  if (fd_ >= 0) {
+    // Best effort: make the tail durable before letting go of the fd.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ > 0) {
+        ::fsync(fd_);
+        pending_ = 0;
+      }
+    }
+    ::close(fd_);
+  }
+}
+
+void StoreJournal::append_record_locked(const std::string& payload) {
+  SYSRLE_REQUIRE(payload.size() <= kMaxPayload,
+                 "StoreJournal: record payload exceeds kMaxPayload");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string record;
+  record.reserve(8 + payload.size());
+  put_u32(record, len);
+  put_u32(record, record_crc(len, payload.data()));
+  record.append(payload);
+  write_all(fd_, record.data(), record.size(), path_);
+  file_bytes_ += record.size();
+  ++stats_.appends;
+  stats_.appended_bytes += record.size();
+  ++pending_;
+  if (telemetry_enabled()) {
+    global_metrics().add("store.journal.appends");
+    global_metrics().add("store.journal.bytes", record.size());
+  }
+  if (pending_ >= fsync_every_) sync_locked();
+}
+
+void StoreJournal::append_register(ImageHandle handle,
+                                   const std::string& label,
+                                   const std::string& bytes) {
+  SYSRLE_REQUIRE(label.size() < kMaxLabel,
+                 "StoreJournal: label too long to journal");
+  std::string payload;
+  payload.reserve(1 + 8 + 4 + label.size() + 8 + bytes.size());
+  payload.push_back(static_cast<char>(JournalRecordKind::kRegister));
+  put_u64(payload, handle);
+  put_u32(payload, static_cast<std::uint32_t>(label.size()));
+  payload.append(label);
+  put_u64(payload, bytes.size());
+  payload.append(bytes);
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_record_locked(payload);
+  flight_record(FlightEventKind::kJournalAppend, RequestContext{}, "register",
+                handle);
+}
+
+void StoreJournal::append_evict(ImageHandle handle) {
+  std::string payload;
+  payload.reserve(1 + 8);
+  payload.push_back(static_cast<char>(JournalRecordKind::kEvict));
+  put_u64(payload, handle);
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_record_locked(payload);
+  flight_record(FlightEventKind::kJournalAppend, RequestContext{}, "evict",
+                handle);
+}
+
+void StoreJournal::sync_locked() {
+  if (pending_ == 0) return;
+  SYSRLE_REQUIRE(::fsync(fd_) == 0,
+                 "StoreJournal: fsync failed for " + path_);
+  pending_ = 0;
+  ++stats_.fsyncs;
+  if (telemetry_enabled()) global_metrics().add("store.journal.fsyncs");
+}
+
+void StoreJournal::sync() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sync_locked();
+}
+
+void StoreJournal::truncate_to_header() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SYSRLE_REQUIRE(::ftruncate(fd_, static_cast<off_t>(kHeaderBytes)) == 0,
+                 "StoreJournal: truncate failed for " + path_);
+  SYSRLE_REQUIRE(::lseek(fd_, 0, SEEK_END) >= 0,
+                 "StoreJournal: seek failed for " + path_);
+  SYSRLE_REQUIRE(::fsync(fd_) == 0,
+                 "StoreJournal: fsync failed for " + path_);
+  file_bytes_ = kHeaderBytes;
+  pending_ = 0;
+  ++stats_.truncations;
+  if (telemetry_enabled()) global_metrics().add("store.journal.truncations");
+}
+
+JournalStats StoreJournal::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t StoreJournal::size_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return file_bytes_;
+}
+
+JournalLoadResult load_journal(const std::string& path) {
+  JournalLoadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // missing file == empty journal
+  result.file_present = true;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  SYSRLE_REQUIRE(!in.bad(), "load_journal: read failed for " + path);
+
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0 ||
+      get_u32(data.data() + 4) != StoreJournal::kVersion) {
+    result.header_ok = false;
+    result.salvaged_tail_bytes = data.size();
+    result.tail_reason = "bad_header";
+    return result;
+  }
+
+  std::size_t pos = kHeaderBytes;
+  const auto fail = [&](const char* reason) {
+    result.salvaged_tail_bytes = data.size() - pos;
+    result.tail_reason = reason;
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      fail("torn_frame");
+      break;
+    }
+    const std::uint32_t len = get_u32(data.data() + pos);
+    const std::uint32_t crc = get_u32(data.data() + pos + 4);
+    if (len > StoreJournal::kMaxPayload) {
+      fail("oversize_length");
+      break;
+    }
+    if (data.size() - pos - 8 < len) {
+      fail("torn_payload");
+      break;
+    }
+    const char* payload = data.data() + pos + 8;
+    if (record_crc(len, payload) != crc) {
+      fail("crc_mismatch");
+      break;
+    }
+
+    JournalRecord record;
+    record.offset = pos;
+    record.length = 8 + static_cast<std::uint64_t>(len);
+    bool parsed = false;
+    if (len >= 9) {
+      const auto kind = static_cast<unsigned char>(payload[0]);
+      record.handle = get_u64(payload + 1);
+      if (kind == static_cast<unsigned char>(JournalRecordKind::kEvict) &&
+          len == 9) {
+        record.kind = JournalRecordKind::kEvict;
+        parsed = true;
+      } else if (kind ==
+                 static_cast<unsigned char>(JournalRecordKind::kRegister) &&
+                 len >= 9 + 4) {
+        const std::uint32_t label_len = get_u32(payload + 9);
+        if (label_len < kMaxLabel &&
+            len >= 9 + 4 + static_cast<std::uint64_t>(label_len) + 8) {
+          record.label.assign(payload + 13, label_len);
+          const std::uint64_t data_len = get_u64(payload + 13 + label_len);
+          if (13 + label_len + 8 + data_len == len) {
+            record.kind = JournalRecordKind::kRegister;
+            record.bytes.assign(payload + 13 + label_len + 8,
+                                static_cast<std::size_t>(data_len));
+            parsed = true;
+          }
+        }
+      }
+    }
+    if (!parsed) {
+      // CRC says the bytes are what the writer wrote, but the payload does
+      // not decode — a writer/reader version skew or an unknown kind.  The
+      // salvage rule is the same: keep the clean prefix, stop here.
+      fail("bad_payload");
+      break;
+    }
+    result.records.push_back(std::move(record));
+    pos += 8 + len;
+  }
+  result.clean_bytes = pos;
+  return result;
+}
+
+}  // namespace sysrle

@@ -1,0 +1,59 @@
+#pragma once
+// StoreSnapshot: periodic compaction target for the durable image store.
+//
+// A snapshot is one self-verifying file holding every resident image's
+// canonical SRLB bytes plus its label(s).  Layout (all little-endian):
+//
+//   header  "SRLS" + u32 version + u64 entry_count
+//   entry   u64 handle | u32 label_len | label | u64 data_len |
+//           u32 crc32(handle_le ++ label_len_le ++ label ++ data_len_le ++
+//                     data) | data
+//
+// Durability protocol (write_snapshot): the file is written to
+// `<path>.tmp`, fsync'd, atomically renamed over `<path>`, and the parent
+// directory fsync'd — a crash anywhere in the sequence leaves either the
+// old snapshot or the new one, never a torn hybrid.  The caller truncates
+// the journal only after write_snapshot returns.
+//
+// Reading (load_snapshot) applies the same salvage discipline as the
+// journal: entries are loaded until the first structurally bad or
+// CRC-mismatching one, and the remainder is reported as salvageable tail
+// bytes.  Per-entry CRCs localize at-rest corruption to one entry; the
+// recovery layer then re-verifies every entry's canonical fingerprint
+// against its handle, so even a CRC-colliding corruption cannot surface as
+// a wrong image.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/image_store.hpp"
+
+namespace sysrle {
+
+struct SnapshotEntry {
+  ImageHandle handle = 0;
+  std::string label;
+  std::string bytes;  ///< canonical SRLB bytes
+};
+
+/// Writes `entries` as a durable snapshot at `path` (write-temp + fsync +
+/// atomic rename + directory fsync).  Throws contract_error on I/O failure;
+/// on failure the previous snapshot, if any, is untouched.
+void write_snapshot(const std::string& path,
+                    const std::vector<SnapshotEntry>& entries);
+
+struct SnapshotLoadResult {
+  std::vector<SnapshotEntry> entries;  ///< the clean prefix, in file order
+  bool file_present = false;
+  bool header_ok = true;  ///< false: not a snapshot — nothing loaded
+  std::uint64_t declared_entries = 0;
+  std::uint64_t salvaged_tail_bytes = 0;
+  std::string tail_reason;  ///< empty when every declared entry loaded clean
+};
+
+/// Loads a snapshot with salvage semantics (see header comment).  A missing
+/// file is an empty snapshot.  Never throws on file content.
+SnapshotLoadResult load_snapshot(const std::string& path);
+
+}  // namespace sysrle

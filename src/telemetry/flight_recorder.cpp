@@ -31,6 +31,9 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::kCacheHit: return "cache_hit";
     case FlightEventKind::kCacheMiss: return "cache_miss";
     case FlightEventKind::kStoreEvict: return "store_evict";
+    case FlightEventKind::kJournalAppend: return "journal_append";
+    case FlightEventKind::kSnapshot: return "snapshot";
+    case FlightEventKind::kRecoveryDrop: return "recovery_drop";
   }
   return "unknown";
 }

@@ -65,6 +65,9 @@ enum class FlightEventKind : std::uint8_t {
   kCacheHit,          ///< by-handle diff served from the result cache
   kCacheMiss,         ///< by-handle diff missed the result cache
   kStoreEvict,        ///< image store evicted an entry (arg = fingerprint)
+  kJournalAppend,     ///< durable store journaled a record (detail = kind)
+  kSnapshot,          ///< durable store wrote a snapshot (arg = entries)
+  kRecoveryDrop,      ///< recovery dropped an entry (detail = reason)
 };
 
 /// Human-readable (and JSONL) kind name, e.g. "hedge_fired".

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -528,7 +529,7 @@ TEST_F(CliFixture, ServeJsonSchemaPinnedAndAccounted) {
   const CliRun r = cli({"serve", "--requests", reqs, "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v5");
   EXPECT_DOUBLE_EQ(root.at("params").at("requests").number, 3.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 1.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 1.0);
@@ -572,7 +573,7 @@ TEST_F(CliFixture, ServeMultiShardTopologyRoutesAndStaysAccounted) {
                         "--replicas", "2", "--hedge-ms", "50", "--json"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v5");
   EXPECT_DOUBLE_EQ(root.at("params").at("shards").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("replicas").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("params").at("hedge_ms").number, 50.0);
@@ -649,7 +650,7 @@ TEST_F(CliFixture, ServeFlightRecorderExportsJsonlAndKillShowsInReport) {
   EXPECT_EQ(r.exit_code, 0) << r.err;
 
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v5");
   EXPECT_EQ(root.at("params").at("kill_replica").string, "0.1@3");
   EXPECT_DOUBLE_EQ(root.at("params").at("flight_recorder").number, 1024.0);
   const JsonValue& flight = root.at("flight");
@@ -754,7 +755,7 @@ TEST_F(CliFixture, ServeStoreSessionServesRepeatDiffFromCache) {
       cli({"serve", "--requests", reqs, "--store", "--json"});
   ASSERT_EQ(r.exit_code, 0) << r.err;
   const JsonValue root = parse_json(r.out);
-  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v4");
+  EXPECT_EQ(root.at("schema").string, "sysrle.serve.v5");
   EXPECT_TRUE(root.at("params").at("store").boolean);
   EXPECT_DOUBLE_EQ(root.at("params").at("registers").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("offered").number, 2.0);
@@ -794,6 +795,132 @@ TEST_F(CliFixture, ServeStoreDiffHandlesNamesUnknownImage) {
   const CliRun r = cli({"serve", "--requests", reqs, "--store"});
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.err.find("ghost"), std::string::npos);
+}
+
+TEST_F(CliFixture, ServeStoreDirPersistsAcrossSessions) {
+  // Session 1 registers two images into a durable directory; session 2
+  // recovers them from disk — no register lines — and serves a by-handle
+  // diff against the recovered labels.
+  const std::string dir = tmp_path("durable_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string reqs1 = write_requests_file(
+      "serve_durable1.txt",
+      "register ref 6 200 0.02\n"
+      "register scan 6 200 0.05\n");
+  const CliRun first =
+      cli({"serve", "--requests", reqs1, "--store-dir", dir, "--json"});
+  ASSERT_EQ(first.exit_code, 0) << first.err;
+  const JsonValue root1 = parse_json(first.out);
+  EXPECT_EQ(root1.at("schema").string, "sysrle.serve.v5");
+  EXPECT_EQ(root1.at("params").at("store_dir").string, dir);
+  const JsonValue& dur1 = root1.at("durability");
+  EXPECT_DOUBLE_EQ(dur1.at("journal").at("appends").number, 2.0);
+  EXPECT_GT(dur1.at("journal").at("fsyncs").number, 0.0);
+  EXPECT_TRUE(dur1.at("accounting_ok").boolean);
+  EXPECT_DOUBLE_EQ(dur1.at("recovery").at("replayed_registers").number, 0.0);
+
+  const std::string reqs2 = write_requests_file(
+      "serve_durable2.txt", "diff-handles batch ref scan\n");
+  const CliRun second =
+      cli({"serve", "--requests", reqs2, "--store-dir", dir, "--json"});
+  ASSERT_EQ(second.exit_code, 0) << second.err;
+  const JsonValue root2 = parse_json(second.out);
+  const JsonValue& rec = root2.at("durability").at("recovery");
+  EXPECT_DOUBLE_EQ(rec.at("replayed_registers").number, 2.0);
+  EXPECT_DOUBLE_EQ(rec.at("dropped_malformed").number, 0.0);
+  EXPECT_DOUBLE_EQ(rec.at("dropped_fingerprint").number, 0.0);
+  EXPECT_DOUBLE_EQ(rec.at("salvaged_bytes").number, 0.0);
+  EXPECT_TRUE(root2.at("durability").at("accounting_ok").boolean);
+  const JsonValue& diffs = root2.at("handle_diffs");
+  ASSERT_EQ(diffs.array.size(), 1u);
+  EXPECT_EQ(diffs.array[0].at("status").string, "completed");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliFixture, ServeStoreDirPreflightRejectsBadDirectories) {
+  const std::string reqs =
+      write_requests_file("serve_durable_preflight.txt", "batch 2 100 0.0\n");
+  // Nonexistent directory: one-line diagnostic, exit 2, nothing created.
+  const CliRun missing = cli({"serve", "--requests", reqs, "--store-dir",
+                              tmp_path("no_such_dir")});
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.err.find("--store-dir"), std::string::npos);
+  EXPECT_EQ(std::count(missing.err.begin(), missing.err.end(), '\n'), 1);
+  EXPECT_FALSE(std::filesystem::exists(tmp_path("no_such_dir")));
+
+  // A file is not a directory.
+  const CliRun file_target =
+      cli({"serve", "--requests", reqs, "--store-dir", reqs});
+  EXPECT_EQ(file_target.exit_code, 2);
+  EXPECT_NE(file_target.err.find("not an existing directory"),
+            std::string::npos);
+
+  // --snapshot-every is a durable-store knob: orphaned or negative is usage.
+  const std::string dir = tmp_path("durable_flags");
+  std::filesystem::create_directories(dir);
+  const CliRun orphan =
+      cli({"serve", "--requests", reqs, "--snapshot-every", "8"});
+  EXPECT_EQ(orphan.exit_code, 2);
+  const CliRun negative = cli({"serve", "--requests", reqs, "--store-dir",
+                               dir, "--snapshot-every", "-1"});
+  EXPECT_EQ(negative.exit_code, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliFixture, StoreFsckReportsCleanAndCorruptDirectories) {
+  const std::string dir = tmp_path("fsck_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string reqs = write_requests_file(
+      "store_fsck.txt",
+      "register ref 6 200 0.02\n"
+      "register scan 6 200 0.05\n");
+  ASSERT_EQ(cli({"serve", "--requests", reqs, "--store-dir", dir}).exit_code,
+            0);
+  // A second session recovers and compacts, leaving the canonical layout:
+  // both images in the snapshot, the journal truncated to its header.
+  const std::string empty_reqs = write_requests_file("store_fsck_empty.txt", "");
+  ASSERT_EQ(
+      cli({"serve", "--requests", empty_reqs, "--store-dir", dir}).exit_code,
+      0);
+
+  const CliRun clean = cli({"store", "fsck", dir, "--json"});
+  EXPECT_EQ(clean.exit_code, 0) << clean.err;
+  const JsonValue root = parse_json(clean.out);
+  EXPECT_EQ(root.at("schema").string, "sysrle.fsck.v1");
+  EXPECT_DOUBLE_EQ(root.at("verified_images").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("fingerprint_mismatches").number, 0.0);
+  EXPECT_TRUE(root.at("clean").boolean);
+
+  // Flip one byte mid-snapshot: fsck must flag it (exit 1, clean=false)
+  // without modifying the directory.
+  const std::string snap = dir + "/store.snapshot";
+  std::string data;
+  {
+    std::ifstream in(snap, std::ios::binary);
+    data.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(data.size(), 100u);
+  data[100] = static_cast<char>(data[100] ^ 0x08);
+  {
+    std::ofstream out_f(snap, std::ios::binary | std::ios::trunc);
+    out_f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  const CliRun dirty = cli({"store", "fsck", dir, "--json"});
+  EXPECT_EQ(dirty.exit_code, 1);
+  const JsonValue droot = parse_json(dirty.out);
+  EXPECT_FALSE(droot.at("clean").boolean);
+  EXPECT_GT(droot.at("snapshot").at("salvaged_tail_bytes").number +
+                droot.at("fingerprint_mismatches").number +
+                droot.at("malformed_images").number,
+            0.0);
+
+  // Usage errors: missing dir operand, nonexistent directory.
+  EXPECT_EQ(cli({"store", "fsck"}).exit_code, 2);
+  EXPECT_EQ(cli({"store", "fsck", tmp_path("fsck_nope")}).exit_code, 2);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
