@@ -9,6 +9,8 @@
 
 #include "baseline/pixel_parallel.hpp"
 #include "baseline/sequential_diff.hpp"
+#include "baseline/simd_dispatch.hpp"
+#include "baseline/word_diff.hpp"
 #include "core/boolean_ops.hpp"
 #include "core/bus_variant.hpp"
 #include "core/image_diff.hpp"
@@ -151,6 +153,48 @@ void BM_SequentialMerge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SequentialMerge)->Apply(args_grid);
+
+// The word-parallel sequential engine at a pinned dispatch level, on the
+// same inputs as BM_SequentialMerge — the ≥3x acceptance comparison for
+// the sparse-row workload lives in bench_scaling --dispatch-json; this is
+// the per-level microscope.
+void BM_WordParallelMerge(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  const auto level = static_cast<SimdLevel>(state.range(2));
+  if (!simd_level_supported(level)) {
+    state.SkipWithError("SIMD level not supported on this host/build");
+    return;
+  }
+  WordDiffScratch scratch;
+  for (auto _ : state) {
+    const SequentialDiffResult r = word_parallel_xor(in.a, in.b, scratch, level);
+    benchmark::DoNotOptimize(r.output);
+  }
+  state.SetLabel(to_string(level));
+}
+BENCHMARK(BM_WordParallelMerge)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const std::int64_t width : {1024, 10000}) {
+    for (const std::int64_t err : {3, 30}) {
+      for (const std::int64_t level :
+           {static_cast<std::int64_t>(SimdLevel::kSwar64),
+            static_cast<std::int64_t>(SimdLevel::kAvx2)}) {
+        b->Args({width, err, level});
+      }
+    }
+  }
+});
+
+// The production wrapper (sparse guard + dispatch + thread_local scratch)
+// at whatever level the host resolved — what image_diff/stream_diff pay.
+void BM_SequentialEngine(benchmark::State& state) {
+  const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const SequentialDiffResult r = sequential_engine_xor(in.a, in.b);
+    benchmark::DoNotOptimize(r.output);
+  }
+  state.SetLabel(to_string(active_simd_level()));
+}
+BENCHMARK(BM_SequentialEngine)->Apply(args_grid);
 
 void BM_ParitySweep(benchmark::State& state) {
   const Inputs in = make_inputs(state.range(0), static_cast<int>(state.range(1)));

@@ -35,7 +35,7 @@ int main() {
   std::cout << "After compaction : " << compacted.row << "  ("
             << compacted.merges << " adjacent merges)\n\n";
 
-  const DiffCostPrediction pred = predict_costs(img1, img2);
+  const DiffCostMeasurement pred = measure_costs(img1, img2);
   std::cout << "iterations taken        : " << r.counters.iterations << '\n';
   std::cout << "Theorem 1 bound (k1+k2) : " << pred.theorem1_bound() << '\n';
   std::cout << "Observation bound (k3+1): " << r.output.run_count() + 1

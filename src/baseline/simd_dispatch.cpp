@@ -1,0 +1,129 @@
+#include "baseline/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace sysrle {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr bool kIsX86 = true;
+#else
+constexpr bool kIsX86 = false;
+#endif
+
+#if defined(__aarch64__)
+constexpr bool kIsAarch64 = true;
+#else
+constexpr bool kIsAarch64 = false;
+#endif
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Resolves the startup level: SYSRLE_SIMD wins when set (and must name a
+/// supported level — a typo must not silently fall back to a different
+/// engine than the operator asked for); otherwise the widest level wins.
+SimdLevel resolve_startup_level() {
+  const char* env = std::getenv("SYSRLE_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const SimdLevel level = parse_simd_level(env);
+    SYSRLE_REQUIRE(simd_level_supported(level),
+                   std::string("SYSRLE_SIMD=") + env +
+                       ": level not supported on this host/build");
+    return level;
+  }
+  return detect_best_simd_level();
+}
+
+std::atomic<SimdLevel>& active_level_storage() {
+  // The throwing initializer runs again on the next call if SYSRLE_SIMD is
+  // invalid, so every diff surfaces the same one-line diagnostic.
+  static std::atomic<SimdLevel> level{resolve_startup_level()};
+  return level;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSwar64:
+      return "swar64";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+SimdLevel parse_simd_level(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "swar64") return SimdLevel::kSwar64;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "neon") return SimdLevel::kNeon;
+  SYSRLE_REQUIRE(false, "unknown SIMD level '" + name +
+                            "' (scalar|swar64|avx2|neon)");
+  return SimdLevel::kScalar;  // unreachable
+}
+
+bool simd_level_compiled(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+    case SimdLevel::kSwar64:
+      return true;
+    case SimdLevel::kAvx2:
+#if defined(SYSRLE_AVX2_COMPILED)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+      return kIsAarch64;
+  }
+  return false;
+}
+
+bool simd_level_supported(SimdLevel level) {
+  if (!simd_level_compiled(level)) return false;
+  if (level == SimdLevel::kAvx2) return kIsX86 && cpu_has_avx2();
+  return true;
+}
+
+std::vector<SimdLevel> supported_simd_levels() {
+  std::vector<SimdLevel> out;
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSwar64,
+                                SimdLevel::kAvx2, SimdLevel::kNeon})
+    if (simd_level_supported(level)) out.push_back(level);
+  return out;
+}
+
+SimdLevel detect_best_simd_level() {
+  if (simd_level_supported(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  if (simd_level_supported(SimdLevel::kNeon)) return SimdLevel::kNeon;
+  return SimdLevel::kSwar64;
+}
+
+SimdLevel active_simd_level() {
+  return active_level_storage().load(std::memory_order_relaxed);
+}
+
+void set_simd_level(SimdLevel level) {
+  SYSRLE_REQUIRE(simd_level_supported(level),
+                 std::string("SIMD level '") + to_string(level) +
+                     "' not supported on this host/build");
+  active_level_storage().store(level, std::memory_order_relaxed);
+}
+
+}  // namespace sysrle

@@ -1,0 +1,62 @@
+#pragma once
+// Runtime SIMD dispatch for the word-parallel sequential engine.
+//
+// The sequential side of the system (adaptive routing, checked-diff
+// recovery, dissimilar-image pairs) runs on whatever the host offers: a
+// plain 64-bit SWAR loop everywhere, AVX2 where the binary was compiled
+// with the kernel and the CPU reports the feature, and — on AArch64 — a
+// NEON level that currently delegates to the SWAR loop (stub; the 64-bit
+// path is already word-parallel there).  The level is resolved once at
+// startup from the SYSRLE_SIMD environment variable (or the CLI's --simd
+// flag) and read with a single relaxed atomic load afterwards, so the hot
+// path pays nothing for the flexibility.
+//
+// Every level is bit-identical by contract: the differential suite in
+// tests/test_word_diff.cpp pins each compiled level against the scalar
+// merge oracle, and the CI build matrix compiles the shim both with and
+// without the AVX2 kernel so a lane-width bug cannot hide behind the
+// build host's ISA.
+
+#include <string>
+#include <vector>
+
+namespace sysrle {
+
+/// A dispatch level of the sequential diff engine, from portable to widest.
+enum class SimdLevel {
+  kScalar,  ///< the paper's run-merge loop (sequential_xor) — the oracle
+  kSwar64,  ///< packed 64-bit rows, one machine word per step
+  kAvx2,    ///< packed rows XORed 256 bits per step (x86, compiled + CPUID)
+  kNeon,    ///< AArch64 stub: resolves to the SWAR loop (128-bit TODO)
+};
+
+/// Stable lowercase name ("scalar" | "swar64" | "avx2" | "neon").
+const char* to_string(SimdLevel level);
+
+/// Parses a level name; throws contract_error on anything else.
+SimdLevel parse_simd_level(const std::string& name);
+
+/// True when the level's kernel is compiled into this binary.
+bool simd_level_compiled(SimdLevel level);
+
+/// True when the level is compiled AND the running CPU supports it.
+bool simd_level_supported(SimdLevel level);
+
+/// All levels supported on this host, portable-first.
+std::vector<SimdLevel> supported_simd_levels();
+
+/// The widest supported level — the startup default when SYSRLE_SIMD is
+/// not set.
+SimdLevel detect_best_simd_level();
+
+/// The level the sequential engine currently dispatches to.  First call
+/// resolves SYSRLE_SIMD (unknown or unsupported values throw
+/// contract_error with a one-line diagnostic); later calls are one relaxed
+/// atomic load.
+SimdLevel active_simd_level();
+
+/// Overrides the active level (CLI --simd, tests).  Throws contract_error
+/// when the level is not supported on this host.
+void set_simd_level(SimdLevel level);
+
+}  // namespace sysrle

@@ -1,0 +1,61 @@
+// AVX2 prefix-fill kernel for the word-parallel sequential engine.  This TU
+// is the only one compiled with -mavx2 (see src/baseline/CMakeLists.txt), so
+// the wider instructions cannot leak into code that runs before the runtime
+// CPU check in simd_dispatch.cpp.
+#include "baseline/word_diff.hpp"
+
+#if defined(SYSRLE_AVX2_COMPILED)
+
+#include <immintrin.h>
+
+namespace sysrle::detail {
+
+void prefix_fill_avx2(std::uint64_t* words, std::size_t n) {
+  // Prefix-XOR is carry-ripple by nature, but the expensive part — the six
+  // shift-xor steps that spread each toggle bit left within its word — has
+  // no cross-word dependency, so four lanes run them together.  Only the
+  // carry resolution is serial, and that collapses to four scalar XOR/NEG
+  // ops on the lane parities: lane j's carry-in is the carry into the block
+  // XOR the combined parity of lanes 0..j-1, each parity being the lane's
+  // bit 63 after the in-lane fill (movmskpd reads exactly those four bits).
+  std::uint64_t carry = 0;  // 0 or ~0: fill state entering the next word
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 1));
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 2));
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 4));
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 8));
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 16));
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 32));
+    const auto par =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(x)));
+    const std::uint64_t c0 = carry;
+    const std::uint64_t c1 = c0 ^ (std::uint64_t{0} - ((par >> 0) & 1u));
+    const std::uint64_t c2 = c1 ^ (std::uint64_t{0} - ((par >> 1) & 1u));
+    const std::uint64_t c3 = c2 ^ (std::uint64_t{0} - ((par >> 2) & 1u));
+    carry = c3 ^ (std::uint64_t{0} - ((par >> 3) & 1u));
+    x = _mm256_xor_si256(
+        x, _mm256_set_epi64x(static_cast<long long>(c3),
+                             static_cast<long long>(c2),
+                             static_cast<long long>(c1),
+                             static_cast<long long>(c0)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + i), x);
+  }
+  for (; i < n; ++i) {
+    std::uint64_t x = words[i];
+    x ^= x << 1;
+    x ^= x << 2;
+    x ^= x << 4;
+    x ^= x << 8;
+    x ^= x << 16;
+    x ^= x << 32;
+    x ^= carry;
+    carry = std::uint64_t{0} - (x >> 63);
+    words[i] = x;
+  }
+}
+
+}  // namespace sysrle::detail
+
+#endif  // SYSRLE_AVX2_COMPILED

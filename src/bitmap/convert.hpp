@@ -1,7 +1,12 @@
 #pragma once
 // Conversions between the compressed (RLE) and uncompressed (bitmap) worlds.
 // The paper's pitch is that its systolic machine avoids these conversions at
-// runtime; here they exist for I/O, ground truth, and the workload pipeline.
+// runtime; here they exist for I/O, ground truth, and the workload pipeline —
+// and the word-scanning extractor below is also the recompression half of
+// the word-parallel sequential engine (baseline/word_diff).
+
+#include <cstddef>
+#include <cstdint>
 
 #include "bitmap/bitmap_image.hpp"
 #include "bitmap/bitrow.hpp"
@@ -9,6 +14,15 @@
 #include "rle/rle_row.hpp"
 
 namespace sysrle {
+
+/// Appends the maximal 1-blocks of `words[0..word_count)` to `out` as runs,
+/// with bit 0 of words[0] at position `base`.  Scans word-at-a-time with
+/// countr_zero/countr_one — no per-pixel loop — so the cost is
+/// O(word_count + runs emitted).  Bits are taken at face value: the caller
+/// is responsible for masking tail bits beyond its logical width (BitRow
+/// maintains that invariant; word_diff masks its scratch rows).
+void append_word_runs(const std::uint64_t* words, std::size_t word_count,
+                      pos_t base, RleRow& out);
 
 /// Encodes a packed bit row into a canonical RLE row.
 RleRow bitrow_to_rle(const BitRow& row);

@@ -12,6 +12,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "baseline/simd_dispatch.hpp"
 #include "bitmap/convert.hpp"
 #include "bitmap/pbm_io.hpp"
 #include "common/assert.hpp"
@@ -281,6 +282,7 @@ int cmd_diff(ArgParser& args, std::ostream& out) {
     w.begin_object();
     w.member("schema", "sysrle.diff.v1");
     w.member("engine", to_string(options.engine));
+    w.member("simd", to_string(active_simd_level()));
     w.member("canonical", options.canonicalize_output);
     w.key("diff");
     w.begin_object();
@@ -617,6 +619,7 @@ int cmd_perf(ArgParser& args, std::ostream& out) {
   w.member("seed", seed);
   w.member("error_fraction", error_fraction);
   w.member("engine", engine_name);
+  w.member("simd", to_string(active_simd_level()));
   w.end_object();
   w.member("wall_time_us", wall_us);
   w.member("rows_per_sec", wall_us > 0.0
@@ -1558,7 +1561,8 @@ int cmd_verilog(ArgParser& args, std::ostream& out) {
 void print_help(std::ostream& out) {
   out << "sysrle — compressed-domain binary image tool\n"
          "  (systolic RLE image difference; Ercal, Allen, Feng; IPPS 1999)\n\n"
-         "usage: sysrle [--metrics FILE] [--trace-out FILE] <command> [args]\n\n"
+         "usage: sysrle [--metrics FILE] [--trace-out FILE] [--simd LEVEL]\n"
+         "              <command> [args]\n\n"
          "commands:\n"
          "  diff <a> <b> [-o FILE] [--engine E] [--threads N] [--canonical]\n"
          "      [--stats] [--json]   XOR two images in the compressed domain.\n"
@@ -1619,7 +1623,13 @@ void print_help(std::ostream& out) {
          "  --metrics FILE    write a sysrle.metrics.v1 JSON snapshot of all\n"
          "                    telemetry recorded during the command.\n"
          "  --trace-out FILE  write a Chrome trace_event file loadable by\n"
-         "                    chrome://tracing and Perfetto.\n\n"
+         "                    chrome://tracing and Perfetto.\n"
+         "  --simd LEVEL      dispatch level of the word-parallel sequential\n"
+         "                    engine: scalar | swar64 | avx2 | neon.  Default\n"
+         "                    is the widest level this host supports; the\n"
+         "                    SYSRLE_SIMD environment variable sets the same\n"
+         "                    knob (--simd wins).  Unsupported levels are a\n"
+         "                    usage error, never a silent downgrade.\n\n"
          "engines: systolic (default) | bus | sequential | sweep | pixel |\n"
          "         adaptive (per-row systolic/sequential by run-count shape)\n"
          "threads: --threads N forces N row workers (N >= 1); omitted or 0\n"
@@ -1638,17 +1648,32 @@ int run_cli(const std::vector<std::string>& args_in, std::ostream& out,
   std::vector<std::string> args;
   std::string metrics_path;
   std::string trace_path;
+  std::string simd_name;
   args.reserve(args_in.size());
   for (std::size_t i = 0; i < args_in.size(); ++i) {
     const std::string& a = args_in[i];
-    if (a == "--metrics" || a == "--trace-out") {
+    if (a == "--metrics" || a == "--trace-out" || a == "--simd") {
       if (i + 1 >= args_in.size()) {
         err << "sysrle: usage: missing value for " << a << '\n';
         return 2;
       }
-      (a == "--metrics" ? metrics_path : trace_path) = args_in[++i];
+      if (a == "--metrics") metrics_path = args_in[++i];
+      else if (a == "--trace-out") trace_path = args_in[++i];
+      else simd_name = args_in[++i];
     } else {
       args.push_back(a);
+    }
+  }
+  // Resolve the sequential engine's dispatch level before any command runs.
+  // --simd wins over the SYSRLE_SIMD environment variable; a typo or a
+  // level this host/build cannot run is a usage error, not a silent
+  // downgrade to a different engine than the operator asked for.
+  if (!simd_name.empty()) {
+    try {
+      set_simd_level(parse_simd_level(simd_name));
+    } catch (const std::exception& e) {
+      err << "sysrle: --simd: " << e.what() << '\n';
+      return 2;
     }
   }
   // Fail fast on an unwritable telemetry destination: a long run must not

@@ -4,14 +4,21 @@
 
 namespace sysrle {
 
-DiffCostPrediction predict_costs(const RleRow& a, const RleRow& b) {
-  DiffCostPrediction p;
-  p.k1 = a.run_count();
-  p.k2 = b.run_count();
+DiffCostEstimate estimate_costs(const RleRow& a, const RleRow& b) {
+  DiffCostEstimate e;
+  e.k1 = a.run_count();
+  e.k2 = b.run_count();
+  return e;
+}
+
+DiffCostMeasurement measure_costs(const RleRow& a, const RleRow& b) {
+  DiffCostMeasurement m;
+  m.k1 = a.run_count();
+  m.k2 = b.run_count();
   const SequentialDiffResult seq = sequential_xor(a, b);
-  p.k3_raw = seq.output.run_count();
-  p.k3_canonical = seq.output.canonical().run_count();
-  return p;
+  m.k3_raw = seq.output.run_count();
+  m.k3_canonical = seq.output.canonical().run_count();
+  return m;
 }
 
 AdaptiveRoute choose_adaptive_route(std::uint64_t k1, std::uint64_t k2,

@@ -9,6 +9,11 @@
 //                              k3_raw counts runs in the *machine's* output,
 //                              which may contain adjacent runs)
 //   * similar-image estimate ~ |k1 - k2|      (the Figure-5 correlation)
+//
+// The model has two tiers.  estimate_costs() is O(1) off the run counts and
+// is the only tier a hot path may call.  measure_costs() additionally
+// reports k3 — which requires computing the XOR itself — and exists for
+// analysis, experiments and tests only.
 
 #include <cstdint>
 
@@ -16,13 +21,48 @@
 
 namespace sysrle {
 
-/// Everything the model can say about one input pair without running the
-/// systolic machine.  (Computing k3 requires an XOR, done sequentially here;
-/// the model is an analysis tool, not a fast path.)
-struct DiffCostPrediction {
+/// The adaptive dispatcher's default similarity threshold θ, re-calibrated
+/// against the word-parallel sequential engine (bench_scaling
+/// --dispatch-json; evidence in BENCH_pr10.json, method in
+/// docs/PERFORMANCE.md).  θ prices a systolic cycle against sequential
+/// work: the machine costs ~|k1-k2| cycles on similar rows (the Figure-5
+/// correlation, re-verified by the sweep), the sequential side Θ(k1+k2)
+/// steps, and the previous θ = 0.5 encoded the scalar merge's per-step
+/// cost.  The word engine cut that per-step cost ~3.2x on run-dense rows
+/// (the regime where sequential work actually hurts), so the break-even
+/// dissimilarity shrinks by the same factor: θ = 0.5 / 3.2 ≈ 0.15.  The
+/// sweep also shows the *simulator* never beats the engine in host
+/// wall-clock (it pays O(k) cell setup per row) — θ is a hardware-model
+/// knob, and the sweep's wall-clock series documents that honestly.
+inline constexpr double kDefaultSimilarityThreshold = 0.15;
+
+/// The O(1) tier: everything the model can say from the run counts alone.
+/// Safe on the hot path — never touches pixel data, never computes an XOR.
+struct DiffCostEstimate {
   std::uint64_t k1 = 0;  ///< runs in row a
   std::uint64_t k2 = 0;  ///< runs in row b
-  /// Runs in the raw (uncompacted) XOR — the Observation's k3.  Predicted
+
+  std::uint64_t sequential_cost() const { return k1 + k2; }
+  std::uint64_t theorem1_bound() const { return k1 + k2; }
+  std::uint64_t run_count_difference() const {
+    return k1 > k2 ? k1 - k2 : k2 - k1;
+  }
+};
+
+/// Builds the cheap estimate for one row pair in O(1).
+DiffCostEstimate estimate_costs(const RleRow& a, const RleRow& b);
+
+/// The measured tier: the estimate plus the k3 counts, which require
+/// performing the entire sequential diff.  NOT a prediction in the cheap
+/// sense and never safe on a hot path — callers wanting a routing decision
+/// use estimate_costs()/choose_adaptive_route() instead.  Deliberately kept
+/// on the scalar merge: its piecewise (possibly adjacent-run) output
+/// mirrors the systolic machine's, which is what the Observation's k3_raw
+/// counts; the word-parallel engine's canonical output would undercount it.
+struct DiffCostMeasurement {
+  std::uint64_t k1 = 0;  ///< runs in row a
+  std::uint64_t k2 = 0;  ///< runs in row b
+  /// Runs in the raw (uncompacted) XOR — the Observation's k3.  Measured
   /// with the sequential merge, whose piecewise output mirrors the machine's.
   std::uint64_t k3_raw = 0;
   /// Runs in the fully compacted XOR.
@@ -36,8 +76,8 @@ struct DiffCostPrediction {
   }
 };
 
-/// Builds the prediction for one row pair.
-DiffCostPrediction predict_costs(const RleRow& a, const RleRow& b);
+/// Builds the measurement for one row pair by running the sequential merge.
+DiffCostMeasurement measure_costs(const RleRow& a, const RleRow& b);
 
 /// Which engine the adaptive dispatcher picked for one row.
 enum class AdaptiveRoute {
@@ -54,9 +94,11 @@ enum class AdaptiveRoute {
 ///     |k1 - k2| <= similarity_threshold * (k1 + k2)
 ///
 /// (boundary inclusive), and to the merge otherwise.  Two empty rows are
-/// trivially similar.  The default threshold of 0.5 sends a row sequential
-/// once one input carries over three times the runs of the other.
-AdaptiveRoute choose_adaptive_route(std::uint64_t k1, std::uint64_t k2,
-                                    double similarity_threshold = 0.5);
+/// trivially similar.  The default threshold sends a row sequential once
+/// the run counts diverge past the measured engine-crossover ratio — see
+/// kDefaultSimilarityThreshold above.
+AdaptiveRoute choose_adaptive_route(
+    std::uint64_t k1, std::uint64_t k2,
+    double similarity_threshold = kDefaultSimilarityThreshold);
 
 }  // namespace sysrle

@@ -6,6 +6,7 @@
 
 #include "baseline/pixel_parallel.hpp"
 #include "baseline/sequential_diff.hpp"
+#include "baseline/word_diff.hpp"
 #include "common/assert.hpp"
 #include "core/bus_variant.hpp"
 #include "core/cost_model.hpp"
@@ -89,10 +90,14 @@ RowOutcome diff_row_body(const RleRow& ra, const RleRow& rb, pos_t width,
       break;
     }
     case DiffEngine::kSequentialMerge: {
-      SequentialDiffResult r = sequential_xor(ra, rb);
+      // The word-parallel engine serves the (default) canonical form
+      // directly; raw piecewise output — which the Observation-bound
+      // telemetry needs — is only defined by the scalar merge.
+      SequentialDiffResult r = options.canonicalize_output
+                                   ? sequential_engine_xor(ra, rb)
+                                   : sequential_xor(ra, rb);
       out.output = std::move(r.output);
       out.sequential_iterations = r.iterations;
-      if (options.canonicalize_output) out.output.canonicalize();
       break;
     }
     case DiffEngine::kParitySweep: {
@@ -120,10 +125,11 @@ RowOutcome diff_row_body(const RleRow& ra, const RleRow& rb, pos_t width,
         out.counters = r.counters;
         out.route = RowRoute::kSystolic;
       } else {
-        SequentialDiffResult r = sequential_xor(ra, rb);
+        SequentialDiffResult r = options.canonicalize_output
+                                     ? sequential_engine_xor(ra, rb)
+                                     : sequential_xor(ra, rb);
         out.output = std::move(r.output);
         out.sequential_iterations = r.iterations;
-        if (options.canonicalize_output) out.output.canonicalize();
         out.route = RowRoute::kSequential;
       }
       break;

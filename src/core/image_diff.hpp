@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/cost_model.hpp"
 #include "rle/rle_image.hpp"
 #include "systolic/counters.hpp"
 
@@ -58,8 +59,10 @@ struct ImageDiffOptions {
   ParallelBackend backend = ParallelBackend::kNative;
 
   /// kAdaptive routing knob: a row goes systolic when
-  /// |k1 - k2| <= threshold * (k1 + k2), sequential otherwise.
-  double adaptive_similarity_threshold = 0.5;
+  /// |k1 - k2| <= threshold * (k1 + k2), sequential otherwise.  The default
+  /// is the θ re-calibrated against the word-parallel sequential engine
+  /// (see cost_model.hpp).
+  double adaptive_similarity_threshold = kDefaultSimilarityThreshold;
 };
 
 /// Aggregated result of an image-level diff.

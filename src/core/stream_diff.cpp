@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "baseline/sequential_diff.hpp"
+#include "baseline/word_diff.hpp"
 #include "common/assert.hpp"
 #include "core/bus_variant.hpp"
 #include "core/cost_model.hpp"
@@ -105,9 +106,10 @@ RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
         row_counters = r.counters;
         return std::move(r.output);
       }
-      SequentialDiffResult r = sequential_xor(reference, scan);
+      SequentialDiffResult r = options_.canonicalize_output
+                                   ? sequential_engine_xor(reference, scan)
+                                   : sequential_xor(reference, scan);
       summary_.sequential_iterations += r.iterations;
-      if (options_.canonicalize_output) r.output.canonicalize();
       return std::move(r.output);
     }
     case DiffEngine::kBusSystolic: {
@@ -119,9 +121,12 @@ RleRow StreamDiffer::run_engine(const RleRow& reference, const RleRow& scan,
       return std::move(r.output);
     }
     case DiffEngine::kSequentialMerge: {
-      SequentialDiffResult r = sequential_xor(reference, scan);
+      // Word-parallel engine for the canonical form; the scalar merge is
+      // the only definition of the raw piecewise output.
+      SequentialDiffResult r = options_.canonicalize_output
+                                   ? sequential_engine_xor(reference, scan)
+                                   : sequential_xor(reference, scan);
       summary_.sequential_iterations += r.iterations;
-      if (options_.canonicalize_output) r.output.canonicalize();
       return std::move(r.output);
     }
     case DiffEngine::kParitySweep:
@@ -159,10 +164,11 @@ bool StreamDiffer::push_row(const RleRow& reference, const RleRow& scan) {
     // merge engine, which shares no datapath with the array.
     report(y, e.what());
     row_counters = SystolicCounters{};
-    SequentialDiffResult r = sequential_xor(reference, scan);
+    SequentialDiffResult r = options_.canonicalize_output
+                                 ? sequential_engine_xor(reference, scan)
+                                 : sequential_xor(reference, scan);
     summary_.sequential_iterations += r.iterations;
     diff = std::move(r.output);
-    if (options_.canonicalize_output) diff.canonicalize();
     ++summary_.fallback_rows;
     fell_back = true;
   }

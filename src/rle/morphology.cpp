@@ -41,6 +41,25 @@ RleRow erode_row(const RleRow& row, pos_t r) {
   return out;
 }
 
+RleRow erode_row(const RleRow& row, pos_t r, pos_t width,
+                 BorderPolicy border) {
+  SYSRLE_REQUIRE(r >= 0, "erode_row: negative radius");
+  SYSRLE_REQUIRE(row.fits_width(width), "erode_row: row exceeds width");
+  if (border == BorderPolicy::kBackground) return erode_row(row, r);
+  // Adjacent runs are one foreground block to the structuring element;
+  // merge them first so the per-run shrink below is exact.
+  const RleRow merged = row.is_canonical() ? row : row.canonical();
+  RleRow out;
+  for (const Run& run : merged) {
+    // A run touching the border keeps that edge: the foreground padding
+    // supplies the 2r+1 neighbourhood the image cannot.
+    const pos_t s = run.start == 0 ? 0 : run.start + r;
+    const pos_t e = run.end() == width - 1 ? width - 1 : run.end() - r;
+    if (s <= e) out.push_back(Run::from_bounds(s, e));
+  }
+  return out;
+}
+
 RleImage dilate_image(const RleImage& img, pos_t rx, pos_t ry) {
   SYSRLE_REQUIRE(rx >= 0 && ry >= 0, "dilate_image: negative radius");
   // Separable: horizontal growth per row, then vertical union of the
@@ -61,20 +80,27 @@ RleImage dilate_image(const RleImage& img, pos_t rx, pos_t ry) {
   return out;
 }
 
-RleImage erode_image(const RleImage& img, pos_t rx, pos_t ry) {
+RleImage erode_image(const RleImage& img, pos_t rx, pos_t ry,
+                     BorderPolicy border) {
   SYSRLE_REQUIRE(rx >= 0 && ry >= 0, "erode_image: negative radius");
   RleImage horizontal(img.width(), img.height());
   for (pos_t y = 0; y < img.height(); ++y)
-    horizontal.set_row(y, erode_row(img.row(y), rx));
+    horizontal.set_row(y, erode_row(img.row(y), rx, img.width(), border));
   if (ry == 0) return horizontal;
 
   // Vertical erosion: a pixel survives only if all 2*ry+1 neighbouring rows
-  // (with background outside the image) contain it.
+  // contain it.  With background outside the image, rows within ry of the
+  // border erode to empty; with foreground outside, the out-of-image rows
+  // are all-1 — the AND identity — so the range simply clamps.
   RleImage out(img.width(), img.height());
   for (pos_t y = 0; y < img.height(); ++y) {
-    if (y - ry < 0 || y + ry >= img.height()) continue;  // border -> empty
-    RleRow acc = horizontal.row(y - ry);
-    for (pos_t yy = y - ry + 1; yy <= y + ry && !acc.empty(); ++yy)
+    if (border == BorderPolicy::kBackground &&
+        (y - ry < 0 || y + ry >= img.height()))
+      continue;  // border -> empty
+    const pos_t lo = std::max<pos_t>(y - ry, 0);
+    const pos_t hi = std::min<pos_t>(y + ry, img.height() - 1);
+    RleRow acc = horizontal.row(lo);
+    for (pos_t yy = lo + 1; yy <= hi && !acc.empty(); ++yy)
       acc = and_rows(acc, horizontal.row(yy));
     out.set_row(y, std::move(acc));
   }
@@ -86,7 +112,11 @@ RleImage open_image(const RleImage& img, pos_t rx, pos_t ry) {
 }
 
 RleImage close_image(const RleImage& img, pos_t rx, pos_t ry) {
-  return erode_image(dilate_image(img, rx, ry), rx, ry);
+  // Foreground padding on the erode half keeps closing extensive at the
+  // image border (see morphology.hpp); dilation itself never reads past
+  // the border, so its half is unaffected.
+  return erode_image(dilate_image(img, rx, ry), rx, ry,
+                     BorderPolicy::kForeground);
 }
 
 }  // namespace sysrle

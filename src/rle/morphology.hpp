@@ -19,20 +19,45 @@ namespace sysrle {
 RleRow dilate_row(const RleRow& row, pos_t r, pos_t width);
 
 /// 1-D erosion: every run shrinks by `r` pixels on each side; runs shorter
-/// than 2r+1 vanish.  r >= 0.
+/// than 2r+1 vanish.  r >= 0.  Outside-image pixels count as background.
 RleRow erode_row(const RleRow& row, pos_t r);
+
+/// What erosion assumes about pixels outside the image.
+///
+/// Erosion is the only operation here that *reads* beyond the border (a
+/// pixel survives only if its whole neighbourhood is foreground), so the
+/// convention matters.  kBackground is the plain definition and what
+/// erode/open use; kForeground exists for the erode half of closing, where
+/// background padding would let the erosion eat border-touching foreground
+/// that the dilation pushed past the edge — making closing non-extensive.
+enum class BorderPolicy {
+  kBackground,  ///< outside-image pixels are 0 (default)
+  kForeground,  ///< outside-image pixels are 1 (closing's erode half)
+};
+
+/// 1-D erosion with an explicit border convention.  With kForeground, a run
+/// touching position 0 or width-1 keeps that edge (the padding supplies the
+/// missing neighbourhood); interior boundaries shrink as usual.
+RleRow erode_row(const RleRow& row, pos_t r, pos_t width, BorderPolicy border);
 
 /// 2-D dilation by a (2rx+1) x (2ry+1) rectangle.
 RleImage dilate_image(const RleImage& img, pos_t rx, pos_t ry);
 
-/// 2-D erosion by a (2rx+1) x (2ry+1) rectangle.
-RleImage erode_image(const RleImage& img, pos_t rx, pos_t ry);
+/// 2-D erosion by a (2rx+1) x (2ry+1) rectangle.  With kForeground,
+/// out-of-image rows are all-foreground (the AND identity), so border rows
+/// erode against their in-image neighbours only.
+RleImage erode_image(const RleImage& img, pos_t rx, pos_t ry,
+                     BorderPolicy border = BorderPolicy::kBackground);
 
 /// Opening (erosion then dilation): removes features smaller than the
-/// structuring element without growing the rest.
+/// structuring element without growing the rest.  Background border.
 RleImage open_image(const RleImage& img, pos_t rx, pos_t ry);
 
 /// Closing (dilation then erosion): fills gaps smaller than the element.
+/// The erode half runs with BorderPolicy::kForeground — the standard fix
+/// that keeps closing extensive (img is a subset of close(img)) for blobs
+/// touching the image border; with background padding the erosion would
+/// erase exactly the foreground the dilation pushed past the edge.
 RleImage close_image(const RleImage& img, pos_t rx, pos_t ry);
 
 }  // namespace sysrle

@@ -25,13 +25,19 @@ void RleRow::validate() const {
   }
 }
 
-void RleRow::push_back(const Run& r) {
-  SYSRLE_REQUIRE(r.length >= 1, "RleRow::push_back: non-positive length");
-  SYSRLE_REQUIRE(r.start >= 0, "RleRow::push_back: negative start");
+void RleRow::append(const Run* runs, std::size_t count) {
+  if (count == 0) return;
   if (!runs_.empty())
-    SYSRLE_REQUIRE(runs_.back().end() < r.start,
-                   "RleRow::push_back: run does not follow previous run");
-  runs_.push_back(r);
+    SYSRLE_REQUIRE(runs_.back().end() < runs[0].start,
+                   "RleRow::append: batch does not follow previous run");
+  for (std::size_t i = 0; i < count; ++i) {
+    SYSRLE_REQUIRE(runs[i].length >= 1, "RleRow::append: non-positive length");
+    SYSRLE_REQUIRE(runs[i].start >= 0, "RleRow::append: negative start");
+    if (i > 0)
+      SYSRLE_REQUIRE(runs[i - 1].end() < runs[i].start,
+                     "RleRow::append: runs out of order or overlapping");
+  }
+  runs_.insert(runs_.end(), runs, runs + count);
 }
 
 len_t RleRow::foreground_pixels() const {

@@ -31,7 +31,21 @@ class RleRow {
   static RleRow from_pairs(std::initializer_list<std::pair<pos_t, len_t>> ps);
 
   /// Appends a run; it must begin after the current last run ends.
-  void push_back(const Run& r);
+  /// Inline: this sits on the per-run hot path of every diff engine.
+  void push_back(const Run& r) {
+    SYSRLE_REQUIRE(r.length >= 1, "RleRow::push_back: non-positive length");
+    SYSRLE_REQUIRE(r.start >= 0, "RleRow::push_back: negative start");
+    if (!runs_.empty())
+      SYSRLE_REQUIRE(runs_.back().end() < r.start,
+                     "RleRow::push_back: run does not follow previous run");
+    runs_.push_back(r);
+  }
+
+  /// Appends an ordered batch of runs (the first must begin after the
+  /// current last run ends): one validation pass plus one bulk insert — the
+  /// batch analogue of push_back for hot extraction loops, which would
+  /// otherwise pay the per-run contract checks and vector growth per run.
+  void append(const Run* runs, std::size_t count);
 
   /// Number of runs (the paper's k).
   std::size_t run_count() const { return runs_.size(); }

@@ -11,6 +11,7 @@
 #include <set>
 #include <sstream>
 
+#include "baseline/simd_dispatch.hpp"
 #include "bitmap/convert.hpp"
 #include "bitmap/pbm_io.hpp"
 #include "rle/serialize.hpp"
@@ -474,6 +475,31 @@ TEST_F(CliFixture, MissingValueForGlobalFlagIsUsageError) {
   const CliRun rt = cli({"--trace-out"});
   EXPECT_EQ(rt.exit_code, 2);
   EXPECT_NE(rt.err.find("--trace-out"), std::string::npos);
+  const CliRun rs = cli({"--simd"});
+  EXPECT_EQ(rs.exit_code, 2);
+  EXPECT_NE(rs.err.find("--simd"), std::string::npos);
+}
+
+TEST_F(CliFixture, SimdFlagSelectsLevelAndReportsItInJson) {
+  // Every level the host supports must run the diff and echo the level in
+  // the report; identical output is pinned by the differential suite.
+  for (const SimdLevel level : supported_simd_levels()) {
+    const CliRun r = cli({"--simd", to_string(level), "diff", path_a_,
+                          path_b_, "--json", "--engine", "sequential",
+                          "--canonical"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const JsonValue root = parse_json(r.out);
+    EXPECT_EQ(root.at("simd").string, to_string(level));
+    EXPECT_GT(root.at("sequential_iterations").number, 0.0);
+  }
+}
+
+TEST_F(CliFixture, SimdFlagRejectsUnknownLevelAsUsageError) {
+  const CliRun r = cli({"--simd", "avx512", "diff", path_a_, path_b_});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("avx512"), std::string::npos);
+  // Exactly one diagnostic line, emitted before any work happened.
+  EXPECT_EQ(std::count(r.err.begin(), r.err.end(), '\n'), 1);
 }
 
 TEST_F(CliFixture, UnwritableTelemetryPathFailsFastWithOneLineDiagnostic) {

@@ -43,6 +43,45 @@ TEST(Convert, RunAtVeryEndOfLastPartialWord) {
   EXPECT_EQ(bitrow_to_rle(row), (RleRow{{69, 1}}));
 }
 
+TEST(Convert, RunEndingExactlyAtWordBoundary) {
+  // Regression: a run whose last 1 is bit 63 of a word leaves the block
+  // "open" into the next word, where countr_one finds zero further ones.
+  // A comment in the old encoder claimed that case could not happen.
+  BitRow row(200);
+  row.fill(30, 34, true);  // ends at bit 63 exactly
+  EXPECT_EQ(bitrow_to_rle(row), (RleRow{{30, 34}}));
+
+  BitRow two(300);
+  two.fill(0, 64, true);    // ends at boundary 63/64
+  two.fill(100, 92, true);  // ends at boundary 191/192
+  EXPECT_EQ(bitrow_to_rle(two), (RleRow{{0, 64}, {100, 92}}));
+}
+
+TEST(Convert, RunStartingExactlyAtWordBoundary) {
+  BitRow row(300);
+  row.fill(64, 5, true);
+  row.fill(128, 64, true);  // starts AND ends on boundaries
+  EXPECT_EQ(bitrow_to_rle(row), (RleRow{{64, 5}, {128, 64}}));
+}
+
+TEST(Convert, AllOnesMultiWordRows) {
+  for (const pos_t width : {64, 65, 127, 128, 192, 200, 1024}) {
+    BitRow row(width);
+    row.fill(0, width, true);
+    EXPECT_EQ(bitrow_to_rle(row), (RleRow{{0, width}})) << "width " << width;
+  }
+}
+
+TEST(Convert, AppendWordRunsWithBaseOffset) {
+  // The extractor shared with the word-parallel diff engine: positions are
+  // rebased, output appends after existing runs.
+  const std::uint64_t words[2] = {(std::uint64_t{1} << 63),  // bit 63
+                                  0x7};                      // bits 64..66
+  RleRow out{{0, 2}};
+  append_word_runs(words, 2, 128, out);
+  EXPECT_EQ(out, (RleRow{{0, 2}, {128 + 63, 4}}));
+}
+
 TEST(Convert, MatchesNaiveEncoderOnRandomInput) {
   Rng rng(23);
   for (int trial = 0; trial < 80; ++trial) {

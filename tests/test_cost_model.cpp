@@ -19,7 +19,7 @@ using sysrle::testing::random_row;
 TEST(CostModel, CountsRunsAndXorRuns) {
   const RleRow a{{10, 3}, {16, 2}, {23, 2}, {27, 3}};
   const RleRow b{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}};
-  const DiffCostPrediction p = predict_costs(a, b);
+  const DiffCostMeasurement p = measure_costs(a, b);
   EXPECT_EQ(p.k1, 4u);
   EXPECT_EQ(p.k2, 5u);
   EXPECT_EQ(p.k3_canonical, 5u);
@@ -30,9 +30,27 @@ TEST(CostModel, CountsRunsAndXorRuns) {
 }
 
 TEST(CostModel, EmptyInputs) {
-  const DiffCostPrediction p = predict_costs(RleRow{}, RleRow{});
+  const DiffCostMeasurement p = measure_costs(RleRow{}, RleRow{});
   EXPECT_EQ(p.sequential_cost(), 0u);
   EXPECT_EQ(p.observation_bound(), 1u);  // k3 = 0
+}
+
+TEST(CostModel, EstimateAgreesWithMeasurementOnTheCheapHalf) {
+  // estimate_costs is the O(1) tier: same k1/k2-derived numbers as the
+  // measurement, without ever computing the XOR.
+  Rng rng(504);
+  for (int trial = 0; trial < 20; ++trial) {
+    const pos_t width = rng.uniform(1, 300);
+    const RleRow a = random_row(rng, width, rng.uniform01());
+    const RleRow b = random_row(rng, width, rng.uniform01());
+    const DiffCostEstimate e = estimate_costs(a, b);
+    const DiffCostMeasurement m = measure_costs(a, b);
+    EXPECT_EQ(e.k1, m.k1);
+    EXPECT_EQ(e.k2, m.k2);
+    EXPECT_EQ(e.sequential_cost(), m.sequential_cost());
+    EXPECT_EQ(e.theorem1_bound(), m.theorem1_bound());
+    EXPECT_EQ(e.run_count_difference(), m.run_count_difference());
+  }
 }
 
 TEST(CostModel, Theorem1BoundsMeasuredIterations) {
@@ -41,7 +59,7 @@ TEST(CostModel, Theorem1BoundsMeasuredIterations) {
     const pos_t width = rng.uniform(1, 300);
     const RleRow a = random_row(rng, width, rng.uniform01());
     const RleRow b = random_row(rng, width, rng.uniform01());
-    const DiffCostPrediction p = predict_costs(a, b);
+    const DiffCostMeasurement p = measure_costs(a, b);
     const SystolicResult r = systolic_xor(a, b);
     EXPECT_LE(r.counters.iterations, p.theorem1_bound()) << "trial " << trial;
   }
@@ -83,13 +101,26 @@ TEST(CostModel, AdaptiveRouteDissimilarShapesToSequential) {
 TEST(CostModel, AdaptiveRouteBoundaryIsInclusive) {
   // |k1 - k2| == threshold * (k1 + k2) exactly: systolic (the machine is
   // the paper's default; ties go to it).
-  EXPECT_EQ(choose_adaptive_route(3, 9), AdaptiveRoute::kSystolic);   // 6 == 6
-  EXPECT_EQ(choose_adaptive_route(3, 10), AdaptiveRoute::kSequential);
+  EXPECT_EQ(choose_adaptive_route(3, 9, 0.5), AdaptiveRoute::kSystolic);  // 6 == 6
+  EXPECT_EQ(choose_adaptive_route(3, 10, 0.5), AdaptiveRoute::kSequential);
+  EXPECT_EQ(choose_adaptive_route(3, 5, 0.25), AdaptiveRoute::kSystolic);  // 2 == 2
+  EXPECT_EQ(choose_adaptive_route(3, 6, 0.25), AdaptiveRoute::kSequential);
   // Custom thresholds move the boundary.
   EXPECT_EQ(choose_adaptive_route(5, 10, 1.0), AdaptiveRoute::kSystolic);
   EXPECT_EQ(choose_adaptive_route(0, 10, 1.0), AdaptiveRoute::kSystolic);
   EXPECT_EQ(choose_adaptive_route(10, 11, 0.0), AdaptiveRoute::kSequential);
   EXPECT_EQ(choose_adaptive_route(10, 10, 0.0), AdaptiveRoute::kSystolic);
+}
+
+TEST(CostModel, DefaultThresholdIsTheRecalibratedConstant) {
+  // The no-argument overload must track kDefaultSimilarityThreshold, the θ
+  // re-calibrated against the word-parallel sequential engine (method in
+  // docs/PERFORMANCE.md, evidence in BENCH_pr10.json).
+  for (const std::uint64_t k1 : {0u, 1u, 3u, 7u, 10u, 40u})
+    for (const std::uint64_t k2 : {0u, 2u, 5u, 9u, 11u, 100u})
+      EXPECT_EQ(choose_adaptive_route(k1, k2),
+                choose_adaptive_route(k1, k2, kDefaultSimilarityThreshold))
+          << "k1=" << k1 << " k2=" << k2;
 }
 
 TEST(CostModel, SequentialCostPredictsMergeIterations) {
@@ -98,7 +129,7 @@ TEST(CostModel, SequentialCostPredictsMergeIterations) {
     const pos_t width = rng.uniform(10, 400);
     const RleRow a = random_row(rng, width, 0.4);
     const RleRow b = random_row(rng, width, 0.4);
-    const DiffCostPrediction p = predict_costs(a, b);
+    const DiffCostMeasurement p = measure_costs(a, b);
     const SequentialDiffResult r = sequential_xor(a, b);
     // The merge does Theta(k1 + k2) iterations; each iteration either emits
     // one piece or cancels a shared prefix, so it is at least max(k1,k2)

@@ -40,6 +40,29 @@ BitmapImage brute_morph(const BitmapImage& img, pos_t rx, pos_t ry,
   return out;
 }
 
+/// Brute-force erosion with *foreground* outside the image — the reference
+/// for the erode half of closing.
+BitmapImage brute_erode_foreground(const BitmapImage& img, pos_t rx,
+                                   pos_t ry) {
+  BitmapImage out(img.width(), img.height());
+  for (pos_t y = 0; y < img.height(); ++y) {
+    for (pos_t x = 0; x < img.width(); ++x) {
+      bool acc = true;
+      for (pos_t dy = -ry; dy <= ry; ++dy) {
+        for (pos_t dx = -rx; dx <= rx; ++dx) {
+          const pos_t xx = x + dx;
+          const pos_t yy = y + dy;
+          const bool inside = xx >= 0 && xx < img.width() && yy >= 0 &&
+                              yy < img.height();
+          acc = acc && (!inside || img.get(xx, yy));
+        }
+      }
+      out.set(x, y, acc);
+    }
+  }
+  return out;
+}
+
 BitmapImage random_bitmap(Rng& rng, pos_t w, pos_t h, double density) {
   BitmapImage img(w, h);
   for (pos_t y = 0; y < h; ++y)
@@ -116,6 +139,66 @@ TEST(Morphology, ErosionMatchesBruteForce) {
     const BitmapImage bmp = random_bitmap(rng, w, h, 0.75);
     const RleImage got = erode_image(bitmap_to_rle(bmp), rx, ry);
     EXPECT_EQ(rle_to_bitmap(got), brute_morph(bmp, rx, ry, false))
+        << "trial " << trial << " r=" << rx << ',' << ry;
+  }
+}
+
+TEST(Morphology, ErodeRowForegroundBorderKeepsEdges) {
+  const RleRow row = encode_bitstring("1110000111");
+  EXPECT_EQ(erode_row(row, 1, 10, BorderPolicy::kForeground),
+            encode_bitstring("1100000011"));
+  // Background policy via the explicit overload matches the classic one.
+  EXPECT_EQ(erode_row(row, 1, 10, BorderPolicy::kBackground),
+            erode_row(row, 1));
+  // A full row is a fixed point under foreground padding at any radius.
+  const RleRow full = encode_bitstring("1111111111");
+  EXPECT_EQ(erode_row(full, 3, 10, BorderPolicy::kForeground), full);
+  // Adjacent runs are one block to the structuring element.
+  const RleRow adjacent{{0, 4}, {4, 4}};
+  EXPECT_EQ(erode_row(adjacent, 1, 8, BorderPolicy::kForeground),
+            (RleRow{{0, 8}}));
+}
+
+TEST(Morphology, ClosingKeepsBorderTouchingForeground) {
+  // Regression: closing used to erase border-touching blobs because its
+  // erode half assumed background outside the image; the erosion ate back
+  // exactly the foreground the dilation had pushed past the edge.  With
+  // foreground padding on the erode half, closing is extensive everywhere:
+  // one blob touching each of the four edges must survive intact.
+  BitmapImage bmp(30, 20);
+  bmp.fill_rect(0, 8, 5, 4, true);    // touches left edge
+  bmp.fill_rect(25, 8, 5, 4, true);   // touches right edge
+  bmp.fill_rect(12, 0, 6, 4, true);   // touches top edge
+  bmp.fill_rect(12, 16, 6, 4, true);  // touches bottom edge
+  const RleImage img = bitmap_to_rle(bmp);
+  const std::pair<pos_t, pos_t> radii[] = {{1, 0}, {0, 1}, {1, 1}, {2, 2}};
+  for (const auto& [rx, ry] : radii) {
+    const BitmapImage closed = rle_to_bitmap(close_image(img, rx, ry));
+    for (pos_t y = 0; y < 20; ++y) {
+      for (pos_t x = 0; x < 30; ++x) {
+        if (bmp.get(x, y)) {
+          EXPECT_TRUE(closed.get(x, y))
+              << "lost (" << x << ',' << y << ") at r=" << rx << ',' << ry;
+        }
+      }
+    }
+  }
+}
+
+TEST(Morphology, ClosingMatchesBruteForceWithForegroundBorder) {
+  // Pin the documented border semantics exactly: closing = background-
+  // padded dilation followed by foreground-padded erosion.
+  Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const pos_t w = rng.uniform(1, 50);
+    const pos_t h = rng.uniform(1, 30);
+    const pos_t rx = rng.uniform(0, 3);
+    const pos_t ry = rng.uniform(0, 3);
+    const BitmapImage bmp = random_bitmap(rng, w, h, 0.3);
+    const BitmapImage expected =
+        brute_erode_foreground(brute_morph(bmp, rx, ry, true), rx, ry);
+    EXPECT_EQ(rle_to_bitmap(close_image(bitmap_to_rle(bmp), rx, ry)),
+              expected)
         << "trial " << trial << " r=" << rx << ',' << ry;
   }
 }

@@ -9,6 +9,7 @@
 
 #include "baseline/pixel_parallel.hpp"
 #include "baseline/sequential_diff.hpp"
+#include "baseline/word_diff.hpp"
 #include "core/bus_variant.hpp"
 #include "core/cost_model.hpp"
 #include "core/systolic_diff.hpp"
@@ -71,8 +72,12 @@ TEST_P(EngineEquivalence, AllEnginesAgreeAndBoundsHold) {
   // Engine 5: pixel-parallel through bitmaps.
   EXPECT_EQ(pixel_parallel_xor(a, b, regime.width).output, expected);
 
+  // Engine 6: the word-parallel sequential engine at the host's active
+  // dispatch level (canonical by contract, no .canonical() needed).
+  EXPECT_EQ(sequential_engine_xor(a, b).output, expected);
+
   // Section-5 cost structure.
-  const DiffCostPrediction pred = predict_costs(a, b);
+  const DiffCostMeasurement pred = measure_costs(a, b);
   EXPECT_LE(sys.counters.iterations, pred.theorem1_bound());
   EXPECT_LE(bus.counters.iterations, sys.counters.iterations);
   if (regime.error_fraction >= 0) {
